@@ -1,0 +1,127 @@
+//! Wire-level integration: queries and responses crossing the RFC 1035
+//! codec on their way through an authoritative server, as they would over
+//! UDP.
+
+use dns_auth::AuthServer;
+use dns_core::{
+    wire, Delegation, Message, Name, Question, RData, Record, RecordType, ResponseKind, Ttl,
+    ZoneBuilder,
+};
+use std::net::Ipv4Addr;
+
+fn name(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+fn server() -> AuthServer {
+    let zone = ZoneBuilder::new(name("ucla.edu"))
+        .ns(name("ns1.ucla.edu"), Ipv4Addr::new(192, 0, 2, 1), Ttl::from_days(1))
+        .ns(name("ns2.ucla.edu"), Ipv4Addr::new(192, 0, 2, 2), Ttl::from_days(1))
+        .a(name("www.ucla.edu"), Ipv4Addr::new(192, 0, 2, 80), Ttl::from_hours(4))
+        .record(Record::new(
+            name("ucla.edu"),
+            Ttl::from_hours(4),
+            RData::Mx {
+                preference: 10,
+                exchange: name("mail.ucla.edu"),
+            },
+        ))
+        .a(name("mail.ucla.edu"), Ipv4Addr::new(192, 0, 2, 25), Ttl::from_hours(4))
+        .delegate(Delegation {
+            child: name("cs.ucla.edu"),
+            ns_names: vec![name("ns.cs.ucla.edu")],
+            ns_ttl: Ttl::from_hours(12),
+            glue: vec![Record::new(
+                name("ns.cs.ucla.edu"),
+                Ttl::from_hours(12),
+                RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+            )],
+            ds: Vec::new(),
+        })
+        .build()
+        .unwrap();
+    let mut s = AuthServer::new(name("ns1.ucla.edu"), Ipv4Addr::new(192, 0, 2, 1));
+    s.add_zone(zone);
+    s
+}
+
+/// Sends a query through encode → decode → handle → encode → decode,
+/// exactly like a UDP exchange.
+fn exchange(server: &AuthServer, qname: &str, rtype: RecordType) -> Message {
+    let query = Message::query(4321, Question::new(name(qname), rtype));
+    let query_bytes = wire::encode(&query).unwrap();
+    let received = wire::decode(&query_bytes).unwrap();
+    assert_eq!(received, query, "query must survive the wire");
+    let response = server.handle_query(&received);
+    let resp_bytes = wire::encode(&response).unwrap();
+    let decoded = wire::decode(&resp_bytes).unwrap();
+    assert_eq!(decoded, response, "response must survive the wire");
+    decoded
+}
+
+#[test]
+fn positive_answer_over_the_wire() {
+    let resp = exchange(&server(), "www.ucla.edu", RecordType::A);
+    assert_eq!(resp.kind(), ResponseKind::Answer);
+    assert_eq!(resp.header.id, 4321);
+    assert_eq!(resp.answers.len(), 1);
+    assert_eq!(resp.authorities.len(), 2); // NS set
+    assert_eq!(resp.additionals.len(), 2); // glue
+}
+
+#[test]
+fn referral_over_the_wire() {
+    let resp = exchange(&server(), "host.cs.ucla.edu", RecordType::A);
+    assert_eq!(resp.kind(), ResponseKind::Referral);
+    assert!(resp.authorities.iter().all(|r| r.rtype() == RecordType::Ns));
+}
+
+#[test]
+fn mx_answer_over_the_wire() {
+    let resp = exchange(&server(), "ucla.edu", RecordType::Mx);
+    assert_eq!(resp.kind(), ResponseKind::Answer);
+    match resp.answers[0].rdata() {
+        RData::Mx { preference, exchange } => {
+            assert_eq!(*preference, 10);
+            assert_eq!(exchange, &name("mail.ucla.edu"));
+        }
+        other => panic!("expected MX, got {other:?}"),
+    }
+}
+
+#[test]
+fn nxdomain_over_the_wire() {
+    let resp = exchange(&server(), "missing.ucla.edu", RecordType::A);
+    assert_eq!(resp.kind(), ResponseKind::NxDomain);
+    assert!(resp.authorities.iter().any(|r| r.rtype() == RecordType::Soa));
+}
+
+#[test]
+fn response_sizes_are_wire_plausible() {
+    // A referral with glue compresses to well under the classic 512-octet
+    // UDP limit — a sanity check that compression is actually applied on
+    // the hot path.
+    let query = Message::query(1, Question::new(name("host.cs.ucla.edu"), RecordType::A));
+    let response = server().handle_query(&query);
+    let bytes = wire::encode(&response).unwrap();
+    assert!(
+        bytes.len() < 512,
+        "referral should fit a classic UDP datagram, got {} octets",
+        bytes.len()
+    );
+}
+
+#[test]
+fn multi_zone_server_over_the_wire() {
+    let mut s = server();
+    let other = ZoneBuilder::new(name("mit.edu"))
+        .ns(name("ns1.ucla.edu"), Ipv4Addr::new(192, 0, 2, 1), Ttl::from_days(1))
+        .a(name("www.mit.edu"), Ipv4Addr::new(192, 0, 2, 90), Ttl::from_hours(4))
+        .build()
+        .unwrap();
+    s.add_zone(other);
+    let resp = exchange(&s, "www.mit.edu", RecordType::A);
+    assert_eq!(resp.kind(), ResponseKind::Answer);
+    let resp = exchange(&s, "www.ucla.edu", RecordType::A);
+    assert_eq!(resp.kind(), ResponseKind::Answer);
+}

@@ -1,0 +1,94 @@
+//! Micro-benchmarks for the record and infrastructure caches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dns_core::{Name, RData, Record, RrSet, SimTime, Ttl};
+use dns_resolver::{Credibility, InfraCache, InfraSource, RecordCache};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn name(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+fn a_set(owner: &str, ttl: Ttl) -> RrSet {
+    let rec = Record::new(name(owner), ttl, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+    RrSet::from_records(&[rec]).unwrap()
+}
+
+fn bench_record_cache(c: &mut Criterion) {
+    // A populated cache to measure realistic lookups.
+    let mut warm = RecordCache::new();
+    let names: Vec<String> = (0..10_000)
+        .map(|i| format!("host{i}.z{}.com", i % 997))
+        .collect();
+    for n in &names {
+        warm.insert(a_set(n, Ttl::from_hours(4)), SimTime::ZERO, Credibility::AuthAnswer);
+    }
+    let probe = name(&names[4242]);
+
+    c.bench_function("cache/record_insert", |b| {
+        let set = a_set("www.example.com", Ttl::from_hours(4));
+        let mut cache = warm.clone();
+        b.iter(|| cache.insert(black_box(set.clone()), SimTime::ZERO, Credibility::AuthAnswer))
+    });
+    c.bench_function("cache/record_hit", |b| {
+        b.iter(|| warm.get(black_box(&probe), dns_core::RecordType::A, SimTime::from_mins(1)))
+    });
+    c.bench_function("cache/record_miss", |b| {
+        let missing = name("not.cached.example");
+        b.iter(|| warm.get(black_box(&missing), dns_core::RecordType::A, SimTime::from_mins(1)))
+    });
+    c.bench_function("cache/purge_10k", |b| {
+        b.iter_with_setup(
+            || warm.clone(),
+            |mut cache| cache.purge_expired(SimTime::from_days(1)),
+        )
+    });
+}
+
+fn bench_infra_cache(c: &mut Criterion) {
+    let mut warm = InfraCache::new();
+    warm.install_root_hints(&[(name("a.root"), Ipv4Addr::new(198, 41, 0, 4))]);
+    for i in 0..5_000u32 {
+        let zone = name(&format!("z{i}.com"));
+        warm.install(
+            zone.clone(),
+            vec![name(&format!("ns1.z{i}.com"))],
+            vec![(
+                name(&format!("ns1.z{i}.com")),
+                Ipv4Addr::new(10, 0, (i / 256) as u8, (i % 256) as u8),
+            )],
+            Ttl::from_hours(12),
+            SimTime::ZERO,
+            InfraSource::Child,
+            true,
+        );
+    }
+    let probe = name("www.z2500.com");
+
+    c.bench_function("cache/infra_deepest_ancestor", |b| {
+        b.iter(|| warm.deepest_fresh_ancestor(black_box(&probe), SimTime::from_mins(5)))
+    });
+    c.bench_function("cache/infra_install_refresh", |b| {
+        let zone = name("z100.com");
+        let ns = vec![name("ns1.z100.com")];
+        let addrs = vec![(name("ns1.z100.com"), Ipv4Addr::new(10, 0, 0, 100))];
+        let mut cache = warm.clone();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            cache.install(
+                black_box(zone.clone()),
+                ns.clone(),
+                addrs.clone(),
+                Ttl::from_hours(12),
+                SimTime::from_secs(t),
+                InfraSource::Child,
+                true,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_record_cache, bench_infra_cache);
+criterion_main!(benches);

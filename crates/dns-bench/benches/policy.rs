@@ -1,0 +1,71 @@
+//! Benchmarks for renewal-policy bookkeeping and the renewal scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dns_core::{Name, SimTime, Ttl};
+use dns_resolver::{InfraCache, InfraSource, RenewalPolicy};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn bench_credit(c: &mut Criterion) {
+    let policies = [
+        ("lru", RenewalPolicy::lru(3)),
+        ("lfu", RenewalPolicy::lfu(3)),
+        ("a_lru", RenewalPolicy::adaptive_lru(3)),
+        ("a_lfu", RenewalPolicy::adaptive_lfu(3)),
+    ];
+    let mut group = c.benchmark_group("policy/credit_on_use");
+    for (label, policy) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, p| {
+            let ttl = Ttl::from_hours(12);
+            b.iter(|| p.credit_on_use(black_box(7), black_box(ttl)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    // A cache with thousands of scheduled entries, measuring schedule
+    // maintenance under install/pop churn.
+    let build = || {
+        let mut cache = InfraCache::new();
+        cache.install_root_hints(&[("a.root".parse().unwrap(), Ipv4Addr::new(198, 41, 0, 4))]);
+        let policy = RenewalPolicy::lru(3);
+        for i in 0..5_000u32 {
+            let zone: Name = format!("z{i}.com").parse().unwrap();
+            cache.install(
+                zone.clone(),
+                vec![format!("ns1.z{i}.com").parse().unwrap()],
+                vec![(
+                    format!("ns1.z{i}.com").parse().unwrap(),
+                    Ipv4Addr::new(10, 1, (i / 256) as u8, (i % 256) as u8),
+                )],
+                Ttl::from_secs(600 + i),
+                SimTime::ZERO,
+                InfraSource::Child,
+                true,
+            );
+            cache.record_use(&zone, SimTime::from_secs(1), Some(&policy));
+        }
+        cache
+    };
+
+    c.bench_function("policy/peek_renewal_due", |b| {
+        let mut cache = build();
+        b.iter(|| cache.peek_renewal_due())
+    });
+
+    c.bench_function("policy/drain_5k_renewals", |b| {
+        b.iter_with_setup(build, |mut cache| {
+            let mut n = 0;
+            while let Some((_, zone)) = cache.next_renewal_due(SimTime::from_days(1)) {
+                if cache.consume_renewal_credit(&zone).is_some() {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+}
+
+criterion_group!(benches, bench_credit, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benchmarks for the resolution pipeline: cache hits, warm-zone queries
+//! and full cold walks through the hierarchy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dns_core::{Name, SimTime};
+use dns_resolver::{CachingServer, ResolverConfig, RootHints};
+use dns_sim::{ServerFarm, SimNet};
+use dns_trace::{Universe, UniverseSpec};
+use std::hint::black_box;
+
+fn setup() -> (Universe, SimNet, RootHints) {
+    let universe = UniverseSpec::small().build(7);
+    let farm = ServerFarm::build(&universe, None);
+    let hints = RootHints::new(universe.root_servers().to_vec());
+    (universe, SimNet::new(farm), hints)
+}
+
+fn first_data_name(universe: &Universe) -> Name {
+    universe
+        .zones()
+        .iter()
+        .find(|z| !z.data_names.is_empty())
+        .expect("universe has data")
+        .data_names[0]
+        .0
+        .clone()
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let (universe, mut net, hints) = setup();
+    let target = first_data_name(&universe);
+
+    c.bench_function("resolve/cold_walk", |b| {
+        // Fresh resolver every iteration: full root → TLD → zone walk.
+        b.iter_with_setup(
+            || CachingServer::new(ResolverConfig::vanilla(), hints.clone()),
+            |mut cs| cs.resolve_a(black_box(&target), SimTime::ZERO, &mut net),
+        )
+    });
+
+    c.bench_function("resolve/cache_hit", |b| {
+        let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints.clone());
+        cs.resolve_a(&target, SimTime::ZERO, &mut net);
+        b.iter(|| cs.resolve_a(black_box(&target), SimTime::from_mins(1), &mut net))
+    });
+
+    c.bench_function("resolve/warm_zone_expired_data", |b| {
+        // Infrastructure cached, data record expired: one direct query.
+        let mut cs = CachingServer::new(ResolverConfig::with_refresh(), hints.clone());
+        cs.resolve_a(&target, SimTime::ZERO, &mut net);
+        let mut t = 6 * 3_600u64; // past the 4h-ish data TTLs
+        b.iter(|| {
+            t += 3_600;
+            cs.resolve_a(black_box(&target), SimTime::from_secs(t), &mut net)
+        })
+    });
+
+    c.bench_function("resolve/nxdomain_negative_cached", |b| {
+        let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints.clone());
+        let missing: Name = format!("nx1.{}", target.parent().unwrap()).parse().unwrap();
+        cs.resolve_a(&missing, SimTime::ZERO, &mut net);
+        b.iter(|| cs.resolve_a(black_box(&missing), SimTime::from_secs(30), &mut net))
+    });
+}
+
+criterion_group!(benches, bench_resolve);
+criterion_main!(benches);

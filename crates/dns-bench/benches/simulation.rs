@@ -1,0 +1,70 @@
+//! End-to-end replay throughput, plus scheme ablations: how much the
+//! refresh / renewal / long-TTL machinery costs per query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dns_core::Ttl;
+use dns_resolver::{RenewalPolicy, ResolverConfig};
+use dns_sim::experiment::Scheme;
+use dns_sim::{SimConfig, Simulation};
+use dns_trace::{Trace, Universe, UniverseSpec, WorkloadBuilder};
+
+fn setup() -> (Universe, Trace) {
+    let universe = UniverseSpec::small().build(7);
+    // One simulated day, 10k queries — a fast but representative replay.
+    let trace = WorkloadBuilder::new("bench", 1, 50, 10_000).generate(&universe, 42);
+    (universe, trace)
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let (universe, trace) = setup();
+    let mut group = c.benchmark_group("simulation/replay_10k");
+    group.sample_size(10);
+
+    let schemes = [
+        ("vanilla", Scheme::vanilla()),
+        ("refresh", Scheme::refresh()),
+        ("renewal_alfu3", Scheme::renewal(RenewalPolicy::adaptive_lfu(3))),
+        (
+            "combined",
+            Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3)),
+        ),
+    ];
+    for (label, scheme) in schemes {
+        // Build the farm once per scheme (outside the measured loop).
+        let farm = dns_sim::ServerFarm::build(&universe, scheme.long_ttl);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scheme, |b, s| {
+            b.iter_with_setup(
+                || {
+                    Simulation::with_farm(
+                        farm.clone(),
+                        &universe,
+                        trace.clone(),
+                        s.sim_config(),
+                    )
+                },
+                |mut sim| {
+                    sim.run_to_end();
+                    sim.metrics().queries_in
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fork(c: &mut Criterion) {
+    let (universe, trace) = setup();
+    let mut sim = Simulation::new(
+        &universe,
+        trace,
+        SimConfig::new(ResolverConfig::with_refresh()),
+    );
+    sim.run_to_end();
+    let mut group = c.benchmark_group("simulation/fork_warm_state");
+    group.sample_size(20);
+    group.bench_function("fork", |b| b.iter(|| sim.fork()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay, bench_fork);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks for the RFC 1035 wire codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dns_core::{wire, Message, Name, Question, RData, Record, RecordType, Ttl};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn name(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+fn query_message() -> Message {
+    Message::query(77, Question::new(name("www.cs.ucla.edu"), RecordType::A))
+}
+
+fn referral_message() -> Message {
+    let mut m = Message::response_to(&query_message());
+    for i in 1..=3u8 {
+        m.authorities.push(Record::new(
+            name("ucla.edu"),
+            Ttl::from_days(1),
+            RData::Ns(name(&format!("ns{i}.ucla.edu"))),
+        ));
+        m.additionals.push(Record::new(
+            name(&format!("ns{i}.ucla.edu")),
+            Ttl::from_days(1),
+            RData::A(Ipv4Addr::new(192, 0, 2, i)),
+        ));
+    }
+    m
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let query = query_message();
+    let referral = referral_message();
+    let query_bytes = wire::encode(&query).unwrap();
+    let referral_bytes = wire::encode(&referral).unwrap();
+
+    c.bench_function("wire/encode_query", |b| {
+        b.iter(|| wire::encode(black_box(&query)).unwrap())
+    });
+    c.bench_function("wire/encode_referral", |b| {
+        b.iter(|| wire::encode(black_box(&referral)).unwrap())
+    });
+    c.bench_function("wire/decode_query", |b| {
+        b.iter(|| wire::decode(black_box(&query_bytes)).unwrap())
+    });
+    c.bench_function("wire/decode_referral", |b| {
+        b.iter(|| wire::decode(black_box(&referral_bytes)).unwrap())
+    });
+    c.bench_function("wire/roundtrip_referral", |b| {
+        b.iter(|| {
+            let bytes = wire::encode(black_box(&referral)).unwrap();
+            wire::decode(&bytes).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

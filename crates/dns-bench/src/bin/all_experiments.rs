@@ -1,0 +1,21 @@
+//! Runs the complete reproduction: every table and figure, sharing one
+//! lab (universe, traces, farms, memoised runs) across experiments.
+//!
+//! Writes CSVs into `EXPERIMENTS-output/` (override with `DNS_REPRO_OUT`)
+//! and honours `DNS_REPRO_SCALE` for quick previews.
+
+use dns_bench::experiments;
+use dns_bench::Lab;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let mut lab = Lab::new();
+    println!(
+        "universe ready: {} zones ({:.1}s)",
+        lab.universe().zone_count(),
+        t0.elapsed().as_secs_f64()
+    );
+    experiments::all(&mut lab);
+    println!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

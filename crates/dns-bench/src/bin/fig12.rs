@@ -1,0 +1,11 @@
+//! Regenerates Figure 12 (memory overhead over time) of the DSN 2007 paper.
+//! See DESIGN.md §4 for the experiment index.
+
+use dns_bench::experiments::fig12;
+use dns_bench::Lab;
+use dns_trace::TraceSpec;
+
+fn main() {
+    let mut lab = Lab::new();
+    fig12(&mut lab, &TraceSpec::TRC6);
+}

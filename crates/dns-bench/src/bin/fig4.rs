@@ -1,0 +1,11 @@
+//! Regenerates Figure 4 (vanilla DNS failures) of the DSN 2007 paper.
+//! See DESIGN.md §4 for the experiment index.
+
+use dns_bench::experiments::fig4;
+use dns_bench::Lab;
+use dns_trace::TraceSpec;
+
+fn main() {
+    let mut lab = Lab::new();
+    fig4(&mut lab, &TraceSpec::weekly());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 6 (refresh + LRU renewal) of the DSN 2007 paper.
+//! See DESIGN.md §4 for the experiment index.
+
+use dns_bench::experiments::fig6;
+use dns_bench::Lab;
+use dns_trace::TraceSpec;
+
+fn main() {
+    let mut lab = Lab::new();
+    fig6(&mut lab, &TraceSpec::weekly());
+}

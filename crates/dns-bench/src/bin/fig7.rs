@@ -1,0 +1,11 @@
+//! Regenerates Figure 7 (refresh + LFU renewal) of the DSN 2007 paper.
+//! See DESIGN.md §4 for the experiment index.
+
+use dns_bench::experiments::fig7;
+use dns_bench::Lab;
+use dns_trace::TraceSpec;
+
+fn main() {
+    let mut lab = Lab::new();
+    fig7(&mut lab, &TraceSpec::weekly());
+}

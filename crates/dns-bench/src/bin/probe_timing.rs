@@ -1,0 +1,41 @@
+//! Timing probe: how long does one full-scale vanilla run take?
+//! Not part of the paper reproduction; used to size the experiments.
+
+use dns_bench::{build_trace, standard_universe};
+use dns_resolver::ResolverConfig;
+use dns_sim::{SimConfig, Simulation};
+use dns_trace::TraceSpec;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let universe = standard_universe();
+    println!(
+        "universe: {} zones in {:.1}s",
+        universe.zone_count(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let t1 = Instant::now();
+    let trace = build_trace(&universe, &TraceSpec::TRC1, 1);
+    println!(
+        "trace: {} queries in {:.1}s",
+        trace.queries.len(),
+        t1.elapsed().as_secs_f64()
+    );
+
+    let t2 = Instant::now();
+    let mut sim = Simulation::new(&universe, trace, SimConfig::new(ResolverConfig::vanilla()));
+    println!("farm build: {:.1}s ({})", t2.elapsed().as_secs_f64(), sim.net().farm());
+
+    let t3 = Instant::now();
+    sim.run_to_end();
+    let m = sim.metrics();
+    println!(
+        "replay: {:.1}s — in={} out={} hits={:.1}%",
+        t3.elapsed().as_secs_f64(),
+        m.queries_in,
+        m.queries_out,
+        m.hit_ratio() * 100.0
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 1 (trace statistics) of the DSN 2007 paper.
+//! See DESIGN.md §4 for the experiment index.
+
+use dns_bench::experiments::table1;
+use dns_bench::Lab;
+use dns_trace::TraceSpec;
+
+fn main() {
+    let mut lab = Lab::new();
+    table1(&mut lab, &TraceSpec::all());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 2 (message and memory overhead) of the DSN 2007 paper.
+//! See DESIGN.md §4 for the experiment index.
+
+use dns_bench::experiments::table2;
+use dns_bench::Lab;
+use dns_trace::TraceSpec;
+
+fn main() {
+    let mut lab = Lab::new();
+    table2(&mut lab, &TraceSpec::TRC1);
+}

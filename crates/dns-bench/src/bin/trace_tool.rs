@@ -1,0 +1,122 @@
+//! Command-line tool for producing and inspecting the text-format
+//! universes and traces that the simulator replays.
+//!
+//! ```text
+//! trace_tool gen-universe <out-file> [--seed N] [--small]
+//! trace_tool gen-trace <universe-file> <out-file> [--spec TRC1] [--seed N]
+//! trace_tool stats <trace-file>
+//! trace_tool inspect <universe-file>
+//! ```
+
+use dns_stats::Table;
+use dns_trace::io::{load_trace, load_universe, save_trace, save_universe};
+use dns_trace::{TraceSpec, UniverseSpec};
+use std::fs::File;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  trace_tool gen-universe <out-file> [--seed N] [--small]");
+            eprintln!("  trace_tool gen-trace <universe-file> <out-file> [--spec TRC1] [--seed N]");
+            eprintln!("  trace_tool stats <trace-file>");
+            eprintln!("  trace_tool inspect <universe-file>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).ok_or("missing command")?;
+    match command {
+        "gen-universe" => {
+            let out = args.get(1).ok_or("missing output file")?;
+            let seed: u64 = flag_value(args, "--seed")
+                .map(|v| v.parse().map_err(|_| "bad --seed"))
+                .transpose()?
+                .unwrap_or(dns_bench::UNIVERSE_SEED);
+            let spec = if args.iter().any(|a| a == "--small") {
+                UniverseSpec::small()
+            } else {
+                UniverseSpec::standard()
+            };
+            let universe = spec.build(seed);
+            let file = File::create(out).map_err(|e| e.to_string())?;
+            save_universe(file, &universe).map_err(|e| e.to_string())?;
+            println!("wrote {} ({} zones)", out, universe.zone_count());
+            Ok(())
+        }
+        "gen-trace" => {
+            let ufile = args.get(1).ok_or("missing universe file")?;
+            let out = args.get(2).ok_or("missing output file")?;
+            let spec_name = flag_value(args, "--spec").unwrap_or_else(|| "TRC1".to_string());
+            let seed: u64 = flag_value(args, "--seed")
+                .map(|v| v.parse().map_err(|_| "bad --seed"))
+                .transpose()?
+                .unwrap_or(dns_bench::TRACE_SEED);
+            let spec = TraceSpec::all()
+                .into_iter()
+                .find(|s| s.name == spec_name)
+                .or_else(|| (spec_name == "DEMO").then(TraceSpec::demo))
+                .ok_or_else(|| format!("unknown spec {spec_name:?} (TRC1..TRC6, DEMO)"))?;
+            let universe =
+                load_universe(File::open(ufile).map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+            let trace = spec.generate(&universe, seed);
+            let file = File::create(out).map_err(|e| e.to_string())?;
+            save_trace(file, &trace).map_err(|e| e.to_string())?;
+            println!("wrote {} ({} queries)", out, trace.queries.len());
+            Ok(())
+        }
+        "stats" => {
+            let tfile = args.get(1).ok_or("missing trace file")?;
+            let trace = load_trace(File::open(tfile).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+            let stats = trace.stats();
+            let mut table = Table::new(vec!["field", "value"]);
+            table.row(vec!["name".into(), stats.name.clone()]);
+            table.row(vec!["days".into(), stats.days.to_string()]);
+            table.row(vec!["clients".into(), stats.clients.to_string()]);
+            table.row(vec!["requests in".into(), stats.requests_in.to_string()]);
+            table.row(vec!["distinct names".into(), stats.distinct_names.to_string()]);
+            table.row(vec!["distinct zones".into(), stats.distinct_zones.to_string()]);
+            print!("{table}");
+            Ok(())
+        }
+        "inspect" => {
+            let ufile = args.get(1).ok_or("missing universe file")?;
+            let universe =
+                load_universe(File::open(ufile).map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+            let tlds = universe
+                .zones()
+                .iter()
+                .filter(|z| z.apex.label_count() == 1)
+                .count();
+            let slds = universe
+                .zones()
+                .iter()
+                .filter(|z| z.apex.label_count() == 2)
+                .count();
+            let deep = universe.zone_count() - 1 - tlds - slds;
+            println!("{universe}");
+            println!("  TLDs: {tlds}, second-level: {slds}, deeper: {deep}");
+            println!("  servers: {}", universe.server_assignments().len());
+            println!("  queryable names: {}", universe.query_targets().len());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}

@@ -1,0 +1,598 @@
+//! One function per paper artifact (tables and figures).
+//!
+//! Each function prints the paper-shaped table(s) on stdout and writes a
+//! CSV into [`crate::output_dir`]. The `src/bin/` binaries are thin
+//! wrappers; `all_experiments` chains everything over one shared [`Lab`].
+
+use crate::{emit, pct, ratio, Lab};
+use dns_core::{SimDuration, SimTime, Ttl};
+use dns_resolver::{RenewalPolicy, ResolverConfig};
+use dns_sim::experiment::{
+    attack_sweep_with_farm, overhead_run_with_farm, AttackOutcome, OverheadOutcome, Scheme,
+    ATTACK_START_DAY, POLICY_FIGURE_DURATION,
+};
+use dns_sim::gap::GapAnalysis;
+use dns_sim::{SimConfig, Simulation};
+use dns_stats::{AsciiChart, Table};
+use dns_trace::TraceSpec;
+
+/// Attack onset shared by every failure experiment: start of day 7.
+pub fn attack_start() -> SimTime {
+    SimTime::from_days(ATTACK_START_DAY)
+}
+
+/// The four attack durations of Figures 4–5.
+pub fn durations_hours() -> [u64; 4] {
+    [3, 6, 12, 24]
+}
+
+impl Lab {
+    /// Memoised attack outcomes for one `(trace, scheme, duration)` cell;
+    /// repeated columns across figures (e.g. the vanilla baseline) are
+    /// simulated only once.
+    pub fn attack_outcomes(
+        &mut self,
+        spec: &TraceSpec,
+        scheme: Scheme,
+        durations: &[SimDuration],
+    ) -> Vec<AttackOutcome> {
+        let missing: Vec<SimDuration> = durations
+            .iter()
+            .copied()
+            .filter(|d| !self.attack_memo.contains_key(&memo_key(spec, &scheme, *d)))
+            .collect();
+        if !missing.is_empty() {
+            let farm = self.farm(scheme.long_ttl);
+            self.trace(spec); // ensure built before immutably borrowing
+            let outs = {
+                let trace = self.traces.get(spec.name).expect("trace just built");
+                attack_sweep_with_farm(farm, &self.universe, trace, scheme, attack_start(), &missing)
+            };
+            for o in outs {
+                self.attack_memo
+                    .insert(memo_key(spec, &scheme, o.duration), o);
+            }
+        }
+        durations
+            .iter()
+            .map(|d| self.attack_memo[&memo_key(spec, &scheme, *d)].clone())
+            .collect()
+    }
+
+    /// Memoised full-trace overhead run for Table 2 / Figure 12.
+    pub fn overhead(
+        &mut self,
+        spec: &TraceSpec,
+        scheme: Scheme,
+        sample_every: SimDuration,
+    ) -> OverheadOutcome {
+        let key = (scheme.label(), spec.name);
+        if !self.overhead_memo.contains_key(&key) {
+            let farm = self.farm(scheme.long_ttl);
+            self.trace(spec);
+            let out = {
+                let trace = self.traces.get(spec.name).expect("trace just built");
+                overhead_run_with_farm(farm, &self.universe, trace, scheme, sample_every)
+            };
+            self.overhead_memo.insert(key.clone(), out);
+        }
+        self.overhead_memo[&key].clone()
+    }
+}
+
+fn memo_key(spec: &TraceSpec, scheme: &Scheme, d: SimDuration) -> (String, &'static str, u64) {
+    (scheme.label(), spec.name, d.as_secs())
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — trace statistics
+// ---------------------------------------------------------------------
+
+/// Regenerates Table 1: per-trace statistics, with "requests out"
+/// measured by a vanilla replay (as the paper's caching servers did).
+pub fn table1(lab: &mut Lab, specs: &[TraceSpec]) {
+    let mut table = Table::new(vec![
+        "Trace", "Duration", "Clients", "Requests In", "Requests Out", "Names", "Zones",
+    ]);
+    table.numeric();
+    for spec in specs {
+        lab.trace(spec);
+        let stats = lab.traces[spec.name].stats();
+        // "Requests out" is a property of a (vanilla) caching server in
+        // front of the clients, so measure it by replay.
+        let farm = lab.farm(None);
+        let out = {
+            let trace = &lab.traces[spec.name];
+            let mut sim = Simulation::with_farm(
+                farm,
+                &lab.universe,
+                trace.clone(),
+                SimConfig::new(ResolverConfig::vanilla()),
+            );
+            sim.run_to_end();
+            sim.metrics().queries_out
+        };
+        table.row(vec![
+            stats.name.clone(),
+            format!("{} Days", stats.days),
+            stats.clients.to_string(),
+            stats.requests_in.to_string(),
+            out.to_string(),
+            stats.distinct_names.to_string(),
+            stats.distinct_zones.to_string(),
+        ]);
+    }
+    emit("Table 1: DNS trace statistics", "table1", &table);
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — time-gap CDFs
+// ---------------------------------------------------------------------
+
+/// Regenerates Figure 3: CDFs of the gap between an infrastructure
+/// record's expiry and the next query to its zone — absolute (days) and
+/// relative (fraction of the zone's IRR TTL).
+pub fn fig3(lab: &mut Lab, specs: &[TraceSpec]) {
+    let mut summary = Table::new(vec![
+        "Trace", "Gaps", "P50 (days)", "P90 (days)", "<=1 day %", "<=5 days %", "P50 (xTTL)",
+        "P90 (xTTL)",
+    ]);
+    summary.numeric();
+    let mut curves = Table::new(vec!["Trace", "Kind", "Value", "CDF"]);
+    for spec in specs {
+        lab.trace(spec);
+        let farm = lab.farm(None);
+        let analysis = {
+            let trace = &lab.traces[spec.name];
+            let mut sim = Simulation::with_farm(
+                farm,
+                &lab.universe,
+                trace.clone(),
+                SimConfig::new(ResolverConfig::vanilla()),
+            );
+            sim.run_to_end();
+            let samples = sim.take_gap_samples();
+            GapAnalysis::from_samples(&samples)
+        };
+        summary.row(vec![
+            spec.name.to_string(),
+            analysis.samples.to_string(),
+            format!("{:.3}", analysis.absolute_days.quantile(0.5).unwrap_or(0.0)),
+            format!("{:.3}", analysis.absolute_days.quantile(0.9).unwrap_or(0.0)),
+            pct(analysis.absolute_days.fraction_at_or_below(1.0) * 100.0),
+            pct(analysis.absolute_days.fraction_at_or_below(5.0) * 100.0),
+            format!("{:.3}", analysis.fraction_of_ttl.quantile(0.5).unwrap_or(0.0)),
+            format!("{:.3}", analysis.fraction_of_ttl.quantile(0.9).unwrap_or(0.0)),
+        ]);
+        for (value, cdf) in analysis.absolute_days.curve(64) {
+            curves.row(vec![
+                spec.name.to_string(),
+                "days".to_string(),
+                format!("{value:.4}"),
+                format!("{cdf:.4}"),
+            ]);
+        }
+        for (value, cdf) in analysis.fraction_of_ttl.curve(64) {
+            curves.row(vec![
+                spec.name.to_string(),
+                "xTTL".to_string(),
+                format!("{value:.4}"),
+                format!("{cdf:.4}"),
+            ]);
+        }
+    }
+    emit("Figure 3: time-gap duration summary", "fig3_summary", &summary);
+    emit("Figure 3: time-gap CDF curves", "fig3_curves", &curves);
+
+    // Terminal rendition of the upper plot (absolute gaps, first trace).
+    if let Some(spec) = specs.first() {
+        let points: Vec<(f64, f64)> = curves_points_for(&curves, spec.name, "days");
+        if !points.is_empty() {
+            let mut chart = AsciiChart::new(64, 12);
+            chart.series(format!("{} gap CDF (days → fraction)", spec.name), '*', points);
+            println!("{}", chart.render());
+        }
+    }
+}
+
+/// Extracts `(value, cdf)` points for one (trace, kind) series from the
+/// Figure-3 curve table.
+fn curves_points_for(curves: &Table, trace: &str, kind: &str) -> Vec<(f64, f64)> {
+    curves
+        .rows()
+        .iter()
+        .filter(|r| r[0] == trace && r[1] == kind)
+        .filter_map(|r| Some((r[2].parse().ok()?, r[3].parse().ok()?)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figures 4–5 — failure vs attack duration
+// ---------------------------------------------------------------------
+
+/// Emits the two failure tables (SR-level and CS-level) for a scheme
+/// evaluated across attack durations — the shape of Figures 4 and 5.
+fn duration_figure(lab: &mut Lab, specs: &[TraceSpec], scheme: Scheme, figure: &str, stem: &str) {
+    let durations: Vec<SimDuration> = durations_hours()
+        .iter()
+        .map(|&h| SimDuration::from_hours(h))
+        .collect();
+    let mut headers = vec!["Trace".to_string()];
+    headers.extend(durations_hours().iter().map(|h| format!("{h} Hours")));
+
+    let mut sr = Table::new(headers.clone());
+    let mut cs = Table::new(headers);
+    sr.numeric();
+    cs.numeric();
+    for spec in specs {
+        let outcomes = lab.attack_outcomes(spec, scheme, &durations);
+        let mut sr_row = vec![spec.name.to_string()];
+        let mut cs_row = vec![spec.name.to_string()];
+        for o in &outcomes {
+            sr_row.push(pct(o.sr_failed_pct));
+            cs_row.push(pct(o.cs_failed_pct));
+        }
+        sr.row(sr_row);
+        cs.row(cs_row);
+    }
+    emit(
+        &format!("{figure}: % failed queries from SRs ({})", scheme.label()),
+        &format!("{stem}_sr"),
+        &sr,
+    );
+    emit(
+        &format!("{figure}: % failed queries from CSs ({})", scheme.label()),
+        &format!("{stem}_cs"),
+        &cs,
+    );
+}
+
+/// Regenerates Figure 4 (vanilla DNS under root+TLD attack).
+pub fn fig4(lab: &mut Lab, specs: &[TraceSpec]) {
+    duration_figure(lab, specs, Scheme::vanilla(), "Figure 4", "fig4");
+}
+
+/// Regenerates Figure 5 (TTL refresh).
+pub fn fig5(lab: &mut Lab, specs: &[TraceSpec]) {
+    duration_figure(lab, specs, Scheme::refresh(), "Figure 5", "fig5");
+}
+
+// ---------------------------------------------------------------------
+// Figures 6–9 — renewal policies
+// ---------------------------------------------------------------------
+
+/// Emits a policy-comparison figure: vanilla vs refresh+renewal at
+/// credits 1/3/5 under the 6-hour attack (the shape of Figures 6–9).
+fn renewal_figure(
+    lab: &mut Lab,
+    specs: &[TraceSpec],
+    policy: fn(u32) -> RenewalPolicy,
+    figure: &str,
+    stem: &str,
+) {
+    let credits = [1u32, 3, 5];
+    let schemes: Vec<(String, Scheme)> = std::iter::once(("DNS".to_string(), Scheme::vanilla()))
+        .chain(credits.iter().map(|&c| {
+            let p = policy(c);
+            (p.label(), Scheme::renewal(p))
+        }))
+        .collect();
+    columns_figure(lab, specs, &schemes, figure, stem);
+}
+
+/// Shared emitter for figures whose columns are schemes at the fixed
+/// 6-hour attack (Figures 6–11).
+fn columns_figure(
+    lab: &mut Lab,
+    specs: &[TraceSpec],
+    schemes: &[(String, Scheme)],
+    figure: &str,
+    stem: &str,
+) {
+    let durations = [POLICY_FIGURE_DURATION];
+    let mut headers = vec!["Trace".to_string()];
+    headers.extend(schemes.iter().map(|(label, _)| label.clone()));
+    let mut sr = Table::new(headers.clone());
+    let mut cs = Table::new(headers);
+    sr.numeric();
+    cs.numeric();
+    for spec in specs {
+        let mut sr_row = vec![spec.name.to_string()];
+        let mut cs_row = vec![spec.name.to_string()];
+        for (_, scheme) in schemes {
+            let o = &lab.attack_outcomes(spec, *scheme, &durations)[0];
+            sr_row.push(pct(o.sr_failed_pct));
+            cs_row.push(pct(o.cs_failed_pct));
+        }
+        sr.row(sr_row);
+        cs.row(cs_row);
+    }
+    emit(
+        &format!("{figure}: % failed queries from SRs (6h attack)"),
+        &format!("{stem}_sr"),
+        &sr,
+    );
+    emit(
+        &format!("{figure}: % failed queries from CSs (6h attack)"),
+        &format!("{stem}_cs"),
+        &cs,
+    );
+}
+
+/// Regenerates Figure 6 (TTL refresh + LRU renewal).
+pub fn fig6(lab: &mut Lab, specs: &[TraceSpec]) {
+    renewal_figure(lab, specs, RenewalPolicy::lru, "Figure 6", "fig6");
+}
+
+/// Regenerates Figure 7 (TTL refresh + LFU renewal).
+pub fn fig7(lab: &mut Lab, specs: &[TraceSpec]) {
+    renewal_figure(lab, specs, RenewalPolicy::lfu, "Figure 7", "fig7");
+}
+
+/// Regenerates Figure 8 (TTL refresh + adaptive-LRU renewal).
+pub fn fig8(lab: &mut Lab, specs: &[TraceSpec]) {
+    renewal_figure(lab, specs, RenewalPolicy::adaptive_lru, "Figure 8", "fig8");
+}
+
+/// Regenerates Figure 9 (TTL refresh + adaptive-LFU renewal).
+pub fn fig9(lab: &mut Lab, specs: &[TraceSpec]) {
+    renewal_figure(lab, specs, RenewalPolicy::adaptive_lfu, "Figure 9", "fig9");
+}
+
+// ---------------------------------------------------------------------
+// Figures 10–11 — long TTL
+// ---------------------------------------------------------------------
+
+/// The long-TTL values evaluated by Figures 10–11 (days).
+pub fn long_ttl_days() -> [u32; 4] {
+    [1, 3, 5, 7]
+}
+
+/// Regenerates Figure 10 (TTL refresh + long TTL).
+pub fn fig10(lab: &mut Lab, specs: &[TraceSpec]) {
+    let schemes: Vec<(String, Scheme)> = std::iter::once(("DNS".to_string(), Scheme::vanilla()))
+        .chain(long_ttl_days().iter().map(|&d| {
+            (
+                format!("{d} Day TTL"),
+                Scheme::refresh_long_ttl(Ttl::from_days(d)),
+            )
+        }))
+        .collect();
+    columns_figure(lab, specs, &schemes, "Figure 10", "fig10");
+}
+
+/// Regenerates Figure 11 (refresh + A-LFU renewal + long TTL).
+pub fn fig11(lab: &mut Lab, specs: &[TraceSpec]) {
+    let policy = RenewalPolicy::adaptive_lfu(3);
+    let schemes: Vec<(String, Scheme)> = std::iter::once(("DNS".to_string(), Scheme::vanilla()))
+        .chain(long_ttl_days().iter().map(|&d| {
+            (
+                format!("{d} Day TTL"),
+                Scheme::combined(policy, Ttl::from_days(d)),
+            )
+        }))
+        .collect();
+    columns_figure(lab, specs, &schemes, "Figure 11", "fig11");
+}
+
+// ---------------------------------------------------------------------
+// Table 2 — message and memory overhead
+// ---------------------------------------------------------------------
+
+/// The schemes Table 2 compares against vanilla.
+pub fn table2_schemes() -> Vec<(String, Scheme)> {
+    vec![
+        ("Refresh".to_string(), Scheme::refresh()),
+        ("LRU_3".to_string(), Scheme::renewal(RenewalPolicy::lru(3))),
+        ("LFU_3".to_string(), Scheme::renewal(RenewalPolicy::lfu(3))),
+        (
+            "A-LRU_3".to_string(),
+            Scheme::renewal(RenewalPolicy::adaptive_lru(3)),
+        ),
+        (
+            "A-LFU_3".to_string(),
+            Scheme::renewal(RenewalPolicy::adaptive_lfu(3)),
+        ),
+        (
+            "Long-TTL 7d".to_string(),
+            Scheme::refresh_long_ttl(Ttl::from_days(7)),
+        ),
+        (
+            "Combination".to_string(),
+            Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3)),
+        ),
+    ]
+}
+
+/// Regenerates Table 2: % change in generated DNS messages vs vanilla,
+/// plus cached-zone and cached-record multipliers, over `spec`.
+pub fn table2(lab: &mut Lab, spec: &TraceSpec) {
+    let sample = SimDuration::from_hours(6);
+    let vanilla = lab.overhead(spec, Scheme::vanilla(), sample);
+    let mut table = Table::new(vec![
+        "Scheme",
+        "Msg Overhead %",
+        "Renewals",
+        "Cached Zones",
+        "Cached Records",
+    ]);
+    table.numeric();
+    table.row(vec![
+        "DNS (baseline)".to_string(),
+        "0.00".to_string(),
+        "0".to_string(),
+        ratio(1.0),
+        ratio(1.0),
+    ]);
+    for (label, scheme) in table2_schemes() {
+        let out = lab.overhead(spec, scheme, sample);
+        table.row(vec![
+            label,
+            format!("{:+.2}", out.message_overhead_pct(&vanilla)),
+            out.metrics.renewals_sent.to_string(),
+            ratio(out.zone_ratio(&vanilla)),
+            ratio(out.record_ratio(&vanilla)),
+        ]);
+    }
+    emit(
+        &format!("Table 2: message and memory overhead ({})", spec.name),
+        "table2",
+        &table,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Figure 12 — memory overhead over time
+// ---------------------------------------------------------------------
+
+/// The schemes plotted in Figure 12.
+pub fn fig12_schemes() -> Vec<(String, Scheme)> {
+    vec![
+        ("DNS".to_string(), Scheme::vanilla()),
+        ("LRU_5".to_string(), Scheme::renewal(RenewalPolicy::lru(5))),
+        ("LFU_5".to_string(), Scheme::renewal(RenewalPolicy::lfu(5))),
+        (
+            "A-LRU_5".to_string(),
+            Scheme::renewal(RenewalPolicy::adaptive_lru(5)),
+        ),
+        (
+            "A-LFU_5".to_string(),
+            Scheme::renewal(RenewalPolicy::adaptive_lfu(5)),
+        ),
+        (
+            "Long-TTL 7d".to_string(),
+            Scheme::refresh_long_ttl(Ttl::from_days(7)),
+        ),
+        (
+            "Combination".to_string(),
+            Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3)),
+        ),
+    ]
+}
+
+/// Regenerates Figure 12: cached zones and records over time for each
+/// scheme, on the one-month trace.
+pub fn fig12(lab: &mut Lab, spec: &TraceSpec) {
+    let sample = SimDuration::from_hours(6);
+    let mut series = Table::new(vec!["Scheme", "Day", "Zones", "Records"]);
+    let mut summary = Table::new(vec!["Scheme", "Mean Zones", "Mean Records", "Peak Records"]);
+    summary.numeric();
+    let mut chart = AsciiChart::new(72, 14);
+    let glyphs = ['.', '1', '2', '3', '4', 'L', 'C'];
+    let mut glyph_iter = glyphs.iter();
+    for (label, scheme) in fig12_schemes() {
+        let out_for_chart = lab.overhead(spec, scheme, sample);
+        if let Some(&glyph) = glyph_iter.next() {
+            chart.series(
+                format!("{label} (records)"),
+                glyph,
+                out_for_chart
+                    .occupancy
+                    .iter()
+                    .map(|s| (s.at.as_secs() as f64 / 86_400.0, s.total_records() as f64))
+                    .collect(),
+            );
+        }
+    }
+    for (label, scheme) in fig12_schemes() {
+        let out = lab.overhead(spec, scheme, sample);
+        for s in &out.occupancy {
+            series.row(vec![
+                label.clone(),
+                format!("{:.2}", s.at.as_secs() as f64 / 86_400.0),
+                s.zones.to_string(),
+                s.total_records().to_string(),
+            ]);
+        }
+        let peak = out
+            .occupancy
+            .iter()
+            .map(OccupancySampleExt::total)
+            .max()
+            .unwrap_or(0);
+        summary.row(vec![
+            label,
+            format!("{:.0}", out.mean_zones()),
+            format!("{:.0}", out.mean_records()),
+            peak.to_string(),
+        ]);
+    }
+    emit(
+        &format!("Figure 12: cache occupancy summary ({})", spec.name),
+        "fig12_summary",
+        &summary,
+    );
+    emit(
+        &format!("Figure 12: occupancy time series ({})", spec.name),
+        "fig12_series",
+        &series,
+    );
+    println!("{}", chart.render());
+}
+
+/// Helper trait so the max() above reads clearly.
+trait OccupancySampleExt {
+    fn total(&self) -> usize;
+}
+
+impl OccupancySampleExt for dns_resolver::OccupancySample {
+    fn total(&self) -> usize {
+        self.total_records()
+    }
+}
+
+/// Runs the complete reproduction over one lab (all tables and figures).
+pub fn all(lab: &mut Lab) {
+    let weekly = TraceSpec::weekly();
+    table1(lab, &TraceSpec::all());
+    fig3(lab, &weekly);
+    fig4(lab, &weekly);
+    fig5(lab, &weekly);
+    fig6(lab, &weekly);
+    fig7(lab, &weekly);
+    fig8(lab, &weekly);
+    fig9(lab, &weekly);
+    fig10(lab, &weekly);
+    fig11(lab, &weekly);
+    table2(lab, &TraceSpec::TRC1);
+    fig12(lab, &TraceSpec::TRC6);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_trace::UniverseSpec;
+
+    fn tiny_lab() -> Lab {
+        Lab::with_universe(UniverseSpec::small().build(7))
+    }
+
+    fn tiny_spec() -> TraceSpec {
+        TraceSpec::demo().scaled(0.1)
+    }
+
+    #[test]
+    fn attack_outcomes_are_memoised() {
+        let mut lab = tiny_lab();
+        let spec = tiny_spec();
+        let d = [SimDuration::from_hours(6)];
+        let first = lab.attack_outcomes(&spec, Scheme::vanilla(), &d);
+        let again = lab.attack_outcomes(&spec, Scheme::vanilla(), &d);
+        assert_eq!(first[0].sr_failed_pct, again[0].sr_failed_pct);
+        assert_eq!(lab_memo_len(&lab), 1);
+    }
+
+    fn lab_memo_len(lab: &Lab) -> usize {
+        lab.attack_memo.len()
+    }
+
+    #[test]
+    fn duration_figure_smoke() {
+        let mut lab = tiny_lab();
+        let specs = [tiny_spec()];
+        std::env::set_var("DNS_REPRO_OUT", std::env::temp_dir().join("dnsrepro-test"));
+        fig4(&mut lab, &specs);
+        // All four durations cached for vanilla.
+        assert_eq!(lab.attack_memo.len(), 4);
+    }
+}

@@ -1,0 +1,288 @@
+//! Virtual time for trace-driven simulation.
+//!
+//! The resolver and simulator never read the wall clock: every operation is
+//! parameterised by a [`SimTime`]. This keeps the experiments deterministic
+//! and lets the simulator fast-forward through multi-day traces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Seconds in one minute.
+pub const MINUTE: u64 = 60;
+/// Seconds in one hour.
+pub const HOUR: u64 = 3_600;
+/// Seconds in one day — the constant the paper's adaptive policies use.
+pub const DAY: u64 = 86_400;
+
+/// A point in simulated time, in whole seconds since the simulation epoch.
+///
+/// `SimTime` is ordered, cheap to copy and supports the arithmetic the
+/// resolver needs (`time + duration`, `time - time`).
+///
+/// ```rust
+/// use dns_core::{SimTime, SimDuration};
+/// let t = SimTime::from_days(6) + SimDuration::from_hours(3);
+/// assert_eq!(t.as_secs(), 6 * 86_400 + 3 * 3_600);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (time zero).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as "never expires".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time `secs` seconds after the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Creates a time `mins` minutes after the epoch.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimTime(mins * MINUTE)
+    }
+
+    /// Creates a time `hours` hours after the epoch.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * HOUR)
+    }
+
+    /// Creates a time `days` days after the epoch.
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * DAY)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    pub const fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let days = self.0 / DAY;
+        let rem = self.0 % DAY;
+        let (h, m, s) = (rem / HOUR, (rem % HOUR) / MINUTE, rem % MINUTE);
+        write!(f, "{days}d{h:02}:{m:02}:{s:02}")
+    }
+}
+
+/// A span of simulated time in whole seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// A duration of `mins` minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * MINUTE)
+    }
+
+    /// A duration of `hours` hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * HOUR)
+    }
+
+    /// A duration of `days` days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * DAY)
+    }
+
+    /// Length in seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Length in fractional days — used when reporting time-gap CDFs.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / DAY as f64
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl From<Ttl> for SimDuration {
+    fn from(ttl: Ttl) -> Self {
+        SimDuration(ttl.as_secs() as u64)
+    }
+}
+
+/// A DNS time-to-live value, in seconds.
+///
+/// TTLs are 32-bit on the wire (RFC 1035 §3.2.1). The resolver caches a
+/// record until `received_at + ttl`.
+///
+/// ```rust
+/// use dns_core::Ttl;
+/// assert_eq!(Ttl::from_days(1).as_secs(), 86_400);
+/// assert!(Ttl::from_mins(5) < Ttl::from_hours(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Ttl(u32);
+
+impl Ttl {
+    /// The zero TTL ("do not cache").
+    pub const ZERO: Ttl = Ttl(0);
+    /// The maximum representable TTL.
+    pub const MAX: Ttl = Ttl(u32::MAX);
+
+    /// A TTL of `secs` seconds.
+    pub const fn from_secs(secs: u32) -> Self {
+        Ttl(secs)
+    }
+
+    /// A TTL of `mins` minutes.
+    pub const fn from_mins(mins: u32) -> Self {
+        Ttl(mins * MINUTE as u32)
+    }
+
+    /// A TTL of `hours` hours.
+    pub const fn from_hours(hours: u32) -> Self {
+        Ttl(hours * HOUR as u32)
+    }
+
+    /// A TTL of `days` days.
+    pub const fn from_days(days: u32) -> Self {
+        Ttl(days * DAY as u32)
+    }
+
+    /// Seconds of lifetime.
+    pub const fn as_secs(self) -> u32 {
+        self.0
+    }
+
+    /// The larger of `self` and `other` — used by the long-TTL scheme,
+    /// which never *lowers* an operator-chosen TTL.
+    pub fn max(self, other: Ttl) -> Ttl {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Absolute expiry instant for a record received at `at`.
+    pub fn expires_at(self, at: SimTime) -> SimTime {
+        at + SimDuration::from(self)
+    }
+}
+
+impl fmt::Display for Ttl {
+    /// Human formatting: `2d`, `4h`, `30m`, `45s`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0 as u64;
+        if s >= DAY && s.is_multiple_of(DAY) {
+            write!(f, "{}d", s / DAY)
+        } else if s >= HOUR && s.is_multiple_of(HOUR) {
+            write!(f, "{}h", s / HOUR)
+        } else if s >= MINUTE && s.is_multiple_of(MINUTE) {
+            write!(f, "{}m", s / MINUTE)
+        } else {
+            write!(f, "{}s", s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_arithmetic() {
+        let t0 = SimTime::from_days(6);
+        let t1 = t0 + SimDuration::from_hours(3);
+        assert_eq!((t1 - t0).as_secs(), 3 * HOUR);
+        // Saturating subtraction: earlier - later == 0.
+        assert_eq!((t0 - t1).as_secs(), 0);
+    }
+
+    #[test]
+    fn simtime_saturates_at_max() {
+        let t = SimTime::MAX + SimDuration::from_days(1);
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let received = SimTime::from_hours(1);
+        let exp = Ttl::from_hours(4).expires_at(received);
+        assert_eq!(exp, SimTime::from_hours(5));
+    }
+
+    #[test]
+    fn ttl_max_combinator() {
+        assert_eq!(Ttl::from_days(3).max(Ttl::from_hours(12)), Ttl::from_days(3));
+        assert_eq!(Ttl::from_hours(12).max(Ttl::from_days(3)), Ttl::from_days(3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(90_061 + 86_400).to_string(), "2d01:01:01");
+        assert_eq!(Ttl::from_days(2).to_string(), "2d");
+        assert_eq!(Ttl::from_hours(4).to_string(), "4h");
+        assert_eq!(Ttl::from_mins(30).to_string(), "30m");
+        assert_eq!(Ttl::from_secs(45).to_string(), "45s");
+    }
+
+    #[test]
+    fn duration_as_days() {
+        assert!((SimDuration::from_hours(12).as_days_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_secs(5) < SimTime::from_mins(1));
+        assert!(SimDuration::from_days(1) > SimDuration::from_hours(23));
+    }
+}

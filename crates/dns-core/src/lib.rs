@@ -1,0 +1,54 @@
+//! Core DNS data model and RFC 1035 wire format.
+//!
+//! This crate is the substrate for the DSN 2007 "Enhancing DNS Resilience
+//! against Denial of Service Attacks" reproduction. It implements the parts
+//! of the DNS that every other crate in the workspace builds on:
+//!
+//! * [`Name`] — domain names with label-wise operations (parent, ancestors,
+//!   zone containment) used to navigate the delegation hierarchy,
+//! * [`Record`], [`RData`], [`RecordType`] — resource records including the
+//!   *infrastructure records* (`NS` + glue `A`) the paper is about,
+//! * [`Message`] — DNS messages with question/answer/authority/additional
+//!   sections, and a full RFC 1035 wire codec with name compression in
+//!   [`wire`],
+//! * [`Zone`] — authoritative zone data with delegation points,
+//! * [`SimTime`], [`SimDuration`], [`Ttl`] — the virtual-time vocabulary
+//!   shared by the resolver and the simulator.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dns_core::{Name, Record, RData, RecordType, Ttl};
+//! use std::net::Ipv4Addr;
+//!
+//! # fn main() -> Result<(), dns_core::DnsError> {
+//! let name: Name = "www.ucla.edu".parse()?;
+//! assert_eq!(name.parent().unwrap().to_string(), "ucla.edu.");
+//!
+//! let rr = Record::new(name, Ttl::from_hours(4), RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+//! assert_eq!(rr.rtype(), RecordType::A);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod error;
+mod message;
+mod name;
+mod rr;
+pub mod wire;
+mod zone;
+pub mod zonefile;
+
+pub use clock::{SimDuration, SimTime, Ttl, DAY, HOUR, MINUTE};
+pub use error::DnsError;
+pub use message::{Header, Message, Opcode, Question, Rcode, ResponseKind};
+pub use name::{Ancestors, Label, Name};
+pub use rr::{synthetic_key_digest, RData, Record, RecordClass, RecordType, RrKey, RrSet};
+pub use zone::{Delegation, Zone, ZoneBuilder};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DnsError>;

@@ -1,0 +1,394 @@
+//! DNS messages: header, question and the three record sections.
+
+use crate::{Name, Record, RecordClass, RecordType};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Query/response operation code (RFC 1035 §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Standard query.
+    #[default]
+    Query,
+    /// Inverse query (obsolete, kept for codec completeness).
+    IQuery,
+    /// Server status request.
+    Status,
+}
+
+impl Opcode {
+    /// 4-bit wire code.
+    pub const fn code(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::IQuery => 1,
+            Opcode::Status => 2,
+        }
+    }
+
+    /// Inverse of [`Opcode::code`].
+    pub const fn from_code(code: u8) -> Option<Opcode> {
+        match code {
+            0 => Some(Opcode::Query),
+            1 => Some(Opcode::IQuery),
+            2 => Some(Opcode::Status),
+            _ => None,
+        }
+    }
+}
+
+/// Response code (RFC 1035 §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Rcode {
+    /// No error.
+    #[default]
+    NoError,
+    /// Malformed query.
+    FormErr,
+    /// Server failure — also what a resolver reports upstream when it
+    /// cannot reach any authoritative server during an attack.
+    ServFail,
+    /// Name does not exist (authoritative only).
+    NxDomain,
+    /// Query kind not implemented.
+    NotImp,
+    /// Policy refusal.
+    Refused,
+}
+
+impl Rcode {
+    /// 4-bit wire code.
+    pub const fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+        }
+    }
+
+    /// Inverse of [`Rcode::code`].
+    pub const fn from_code(code: u8) -> Option<Rcode> {
+        match code {
+            0 => Some(Rcode::NoError),
+            1 => Some(Rcode::FormErr),
+            2 => Some(Rcode::ServFail),
+            3 => Some(Rcode::NxDomain),
+            4 => Some(Rcode::NotImp),
+            5 => Some(Rcode::Refused),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rcode::NoError => "NOERROR",
+            Rcode::FormErr => "FORMERR",
+            Rcode::ServFail => "SERVFAIL",
+            Rcode::NxDomain => "NXDOMAIN",
+            Rcode::NotImp => "NOTIMP",
+            Rcode::Refused => "REFUSED",
+        })
+    }
+}
+
+/// Message header: identifier plus the flag/opcode/rcode bits
+/// (RFC 1035 §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Header {
+    /// Query identifier, echoed in the response.
+    pub id: u16,
+    /// `true` for responses (QR bit).
+    pub response: bool,
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Authoritative-answer bit.
+    pub authoritative: bool,
+    /// Truncation bit.
+    pub truncated: bool,
+    /// Recursion-desired bit.
+    pub recursion_desired: bool,
+    /// Recursion-available bit.
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+/// The question section entry: name, type, class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Question {
+    /// Queried name.
+    pub name: Name,
+    /// Queried type.
+    pub rtype: RecordType,
+    /// Queried class.
+    pub class: RecordClass,
+}
+
+impl Question {
+    /// Creates an `IN`-class question.
+    pub fn new(name: Name, rtype: RecordType) -> Self {
+        Question {
+            name,
+            rtype,
+            class: RecordClass::In,
+        }
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.name, self.class, self.rtype)
+    }
+}
+
+/// A complete DNS message.
+///
+/// Build queries with [`Message::query`] and responses with
+/// [`Message::response_to`], then push records into the three sections.
+///
+/// ```rust
+/// # fn main() -> Result<(), dns_core::DnsError> {
+/// use dns_core::{Message, Name, Question, RecordType};
+///
+/// let q = Message::query(7, Question::new("www.ucla.edu".parse()?, RecordType::A));
+/// let resp = Message::response_to(&q);
+/// assert_eq!(resp.header.id, 7);
+/// assert!(resp.header.response);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Message {
+    /// Header bits.
+    pub header: Header,
+    /// Question section (zero or one entry in practice).
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section — carries NS RRsets in referrals and refreshed
+    /// infrastructure records in authoritative answers.
+    pub authorities: Vec<Record>,
+    /// Additional section — carries glue address records.
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Creates a standard query with recursion desired.
+    pub fn query(id: u16, question: Question) -> Self {
+        Message {
+            header: Header {
+                id,
+                recursion_desired: true,
+                ..Header::default()
+            },
+            questions: vec![question],
+            ..Message::default()
+        }
+    }
+
+    /// Creates an empty response echoing `query`'s id and question.
+    pub fn response_to(query: &Message) -> Self {
+        Message {
+            header: Header {
+                id: query.header.id,
+                response: true,
+                opcode: query.header.opcode,
+                recursion_desired: query.header.recursion_desired,
+                ..Header::default()
+            },
+            questions: query.questions.clone(),
+            ..Message::default()
+        }
+    }
+
+    /// The first (and in practice only) question, if any.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Total records across answer, authority and additional sections.
+    pub fn record_count(&self) -> usize {
+        self.answers.len() + self.authorities.len() + self.additionals.len()
+    }
+
+    /// Iterates over every record in all three sections.
+    pub fn all_records(&self) -> impl Iterator<Item = &Record> {
+        self.answers
+            .iter()
+            .chain(self.authorities.iter())
+            .chain(self.additionals.iter())
+    }
+
+    /// Classifies a *response* according to how a resolver must act on it.
+    ///
+    /// The classification follows standard iterative-resolution logic:
+    /// answers beat referrals, a `NoError` response without answers or
+    /// delegation is NODATA, and `NS` records in the authority section of a
+    /// non-authoritative answer signal a downward referral.
+    pub fn kind(&self) -> ResponseKind {
+        if self.header.rcode == Rcode::NxDomain {
+            return ResponseKind::NxDomain;
+        }
+        if self.header.rcode != Rcode::NoError {
+            return ResponseKind::Error(self.header.rcode);
+        }
+        if !self.answers.is_empty() {
+            return ResponseKind::Answer;
+        }
+        let has_ns = self
+            .authorities
+            .iter()
+            .any(|r| r.rtype() == RecordType::Ns);
+        if has_ns && !self.header.authoritative {
+            ResponseKind::Referral
+        } else {
+            ResponseKind::NoData
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "id={} {} {} q={} an={} au={} ad={}",
+            self.header.id,
+            if self.header.response { "resp" } else { "query" },
+            self.header.rcode,
+            self.questions.len(),
+            self.answers.len(),
+            self.authorities.len(),
+            self.additionals.len()
+        )
+    }
+}
+
+/// How a resolver must interpret a response message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// The answer section holds the queried RRset (or a CNAME chain).
+    Answer,
+    /// A downward delegation: authority holds child NS, additional holds
+    /// glue.
+    Referral,
+    /// The name exists but has no records of the queried type.
+    NoData,
+    /// The name does not exist.
+    NxDomain,
+    /// Any other error rcode.
+    Error(Rcode),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RData, Ttl};
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn q(s: &str) -> Message {
+        Message::query(1, Question::new(name(s), RecordType::A))
+    }
+
+    #[test]
+    fn opcode_rcode_roundtrip() {
+        for op in [Opcode::Query, Opcode::IQuery, Opcode::Status] {
+            assert_eq!(Opcode::from_code(op.code()), Some(op));
+        }
+        for rc in [
+            Rcode::NoError,
+            Rcode::FormErr,
+            Rcode::ServFail,
+            Rcode::NxDomain,
+            Rcode::NotImp,
+            Rcode::Refused,
+        ] {
+            assert_eq!(Rcode::from_code(rc.code()), Some(rc));
+        }
+        assert_eq!(Opcode::from_code(9), None);
+        assert_eq!(Rcode::from_code(15), None);
+    }
+
+    #[test]
+    fn response_echoes_query() {
+        let query = q("www.ucla.edu");
+        let resp = Message::response_to(&query);
+        assert_eq!(resp.header.id, query.header.id);
+        assert!(resp.header.response);
+        assert_eq!(resp.questions, query.questions);
+    }
+
+    #[test]
+    fn classify_answer() {
+        let mut resp = Message::response_to(&q("www.ucla.edu"));
+        resp.header.authoritative = true;
+        resp.answers.push(Record::new(
+            name("www.ucla.edu"),
+            Ttl::from_hours(4),
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        assert_eq!(resp.kind(), ResponseKind::Answer);
+    }
+
+    #[test]
+    fn classify_referral() {
+        let mut resp = Message::response_to(&q("www.ucla.edu"));
+        resp.authorities.push(Record::new(
+            name("ucla.edu"),
+            Ttl::from_days(1),
+            RData::Ns(name("ns1.ucla.edu")),
+        ));
+        resp.additionals.push(Record::new(
+            name("ns1.ucla.edu"),
+            Ttl::from_days(1),
+            RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+        ));
+        assert_eq!(resp.kind(), ResponseKind::Referral);
+    }
+
+    #[test]
+    fn classify_authoritative_nodata_with_ns_is_not_referral() {
+        // An authoritative answer that merely carries the zone's own NS in
+        // the authority section is NODATA, not a referral.
+        let mut resp = Message::response_to(&q("www.ucla.edu"));
+        resp.header.authoritative = true;
+        resp.authorities.push(Record::new(
+            name("ucla.edu"),
+            Ttl::from_days(1),
+            RData::Ns(name("ns1.ucla.edu")),
+        ));
+        assert_eq!(resp.kind(), ResponseKind::NoData);
+    }
+
+    #[test]
+    fn classify_nxdomain_and_error() {
+        let mut resp = Message::response_to(&q("nope.ucla.edu"));
+        resp.header.rcode = Rcode::NxDomain;
+        assert_eq!(resp.kind(), ResponseKind::NxDomain);
+        resp.header.rcode = Rcode::ServFail;
+        assert_eq!(resp.kind(), ResponseKind::Error(Rcode::ServFail));
+    }
+
+    #[test]
+    fn all_records_spans_sections() {
+        let mut resp = Message::response_to(&q("www.ucla.edu"));
+        let rr = Record::new(
+            name("www.ucla.edu"),
+            Ttl::from_hours(1),
+            RData::A(Ipv4Addr::LOCALHOST),
+        );
+        resp.answers.push(rr.clone());
+        resp.authorities.push(rr.clone());
+        resp.additionals.push(rr);
+        assert_eq!(resp.all_records().count(), 3);
+        assert_eq!(resp.record_count(), 3);
+    }
+}

@@ -1,0 +1,423 @@
+//! Domain names and label-wise hierarchy operations.
+
+use crate::DnsError;
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum octets in a single label (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum octets of a name on the wire, including length bytes and the
+/// root's zero octet (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// One label of a domain name, stored lowercase.
+///
+/// Labels compare case-insensitively per RFC 1035 §2.3.3; we normalise to
+/// lowercase at construction so `Eq`/`Hash`/`Ord` are simply byte-wise.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(Box<[u8]>);
+
+impl Label {
+    /// Creates a label from raw bytes, lowercasing ASCII letters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::EmptyLabel`] for empty input,
+    /// [`DnsError::LabelTooLong`] beyond 63 octets and
+    /// [`DnsError::InvalidLabelByte`] for bytes outside `[A-Za-z0-9_-]`.
+    pub fn new(bytes: &[u8]) -> Result<Self, DnsError> {
+        if bytes.is_empty() {
+            return Err(DnsError::EmptyLabel);
+        }
+        if bytes.len() > MAX_LABEL_LEN {
+            return Err(DnsError::LabelTooLong(bytes.len()));
+        }
+        let mut out = Vec::with_capacity(bytes.len());
+        for &b in bytes {
+            match b {
+                b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' => out.push(b),
+                b'A'..=b'Z' => out.push(b.to_ascii_lowercase()),
+                other => return Err(DnsError::InvalidLabelByte(other)),
+            }
+        }
+        Ok(Label(out.into_boxed_slice()))
+    }
+
+    /// The label's bytes (always lowercase).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length in octets, excluding the wire length byte.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the label is empty. Always `false` for a constructed label;
+    /// provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Labels are validated ASCII, so this cannot fail.
+        f.write_str(std::str::from_utf8(&self.0).expect("labels are ASCII"))
+    }
+}
+
+/// A fully qualified domain name: an ordered list of labels, most specific
+/// first. The root is the empty list.
+///
+/// `Name` is the unit the resolver reasons about when it navigates the
+/// delegation hierarchy: [`Name::parent`] climbs one step toward the root
+/// and [`Name::ancestors`] yields every enclosing zone cut candidate.
+///
+/// ```rust
+/// # fn main() -> Result<(), dns_core::DnsError> {
+/// use dns_core::Name;
+/// let www: Name = "www.cs.ucla.edu".parse()?;
+/// let zone: Name = "ucla.edu".parse()?;
+/// assert!(www.is_subdomain_of(&zone));
+/// assert_eq!(www.ancestors().count(), 5); // itself, cs.ucla.edu, ucla.edu, edu, root
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Name {
+    labels: Vec<Label>,
+}
+
+impl Name {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Builds a name from labels ordered most specific first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::NameTooLong`] if the wire form would exceed 255
+    /// octets.
+    pub fn from_labels(labels: Vec<Label>) -> Result<Self, DnsError> {
+        let name = Name { labels };
+        let len = name.wire_len();
+        if len > MAX_NAME_LEN {
+            return Err(DnsError::NameTooLong(len));
+        }
+        Ok(name)
+    }
+
+    /// Parses dotted text (`"www.ucla.edu"` or `"www.ucla.edu."`; `"."` and
+    /// `""` are the root).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DnsError`] if a label is invalid or the name is too long.
+    pub fn parse(s: &str) -> Result<Self, DnsError> {
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        if trimmed.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        for part in trimmed.split('.') {
+            labels.push(Label::new(part.as_bytes()).map_err(|e| match e {
+                DnsError::EmptyLabel => DnsError::NameParse(s.to_string()),
+                other => other,
+            })?);
+        }
+        Name::from_labels(labels)
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of labels (0 for the root).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The labels, most specific first.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Octets this name occupies on the wire (length bytes + label bytes +
+    /// terminating zero), ignoring compression.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// The name with the leftmost label removed; `None` for the root.
+    ///
+    /// `www.ucla.edu` → `ucla.edu` → `edu` → `.` → `None`.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Iterator over this name and every ancestor, ending at the root.
+    pub fn ancestors(&self) -> Ancestors<'_> {
+        Ancestors {
+            name: self,
+            next_depth: Some(0),
+        }
+    }
+
+    /// Whether `self` equals `other` or sits below it in the tree.
+    ///
+    /// Every name is a subdomain of the root.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..] == other.labels[..]
+    }
+
+    /// Whether `self` is strictly below `other` (subdomain but not equal).
+    pub fn is_proper_subdomain_of(&self, other: &Name) -> bool {
+        self.labels.len() > other.labels.len() && self.is_subdomain_of(other)
+    }
+
+    /// Creates the child name `label.self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::NameTooLong`] if the result would exceed the wire
+    /// limit.
+    pub fn child(&self, label: Label) -> Result<Name, DnsError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label);
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// Concatenates `self` (as the more specific part) onto `suffix`.
+    ///
+    /// `Name::parse("www")?.append(&zone)` builds `www.<zone>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::NameTooLong`] if the result would exceed the wire
+    /// limit.
+    pub fn append(&self, suffix: &Name) -> Result<Name, DnsError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + suffix.labels.len());
+        labels.extend(self.labels.iter().cloned());
+        labels.extend(suffix.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// The number of labels shared with `other`, counted from the root.
+    ///
+    /// `www.ucla.edu` and `cs.ucla.edu` share 2 (`ucla`, `edu`).
+    pub fn common_suffix_len(&self, other: &Name) -> usize {
+        self.labels
+            .iter()
+            .rev()
+            .zip(other.labels.iter().rev())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+/// Iterator returned by [`Name::ancestors`]: the name itself, then each
+/// parent, ending with the root.
+#[derive(Debug, Clone)]
+pub struct Ancestors<'a> {
+    name: &'a Name,
+    next_depth: Option<usize>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = Name;
+
+    fn next(&mut self) -> Option<Name> {
+        let depth = self.next_depth?;
+        let total = self.name.labels.len();
+        if depth > total {
+            self.next_depth = None;
+            return None;
+        }
+        self.next_depth = if depth == total { None } else { Some(depth + 1) };
+        Some(Name {
+            labels: self.name.labels[depth..].to_vec(),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match self.next_depth {
+            Some(d) => self.name.labels.len() - d + 1,
+            None => 0,
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Ancestors<'_> {}
+
+impl fmt::Display for Name {
+    /// Canonical presentation: absolute form with trailing dot; the root is
+    /// a single dot.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        for label in &self.labels {
+            write!(f, "{label}.")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Name {
+    type Err = DnsError;
+    fn from_str(s: &str) -> Result<Self, DnsError> {
+        Name::parse(s)
+    }
+}
+
+impl Serialize for Name {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Name {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Name::parse(&s).map_err(de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        assert_eq!(n("www.ucla.edu").to_string(), "www.ucla.edu.");
+        assert_eq!(n("www.ucla.edu.").to_string(), "www.ucla.edu.");
+        assert_eq!(n(".").to_string(), ".");
+        assert_eq!(n("").to_string(), ".");
+    }
+
+    #[test]
+    fn case_is_normalised() {
+        assert_eq!(n("WWW.UCLA.Edu"), n("www.ucla.edu"));
+    }
+
+    #[test]
+    fn invalid_labels_rejected() {
+        assert!(Name::parse("exa mple.com").is_err());
+        assert!(Name::parse("a..b").is_err());
+        let long = "a".repeat(64);
+        assert_eq!(
+            Name::parse(&long).unwrap_err(),
+            DnsError::LabelTooLong(64)
+        );
+    }
+
+    #[test]
+    fn name_length_limit_enforced() {
+        // 5 labels of 63 octets = 5*64+1 = 321 wire octets > 255.
+        let label = "a".repeat(63);
+        let long = [label.as_str(); 5].join(".");
+        assert!(matches!(
+            Name::parse(&long).unwrap_err(),
+            DnsError::NameTooLong(_)
+        ));
+        // 3 labels of 63 = 193+1 wire octets: fine.
+        let ok = [label.as_str(); 3].join(".");
+        assert!(Name::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn parent_chain_reaches_root() {
+        let name = n("www.cs.ucla.edu");
+        let mut chain = Vec::new();
+        let mut cur = Some(name);
+        while let Some(x) = cur {
+            chain.push(x.to_string());
+            cur = chain
+                .last()
+                .map(|s| n(s))
+                .and_then(|x| x.parent());
+        }
+        assert_eq!(
+            chain,
+            vec!["www.cs.ucla.edu.", "cs.ucla.edu.", "ucla.edu.", "edu.", "."]
+        );
+        assert!(Name::root().parent().is_none());
+    }
+
+    #[test]
+    fn ancestors_iterate_most_specific_first() {
+        let got: Vec<String> = n("a.b.c").ancestors().map(|x| x.to_string()).collect();
+        assert_eq!(got, vec!["a.b.c.", "b.c.", "c.", "."]);
+        let root_only: Vec<Name> = Name::root().ancestors().collect();
+        assert_eq!(root_only, vec![Name::root()]);
+    }
+
+    #[test]
+    fn ancestors_size_hint_is_exact() {
+        let name = n("a.b.c");
+        let it = name.ancestors();
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.count(), 4);
+    }
+
+    #[test]
+    fn subdomain_relationships() {
+        assert!(n("www.ucla.edu").is_subdomain_of(&n("ucla.edu")));
+        assert!(n("www.ucla.edu").is_subdomain_of(&n("edu")));
+        assert!(n("www.ucla.edu").is_subdomain_of(&Name::root()));
+        assert!(n("ucla.edu").is_subdomain_of(&n("ucla.edu")));
+        assert!(!n("ucla.edu").is_proper_subdomain_of(&n("ucla.edu")));
+        assert!(n("www.ucla.edu").is_proper_subdomain_of(&n("ucla.edu")));
+        assert!(!n("ucla.edu").is_subdomain_of(&n("www.ucla.edu")));
+        // Same length, different labels.
+        assert!(!n("ucla.edu").is_subdomain_of(&n("ucla.com")));
+        // Suffix must fall on a label boundary.
+        assert!(!n("aucla.edu").is_subdomain_of(&n("ucla.edu")));
+    }
+
+    #[test]
+    fn child_and_append() {
+        let zone = n("ucla.edu");
+        let www = zone.child(Label::new(b"www").unwrap()).unwrap();
+        assert_eq!(www, n("www.ucla.edu"));
+        let joined = n("a.b").append(&n("c.d")).unwrap();
+        assert_eq!(joined, n("a.b.c.d"));
+    }
+
+    #[test]
+    fn common_suffix() {
+        assert_eq!(n("www.ucla.edu").common_suffix_len(&n("cs.ucla.edu")), 2);
+        assert_eq!(n("www.ucla.edu").common_suffix_len(&n("www.ucla.com")), 0);
+        assert_eq!(n("a.b").common_suffix_len(&Name::root()), 0);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let mut names = [n("b.com"), n("a.com"), Name::root()];
+        names.sort();
+        // We only require a deterministic total order for use in BTreeMaps.
+        assert_eq!(names.len(), 3);
+        assert!(names.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,358 @@
+//! RFC 1035-style master-file parsing — the inverse of
+//! [`Zone::to_zone_file`].
+//!
+//! The dialect is deliberately small but sufficient to round-trip every
+//! zone this workspace produces:
+//!
+//! ```text
+//! $ORIGIN example.com.
+//! example.com. 1d IN NS ns1.example.com.
+//! ns1.example.com. 1d IN A 192.0.2.1
+//! www.example.com. 4h IN A 192.0.2.80
+//! ; delegation: sub.example.com.
+//! sub.example.com. 12h IN NS ns.sub.example.com.
+//! ns.sub.example.com. 12h IN A 192.0.2.53
+//! ```
+//!
+//! Names are absolute (a trailing dot is accepted and optional). TTLs are
+//! either plain seconds or suffixed (`45s`, `30m`, `4h`, `2d`). Comments
+//! start with `;`. Records owned by a name strictly below the apex whose
+//! type is `NS` open a *delegation*; subsequent `A`/`DS` records for that
+//! cut become its glue/DS set.
+
+use crate::{Delegation, DnsError, Name, RData, Record, RecordType, Ttl, Zone, ZoneBuilder};
+use std::collections::BTreeMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Accumulated delegation pieces: NS targets, NS TTL, glue, DS records.
+type CutParts = (Vec<Name>, Ttl, Vec<Record>, Vec<Record>);
+
+/// Parses one zone from master-file text.
+///
+/// # Errors
+///
+/// Returns [`DnsError::InvalidZone`] describing the first malformed line,
+/// a missing `$ORIGIN`, or structural problems (no NS at the apex).
+pub fn parse_zone(text: &str) -> Result<Zone, DnsError> {
+    // Pass 1: parse lines into records (order-independent classification
+    // happens afterwards, since master files may list glue before NS).
+    let mut origin: Option<Name> = None;
+    let mut parsed: Vec<(usize, Record)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("$ORIGIN") {
+            origin = Some(parse_name(rest.trim(), lineno)?);
+            continue;
+        }
+        if origin.is_none() {
+            return Err(err(lineno, "record before $ORIGIN"));
+        }
+        parsed.push((lineno, parse_record(line, lineno)?));
+    }
+    let apex = origin.ok_or_else(|| DnsError::InvalidZone("missing $ORIGIN".to_string()))?;
+    for (lineno, record) in &parsed {
+        if !record.name().is_subdomain_of(&apex) {
+            return Err(err(
+                *lineno,
+                format!("owner {} outside zone {apex}", record.name()),
+            ));
+        }
+    }
+
+    // Pass 2a: find the zone cuts (NS records owned strictly below the
+    // apex, not below another cut) and the apex NS set.
+    let mut apex_ns: Vec<Name> = Vec::new();
+    let mut infra_ttl: Option<Ttl> = None;
+    let mut cut_owners: Vec<Name> = Vec::new();
+    for (_, record) in &parsed {
+        if record.rtype() != RecordType::Ns {
+            continue;
+        }
+        if record.name() == &apex {
+            infra_ttl.get_or_insert(record.ttl());
+            if let RData::Ns(target) = record.rdata() {
+                apex_ns.push(target.clone());
+            }
+        } else if !cut_owners.contains(record.name()) {
+            cut_owners.push(record.name().clone());
+        }
+    }
+    // Cuts below other cuts belong to the child zone, not this one.
+    let all_cuts = cut_owners.clone();
+    cut_owners.retain(|c| !all_cuts.iter().any(|other| c.is_proper_subdomain_of(other)));
+    let cut_of = |name: &Name| -> Option<Name> {
+        name.ancestors()
+            .find(|a| cut_owners.contains(a))
+    };
+
+    // Pass 2b: classify every record.
+    let mut apex_dnskey: Option<(u16, u32)> = None;
+    let mut glue_addrs: BTreeMap<Name, Ipv4Addr> = BTreeMap::new();
+    let mut data: Vec<Record> = Vec::new();
+    let mut cuts: BTreeMap<Name, CutParts> = BTreeMap::new();
+    for owner in &cut_owners {
+        cuts.insert(owner.clone(), (Vec::new(), Ttl::ZERO, Vec::new(), Vec::new()));
+    }
+    for (lineno, record) in parsed {
+        let owner = record.name().clone();
+        match (record.rtype(), cut_of(&owner)) {
+            // Glue for the apex's own servers wins over cut membership:
+            // the root zone's servers live under `net.`, which the root
+            // also delegates.
+            (RecordType::A, _) if apex_ns.contains(&owner) => {
+                if let RData::A(a) = record.rdata() {
+                    glue_addrs.entry(owner).or_insert(*a);
+                }
+            }
+            (RecordType::Ns, Some(cut)) if owner == cut => {
+                let entry = cuts.get_mut(&cut).expect("cut exists");
+                entry.1 = record.ttl();
+                if let RData::Ns(target) = record.rdata() {
+                    entry.0.push(target.clone());
+                }
+            }
+            (RecordType::A, Some(cut)) => {
+                cuts.get_mut(&cut).expect("cut exists").2.push(record);
+            }
+            (RecordType::Ds, Some(cut)) if owner == cut => {
+                cuts.get_mut(&cut).expect("cut exists").3.push(record);
+            }
+            (_, Some(cut)) => {
+                return Err(err(
+                    lineno,
+                    format!("record {owner} below delegation cut {cut}"),
+                ));
+            }
+            (RecordType::Ns, None) => {} // apex NS, handled in pass 2a
+            (RecordType::Dnskey, None) if owner == apex => {
+                if let RData::Dnskey { key_tag, public_key } = record.rdata() {
+                    apex_dnskey = Some((*key_tag, *public_key));
+                }
+            }
+            _ => data.push(record),
+        }
+    }
+
+    let mut builder = ZoneBuilder::new(apex.clone());
+    if let Some(ttl) = infra_ttl {
+        builder = builder.infra_ttl(ttl);
+    }
+    for ns_name in &apex_ns {
+        builder = builder.ns(
+            ns_name.clone(),
+            glue_addrs
+                .get(ns_name)
+                .copied()
+                .unwrap_or(Ipv4Addr::UNSPECIFIED),
+            infra_ttl.unwrap_or(Ttl::from_days(1)),
+        );
+    }
+    if let Some((key_tag, public_key)) = apex_dnskey {
+        builder = builder.dnskey(key_tag, public_key);
+    }
+    for record in data {
+        builder = builder.record(record);
+    }
+    for (child, (ns_names, ns_ttl, glue, ds)) in cuts {
+        builder = builder.delegate(Delegation {
+            child,
+            ns_names,
+            ns_ttl,
+            glue,
+            ds,
+        });
+    }
+    builder.build()
+}
+
+fn err(line: usize, detail: impl std::fmt::Display) -> DnsError {
+    DnsError::InvalidZone(format!("line {line}: {detail}"))
+}
+
+fn parse_name(s: &str, line: usize) -> Result<Name, DnsError> {
+    Name::parse(s).map_err(|e| err(line, format!("bad name {s:?}: {e}")))
+}
+
+fn parse_ttl(s: &str, line: usize) -> Result<Ttl, DnsError> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b's') => (&s[..s.len() - 1], 1),
+        Some(b'm') => (&s[..s.len() - 1], 60),
+        Some(b'h') => (&s[..s.len() - 1], 3_600),
+        Some(b'd') => (&s[..s.len() - 1], 86_400),
+        _ => (s, 1),
+    };
+    let value: u32 = digits
+        .parse()
+        .map_err(|_| err(line, format!("bad ttl {s:?}")))?;
+    value
+        .checked_mul(mult)
+        .map(Ttl::from_secs)
+        .ok_or_else(|| err(line, format!("ttl {s:?} overflows")))
+}
+
+/// Parses one record line: `<owner> <ttl> IN <TYPE> <rdata…>`.
+fn parse_record(line: &str, lineno: usize) -> Result<Record, DnsError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 4 {
+        return Err(err(lineno, "record needs owner, ttl, class and type"));
+    }
+    let owner = parse_name(fields[0], lineno)?;
+    let ttl = parse_ttl(fields[1], lineno)?;
+    if fields[2] != "IN" {
+        return Err(err(lineno, format!("unsupported class {:?}", fields[2])));
+    }
+    let rdata_fields = &fields[4..];
+    let one = |i: usize| -> Result<&str, DnsError> {
+        rdata_fields
+            .get(i)
+            .copied()
+            .ok_or_else(|| err(lineno, "missing rdata field"))
+    };
+    let rdata = match fields[3] {
+        "A" => RData::A(
+            one(0)?
+                .parse::<Ipv4Addr>()
+                .map_err(|e| err(lineno, format!("bad address: {e}")))?,
+        ),
+        "AAAA" => RData::Aaaa(
+            one(0)?
+                .parse::<Ipv6Addr>()
+                .map_err(|e| err(lineno, format!("bad address: {e}")))?,
+        ),
+        "NS" => RData::Ns(parse_name(one(0)?, lineno)?),
+        "CNAME" => RData::Cname(parse_name(one(0)?, lineno)?),
+        "PTR" => RData::Ptr(parse_name(one(0)?, lineno)?),
+        "MX" => RData::Mx {
+            preference: one(0)?
+                .parse()
+                .map_err(|_| err(lineno, "bad MX preference"))?,
+            exchange: parse_name(one(1)?, lineno)?,
+        },
+        "TXT" => RData::Txt(rdata_fields.join(" ").trim_matches('"').to_string()),
+        "SOA" => RData::Soa {
+            mname: parse_name(one(0)?, lineno)?,
+            rname: parse_name(one(1)?, lineno)?,
+            serial: one(2)?.parse().map_err(|_| err(lineno, "bad serial"))?,
+            refresh: one(3)?.parse().map_err(|_| err(lineno, "bad refresh"))?,
+            retry: one(4)?.parse().map_err(|_| err(lineno, "bad retry"))?,
+            expire: one(5)?.parse().map_err(|_| err(lineno, "bad expire"))?,
+            minimum: one(6)?.parse().map_err(|_| err(lineno, "bad minimum"))?,
+        },
+        "DS" => RData::Ds {
+            key_tag: one(0)?.parse().map_err(|_| err(lineno, "bad key tag"))?,
+            digest: u32::from_str_radix(one(1)?, 16)
+                .map_err(|_| err(lineno, "bad digest (hex)"))?,
+        },
+        "DNSKEY" => RData::Dnskey {
+            key_tag: one(0)?.parse().map_err(|_| err(lineno, "bad key tag"))?,
+            public_key: u32::from_str_radix(one(1)?, 16)
+                .map_err(|_| err(lineno, "bad key (hex)"))?,
+        },
+        other => return Err(err(lineno, format!("unsupported type {other:?}"))),
+    };
+    Ok(Record::new(owner, ttl, rdata))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+$ORIGIN ucla.edu.
+ucla.edu. 1d IN NS ns1.ucla.edu.
+ucla.edu. 1d IN NS ns2.ucla.edu.
+ns1.ucla.edu. 1d IN A 192.0.2.1
+ns2.ucla.edu. 1d IN A 192.0.2.2
+www.ucla.edu. 4h IN A 192.0.2.80    ; the web server
+web.ucla.edu. 4h IN CNAME www.ucla.edu.
+ucla.edu. 4h IN MX 10 mail.ucla.edu.
+mail.ucla.edu. 4h IN A 192.0.2.25
+; delegation: cs.ucla.edu.
+cs.ucla.edu. 12h IN NS ns.cs.ucla.edu.
+ns.cs.ucla.edu. 12h IN A 192.0.2.53
+";
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parses_a_full_zone() {
+        let zone = parse_zone(SAMPLE).unwrap();
+        assert_eq!(zone.apex(), &name("ucla.edu"));
+        assert_eq!(zone.ns_names().len(), 2);
+        assert_eq!(zone.infra_ttl(), Ttl::from_days(1));
+        assert!(zone.lookup(&name("www.ucla.edu"), RecordType::A).is_some());
+        assert!(zone.lookup(&name("web.ucla.edu"), RecordType::Cname).is_some());
+        assert!(zone.lookup(&name("ucla.edu"), RecordType::Mx).is_some());
+        let d = zone.delegation(&name("cs.ucla.edu")).unwrap();
+        assert_eq!(d.ns_names, vec![name("ns.cs.ucla.edu")]);
+        assert_eq!(d.glue.len(), 1);
+    }
+
+    #[test]
+    fn roundtrips_through_to_zone_file() {
+        let zone = parse_zone(SAMPLE).unwrap();
+        let text = zone.to_zone_file();
+        let back = parse_zone(&text).unwrap();
+        assert_eq!(back, zone);
+    }
+
+    #[test]
+    fn ttl_suffixes() {
+        assert_eq!(parse_ttl("300", 1).unwrap(), Ttl::from_secs(300));
+        assert_eq!(parse_ttl("45s", 1).unwrap(), Ttl::from_secs(45));
+        assert_eq!(parse_ttl("30m", 1).unwrap(), Ttl::from_mins(30));
+        assert_eq!(parse_ttl("4h", 1).unwrap(), Ttl::from_hours(4));
+        assert_eq!(parse_ttl("2d", 1).unwrap(), Ttl::from_days(2));
+        assert!(parse_ttl("4x", 1).is_err());
+        assert!(parse_ttl("99999999999d", 1).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "$ORIGIN x.com.\nx.com. 1d IN NS ns.x.com.\nbroken line here\n";
+        let e = parse_zone(bad).unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+    }
+
+    #[test]
+    fn rejects_records_before_origin() {
+        let e = parse_zone("x.com. 1d IN A 1.2.3.4\n").unwrap_err();
+        assert!(e.to_string().contains("before $ORIGIN"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_zone_owners() {
+        let bad = "$ORIGIN x.com.\nx.com. 1d IN NS ns.x.com.\nwww.y.com. 1h IN A 1.2.3.4\n";
+        assert!(parse_zone(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_data_below_delegation() {
+        let bad = "$ORIGIN x.com.\nx.com. 1d IN NS ns.x.com.\n\
+                   sub.x.com. 1h IN NS ns.sub.x.com.\n\
+                   www.sub.x.com. 1h IN CNAME other.x.com.\n";
+        let e = parse_zone(bad).unwrap_err();
+        assert!(e.to_string().contains("below delegation"), "{e}");
+    }
+
+    #[test]
+    fn signed_zone_roundtrip() {
+        let text = "$ORIGIN s.com.\ns.com. 1d IN NS ns.s.com.\nns.s.com. 1d IN A 1.2.3.4\n\
+                    s.com. 1d IN DNSKEY 257 feedf00d\n\
+                    child.s.com. 1h IN NS ns.child.s.com.\n\
+                    ns.child.s.com. 1h IN A 1.2.3.5\n\
+                    child.s.com. 1h IN DS 9 deadbeef\n";
+        let zone = parse_zone(text).unwrap();
+        assert!(zone.lookup(&name("s.com"), RecordType::Dnskey).is_some());
+        let d = zone.delegation(&name("child.s.com")).unwrap();
+        assert_eq!(d.ds.len(), 1);
+        let back = parse_zone(&zone.to_zone_file()).unwrap();
+        assert_eq!(back, zone);
+    }
+}

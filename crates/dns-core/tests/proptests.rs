@@ -1,0 +1,187 @@
+//! Property-based tests for the core data model and wire codec.
+
+use dns_core::{
+    wire, Header, Label, Message, Name, Opcode, Question, RData, Rcode, Record, RecordType, Ttl,
+};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    proptest::collection::vec(
+        prop_oneof![
+            prop::char::range('a', 'z').prop_map(|c| c as u8),
+            prop::char::range('0', '9').prop_map(|c| c as u8),
+            Just(b'-'),
+            Just(b'_'),
+        ],
+        1..=12,
+    )
+    .prop_map(|bytes| Label::new(&bytes).expect("alphabet is valid"))
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..=6)
+        .prop_map(|labels| Name::from_labels(labels).expect("short names fit"))
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa {
+                mname,
+                rname,
+                serial,
+                refresh,
+                retry,
+                expire,
+                minimum,
+            }),
+        (any::<u16>(), arb_name())
+            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        "[ -~]{0,40}".prop_map(RData::Txt),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata())
+        .prop_map(|(name, ttl, rdata)| Record::new(name, Ttl::from_secs(ttl), rdata))
+}
+
+fn arb_header() -> impl Strategy<Value = Header> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![Just(Opcode::Query), Just(Opcode::IQuery), Just(Opcode::Status)],
+        prop_oneof![
+            Just(Rcode::NoError),
+            Just(Rcode::FormErr),
+            Just(Rcode::ServFail),
+            Just(Rcode::NxDomain),
+            Just(Rcode::NotImp),
+            Just(Rcode::Refused),
+        ],
+    )
+        .prop_map(
+            |(id, response, authoritative, truncated, rd, ra, opcode, rcode)| Header {
+                id,
+                response,
+                opcode,
+                authoritative,
+                truncated,
+                recursion_desired: rd,
+                recursion_available: ra,
+                rcode,
+            },
+        )
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        arb_header(),
+        proptest::collection::vec(
+            (arb_name(), prop::sample::select(RecordType::ALL.to_vec()))
+                .prop_map(|(n, t)| Question::new(n, t)),
+            0..=2,
+        ),
+        proptest::collection::vec(arb_record(), 0..=4),
+        proptest::collection::vec(arb_record(), 0..=4),
+        proptest::collection::vec(arb_record(), 0..=4),
+    )
+        .prop_map(|(header, questions, answers, authorities, additionals)| Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+}
+
+proptest! {
+    /// Any parsable name survives a display→parse round trip.
+    #[test]
+    fn name_display_parse_roundtrip(name in arb_name()) {
+        let text = name.to_string();
+        let back = Name::parse(&text).unwrap();
+        prop_assert_eq!(name, back);
+    }
+
+    /// Parent reduces the label count by exactly one.
+    #[test]
+    fn parent_reduces_label_count(name in arb_name()) {
+        match name.parent() {
+            Some(p) => prop_assert_eq!(p.label_count() + 1, name.label_count()),
+            None => prop_assert!(name.is_root()),
+        }
+    }
+
+    /// `ancestors` yields label_count + 1 names, each the parent of the
+    /// previous, ending at the root.
+    #[test]
+    fn ancestors_chain_is_consistent(name in arb_name()) {
+        let chain: Vec<Name> = name.ancestors().collect();
+        prop_assert_eq!(chain.len(), name.label_count() + 1);
+        prop_assert_eq!(chain.first().unwrap(), &name);
+        prop_assert!(chain.last().unwrap().is_root());
+        for pair in chain.windows(2) {
+            let parent = pair[0].parent();
+            prop_assert_eq!(parent.as_ref(), Some(&pair[1]));
+            prop_assert!(pair[0].is_proper_subdomain_of(&pair[1]));
+        }
+    }
+
+    /// Subdomain relation is reflexive and transitive along ancestor chains.
+    #[test]
+    fn subdomain_of_every_ancestor(name in arb_name()) {
+        prop_assert!(name.is_subdomain_of(&name));
+        for anc in name.ancestors() {
+            prop_assert!(name.is_subdomain_of(&anc));
+        }
+    }
+
+    /// Messages round-trip exactly through the wire codec.
+    #[test]
+    fn wire_roundtrip(msg in arb_message()) {
+        let bytes = match wire::encode(&msg) {
+            Ok(b) => b,
+            // Over-long messages are rejected, never silently truncated.
+            Err(dns_core::DnsError::MessageTooLong(_)) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("encode failed: {e}"))),
+        };
+        let back = wire::decode(&bytes).unwrap();
+        prop_assert_eq!(msg, back);
+    }
+
+    /// Decoding arbitrary bytes never panics (it may error).
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    /// Decoding any prefix of a valid message never panics.
+    #[test]
+    fn decode_truncations_never_panic(msg in arb_message(), cut in 0usize..64) {
+        if let Ok(bytes) = wire::encode(&msg) {
+            let cut = cut.min(bytes.len());
+            let _ = wire::decode(&bytes[..bytes.len() - cut]);
+        }
+    }
+
+    /// TTL expiry is monotone in the TTL value.
+    #[test]
+    fn ttl_expiry_monotone(a in any::<u32>(), b in any::<u32>(), at in any::<u32>()) {
+        let at = dns_core::SimTime::from_secs(at as u64);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            Ttl::from_secs(lo).expires_at(at) <= Ttl::from_secs(hi).expires_at(at)
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! A standalone authoritative name-server daemon serving master-file
+//! zones over UDP.
+//!
+//! ```text
+//! dns-authd --bind 127.0.0.1:5353 zone1.txt zone2.txt …
+//! ```
+//!
+//! Zone files use the dialect documented in [`dns_core::zonefile`] (an
+//! `$ORIGIN` line followed by `<owner> <ttl> IN <TYPE> <rdata>` records);
+//! `Zone::to_zone_file` and `trace_tool` produce compatible files.
+
+use dns_auth::AuthServer;
+use dns_core::zonefile::parse_zone;
+use dns_netd::Authd;
+use std::net::Ipv4Addr;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: dns-authd [--bind ADDR:PORT] <zone-file>…");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut bind = "127.0.0.1:5353".to_string();
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--bind" {
+            bind = it.next().ok_or("--bind needs a value")?.clone();
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    if files.is_empty() {
+        return Err("no zone files given".to_string());
+    }
+
+    let mut server = AuthServer::new(
+        "authd.local".parse().expect("static name"),
+        Ipv4Addr::LOCALHOST,
+    );
+    for file in &files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let zone = parse_zone(&text).map_err(|e| format!("{file}: {e}"))?;
+        println!("loaded {zone}");
+        server.add_zone(zone);
+    }
+
+    let daemon = Authd::spawn(server, bind.as_str()).map_err(|e| e.to_string())?;
+    println!("serving on {} — ctrl-c to stop", daemon.addr());
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,52 @@
+//! A minimal dig: send one DNS query over UDP and print the response.
+//!
+//! ```text
+//! dns-dig <server:port> <name> [type]
+//! ```
+
+use dns_core::RecordType;
+use dns_netd::client;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: dns-dig <server:port> <name> [A|NS|CNAME|SOA|PTR|MX|TXT|AAAA|DS|DNSKEY]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let server = args
+        .first()
+        .ok_or("missing server")?
+        .parse()
+        .map_err(|e| format!("bad server address: {e}"))?;
+    let name = args
+        .get(1)
+        .ok_or("missing name")?
+        .parse()
+        .map_err(|e| format!("bad name: {e}"))?;
+    let rtype = match args.get(2).map(String::as_str).unwrap_or("A") {
+        "A" => RecordType::A,
+        "NS" => RecordType::Ns,
+        "CNAME" => RecordType::Cname,
+        "SOA" => RecordType::Soa,
+        "PTR" => RecordType::Ptr,
+        "MX" => RecordType::Mx,
+        "TXT" => RecordType::Txt,
+        "AAAA" => RecordType::Aaaa,
+        "DS" => RecordType::Ds,
+        "DNSKEY" => RecordType::Dnskey,
+        other => return Err(format!("unknown type {other:?}")),
+    };
+    let resp = client::query(server, &name, rtype, Duration::from_secs(3))
+        .map_err(|e| format!("query failed: {e}"))?;
+    print!("{}", client::render(&resp));
+    Ok(())
+}

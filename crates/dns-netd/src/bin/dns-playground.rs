@@ -1,0 +1,74 @@
+//! Boots a miniature internet on loopback — six authoritative daemons and
+//! one recursive resolver — then resolves names through it over real UDP,
+//! demonstrates the TTL-refresh scheme surviving a live "attack" (killing
+//! the root and TLD daemons), and prints a dig-style transcript.
+//!
+//! ```sh
+//! cargo run --release -p dns-netd --bin dns-playground
+//! ```
+
+use dns_netd::playground;
+use dns_netd::{client, Resolved, UdpUpstream};
+use dns_resolver::{CachingServer, ResolverConfig};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("booting the playground internet…");
+    let net = playground::boot()?;
+    for d in &net.daemons {
+        println!("  {d}");
+    }
+
+    let upstream = UdpUpstream::with_route(Duration::from_millis(300), net.route_fn())?;
+    let cs = CachingServer::new(ResolverConfig::with_refresh(), net.hints.clone());
+    let resolver = Resolved::spawn(cs, upstream, "127.0.0.1:0")?;
+    println!("  resolver on {}", resolver.addr());
+    println!();
+
+    let dig = |qname: &str, rtype| {
+        let name = qname.parse().expect("valid name");
+        match client::query(resolver.addr(), &name, rtype, Duration::from_secs(2)) {
+            Ok(resp) => {
+                println!("$ dig @{} {qname}", resolver.addr());
+                print!("{}", client::render(&resp));
+            }
+            Err(e) => println!("$ dig {qname} → error: {e}"),
+        }
+        println!();
+    };
+
+    dig("www.ucla.edu", dns_core::RecordType::A);
+    dig("web.ucla.edu", dns_core::RecordType::A); // CNAME chain
+    dig("host.cs.ucla.edu", dns_core::RecordType::A); // deep, signed zone
+    dig("www.example.com", dns_core::RecordType::A); // other branch
+    dig("nowhere.ucla.edu", dns_core::RecordType::A); // NXDOMAIN
+
+    println!("--- killing the root and TLD daemons (live DDoS) ---");
+    // The playground assigns 10.99.0-2.x to the root/TLD layer; find the
+    // daemons bound for those synthetic addresses via the route map.
+    let routes = net.routes.clone();
+    let mut survivors = Vec::new();
+    for d in net.daemons {
+        let is_top_level = routes
+            .iter()
+            .any(|(syn, sock)| *sock == d.addr() && syn.octets()[2] <= 2);
+        if is_top_level {
+            d.stop();
+        } else {
+            survivors.push(d);
+        }
+    }
+    println!("top-level daemons stopped; cached infrastructure remains.\n");
+
+    // Still resolvable: the resolver holds ucla.edu's (refreshed) IRRs.
+    dig("www.ucla.edu", dns_core::RecordType::A);
+    // A name in a never-visited branch now fails (SERVFAIL).
+    dig("www.never-seen.com", dns_core::RecordType::A);
+
+    println!("resolver metrics: {}", resolver.metrics());
+    resolver.stop();
+    for d in survivors {
+        d.stop();
+    }
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! A one-shot, dig-like UDP client.
+
+use dns_core::{wire, Message, Name, Question, RecordType};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// Sends one query to `server` and waits up to `timeout` for the matching
+/// response.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] on socket failure or timeout, and
+/// `InvalidData` when the response cannot be decoded.
+pub fn query(
+    server: SocketAddr,
+    name: &Name,
+    rtype: RecordType,
+    timeout: Duration,
+) -> io::Result<Message> {
+    let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+    socket.set_read_timeout(Some(timeout))?;
+    // A process-unique id derived from the ephemeral port.
+    let id = socket.local_addr()?.port();
+    let msg = Message::query(id, Question::new(name.clone(), rtype));
+    let bytes =
+        wire::encode(&msg).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    socket.send_to(&bytes, server)?;
+
+    let mut buf = [0u8; wire::MAX_MESSAGE_LEN];
+    loop {
+        let (len, from) = socket.recv_from(&mut buf)?;
+        if from != server {
+            continue; // stray datagram
+        }
+        let resp = wire::decode(&buf[..len])
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if resp.header.id == id && resp.header.response {
+            return Ok(resp);
+        }
+    }
+}
+
+/// Formats a response the way `dig` roughly would, for the CLI binaries.
+pub fn render(resp: &Message) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        ";; status: {}, id: {}{}",
+        resp.header.rcode,
+        resp.header.id,
+        if resp.header.authoritative { ", aa" } else { "" }
+    );
+    if let Some(q) = resp.question() {
+        let _ = writeln!(out, ";; QUESTION:\n;  {q}");
+    }
+    for (label, records) in [
+        ("ANSWER", &resp.answers),
+        ("AUTHORITY", &resp.authorities),
+        ("ADDITIONAL", &resp.additionals),
+    ] {
+        if !records.is_empty() {
+            let _ = writeln!(out, ";; {label}:");
+            for r in records {
+                let _ = writeln!(out, "   {r}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_core::{RData, Record, Ttl};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn render_includes_all_sections() {
+        let mut resp = Message::response_to(&Message::query(
+            7,
+            Question::new("www.example.com".parse().unwrap(), RecordType::A),
+        ));
+        resp.header.authoritative = true;
+        resp.answers.push(Record::new(
+            "www.example.com".parse().unwrap(),
+            Ttl::from_hours(4),
+            RData::A(Ipv4Addr::new(192, 0, 2, 80)),
+        ));
+        let text = render(&resp);
+        assert!(text.contains("status: NOERROR"));
+        assert!(text.contains(", aa"));
+        assert!(text.contains("ANSWER"));
+        assert!(text.contains("192.0.2.80"));
+    }
+
+    #[test]
+    fn timeout_on_silent_server() {
+        // A socket that never answers.
+        let silent = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let err = query(
+            silent.local_addr().unwrap(),
+            &"x.example".parse().unwrap(),
+            RecordType::A,
+            Duration::from_millis(100),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Live UDP bindings for the DNS substrate.
+//!
+//! The simulator drives the same [`AuthServer`](dns_auth::AuthServer) and
+//! [`CachingServer`](dns_resolver::CachingServer) types in virtual time;
+//! this crate binds them to real sockets so the system can be *run*, not
+//! just simulated:
+//!
+//! * [`Authd`] — an authoritative name-server daemon on a UDP socket,
+//! * [`Resolved`] — a recursive caching-resolver daemon whose upstream is
+//!   the real network ([`UdpUpstream`]) and whose clock is wall time,
+//! * [`client::query`] — a one-shot dig-like client.
+//!
+//! The `dns-playground` binary boots an entire miniature internet (root,
+//! TLD and leaf authoritative daemons plus a recursive resolver) on
+//! loopback and resolves names through it.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dns_netd::{client, Authd};
+//! use dns_core::{RecordType, ResponseKind, Ttl, ZoneBuilder};
+//! use std::net::Ipv4Addr;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let zone = ZoneBuilder::new("example.com".parse()?)
+//!     .ns("ns1.example.com".parse()?, Ipv4Addr::LOCALHOST, Ttl::from_days(1))
+//!     .a("www.example.com".parse()?, Ipv4Addr::new(192, 0, 2, 80), Ttl::from_hours(4))
+//!     .build()?;
+//! let mut server = dns_auth::AuthServer::new("ns1.example.com".parse()?, Ipv4Addr::LOCALHOST);
+//! server.add_zone(zone);
+//!
+//! let authd = Authd::spawn(server, "127.0.0.1:0")?;
+//! let resp = client::query(
+//!     authd.addr(),
+//!     &"www.example.com".parse()?,
+//!     RecordType::A,
+//!     Duration::from_millis(500),
+//! )?;
+//! assert_eq!(resp.kind(), ResponseKind::Answer);
+//! authd.stop();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod authd;
+pub mod client;
+pub mod playground;
+mod resolved;
+mod upstream;
+
+pub use authd::Authd;
+pub use resolved::Resolved;
+pub use upstream::UdpUpstream;
+
+/// The wall clock mapped into the simulator's time vocabulary: seconds
+/// since the UNIX epoch.
+pub fn wall_clock() -> dns_core::SimTime {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    dns_core::SimTime::from_secs(secs)
+}

@@ -1,0 +1,179 @@
+//! A self-contained miniature internet on loopback: root, TLD and leaf
+//! authoritative daemons plus the routing table that maps the synthetic
+//! server addresses onto their local ports.
+
+use crate::Authd;
+use dns_auth::AuthServer;
+use dns_core::{Delegation, Name, RData, Record, Ttl, ZoneBuilder};
+use dns_resolver::RootHints;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr};
+
+/// The running playground: every daemon plus the route map.
+pub struct Playground {
+    /// The live daemons (dropping them stops the internet).
+    pub daemons: Vec<Authd>,
+    /// Synthetic server address → actual loopback socket.
+    pub routes: HashMap<Ipv4Addr, SocketAddr>,
+    /// Root hints for a resolver joining this internet.
+    pub hints: RootHints,
+}
+
+impl Playground {
+    /// The route function for [`crate::UdpUpstream::with_route`].
+    pub fn route_fn(&self) -> impl Fn(Ipv4Addr) -> SocketAddr + Send + 'static {
+        let routes = self.routes.clone();
+        move |ip| {
+            routes
+                .get(&ip)
+                .copied()
+                // Unknown addresses route to a black hole (port 9, the
+                // discard service — nothing listens there on loopback).
+                .unwrap_or_else(|| SocketAddr::from(([127, 0, 0, 1], 9)))
+        }
+    }
+
+    /// Stops every daemon.
+    pub fn stop(self) {
+        for d in self.daemons {
+            d.stop();
+        }
+    }
+}
+
+fn name(s: &str) -> Name {
+    s.parse().expect("static names are valid")
+}
+
+/// Boots the playground: a root, the `edu` and `com` TLDs, `ucla.edu`
+/// (with `www`/`web` data and a signed `cs.ucla.edu` child) and
+/// `example.com`. Nine zones, six daemons, all on ephemeral loopback
+/// ports.
+///
+/// # Errors
+///
+/// Returns socket-level errors from binding the daemons.
+pub fn boot() -> io::Result<Playground> {
+    let ip_root = Ipv4Addr::new(10, 99, 0, 1);
+    let ip_edu = Ipv4Addr::new(10, 99, 1, 1);
+    let ip_com = Ipv4Addr::new(10, 99, 2, 1);
+    let ip_ucla = Ipv4Addr::new(10, 99, 3, 1);
+    let ip_cs = Ipv4Addr::new(10, 99, 4, 1);
+    let ip_example = Ipv4Addr::new(10, 99, 5, 1);
+
+    let root_zone = ZoneBuilder::new(Name::root())
+        .ns(name("a.root-servers.net"), ip_root, Ttl::from_days(7))
+        .delegate(Delegation::unsigned(
+            name("edu"),
+            vec![name("ns.edu")],
+            Ttl::from_days(2),
+            vec![Record::new(name("ns.edu"), Ttl::from_days(2), RData::A(ip_edu))],
+        ))
+        .delegate(Delegation::unsigned(
+            name("com"),
+            vec![name("ns.com")],
+            Ttl::from_days(2),
+            vec![Record::new(name("ns.com"), Ttl::from_days(2), RData::A(ip_com))],
+        ))
+        .build()
+        .expect("static zone");
+
+    let edu_zone = ZoneBuilder::new(name("edu"))
+        .ns(name("ns.edu"), ip_edu, Ttl::from_days(2))
+        .delegate(Delegation::unsigned(
+            name("ucla.edu"),
+            vec![name("ns1.ucla.edu")],
+            Ttl::from_hours(12),
+            vec![Record::new(
+                name("ns1.ucla.edu"),
+                Ttl::from_hours(12),
+                RData::A(ip_ucla),
+            )],
+        ))
+        .build()
+        .expect("static zone");
+
+    let com_zone = ZoneBuilder::new(name("com"))
+        .ns(name("ns.com"), ip_com, Ttl::from_days(2))
+        .delegate(Delegation::unsigned(
+            name("example.com"),
+            vec![name("ns1.example.com")],
+            Ttl::from_days(1),
+            vec![Record::new(
+                name("ns1.example.com"),
+                Ttl::from_days(1),
+                RData::A(ip_example),
+            )],
+        ))
+        .build()
+        .expect("static zone");
+
+    let cs_key: (u16, u32) = (257, 0xC0FF_EE00);
+    let ucla_zone = ZoneBuilder::new(name("ucla.edu"))
+        .ns(name("ns1.ucla.edu"), ip_ucla, Ttl::from_hours(12))
+        .a(name("www.ucla.edu"), Ipv4Addr::new(192, 0, 2, 80), Ttl::from_hours(4))
+        .record(Record::new(
+            name("web.ucla.edu"),
+            Ttl::from_hours(4),
+            RData::Cname(name("www.ucla.edu")),
+        ))
+        .delegate(Delegation {
+            child: name("cs.ucla.edu"),
+            ns_names: vec![name("ns.cs.ucla.edu")],
+            ns_ttl: Ttl::from_hours(6),
+            glue: vec![Record::new(
+                name("ns.cs.ucla.edu"),
+                Ttl::from_hours(6),
+                RData::A(ip_cs),
+            )],
+            ds: vec![Record::new(
+                name("cs.ucla.edu"),
+                Ttl::from_hours(6),
+                RData::Ds {
+                    key_tag: cs_key.0,
+                    digest: dns_core::synthetic_key_digest(cs_key.1),
+                },
+            )],
+        })
+        .build()
+        .expect("static zone");
+
+    let cs_zone = ZoneBuilder::new(name("cs.ucla.edu"))
+        .ns(name("ns.cs.ucla.edu"), ip_cs, Ttl::from_hours(6))
+        .dnskey(cs_key.0, cs_key.1)
+        .a(name("host.cs.ucla.edu"), Ipv4Addr::new(192, 0, 2, 90), Ttl::from_mins(30))
+        .build()
+        .expect("static zone");
+
+    let example_zone = ZoneBuilder::new(name("example.com"))
+        .ns(name("ns1.example.com"), ip_example, Ttl::from_days(1))
+        .a(name("www.example.com"), Ipv4Addr::new(192, 0, 2, 70), Ttl::from_hours(1))
+        .build()
+        .expect("static zone");
+
+    let mut daemons = Vec::new();
+    let mut routes = HashMap::new();
+    for (ip, server_name, zones) in [
+        (ip_root, "a.root-servers.net", vec![root_zone]),
+        (ip_edu, "ns.edu", vec![edu_zone]),
+        (ip_com, "ns.com", vec![com_zone]),
+        (ip_ucla, "ns1.ucla.edu", vec![ucla_zone]),
+        (ip_cs, "ns.cs.ucla.edu", vec![cs_zone]),
+        (ip_example, "ns1.example.com", vec![example_zone]),
+    ] {
+        let mut server = AuthServer::new(name(server_name), ip);
+        for z in zones {
+            server.add_zone(z);
+        }
+        let daemon = Authd::spawn(server, "127.0.0.1:0")?;
+        routes.insert(ip, daemon.addr());
+        daemons.push(daemon);
+    }
+
+    Ok(Playground {
+        daemons,
+        routes,
+        hints: RootHints::new(vec![(name("a.root-servers.net"), ip_root)]),
+    })
+}

@@ -1,0 +1,150 @@
+//! The recursive resolver daemon: a [`CachingServer`] behind a UDP
+//! socket, resolving through real upstream sockets in wall-clock time.
+
+use crate::{wall_clock, UdpUpstream};
+use dns_core::{wire, Message, Rcode};
+use dns_resolver::{CachingServer, Outcome};
+use parking_lot::Mutex;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running recursive resolver daemon.
+///
+/// Clients send standard DNS queries; the daemon resolves them through
+/// its [`CachingServer`] (all resilience schemes apply — the cache is the
+/// same code the simulator evaluates) and answers with the outcome:
+/// answers as-is, NXDOMAIN/NODATA as negative responses, and resolution
+/// failure as SERVFAIL.
+pub struct Resolved {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+    cs: Arc<Mutex<CachingServer>>,
+}
+
+impl Resolved {
+    /// Binds `bind` and starts resolving through `upstream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-level error from binding.
+    pub fn spawn(
+        cs: CachingServer,
+        upstream: UdpUpstream,
+        bind: impl ToSocketAddrs,
+    ) -> io::Result<Resolved> {
+        let socket = UdpSocket::bind(bind)?;
+        socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let addr = socket.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let cs = Arc::new(Mutex::new(cs));
+
+        let t_stop = Arc::clone(&stop);
+        let t_served = Arc::clone(&served);
+        let t_cs = Arc::clone(&cs);
+        let handle = std::thread::Builder::new()
+            .name(format!("resolved-{addr}"))
+            .spawn(move || {
+                let mut upstream = upstream;
+                let mut buf = [0u8; wire::MAX_MESSAGE_LEN];
+                while !t_stop.load(Ordering::Relaxed) {
+                    let (len, peer) = match socket.recv_from(&mut buf) {
+                        Ok(x) => x,
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(_) => break,
+                    };
+                    let Ok(query) = wire::decode(&buf[..len]) else {
+                        continue;
+                    };
+                    let response = Self::answer(&t_cs, &mut upstream, &query);
+                    if let Ok(bytes) = wire::encode(&response) {
+                        let _ = socket.send_to(&bytes, peer);
+                    }
+                    t_served.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .expect("spawn resolved thread");
+        Ok(Resolved {
+            addr,
+            stop,
+            handle: Some(handle),
+            served,
+            cs,
+        })
+    }
+
+    fn answer(
+        cs: &Mutex<CachingServer>,
+        upstream: &mut UdpUpstream,
+        query: &Message,
+    ) -> Message {
+        let mut resp = Message::response_to(query);
+        resp.header.recursion_available = true;
+        let Some(question) = query.question().cloned() else {
+            resp.header.rcode = Rcode::FormErr;
+            return resp;
+        };
+        let now = wall_clock();
+        let outcome = cs.lock().resolve(&question, now, upstream);
+        match outcome {
+            Outcome::Answer { records, .. } => {
+                resp.answers = records;
+            }
+            Outcome::NxDomain { .. } => resp.header.rcode = Rcode::NxDomain,
+            Outcome::NoData { .. } => {}
+            Outcome::Fail => resp.header.rcode = Rcode::ServFail,
+        }
+        resp
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Client queries served so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the resolver's counters.
+    pub fn metrics(&self) -> dns_resolver::ResolverMetrics {
+        *self.cs.lock().metrics()
+    }
+
+    /// Stops the daemon and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Resolved {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl fmt::Display for Resolved {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "resolved on {} ({} served)", self.addr, self.served())
+    }
+}

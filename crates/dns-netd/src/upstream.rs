@@ -1,0 +1,91 @@
+//! [`Upstream`] over real UDP sockets.
+
+use dns_core::{wire, Message, SimTime};
+use dns_resolver::Upstream;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// Routes the resolver's upstream queries over real UDP.
+///
+/// The resolver addresses authoritative servers by IPv4 address; this
+/// upstream completes them with a port (53 in production, an override for
+/// loopback playgrounds where every daemon shares 127.0.0.1).
+pub struct UdpUpstream {
+    socket: UdpSocket,
+    timeout: Duration,
+    /// `(address → socket address)` mapping; loopback setups map the
+    /// universe's synthetic addresses to local daemons on different ports.
+    route: Box<dyn Fn(Ipv4Addr) -> SocketAddr + Send>,
+}
+
+impl std::fmt::Debug for UdpUpstream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpUpstream")
+            .field("socket", &self.socket)
+            .field("timeout", &self.timeout)
+            .field("route", &"<fn>")
+            .finish()
+    }
+}
+
+impl UdpUpstream {
+    /// An upstream that sends to `addr:53` for every server address.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-level errors from binding the local socket.
+    pub fn new(timeout: Duration) -> io::Result<UdpUpstream> {
+        UdpUpstream::with_route(timeout, |ip| SocketAddr::from((ip, 53)))
+    }
+
+    /// An upstream with a custom address → socket mapping (loopback
+    /// playgrounds map the universe's synthetic IPs to local ports).
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-level errors from binding the local socket.
+    pub fn with_route(
+        timeout: Duration,
+        route: impl Fn(Ipv4Addr) -> SocketAddr + Send + 'static,
+    ) -> io::Result<UdpUpstream> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(timeout))?;
+        Ok(UdpUpstream {
+            socket,
+            timeout,
+            route: Box::new(route),
+        })
+    }
+
+    /// The configured per-query timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+}
+
+impl Upstream for UdpUpstream {
+    fn query(&mut self, server: Ipv4Addr, query: &Message, _now: SimTime) -> Option<Message> {
+        let target = (self.route)(server);
+        let bytes = wire::encode(query).ok()?;
+        self.socket.send_to(&bytes, target).ok()?;
+        let mut buf = [0u8; wire::MAX_MESSAGE_LEN];
+        // Bounded receive loop: ignore strays, stop at timeout.
+        let deadline = std::time::Instant::now() + self.timeout;
+        while std::time::Instant::now() < deadline {
+            let Ok((len, from)) = self.socket.recv_from(&mut buf) else {
+                return None; // timeout
+            };
+            if from != target {
+                continue;
+            }
+            let Ok(resp) = wire::decode(&buf[..len]) else {
+                continue;
+            };
+            if resp.header.id == query.header.id && resp.header.response {
+                return Some(resp);
+            }
+        }
+        None
+    }
+}

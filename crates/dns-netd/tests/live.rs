@@ -1,0 +1,156 @@
+//! Live end-to-end tests: real UDP sockets, real threads, the same
+//! resolver code the simulator evaluates.
+
+use dns_core::{RecordType, ResponseKind, Rcode};
+use dns_netd::{client, playground, Resolved, UdpUpstream};
+use dns_resolver::{CachingServer, ResolverConfig};
+use std::time::Duration;
+
+fn timeout() -> Duration {
+    Duration::from_secs(2)
+}
+
+fn resolver_for(net: &playground::Playground, config: ResolverConfig) -> Resolved {
+    let upstream =
+        UdpUpstream::with_route(Duration::from_millis(250), net.route_fn()).unwrap();
+    let cs = CachingServer::new(config, net.hints.clone());
+    Resolved::spawn(cs, upstream, "127.0.0.1:0").unwrap()
+}
+
+#[test]
+fn full_recursive_resolution_over_udp() {
+    let net = playground::boot().unwrap();
+    let resolver = resolver_for(&net, ResolverConfig::vanilla());
+
+    let resp = client::query(
+        resolver.addr(),
+        &"www.ucla.edu".parse().unwrap(),
+        RecordType::A,
+        timeout(),
+    )
+    .unwrap();
+    assert_eq!(resp.kind(), ResponseKind::Answer);
+    assert_eq!(resp.answers.len(), 1);
+    assert!(resp.header.recursion_available);
+
+    // Second query is served from cache — the authoritative daemons see
+    // no additional traffic.
+    let served_before: u64 = net.daemons.iter().map(|d| d.served()).sum();
+    let resp = client::query(
+        resolver.addr(),
+        &"www.ucla.edu".parse().unwrap(),
+        RecordType::A,
+        timeout(),
+    )
+    .unwrap();
+    assert_eq!(resp.kind(), ResponseKind::Answer);
+    let served_after: u64 = net.daemons.iter().map(|d| d.served()).sum();
+    assert_eq!(served_before, served_after, "cache hit must not hit authds");
+
+    resolver.stop();
+    net.stop();
+}
+
+#[test]
+fn cname_and_nxdomain_over_udp() {
+    let net = playground::boot().unwrap();
+    let resolver = resolver_for(&net, ResolverConfig::vanilla());
+
+    let resp = client::query(
+        resolver.addr(),
+        &"web.ucla.edu".parse().unwrap(),
+        RecordType::A,
+        timeout(),
+    )
+    .unwrap();
+    assert_eq!(resp.answers.len(), 2); // CNAME + A
+
+    let resp = client::query(
+        resolver.addr(),
+        &"missing.example.com".parse().unwrap(),
+        RecordType::A,
+        timeout(),
+    )
+    .unwrap();
+    assert_eq!(resp.header.rcode, Rcode::NxDomain);
+
+    resolver.stop();
+    net.stop();
+}
+
+#[test]
+fn cached_infrastructure_survives_live_daemon_kill() {
+    let net = playground::boot().unwrap();
+    let resolver = resolver_for(&net, ResolverConfig::with_refresh());
+
+    // Prime the caches through the full hierarchy.
+    let resp = client::query(
+        resolver.addr(),
+        &"www.ucla.edu".parse().unwrap(),
+        RecordType::A,
+        timeout(),
+    )
+    .unwrap();
+    assert_eq!(resp.kind(), ResponseKind::Answer);
+
+    // Kill the top-level daemons (root + both TLDs), keep the leaves.
+    let routes = net.routes.clone();
+    let mut survivors = Vec::new();
+    for d in net.daemons {
+        let is_top = routes
+            .iter()
+            .any(|(syn, sock)| *sock == d.addr() && syn.octets()[2] <= 2);
+        if is_top {
+            d.stop();
+        } else {
+            survivors.push(d);
+        }
+    }
+
+    // Same-zone names still resolve via cached infrastructure (the data
+    // record itself is cached; ask for a different name in the zone to
+    // force an upstream query to the still-alive leaf daemon).
+    let resp = client::query(
+        resolver.addr(),
+        &"web.ucla.edu".parse().unwrap(),
+        RecordType::A,
+        timeout(),
+    )
+    .unwrap();
+    assert_eq!(resp.kind(), ResponseKind::Answer, "cached IRRs must carry us");
+
+    // A branch never visited needs the dead root → SERVFAIL.
+    let resp = client::query(
+        resolver.addr(),
+        &"www.example.com".parse().unwrap(),
+        RecordType::A,
+        timeout(),
+    )
+    .unwrap();
+    assert_eq!(resp.header.rcode, Rcode::ServFail);
+
+    resolver.stop();
+    for d in survivors {
+        d.stop();
+    }
+}
+
+#[test]
+fn ds_and_dnskey_queries_over_udp() {
+    let net = playground::boot().unwrap();
+    let resolver = resolver_for(&net, ResolverConfig::with_refresh());
+
+    // DNSKEY is served by the signed child zone.
+    let resp = client::query(
+        resolver.addr(),
+        &"cs.ucla.edu".parse().unwrap(),
+        RecordType::Dnskey,
+        timeout(),
+    )
+    .unwrap();
+    assert_eq!(resp.kind(), ResponseKind::Answer);
+    assert_eq!(resp.answers[0].rtype(), RecordType::Dnskey);
+
+    resolver.stop();
+    net.stop();
+}

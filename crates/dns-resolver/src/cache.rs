@@ -1,0 +1,301 @@
+//! The generic RRset cache with RFC 2181 credibility ranking.
+//!
+//! This cache holds *data* records (addresses, CNAMEs, negative entries);
+//! infrastructure records live in [`crate::InfraCache`], which the
+//! resilience policies operate on.
+
+use dns_core::{Name, RecordType, RrKey, RrSet, SimTime, Ttl};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Trustworthiness ranking of cached data (RFC 2181 §5.4.1, condensed).
+///
+/// Higher ranks may overwrite lower ranks; a lower-ranked copy never
+/// replaces a fresh higher-ranked one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Credibility {
+    /// Glue / additional-section data.
+    Additional = 1,
+    /// Authority-section data from a non-authoritative response (referral
+    /// NS sets).
+    NonAuthAuthority = 2,
+    /// Authority-section data from an authoritative answer.
+    AuthAuthority = 3,
+    /// Answer-section data from an authoritative answer.
+    AuthAnswer = 4,
+}
+
+/// One cached RRset plus caching metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The cached data.
+    pub set: RrSet,
+    /// Absolute expiry.
+    pub expires_at: SimTime,
+    /// Trustworthiness of this copy.
+    pub credibility: Credibility,
+}
+
+impl CacheEntry {
+    /// Whether the entry is still fresh at `now` (exclusive expiry).
+    pub fn is_fresh(&self, now: SimTime) -> bool {
+        now < self.expires_at
+    }
+}
+
+/// A negative-cache entry: proof that a name/type has no data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegativeKind {
+    /// The name does not exist at all.
+    NxDomain,
+    /// The name exists but not with this type.
+    NoData,
+}
+
+/// TTL-driven RRset cache.
+///
+/// ```rust
+/// use dns_resolver::{Credibility, RecordCache};
+/// use dns_core::{Name, RData, Record, RrSet, SimTime, Ttl};
+/// use std::net::Ipv4Addr;
+///
+/// # fn main() -> Result<(), dns_core::DnsError> {
+/// let mut cache = RecordCache::new();
+/// let rr = Record::new("www.ucla.edu".parse()?, Ttl::from_hours(4), RData::A(Ipv4Addr::LOCALHOST));
+/// let set = RrSet::from_records(std::slice::from_ref(&rr)).unwrap();
+/// cache.insert(set, SimTime::ZERO, Credibility::AuthAnswer);
+///
+/// let hit = cache.get(&"www.ucla.edu".parse()?, dns_core::RecordType::A, SimTime::from_hours(3));
+/// assert!(hit.is_some());
+/// let miss = cache.get(&"www.ucla.edu".parse()?, dns_core::RecordType::A, SimTime::from_hours(5));
+/// assert!(miss.is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RecordCache {
+    entries: HashMap<RrKey, CacheEntry>,
+    negatives: HashMap<RrKey, (SimTime, NegativeKind)>,
+}
+
+impl RecordCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        RecordCache::default()
+    }
+
+    /// Inserts an RRset received at `now`, subject to credibility rules:
+    /// a fresh entry of strictly higher credibility is never overwritten.
+    ///
+    /// Returns `true` when the set was stored.
+    pub fn insert(&mut self, set: RrSet, now: SimTime, credibility: Credibility) -> bool {
+        let key = set.key().clone();
+        if let Some(existing) = self.entries.get(&key) {
+            if existing.is_fresh(now) && existing.credibility > credibility {
+                return false;
+            }
+        }
+        let expires_at = set.ttl().expires_at(now);
+        self.entries.insert(
+            key,
+            CacheEntry {
+                set,
+                expires_at,
+                credibility,
+            },
+        );
+        true
+    }
+
+    /// Fresh lookup; expired entries are treated as absent (and are
+    /// evicted lazily).
+    pub fn get(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<&CacheEntry> {
+        self.entries
+            .get(&RrKey::new(name.clone(), rtype))
+            .filter(|e| e.is_fresh(now))
+    }
+
+    /// Stores a negative answer (NXDOMAIN / NODATA) for `ttl`.
+    pub fn insert_negative(
+        &mut self,
+        name: Name,
+        rtype: RecordType,
+        kind: NegativeKind,
+        ttl: Ttl,
+        now: SimTime,
+    ) {
+        self.negatives
+            .insert(RrKey::new(name, rtype), (ttl.expires_at(now), kind));
+    }
+
+    /// Fresh negative lookup.
+    pub fn get_negative(
+        &self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+    ) -> Option<NegativeKind> {
+        self.negatives
+            .get(&RrKey::new(name.clone(), rtype))
+            .filter(|(exp, _)| now < *exp)
+            .map(|&(_, kind)| kind)
+    }
+
+    /// Removes entries that expired at or before `now`; returns how many
+    /// were evicted. The resolver calls this periodically so occupancy
+    /// metrics reflect live content.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len() + self.negatives.len();
+        self.entries.retain(|_, e| e.is_fresh(now));
+        self.negatives.retain(|_, (exp, _)| now < *exp);
+        before - (self.entries.len() + self.negatives.len())
+    }
+
+    /// Number of positive entries currently stored (fresh or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.negatives.is_empty()
+    }
+
+    /// Number of positive entries fresh at `now`.
+    pub fn fresh_len(&self, now: SimTime) -> usize {
+        self.entries.values().filter(|e| e.is_fresh(now)).count()
+    }
+
+    /// Total individual records across fresh positive entries at `now`.
+    pub fn fresh_record_count(&self, now: SimTime) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.is_fresh(now))
+            .map(|e| e.set.len())
+            .sum()
+    }
+}
+
+impl fmt::Display for RecordCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "record cache ({} rrsets, {} negatives)",
+            self.entries.len(),
+            self.negatives.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_core::{RData, Record};
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn a_set(owner: &str, last: u8, ttl: Ttl) -> RrSet {
+        let rr = Record::new(name(owner), ttl, RData::A(Ipv4Addr::new(192, 0, 2, last)));
+        RrSet::from_records(&[rr]).unwrap()
+    }
+
+    #[test]
+    fn fresh_until_ttl_then_gone() {
+        let mut c = RecordCache::new();
+        c.insert(a_set("www.x.com", 1, Ttl::from_hours(1)), SimTime::ZERO, Credibility::AuthAnswer);
+        assert!(c.get(&name("www.x.com"), RecordType::A, SimTime::from_mins(59)).is_some());
+        // Expiry is exclusive: at exactly TTL the entry is stale.
+        assert!(c.get(&name("www.x.com"), RecordType::A, SimTime::from_hours(1)).is_none());
+    }
+
+    #[test]
+    fn lower_credibility_cannot_displace_fresh_entry() {
+        let mut c = RecordCache::new();
+        c.insert(a_set("ns.x.com", 1, Ttl::from_hours(4)), SimTime::ZERO, Credibility::AuthAnswer);
+        let stored = c.insert(
+            a_set("ns.x.com", 9, Ttl::from_hours(4)),
+            SimTime::from_mins(10),
+            Credibility::Additional,
+        );
+        assert!(!stored);
+        let entry = c.get(&name("ns.x.com"), RecordType::A, SimTime::from_mins(20)).unwrap();
+        assert_eq!(entry.set.rdatas(), &[RData::A(Ipv4Addr::new(192, 0, 2, 1))]);
+    }
+
+    #[test]
+    fn higher_or_equal_credibility_replaces() {
+        let mut c = RecordCache::new();
+        c.insert(a_set("ns.x.com", 1, Ttl::from_hours(4)), SimTime::ZERO, Credibility::Additional);
+        assert!(c.insert(
+            a_set("ns.x.com", 2, Ttl::from_hours(4)),
+            SimTime::from_mins(1),
+            Credibility::AuthAnswer,
+        ));
+        assert!(c.insert(
+            a_set("ns.x.com", 3, Ttl::from_hours(4)),
+            SimTime::from_mins(2),
+            Credibility::AuthAnswer,
+        ));
+    }
+
+    #[test]
+    fn expired_entry_replaceable_by_any_credibility() {
+        let mut c = RecordCache::new();
+        c.insert(a_set("ns.x.com", 1, Ttl::from_mins(5)), SimTime::ZERO, Credibility::AuthAnswer);
+        assert!(c.insert(
+            a_set("ns.x.com", 2, Ttl::from_hours(1)),
+            SimTime::from_hours(1),
+            Credibility::Additional,
+        ));
+    }
+
+    #[test]
+    fn negative_cache_roundtrip() {
+        let mut c = RecordCache::new();
+        c.insert_negative(
+            name("missing.x.com"),
+            RecordType::A,
+            NegativeKind::NxDomain,
+            Ttl::from_mins(5),
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            c.get_negative(&name("missing.x.com"), RecordType::A, SimTime::from_mins(4)),
+            Some(NegativeKind::NxDomain)
+        );
+        assert_eq!(
+            c.get_negative(&name("missing.x.com"), RecordType::A, SimTime::from_mins(6)),
+            None
+        );
+    }
+
+    #[test]
+    fn purge_drops_only_expired() {
+        let mut c = RecordCache::new();
+        c.insert(a_set("a.x.com", 1, Ttl::from_mins(5)), SimTime::ZERO, Credibility::AuthAnswer);
+        c.insert(a_set("b.x.com", 2, Ttl::from_hours(5)), SimTime::ZERO, Credibility::AuthAnswer);
+        c.insert_negative(
+            name("n.x.com"),
+            RecordType::A,
+            NegativeKind::NoData,
+            Ttl::from_mins(1),
+            SimTime::ZERO,
+        );
+        let evicted = c.purge_expired(SimTime::from_hours(1));
+        assert_eq!(evicted, 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn occupancy_counts_fresh_only() {
+        let mut c = RecordCache::new();
+        c.insert(a_set("a.x.com", 1, Ttl::from_mins(5)), SimTime::ZERO, Credibility::AuthAnswer);
+        c.insert(a_set("b.x.com", 2, Ttl::from_hours(5)), SimTime::ZERO, Credibility::AuthAnswer);
+        assert_eq!(c.fresh_len(SimTime::from_hours(1)), 1);
+        assert_eq!(c.fresh_record_count(SimTime::from_hours(1)), 1);
+        assert_eq!(c.len(), 2); // lazily retained
+    }
+}

@@ -1,0 +1,175 @@
+//! Resolver configuration: which resilience schemes are active.
+
+use crate::RenewalPolicy;
+use dns_core::{Name, SimDuration, Ttl};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Root hints: the hard-coded name-server set for the root zone that every
+/// caching server ships with (paper §2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RootHints {
+    servers: Vec<(Name, Ipv4Addr)>,
+}
+
+impl RootHints {
+    /// Creates hints from `(server name, address)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `servers` is empty — a resolver without root hints can
+    /// never resolve anything.
+    pub fn new(servers: Vec<(Name, Ipv4Addr)>) -> Self {
+        assert!(!servers.is_empty(), "root hints must not be empty");
+        RootHints { servers }
+    }
+
+    /// The hinted `(name, address)` pairs.
+    pub fn servers(&self) -> &[(Name, Ipv4Addr)] {
+        &self.servers
+    }
+}
+
+/// Configuration of a [`crate::CachingServer`]: the combination of
+/// resilience schemes under test.
+///
+/// Constructors mirror the paper's evaluated systems:
+///
+/// * [`ResolverConfig::vanilla`] — current DNS (Figure 4),
+/// * [`ResolverConfig::with_refresh`] — TTL refresh (Figure 5),
+/// * [`ResolverConfig::with_renewal`] — refresh + renewal (Figures 6–9),
+/// * long-TTL (Figures 10–11) is a *zone-side* change applied by the
+///   simulator; the resolver just honours the longer TTLs up to `ttl_cap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolverConfig {
+    /// Reset a zone's cached IRR expiry whenever a response from the
+    /// zone's own servers carries a copy.
+    pub refresh: bool,
+    /// Proactive re-fetch of expiring IRRs, budgeted by the policy's
+    /// credit; `None` disables renewal.
+    pub renewal: Option<RenewalPolicy>,
+    /// Upper bound on any accepted TTL. Deployed caching servers reject
+    /// TTLs above 7 days (paper §6, "Deployment Issues"); keeping the cap
+    /// here means even a misconfigured zone cannot pin the cache forever.
+    pub ttl_cap: Ttl,
+    /// Upper bound on negative-caching TTLs (SOA `minimum`).
+    pub negative_ttl_cap: Ttl,
+    /// Maximum time a zone's delegation may go unconfirmed by the parent
+    /// before the resolver walks through the parent again, even though
+    /// refresh/renewal could keep the child copy alive forever. This is
+    /// the paper's §6 safeguard that lets parents reclaim delegations
+    /// from non-cooperative former zone owners; the paper suggests
+    /// 7 days. `None` disables the recheck (the paper's evaluated
+    /// configuration).
+    pub parent_recheck: Option<SimDuration>,
+}
+
+impl ResolverConfig {
+    /// The current DNS: no refresh, no renewal.
+    pub fn vanilla() -> Self {
+        ResolverConfig {
+            refresh: false,
+            renewal: None,
+            ttl_cap: Ttl::from_days(7),
+            negative_ttl_cap: Ttl::from_hours(1),
+            parent_recheck: None,
+        }
+    }
+
+    /// Enables the §6 parent-recheck safeguard with the given bound.
+    pub fn with_parent_recheck(mut self, every: SimDuration) -> Self {
+        self.parent_recheck = Some(every);
+        self
+    }
+
+    /// TTL refresh only.
+    pub fn with_refresh() -> Self {
+        ResolverConfig {
+            refresh: true,
+            ..ResolverConfig::vanilla()
+        }
+    }
+
+    /// TTL refresh plus the given renewal policy (the paper always pairs
+    /// renewal with refresh).
+    pub fn with_renewal(policy: RenewalPolicy) -> Self {
+        ResolverConfig {
+            refresh: true,
+            renewal: Some(policy),
+            ..ResolverConfig::vanilla()
+        }
+    }
+
+    /// Human-readable scheme label used in experiment output.
+    pub fn label(&self) -> String {
+        match (self.refresh, self.renewal) {
+            (false, None) => "vanilla".to_string(),
+            (true, None) => "refresh".to_string(),
+            (true, Some(p)) => format!("refresh+{}", p.label()),
+            (false, Some(p)) => format!("renew-only+{}", p.label()),
+        }
+    }
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig::vanilla()
+    }
+}
+
+impl fmt::Display for ResolverConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_match_paper_systems() {
+        let v = ResolverConfig::vanilla();
+        assert!(!v.refresh);
+        assert!(v.renewal.is_none());
+
+        let r = ResolverConfig::with_refresh();
+        assert!(r.refresh);
+        assert!(r.renewal.is_none());
+
+        let rr = ResolverConfig::with_renewal(RenewalPolicy::adaptive_lfu(3));
+        assert!(rr.refresh);
+        assert!(rr.renewal.is_some());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ResolverConfig::vanilla().label(), "vanilla");
+        assert_eq!(ResolverConfig::with_refresh().label(), "refresh");
+        assert_eq!(
+            ResolverConfig::with_renewal(RenewalPolicy::lru(3)).label(),
+            "refresh+LRU_3"
+        );
+    }
+
+    #[test]
+    fn ttl_cap_defaults_to_seven_days() {
+        assert_eq!(ResolverConfig::vanilla().ttl_cap, Ttl::from_days(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "root hints must not be empty")]
+    fn empty_root_hints_rejected() {
+        RootHints::new(vec![]);
+    }
+
+    #[test]
+    fn root_hints_expose_servers() {
+        let hints = RootHints::new(vec![(
+            "a.root-servers.net".parse().unwrap(),
+            Ipv4Addr::new(198, 41, 0, 4),
+        )]);
+        assert_eq!(hints.servers().len(), 1);
+    }
+}

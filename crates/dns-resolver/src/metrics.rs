@@ -1,0 +1,189 @@
+//! Resolver-side counters and occupancy sampling.
+
+use dns_core::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Sub;
+
+/// Monotone counters maintained by a [`crate::CachingServer`].
+///
+/// All fields are public passive data; the experiment harness snapshots the
+/// struct at attack-window boundaries and subtracts (`-` is implemented) to
+/// obtain per-window counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolverMetrics {
+    /// Client (stub-resolver) queries received.
+    pub queries_in: u64,
+    /// Client queries that could not be resolved (SERVFAIL-equivalent).
+    pub failed_in: u64,
+    /// Client queries answered purely from cache.
+    pub cache_hits: u64,
+    /// Queries sent to authoritative servers (demand + renewal).
+    pub queries_out: u64,
+    /// Outgoing queries that received no response.
+    pub failed_out: u64,
+    /// Referral responses processed.
+    pub referrals: u64,
+    /// Times an infrastructure entry's TTL was refreshed from a response.
+    pub refreshes: u64,
+    /// Renewal re-fetches attempted.
+    pub renewals_sent: u64,
+    /// Renewal re-fetches that succeeded.
+    pub renewals_ok: u64,
+    /// Negative answers (NXDOMAIN / NODATA) returned to clients.
+    pub negative_answers: u64,
+}
+
+impl ResolverMetrics {
+    /// Fraction of client queries that failed; 0 when none were received.
+    pub fn failed_in_ratio(&self) -> f64 {
+        ratio(self.failed_in, self.queries_in)
+    }
+
+    /// Fraction of outgoing queries that went unanswered.
+    pub fn failed_out_ratio(&self) -> f64 {
+        ratio(self.failed_out, self.queries_out)
+    }
+
+    /// Cache hit rate over client queries.
+    pub fn hit_ratio(&self) -> f64 {
+        ratio(self.cache_hits, self.queries_in)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl Sub for ResolverMetrics {
+    type Output = ResolverMetrics;
+
+    /// Pairwise saturating difference — `end - start` gives the counts
+    /// accumulated in a window.
+    fn sub(self, rhs: ResolverMetrics) -> ResolverMetrics {
+        ResolverMetrics {
+            queries_in: self.queries_in.saturating_sub(rhs.queries_in),
+            failed_in: self.failed_in.saturating_sub(rhs.failed_in),
+            cache_hits: self.cache_hits.saturating_sub(rhs.cache_hits),
+            queries_out: self.queries_out.saturating_sub(rhs.queries_out),
+            failed_out: self.failed_out.saturating_sub(rhs.failed_out),
+            referrals: self.referrals.saturating_sub(rhs.referrals),
+            refreshes: self.refreshes.saturating_sub(rhs.refreshes),
+            renewals_sent: self.renewals_sent.saturating_sub(rhs.renewals_sent),
+            renewals_ok: self.renewals_ok.saturating_sub(rhs.renewals_ok),
+            negative_answers: self.negative_answers.saturating_sub(rhs.negative_answers),
+        }
+    }
+}
+
+impl fmt::Display for ResolverMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "in={}/{} failed, out={}/{} failed, hits={}, renewals={}/{}",
+            self.failed_in,
+            self.queries_in,
+            self.failed_out,
+            self.queries_out,
+            self.cache_hits,
+            self.renewals_ok,
+            self.renewals_sent
+        )
+    }
+}
+
+/// A point-in-time measurement of cache occupancy (Figure 12's series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancySample {
+    /// Sampling instant.
+    pub at: SimTime,
+    /// Zones with fresh infrastructure entries.
+    pub zones: usize,
+    /// Individual infrastructure records across those zones.
+    pub infra_records: usize,
+    /// Fresh data RRsets in the record cache.
+    pub data_rrsets: usize,
+    /// Individual records across those RRsets.
+    pub data_records: usize,
+}
+
+impl OccupancySample {
+    /// Total cached records, infrastructure + data.
+    pub fn total_records(&self) -> usize {
+        self.infra_records + self.data_records
+    }
+}
+
+impl fmt::Display for OccupancySample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={} zones={} records={}",
+            self.at,
+            self.zones,
+            self.total_records()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominator() {
+        let m = ResolverMetrics::default();
+        assert_eq!(m.failed_in_ratio(), 0.0);
+        assert_eq!(m.failed_out_ratio(), 0.0);
+        assert_eq!(m.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let m = ResolverMetrics {
+            queries_in: 10,
+            failed_in: 2,
+            cache_hits: 5,
+            queries_out: 4,
+            failed_out: 1,
+            ..ResolverMetrics::default()
+        };
+        assert!((m.failed_in_ratio() - 0.2).abs() < 1e-12);
+        assert!((m.failed_out_ratio() - 0.25).abs() < 1e-12);
+        assert!((m.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_subtraction() {
+        let start = ResolverMetrics {
+            queries_in: 100,
+            failed_in: 1,
+            ..ResolverMetrics::default()
+        };
+        let end = ResolverMetrics {
+            queries_in: 150,
+            failed_in: 11,
+            ..ResolverMetrics::default()
+        };
+        let window = end - start;
+        assert_eq!(window.queries_in, 50);
+        assert_eq!(window.failed_in, 10);
+        assert!((window.failed_in_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_total() {
+        let s = OccupancySample {
+            at: SimTime::ZERO,
+            zones: 3,
+            infra_records: 9,
+            data_rrsets: 5,
+            data_records: 7,
+        };
+        assert_eq!(s.total_records(), 16);
+    }
+}

@@ -1,0 +1,206 @@
+//! Credit-based TTL-renewal policies (paper §4, "TTL Renewal").
+//!
+//! Each cached zone carries a *credit*: the number of times its
+//! infrastructure records may be re-fetched (renewed) after expiry without
+//! any client demand. The four policies differ in how credit is assigned
+//! when the zone is used:
+//!
+//! | policy  | on every use of the zone            | behaviour         |
+//! |---------|-------------------------------------|-------------------|
+//! | LRU(c)  | credit := c                         | recency-biased    |
+//! | LFU(c)  | credit += c, capped at M            | frequency-biased  |
+//! | A-LRU(c)| credit := ⌈c·86400 / TTL⌉           | ≈ c extra *days*  |
+//! | A-LFU(c)| credit += ⌈c·86400 / TTL⌉, capped   | both              |
+//!
+//! The adaptive variants normalise by the zone's IRR TTL so that every zone
+//! gets the same *extra time* in the cache regardless of its TTL.
+
+use dns_core::{Ttl, DAY};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default LFU credit cap (`M` in the paper, which leaves the value open).
+pub const DEFAULT_LFU_MAX_CREDIT: u32 = 20;
+/// Default cap for the adaptive LFU policy, expressed in days of extra
+/// cache time.
+pub const DEFAULT_ALFU_MAX_DAYS: u32 = 20;
+
+/// A TTL-renewal policy: how much renewal credit a zone earns when used.
+///
+/// ```rust
+/// use dns_resolver::RenewalPolicy;
+/// use dns_core::Ttl;
+///
+/// let lru = RenewalPolicy::lru(3);
+/// assert_eq!(lru.credit_on_use(7, Ttl::from_hours(12)), 3); // reset
+///
+/// let lfu = RenewalPolicy::lfu(3);
+/// assert_eq!(lfu.credit_on_use(7, Ttl::from_hours(12)), 10); // accumulate
+///
+/// // Adaptive: 3 days of extra time for a 12-hour TTL = 6 renewals.
+/// let alru = RenewalPolicy::adaptive_lru(3);
+/// assert_eq!(alru.credit_on_use(0, Ttl::from_hours(12)), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RenewalPolicy {
+    /// `LRU(c)`: set credit to `credit` on every use.
+    Lru {
+        /// Credit assigned per use.
+        credit: u32,
+    },
+    /// `LFU(c)`: add `credit` per use, saturating at `max_credit`.
+    Lfu {
+        /// Credit added per use.
+        credit: u32,
+        /// Saturation cap (`M`).
+        max_credit: u32,
+    },
+    /// `A-LRU(c)`: set credit to `⌈c·86400 / TTL⌉` — about `c` extra days.
+    AdaptiveLru {
+        /// Extra days of cache time per use.
+        days: u32,
+    },
+    /// `A-LFU(c)`: add `⌈c·86400 / TTL⌉`, saturating at
+    /// `⌈max_days·86400 / TTL⌉`.
+    AdaptiveLfu {
+        /// Extra days added per use.
+        days: u32,
+        /// Saturation cap in days.
+        max_days: u32,
+    },
+}
+
+impl RenewalPolicy {
+    /// `LRU(c)` with the given per-use credit.
+    pub const fn lru(credit: u32) -> Self {
+        RenewalPolicy::Lru { credit }
+    }
+
+    /// `LFU(c)` with the default cap.
+    pub const fn lfu(credit: u32) -> Self {
+        RenewalPolicy::Lfu {
+            credit,
+            max_credit: DEFAULT_LFU_MAX_CREDIT,
+        }
+    }
+
+    /// `A-LRU(c)` granting about `days` extra days.
+    pub const fn adaptive_lru(days: u32) -> Self {
+        RenewalPolicy::AdaptiveLru { days }
+    }
+
+    /// `A-LFU(c)` with the default cap.
+    pub const fn adaptive_lfu(days: u32) -> Self {
+        RenewalPolicy::AdaptiveLfu {
+            days,
+            max_days: DEFAULT_ALFU_MAX_DAYS,
+        }
+    }
+
+    /// The credit a zone holds after one more use, given its current credit
+    /// and the TTL of its infrastructure records.
+    pub fn credit_on_use(&self, current: u32, ttl: Ttl) -> u32 {
+        match *self {
+            RenewalPolicy::Lru { credit } => credit,
+            RenewalPolicy::Lfu { credit, max_credit } => {
+                current.saturating_add(credit).min(max_credit)
+            }
+            RenewalPolicy::AdaptiveLru { days } => adaptive_credit(days, ttl),
+            RenewalPolicy::AdaptiveLfu { days, max_days } => current
+                .saturating_add(adaptive_credit(days, ttl))
+                .min(adaptive_credit(max_days, ttl).max(1)),
+        }
+    }
+
+    /// The paper's shorthand for this policy (`LRU_3`, `A-LFU_5`, …).
+    pub fn label(&self) -> String {
+        match *self {
+            RenewalPolicy::Lru { credit } => format!("LRU_{credit}"),
+            RenewalPolicy::Lfu { credit, .. } => format!("LFU_{credit}"),
+            RenewalPolicy::AdaptiveLru { days } => format!("A-LRU_{days}"),
+            RenewalPolicy::AdaptiveLfu { days, .. } => format!("A-LFU_{days}"),
+        }
+    }
+}
+
+/// `⌈days·86400 / TTL⌉`, with a floor of one renewal and a guard against a
+/// zero TTL (which would otherwise divide by zero).
+fn adaptive_credit(days: u32, ttl: Ttl) -> u32 {
+    if days == 0 {
+        return 0;
+    }
+    let ttl_secs = u64::from(ttl.as_secs()).max(1);
+    let extra = u64::from(days) * DAY;
+    u32::try_from(extra.div_ceil(ttl_secs)).unwrap_or(u32::MAX)
+}
+
+impl fmt::Display for RenewalPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_resets_credit() {
+        let p = RenewalPolicy::lru(3);
+        assert_eq!(p.credit_on_use(0, Ttl::from_hours(1)), 3);
+        assert_eq!(p.credit_on_use(10, Ttl::from_hours(1)), 3);
+    }
+
+    #[test]
+    fn lfu_accumulates_and_saturates() {
+        let p = RenewalPolicy::Lfu {
+            credit: 3,
+            max_credit: 7,
+        };
+        assert_eq!(p.credit_on_use(0, Ttl::from_hours(1)), 3);
+        assert_eq!(p.credit_on_use(3, Ttl::from_hours(1)), 6);
+        assert_eq!(p.credit_on_use(6, Ttl::from_hours(1)), 7);
+        assert_eq!(p.credit_on_use(7, Ttl::from_hours(1)), 7);
+    }
+
+    #[test]
+    fn adaptive_lru_scales_inversely_with_ttl() {
+        let p = RenewalPolicy::adaptive_lru(3);
+        // 1-day TTL → 3 renewals; 12-hour TTL → 6; 5-minute TTL → 864.
+        assert_eq!(p.credit_on_use(0, Ttl::from_days(1)), 3);
+        assert_eq!(p.credit_on_use(0, Ttl::from_hours(12)), 6);
+        assert_eq!(p.credit_on_use(0, Ttl::from_mins(5)), 864);
+        // Longer-than-target TTLs still get one renewal.
+        assert_eq!(p.credit_on_use(0, Ttl::from_days(7)), 1);
+    }
+
+    #[test]
+    fn adaptive_lfu_caps_at_max_days_equivalent() {
+        let p = RenewalPolicy::AdaptiveLfu { days: 3, max_days: 6 };
+        let ttl = Ttl::from_days(1);
+        // Per use: 3; cap: 6.
+        assert_eq!(p.credit_on_use(0, ttl), 3);
+        assert_eq!(p.credit_on_use(3, ttl), 6);
+        assert_eq!(p.credit_on_use(6, ttl), 6);
+    }
+
+    #[test]
+    fn zero_ttl_does_not_divide_by_zero() {
+        let p = RenewalPolicy::adaptive_lru(1);
+        assert_eq!(p.credit_on_use(0, Ttl::ZERO), DAY as u32);
+    }
+
+    #[test]
+    fn zero_days_means_no_credit() {
+        let p = RenewalPolicy::adaptive_lru(0);
+        assert_eq!(p.credit_on_use(5, Ttl::from_hours(1)), 0);
+    }
+
+    #[test]
+    fn labels_match_paper_shorthand() {
+        assert_eq!(RenewalPolicy::lru(1).label(), "LRU_1");
+        assert_eq!(RenewalPolicy::lfu(5).label(), "LFU_5");
+        assert_eq!(RenewalPolicy::adaptive_lru(3).label(), "A-LRU_3");
+        assert_eq!(RenewalPolicy::adaptive_lfu(5).to_string(), "A-LFU_5");
+    }
+}

@@ -1,0 +1,719 @@
+//! The caching server: iterative resolution plus the resilience schemes.
+
+use crate::cache::NegativeKind;
+use crate::{
+    Credibility, InfraCache, InfraSource, OccupancySample, RecordCache, ResolverConfig,
+    ResolverMetrics, RootHints, Upstream,
+};
+use dns_core::{
+    Message, Name, Question, RData, Record, RecordType, ResponseKind, RrSet, SimDuration, SimTime,
+    Ttl,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Depth bound for nested resolutions (CNAME targets, out-of-bailiwick NS
+/// addresses).
+const MAX_RECURSION_DEPTH: usize = 8;
+/// Bound on referral steps within a single resolution.
+const MAX_REFERRAL_STEPS: usize = 24;
+/// Bound on CNAME links followed.
+const MAX_CNAME_CHAIN: usize = 8;
+/// How long consumed gap tombstones are retained before purging.
+const TOMBSTONE_RETENTION: SimDuration = SimDuration::from_days(7);
+
+/// Result of resolving one client query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Positive answer (possibly via a CNAME chain).
+    Answer {
+        /// The records answering the query, alias links first.
+        records: Vec<Record>,
+        /// Whether the answer came entirely from cache.
+        from_cache: bool,
+    },
+    /// The name does not exist.
+    NxDomain {
+        /// Whether served from the negative cache.
+        from_cache: bool,
+    },
+    /// The name exists but has no records of the queried type.
+    NoData {
+        /// Whether served from the negative cache.
+        from_cache: bool,
+    },
+    /// Resolution failed: no authoritative server could be reached (the
+    /// outcome a DDoS attack produces).
+    Fail,
+}
+
+impl Outcome {
+    /// Whether the query failed to resolve.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Outcome::Fail)
+    }
+
+    /// Whether the DNS produced a definitive result (including negative
+    /// answers — those are the system *working*).
+    pub fn is_success(&self) -> bool {
+        !self.is_failure()
+    }
+
+    /// Whether the outcome was served entirely from cache.
+    pub fn from_cache(&self) -> bool {
+        match self {
+            Outcome::Answer { from_cache, .. }
+            | Outcome::NxDomain { from_cache }
+            | Outcome::NoData { from_cache } => *from_cache,
+            Outcome::Fail => false,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Answer { records, from_cache } => {
+                write!(f, "answer ({} records{})", records.len(), cache_tag(*from_cache))
+            }
+            Outcome::NxDomain { from_cache } => write!(f, "nxdomain{}", cache_tag(*from_cache)),
+            Outcome::NoData { from_cache } => write!(f, "nodata{}", cache_tag(*from_cache)),
+            Outcome::Fail => write!(f, "fail"),
+        }
+    }
+}
+
+fn cache_tag(from_cache: bool) -> &'static str {
+    if from_cache {
+        ", cached"
+    } else {
+        ""
+    }
+}
+
+/// A caching DNS server (the paper's *CS*): iterative resolver, record
+/// cache, infrastructure cache and the configured resilience schemes.
+///
+/// See the crate-level documentation for an example and the scheme
+/// descriptions.
+#[derive(Debug, Clone)]
+pub struct CachingServer {
+    config: ResolverConfig,
+    cache: RecordCache,
+    infra: InfraCache,
+    metrics: ResolverMetrics,
+    next_id: u16,
+}
+
+impl CachingServer {
+    /// Creates a caching server with the given configuration and root
+    /// hints.
+    pub fn new(config: ResolverConfig, hints: RootHints) -> Self {
+        let mut infra = InfraCache::new();
+        infra.install_root_hints(hints.servers());
+        CachingServer {
+            config,
+            cache: RecordCache::new(),
+            infra,
+            metrics: ResolverMetrics::default(),
+            next_id: 1,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn metrics(&self) -> &ResolverMetrics {
+        &self.metrics
+    }
+
+    /// The infrastructure cache (read access, e.g. for tests and metrics).
+    pub fn infra(&self) -> &InfraCache {
+        &self.infra
+    }
+
+    /// The record cache (read access).
+    pub fn cache(&self) -> &RecordCache {
+        &self.cache
+    }
+
+    /// Drains the Figure-3 gap samples collected so far.
+    pub fn take_gap_samples(&mut self) -> Vec<crate::infra::GapSample> {
+        self.infra.take_gap_samples()
+    }
+
+    /// Resolves one client query at virtual time `now`.
+    ///
+    /// This is the entry point the simulator drives with stub-resolver
+    /// queries; it updates [`ResolverMetrics`] (`queries_in`, `failed_in`,
+    /// `cache_hits`, …).
+    pub fn resolve<U: Upstream>(&mut self, question: &Question, now: SimTime, up: &mut U) -> Outcome {
+        self.metrics.queries_in += 1;
+        let outcome = self.lookup_or_fetch(question, now, up, 0);
+        if outcome.is_failure() {
+            self.metrics.failed_in += 1;
+        } else if outcome.from_cache() {
+            self.metrics.cache_hits += 1;
+        }
+        if matches!(outcome, Outcome::NxDomain { .. } | Outcome::NoData { .. }) {
+            self.metrics.negative_answers += 1;
+        }
+        outcome
+    }
+
+    /// Convenience: resolve `name`'s `A` record.
+    pub fn resolve_a<U: Upstream>(&mut self, name: &Name, now: SimTime, up: &mut U) -> Outcome {
+        self.resolve(&Question::new(name.clone(), RecordType::A), now, up)
+    }
+
+    /// Earliest pending renewal instant, if the renewal scheme is active
+    /// and any cached zone holds credit.
+    pub fn next_renewal_due(&mut self) -> Option<SimTime> {
+        self.config.renewal?;
+        self.infra.peek_renewal_due()
+    }
+
+    /// Executes every renewal due at or before `upto`, each at its own due
+    /// time. Returns the number of renewal fetches attempted.
+    pub fn run_renewals_until<U: Upstream>(&mut self, upto: SimTime, up: &mut U) -> usize {
+        if self.config.renewal.is_none() {
+            return 0;
+        }
+        let mut attempted = 0;
+        while let Some((due, zone)) = self.infra.next_renewal_due(upto) {
+            let Some(entry) = self.infra.consume_renewal_credit(&zone) else {
+                continue;
+            };
+            attempted += 1;
+            self.metrics.renewals_sent += 1;
+            let addrs: Vec<Ipv4Addr> = entry.server_addrs().collect();
+            let question = Question::new(zone.clone(), RecordType::Ns);
+            if let Some((resp, _)) = self.exchange(&addrs, &question, due, up) {
+                self.harvest_response(&resp, &zone, due, false);
+                if resp.kind() == ResponseKind::Answer {
+                    self.metrics.renewals_ok += 1;
+                }
+            }
+        }
+        attempted
+    }
+
+    /// Point-in-time cache occupancy (Figure 12's series).
+    pub fn occupancy(&self, now: SimTime) -> OccupancySample {
+        OccupancySample {
+            at: now,
+            zones: self.infra.fresh_zone_count(now),
+            infra_records: self.infra.fresh_record_count(now),
+            data_rrsets: self.cache.fresh_len(now),
+            data_records: self.cache.fresh_record_count(now),
+        }
+    }
+
+    /// Evicts expired cache entries and aged-out tombstones.
+    pub fn purge(&mut self, now: SimTime) {
+        self.cache.purge_expired(now);
+        self.infra.purge_tombstones(now, TOMBSTONE_RETENTION);
+    }
+
+    // ------------------------------------------------------------------
+    // Resolution internals
+    // ------------------------------------------------------------------
+
+    fn lookup_or_fetch<U: Upstream>(
+        &mut self,
+        question: &Question,
+        now: SimTime,
+        up: &mut U,
+        depth: usize,
+    ) -> Outcome {
+        if depth > MAX_RECURSION_DEPTH {
+            return Outcome::Fail;
+        }
+
+        // Negative cache.
+        if let Some(kind) = self.cache.get_negative(&question.name, question.rtype, now) {
+            return match kind {
+                NegativeKind::NxDomain => Outcome::NxDomain { from_cache: true },
+                NegativeKind::NoData => Outcome::NoData { from_cache: true },
+            };
+        }
+
+        // Positive cache, following cached CNAME links.
+        let mut chain: Vec<Record> = Vec::new();
+        let mut qname = question.name.clone();
+        for _ in 0..MAX_CNAME_CHAIN {
+            if let Some(entry) = self.cache.get(&qname, question.rtype, now) {
+                let mut records = chain;
+                records.extend(entry.set.to_records());
+                return Outcome::Answer {
+                    records,
+                    from_cache: true,
+                };
+            }
+            if question.rtype == RecordType::Cname {
+                break;
+            }
+            let Some(cname_entry) = self.cache.get(&qname, RecordType::Cname, now) else {
+                break;
+            };
+            let target = match cname_entry.set.rdatas().first() {
+                Some(RData::Cname(t)) => t.clone(),
+                _ => break,
+            };
+            chain.extend(cname_entry.set.to_records());
+            qname = target;
+        }
+
+        // Cache cannot answer: walk the hierarchy for `qname` (the end of
+        // any cached alias chain).
+        let outcome = self.fetch(&Question::new(qname, question.rtype), now, up, depth);
+        match outcome {
+            Outcome::Answer { records, .. } if !chain.is_empty() => {
+                chain.extend(records);
+                Outcome::Answer {
+                    records: chain,
+                    from_cache: false,
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Iterative resolution over the network, starting from the deepest
+    /// fresh infrastructure entry.
+    fn fetch<U: Upstream>(
+        &mut self,
+        question: &Question,
+        now: SimTime,
+        up: &mut U,
+        depth: usize,
+    ) -> Outcome {
+        let Some(start) = self
+            .infra
+            .deepest_usable_ancestor(&question.name, now, self.config.parent_recheck)
+            .map(|e| e.zone.clone())
+        else {
+            return Outcome::Fail;
+        };
+
+        let mut zone = start;
+        for _ in 0..MAX_REFERRAL_STEPS {
+            let addrs = self.addresses_for(&zone, now, up, depth);
+            if addrs.is_empty() {
+                return Outcome::Fail;
+            }
+            let Some((resp, responder)) = self.exchange(&addrs, question, now, up) else {
+                return Outcome::Fail;
+            };
+            // Prefer the responsive server next time instead of re-paying
+            // timeouts on dead ones ahead of it in the list.
+            if Some(responder) != addrs.first().copied() {
+                self.infra.promote_address(&zone, responder);
+            }
+            self.harvest_response(&resp, &zone, now, true);
+
+            match resp.kind() {
+                ResponseKind::Answer => return self.finish_answer(&resp, question, now, up, depth),
+                ResponseKind::Referral => {
+                    self.metrics.referrals += 1;
+                    let Some(child) = referral_child(&resp, &zone, &question.name) else {
+                        return Outcome::Fail; // lame or sideways referral
+                    };
+                    zone = child;
+                }
+                ResponseKind::NxDomain => {
+                    let ttl = self.negative_ttl(&resp);
+                    self.cache.insert_negative(
+                        question.name.clone(),
+                        question.rtype,
+                        NegativeKind::NxDomain,
+                        ttl,
+                        now,
+                    );
+                    return Outcome::NxDomain { from_cache: false };
+                }
+                ResponseKind::NoData => {
+                    let ttl = self.negative_ttl(&resp);
+                    self.cache.insert_negative(
+                        question.name.clone(),
+                        question.rtype,
+                        NegativeKind::NoData,
+                        ttl,
+                        now,
+                    );
+                    return Outcome::NoData { from_cache: false };
+                }
+                ResponseKind::Error(_) => return Outcome::Fail,
+            }
+        }
+        Outcome::Fail
+    }
+
+    /// Extracts the final answer from a positive response, chasing any
+    /// CNAME chain (within the message, then recursively if the chain
+    /// leaves the responding zone).
+    fn finish_answer<U: Upstream>(
+        &mut self,
+        resp: &Message,
+        question: &Question,
+        now: SimTime,
+        up: &mut U,
+        depth: usize,
+    ) -> Outcome {
+        let mut records: Vec<Record> = Vec::new();
+        let mut qname = question.name.clone();
+        for _ in 0..MAX_CNAME_CHAIN {
+            let direct: Vec<Record> = resp
+                .answers
+                .iter()
+                .filter(|r| r.name() == &qname && r.rtype() == question.rtype)
+                .cloned()
+                .collect();
+            if !direct.is_empty() {
+                records.extend(direct);
+                return Outcome::Answer {
+                    records,
+                    from_cache: false,
+                };
+            }
+            let alias = resp
+                .answers
+                .iter()
+                .find(|r| r.name() == &qname && r.rtype() == RecordType::Cname)
+                .cloned();
+            match alias {
+                Some(rec) => {
+                    let target = match rec.rdata() {
+                        RData::Cname(t) => t.clone(),
+                        _ => return Outcome::Fail,
+                    };
+                    records.push(rec);
+                    qname = target;
+                }
+                None => break,
+            }
+        }
+        if records.is_empty() {
+            // Positive response that doesn't actually answer the question.
+            return Outcome::Fail;
+        }
+        // The chain left the message: resolve the final target.
+        let sub = self.lookup_or_fetch(&Question::new(qname, question.rtype), now, up, depth + 1);
+        match sub {
+            Outcome::Answer { records: tail, .. } => {
+                records.extend(tail);
+                Outcome::Answer {
+                    records,
+                    from_cache: false,
+                }
+            }
+            Outcome::NxDomain { .. } => Outcome::NxDomain { from_cache: false },
+            Outcome::NoData { .. } => Outcome::NoData { from_cache: false },
+            Outcome::Fail => Outcome::Fail,
+        }
+    }
+
+    /// Addresses for contacting `zone`'s servers, resolving server names
+    /// out-of-band when the entry carries no glue.
+    fn addresses_for<U: Upstream>(
+        &mut self,
+        zone: &Name,
+        now: SimTime,
+        up: &mut U,
+        depth: usize,
+    ) -> Vec<Ipv4Addr> {
+        let Some(entry) = self.infra.get(zone) else {
+            return Vec::new();
+        };
+        if !entry.addrs.is_empty() {
+            return entry.server_addrs().collect();
+        }
+        let ns_names: Vec<Name> = entry.ns_names.clone();
+        let mut learned: Vec<(Name, Ipv4Addr)> = Vec::new();
+        for ns in &ns_names {
+            // Cached address?
+            if let Some(e) = self.cache.get(ns, RecordType::A, now) {
+                for rd in e.set.rdatas() {
+                    if let RData::A(a) = rd {
+                        learned.push((ns.clone(), *a));
+                    }
+                }
+                continue;
+            }
+            // Out-of-bailiwick server: resolve its address recursively.
+            if depth < MAX_RECURSION_DEPTH {
+                if let Outcome::Answer { records, .. } =
+                    self.lookup_or_fetch(&Question::new(ns.clone(), RecordType::A), now, up, depth + 1)
+                {
+                    for r in records {
+                        if let RData::A(a) = r.rdata() {
+                            learned.push((ns.clone(), *a));
+                        }
+                    }
+                }
+            }
+            if !learned.is_empty() {
+                break; // one reachable server is enough to proceed
+            }
+        }
+        self.infra.add_addresses(zone, &learned);
+        learned.into_iter().map(|(_, a)| a).collect()
+    }
+
+    /// Sends `question` to each address in turn until one answers;
+    /// returns the response together with the responding server.
+    fn exchange<U: Upstream>(
+        &mut self,
+        addrs: &[Ipv4Addr],
+        question: &Question,
+        now: SimTime,
+        up: &mut U,
+    ) -> Option<(Message, Ipv4Addr)> {
+        let query = Message::query(self.take_id(), question.clone());
+        for &addr in addrs {
+            self.metrics.queries_out += 1;
+            match up.query(addr, &query, now) {
+                Some(resp) if resp.header.id == query.header.id => return Some((resp, addr)),
+                Some(_) | None => self.metrics.failed_out += 1,
+            }
+        }
+        None
+    }
+
+    /// Caches every usable record in a response and maintains the
+    /// infrastructure cache (installs, refreshes, credit).
+    ///
+    /// `demand` marks client-driven traffic: only demand responses grant
+    /// renewal credit (a renewal re-fetch must not refill its own budget).
+    fn harvest_response(&mut self, resp: &Message, zone_queried: &Name, now: SimTime, demand: bool) {
+        if demand {
+            let policy = self.config.renewal;
+            self.infra.record_use(zone_queried, now, policy.as_ref());
+        }
+
+        // Answer section → record cache (authoritative data only).
+        if resp.header.authoritative {
+            for set in group_rrsets(&resp.answers) {
+                if !set.name().is_subdomain_of(zone_queried) {
+                    continue; // out of bailiwick
+                }
+                if set.rtype() == RecordType::Ns {
+                    continue; // handled via the infra cache below
+                }
+                let set = self.cap_ttl(set);
+                self.cache.insert(set, now, Credibility::AuthAnswer);
+            }
+        }
+
+        // Additional section → glue addresses (low credibility).
+        for set in group_rrsets(&resp.additionals) {
+            if !set.name().is_subdomain_of(zone_queried) {
+                continue;
+            }
+            if matches!(set.rtype(), RecordType::A | RecordType::Aaaa) {
+                let set = self.cap_ttl(set);
+                self.cache.insert(set, now, Credibility::Additional);
+            }
+        }
+
+        // NS sets (authority section, and answer section for explicit NS
+        // queries such as renewals) → infrastructure cache.
+        let mut ns_sets: Vec<RrSet> = group_rrsets(&resp.authorities)
+            .into_iter()
+            .filter(|s| s.rtype() == RecordType::Ns)
+            .collect();
+        if resp.header.authoritative {
+            ns_sets.extend(
+                group_rrsets(&resp.answers)
+                    .into_iter()
+                    .filter(|s| s.rtype() == RecordType::Ns),
+            );
+        }
+        for set in ns_sets {
+            let owner = set.name().clone();
+            if !owner.is_subdomain_of(zone_queried) {
+                continue;
+            }
+            let source = if resp.header.authoritative {
+                InfraSource::Child
+            } else {
+                InfraSource::Parent
+            };
+            let ns_names: Vec<Name> = set
+                .rdatas()
+                .iter()
+                .filter_map(|rd| match rd {
+                    RData::Ns(n) => Some(n.clone()),
+                    _ => None,
+                })
+                .collect();
+            let mut addrs: Vec<(Name, Ipv4Addr)> = Vec::new();
+            for ns in &ns_names {
+                for rec in resp.additionals.iter().chain(resp.answers.iter()) {
+                    if rec.name() == ns {
+                        if let RData::A(a) = rec.rdata() {
+                            addrs.push((ns.clone(), *a));
+                        }
+                    }
+                }
+                // Fill gaps from the record cache.
+                if !addrs.iter().any(|(n, _)| n == ns) {
+                    if let Some(e) = self.cache.get(ns, RecordType::A, now) {
+                        for rd in e.set.rdatas() {
+                            if let RData::A(a) = rd {
+                                addrs.push((ns.clone(), *a));
+                            }
+                        }
+                    }
+                }
+            }
+            let ttl = set.ttl().min(self.config.ttl_cap);
+            let was_fresh_child = self
+                .infra
+                .get(&owner)
+                .is_some_and(|e| e.is_fresh(now) && e.source == InfraSource::Child);
+            let installed = self.infra.install(
+                owner,
+                ns_names,
+                addrs,
+                ttl,
+                now,
+                source,
+                self.config.refresh,
+            );
+            if installed && was_fresh_child && self.config.refresh {
+                self.metrics.refreshes += 1;
+            }
+        }
+
+        // DS records travelling with a referral (signed delegations) are
+        // DNSSEC infrastructure records: attach them to the zone entry so
+        // the resilience schemes cover them too (paper §6).
+        let mut ds_by_owner: HashMap<Name, Vec<(u16, u32)>> = HashMap::new();
+        for rec in &resp.authorities {
+            if let RData::Ds { key_tag, digest } = rec.rdata() {
+                if rec.name().is_subdomain_of(zone_queried) {
+                    ds_by_owner
+                        .entry(rec.name().clone())
+                        .or_default()
+                        .push((*key_tag, *digest));
+                }
+            }
+        }
+        for (owner, ds) in ds_by_owner {
+            self.infra.set_ds(&owner, ds);
+        }
+    }
+
+    fn negative_ttl(&self, resp: &Message) -> Ttl {
+        resp.authorities
+            .iter()
+            .find_map(|r| match r.rdata() {
+                RData::Soa { minimum, .. } => {
+                    Some(Ttl::from_secs(*minimum).min(r.ttl()))
+                }
+                _ => None,
+            })
+            .unwrap_or(Ttl::from_mins(5))
+            .min(self.config.negative_ttl_cap)
+    }
+
+    fn cap_ttl(&self, set: RrSet) -> RrSet {
+        let capped = set.ttl().min(self.config.ttl_cap);
+        set.with_ttl(capped)
+    }
+
+    fn take_id(&mut self) -> u16 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        id
+    }
+}
+
+/// Groups loose records into RRsets by (name, type).
+fn group_rrsets(records: &[Record]) -> Vec<RrSet> {
+    let mut groups: HashMap<dns_core::RrKey, Vec<Record>> = HashMap::new();
+    for r in records {
+        groups.entry(r.key()).or_default().push(r.clone());
+    }
+    groups
+        .into_values()
+        .filter_map(|recs| RrSet::from_records(&recs))
+        .collect()
+}
+
+/// From a referral response, the child zone to descend into: the deepest
+/// NS owner in the authority section that encloses the query name and is
+/// strictly below the zone that answered.
+fn referral_child(resp: &Message, zone: &Name, qname: &Name) -> Option<Name> {
+    resp.authorities
+        .iter()
+        .filter(|r| r.rtype() == RecordType::Ns)
+        .map(|r| r.name().clone())
+        .filter(|owner| qname.is_subdomain_of(owner) && owner.is_proper_subdomain_of(zone))
+        .max_by_key(|owner| owner.label_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(Outcome::Fail.is_failure());
+        assert!(!Outcome::Fail.is_success());
+        assert!(!Outcome::Fail.from_cache());
+        let a = Outcome::Answer {
+            records: vec![],
+            from_cache: true,
+        };
+        assert!(a.is_success());
+        assert!(a.from_cache());
+        assert!(Outcome::NxDomain { from_cache: false }.is_success());
+    }
+
+    #[test]
+    fn group_rrsets_merges_by_key() {
+        let n: Name = "x.com".parse().unwrap();
+        let recs = vec![
+            Record::new(n.clone(), Ttl::from_hours(1), RData::Ns("a.x.com".parse().unwrap())),
+            Record::new(n.clone(), Ttl::from_hours(1), RData::Ns("b.x.com".parse().unwrap())),
+            Record::new(n, Ttl::from_hours(1), RData::A(Ipv4Addr::LOCALHOST)),
+        ];
+        let sets = group_rrsets(&recs);
+        assert_eq!(sets.len(), 2);
+        let ns = sets.iter().find(|s| s.rtype() == RecordType::Ns).unwrap();
+        assert_eq!(ns.len(), 2);
+    }
+
+    #[test]
+    fn referral_child_picks_deepest_enclosing_owner() {
+        let mut resp = Message::default();
+        let add_ns = |resp: &mut Message, owner: &str| {
+            resp.authorities.push(Record::new(
+                owner.parse().unwrap(),
+                Ttl::from_hours(1),
+                RData::Ns("ns.x".parse().unwrap()),
+            ));
+        };
+        add_ns(&mut resp, "edu");
+        add_ns(&mut resp, "ucla.edu");
+        let zone = Name::root();
+        let qname: Name = "www.ucla.edu".parse().unwrap();
+        assert_eq!(
+            referral_child(&resp, &zone, &qname),
+            Some("ucla.edu".parse().unwrap())
+        );
+        // Sideways referral (owner not enclosing qname) is rejected.
+        let other: Name = "www.mit.edu".parse().unwrap();
+        let child = referral_child(&resp, &zone, &other);
+        assert_eq!(child, Some("edu".parse().unwrap()));
+        // Referral not below the answering zone is rejected.
+        let deep_zone: Name = "ucla.edu".parse().unwrap();
+        assert_eq!(referral_child(&resp, &deep_zone, &qname), None);
+    }
+}

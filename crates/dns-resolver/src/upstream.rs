@@ -1,0 +1,50 @@
+//! The resolver's view of the network.
+
+use dns_core::{Message, SimTime};
+use std::net::Ipv4Addr;
+
+/// Transport abstraction between the caching server and authoritative
+/// servers.
+///
+/// The resolver addresses servers by IPv4 address only; the implementation
+/// decides what (if anything) answers. The simulator implements this over
+/// its virtual network and attack schedule; a production binding would
+/// implement it over UDP sockets.
+///
+/// Returning `None` models an unanswered query (server dead, blacked out by
+/// an attack, or packet lost) — the resolver counts it as a failed outgoing
+/// query and tries the next server.
+pub trait Upstream {
+    /// Sends `query` to `server` at virtual time `now`; `None` on timeout.
+    fn query(&mut self, server: Ipv4Addr, query: &Message, now: SimTime) -> Option<Message>;
+}
+
+impl<U: Upstream + ?Sized> Upstream for &mut U {
+    fn query(&mut self, server: Ipv4Addr, query: &Message, now: SimTime) -> Option<Message> {
+        (**self).query(server, query, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_core::{Question, RecordType};
+
+    struct Echo;
+    impl Upstream for Echo {
+        fn query(&mut self, _server: Ipv4Addr, query: &Message, _now: SimTime) -> Option<Message> {
+            Some(Message::response_to(query))
+        }
+    }
+
+    #[test]
+    fn mut_ref_forwarding() {
+        fn takes_upstream<U: Upstream>(mut u: U) -> bool {
+            let q = Message::query(1, Question::new("a.b".parse().unwrap(), RecordType::A));
+            u.query(Ipv4Addr::LOCALHOST, &q, SimTime::ZERO).is_some()
+        }
+        let mut echo = Echo;
+        assert!(takes_upstream(&mut echo));
+        assert!(takes_upstream(echo));
+    }
+}

@@ -1,0 +1,262 @@
+//! Adversarial upstream tests: the resolver must not be poisoned,
+//! confused or crashed by hostile or broken authoritative servers.
+
+use dns_core::{
+    Message, Name, RData, Rcode, Record, RecordType, SimTime, Ttl,
+};
+use dns_resolver::{CachingServer, Outcome, ResolverConfig, RootHints, Upstream};
+use std::net::Ipv4Addr;
+
+fn name(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+fn hints() -> RootHints {
+    RootHints::new(vec![(name("a.root"), Ipv4Addr::new(198, 41, 0, 4))])
+}
+
+/// An upstream that always replies with a fixed transformation of the
+/// query.
+struct Scripted<F>(F);
+
+impl<F: FnMut(Ipv4Addr, &Message) -> Option<Message>> Upstream for Scripted<F> {
+    fn query(&mut self, server: Ipv4Addr, query: &Message, _now: SimTime) -> Option<Message> {
+        (self.0)(server, query)
+    }
+}
+
+#[test]
+fn out_of_bailiwick_records_are_not_cached() {
+    // The root server tries to inject an A record for a name it has no
+    // authority over, attached to an otherwise valid referral.
+    let mut evil = Scripted(|_addr, q: &Message| {
+        let mut resp = Message::response_to(q);
+        resp.authorities.push(Record::new(
+            name("com"),
+            Ttl::from_days(2),
+            RData::Ns(name("ns.com")),
+        ));
+        resp.additionals.push(Record::new(
+            name("ns.com"),
+            Ttl::from_days(2),
+            RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+        ));
+        // Poison attempt: bank.example is not under the queried zone
+        // hierarchy for this referral's bailiwick rules? It *is* under
+        // the root, so instead poison with a record that a *com* server
+        // could never own — we test the deeper case below. Here: the
+        // root cannot make us cache an answer-section record because the
+        // response is not authoritative.
+        resp.answers.push(Record::new(
+            name("victim.com"),
+            Ttl::from_days(7),
+            RData::A(Ipv4Addr::new(66, 66, 66, 66)),
+        ));
+        Some(resp)
+    });
+    let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
+    let _ = cs.resolve_a(&name("www.victim.com"), SimTime::ZERO, &mut evil);
+    // The forged answer must not be served to clients.
+    assert!(cs
+        .cache()
+        .get(&name("victim.com"), RecordType::A, SimTime::from_secs(1))
+        .is_none());
+}
+
+#[test]
+fn sideways_referral_is_rejected() {
+    // A referral pointing *up* or *sideways* (not deeper toward the
+    // query name) must terminate resolution rather than loop.
+    let mut evil = Scripted(|_addr, q: &Message| {
+        let mut resp = Message::response_to(q);
+        resp.authorities.push(Record::new(
+            name("elsewhere.org"),
+            Ttl::from_days(1),
+            RData::Ns(name("ns.elsewhere.org")),
+        ));
+        resp.additionals.push(Record::new(
+            name("ns.elsewhere.org"),
+            Ttl::from_days(1),
+            RData::A(Ipv4Addr::new(10, 9, 9, 9)),
+        ));
+        Some(resp)
+    });
+    let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
+    let out = cs.resolve_a(&name("www.victim.com"), SimTime::ZERO, &mut evil);
+    assert!(out.is_failure());
+    // Bounded work: one query to the root, then rejection.
+    assert!(cs.metrics().queries_out <= 2);
+}
+
+#[test]
+fn self_referral_loop_terminates() {
+    // A server that keeps referring to the same zone cut forever.
+    let mut evil = Scripted(|_addr, q: &Message| {
+        let mut resp = Message::response_to(q);
+        resp.authorities.push(Record::new(
+            name("com"),
+            Ttl::from_hours(1),
+            RData::Ns(name("ns.com")),
+        ));
+        resp.additionals.push(Record::new(
+            name("ns.com"),
+            Ttl::from_hours(1),
+            RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+        ));
+        Some(resp)
+    });
+    let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
+    let out = cs.resolve_a(&name("www.victim.com"), SimTime::ZERO, &mut evil);
+    // First referral root→com is legitimate; com referring to itself is
+    // not "strictly deeper" and must stop the walk.
+    assert!(out.is_failure());
+    assert!(
+        cs.metrics().queries_out <= 4,
+        "looping referrals must be bounded, sent {}",
+        cs.metrics().queries_out
+    );
+}
+
+#[test]
+fn mismatched_transaction_id_is_ignored() {
+    // An off-path attacker's forged response with the wrong ID.
+    let mut forger = Scripted(|_addr, q: &Message| {
+        let mut resp = Message::response_to(q);
+        resp.header.id = q.header.id.wrapping_add(1);
+        resp.answers.push(Record::new(
+            q.question().unwrap().name.clone(),
+            Ttl::from_days(7),
+            RData::A(Ipv4Addr::new(66, 66, 66, 66)),
+        ));
+        Some(resp)
+    });
+    let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
+    let out = cs.resolve_a(&name("www.victim.com"), SimTime::ZERO, &mut forger);
+    assert!(out.is_failure());
+    assert!(cs
+        .cache()
+        .get(&name("www.victim.com"), RecordType::A, SimTime::from_secs(1))
+        .is_none());
+    // The bogus response counts as a failed exchange.
+    assert!(cs.metrics().failed_out >= 1);
+}
+
+#[test]
+fn infinite_cname_chain_terminates() {
+    // An authoritative server serving a CNAME loop a -> b -> a.
+    let mut evil = Scripted(|_addr, q: &Message| {
+        let qname = q.question().unwrap().name.clone();
+        let mut resp = Message::response_to(q);
+        resp.header.authoritative = true;
+        let target = if qname == name("a.loop.test") {
+            name("b.loop.test")
+        } else {
+            name("a.loop.test")
+        };
+        resp.answers.push(Record::new(
+            qname,
+            Ttl::from_hours(1),
+            RData::Cname(target),
+        ));
+        Some(resp)
+    });
+    let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
+    let out = cs.resolve_a(&name("a.loop.test"), SimTime::ZERO, &mut evil);
+    // Must terminate (either failure or a partial chain), never hang.
+    assert!(out.is_failure() || !out.from_cache());
+    assert!(
+        cs.metrics().queries_out < 64,
+        "CNAME loops must be depth-bounded"
+    );
+}
+
+#[test]
+fn refused_and_servfail_responses_fail_cleanly() {
+    for rcode in [Rcode::Refused, Rcode::ServFail, Rcode::NotImp] {
+        let mut upstream = Scripted(move |_addr, q: &Message| {
+            let mut resp = Message::response_to(q);
+            resp.header.rcode = rcode;
+            Some(resp)
+        });
+        let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
+        let out = cs.resolve_a(&name("www.victim.com"), SimTime::ZERO, &mut upstream);
+        assert!(out.is_failure(), "{rcode} should fail resolution");
+    }
+}
+
+#[test]
+fn empty_answer_with_no_authority_fails_cleanly() {
+    let mut upstream = Scripted(|_addr, q: &Message| Some(Message::response_to(q)));
+    let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
+    let out = cs.resolve_a(&name("www.victim.com"), SimTime::ZERO, &mut upstream);
+    // A bare NoData from the *root* for a deeper name: accepted as a
+    // negative answer (NoData) — the root answered, the name has no
+    // records — or failure; either way no panic and no cache poison.
+    assert!(matches!(out, Outcome::NoData { .. } | Outcome::Fail));
+}
+
+#[test]
+fn forged_infrastructure_above_bailiwick_rejected() {
+    // `com`'s servers try to replace the root's NS set.
+    let com_addr = Ipv4Addr::new(10, 0, 0, 1);
+    let mut evil = Scripted(move |addr, q: &Message| {
+        let mut resp = Message::response_to(q);
+        if addr == Ipv4Addr::new(198, 41, 0, 4) {
+            // Legitimate root referral to com.
+            resp.authorities.push(Record::new(
+                name("com"),
+                Ttl::from_days(2),
+                RData::Ns(name("ns.com")),
+            ));
+            resp.additionals.push(Record::new(
+                name("ns.com"),
+                Ttl::from_days(2),
+                RData::A(com_addr),
+            ));
+        } else {
+            // com answers, but tries to hijack the root NS set.
+            resp.header.authoritative = true;
+            resp.answers.push(Record::new(
+                q.question().unwrap().name.clone(),
+                Ttl::from_hours(1),
+                RData::A(Ipv4Addr::new(192, 0, 2, 80)),
+            ));
+            resp.authorities.push(Record::new(
+                Name::root(),
+                Ttl::from_days(7),
+                RData::Ns(name("evil-root.com")),
+            ));
+            resp.additionals.push(Record::new(
+                name("evil-root.com"),
+                Ttl::from_days(7),
+                RData::A(Ipv4Addr::new(66, 66, 66, 66)),
+            ));
+        }
+        Some(resp)
+    });
+    let mut cs = CachingServer::new(ResolverConfig::with_refresh(), hints());
+    let out = cs.resolve_a(&name("www.victim.com"), SimTime::ZERO, &mut evil);
+    assert!(out.is_success());
+    // Root hints are untouched: the hijacked NS set was above com's
+    // bailiwick (and root hints are never replaced anyway).
+    let root_entry = cs.infra().get(&Name::root()).unwrap();
+    assert_eq!(root_entry.addrs[0].1, Ipv4Addr::new(198, 41, 0, 4));
+}
+
+#[test]
+fn answers_for_a_different_question_are_not_used() {
+    // Server answers with records for a completely different owner name.
+    let mut evil = Scripted(|_addr, q: &Message| {
+        let mut resp = Message::response_to(q);
+        resp.header.authoritative = true;
+        resp.answers.push(Record::new(
+            name("unrelated.test"),
+            Ttl::from_hours(1),
+            RData::A(Ipv4Addr::new(66, 66, 66, 66)),
+        ));
+        Some(resp)
+    });
+    let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
+    let out = cs.resolve_a(&name("www.victim.com"), SimTime::ZERO, &mut evil);
+    assert!(out.is_failure(), "unrelated answers must not satisfy the query");
+}

@@ -1,0 +1,227 @@
+//! DDoS attack scenarios: black-outs of zone server sets over intervals.
+
+use dns_core::{Name, SimDuration, SimTime};
+use dns_trace::Universe;
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// One black-out: every authoritative server of every listed zone stops
+/// answering during `[start, start + duration)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blackout {
+    /// Apexes of the attacked zones.
+    pub zones: Vec<Name>,
+    /// Attack onset.
+    pub start: SimTime,
+    /// Attack length.
+    pub duration: SimDuration,
+}
+
+impl Blackout {
+    /// End of the black-out (exclusive).
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+/// A DDoS scenario: one or more black-outs.
+///
+/// The paper's headline experiment — "a DDoS attack completely blocks the
+/// queries sent to the root zone and the top level domains" at the start
+/// of day 7 — is [`AttackScenario::root_and_tlds`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttackScenario {
+    blackouts: Vec<Blackout>,
+}
+
+impl AttackScenario {
+    /// An empty scenario (no attack).
+    pub fn none() -> Self {
+        AttackScenario::default()
+    }
+
+    /// The paper's evaluation scenario: root + every TLD, blacked out for
+    /// `duration` starting at `start`. Zone resolution happens at compile
+    /// time against the universe.
+    pub fn root_and_tlds(start: SimTime, duration: SimDuration) -> Self {
+        AttackScenario {
+            blackouts: vec![Blackout {
+                zones: Vec::new(), // marker: filled in at compile time
+                start,
+                duration,
+            }],
+        }
+    }
+
+    /// A scenario attacking an explicit zone set.
+    pub fn zones(zones: Vec<Name>, start: SimTime, duration: SimDuration) -> Self {
+        AttackScenario {
+            blackouts: vec![Blackout {
+                zones,
+                start,
+                duration,
+            }],
+        }
+    }
+
+    /// Adds another black-out.
+    pub fn and(mut self, blackout: Blackout) -> Self {
+        self.blackouts.push(blackout);
+        self
+    }
+
+    /// The configured black-outs.
+    pub fn blackouts(&self) -> &[Blackout] {
+        &self.blackouts
+    }
+
+    /// Resolves zone apexes to server addresses against `universe`.
+    ///
+    /// A black-out with an empty zone list is the root-and-TLDs marker and
+    /// expands to [`Universe::root_and_tld_apexes`].
+    pub fn compile(&self, universe: &Universe) -> CompiledAttack {
+        let mut dead: HashMap<Ipv4Addr, Vec<(SimTime, SimTime)>> = HashMap::new();
+        for b in &self.blackouts {
+            let zones: Vec<Name> = if b.zones.is_empty() {
+                universe.root_and_tld_apexes()
+            } else {
+                b.zones.clone()
+            };
+            for apex in zones {
+                let Some(spec) = universe.get(&apex) else {
+                    continue;
+                };
+                for (_, addr) in &spec.ns {
+                    dead.entry(*addr).or_default().push((b.start, b.end()));
+                }
+            }
+        }
+        for intervals in dead.values_mut() {
+            intervals.sort();
+            intervals.dedup();
+        }
+        CompiledAttack { dead }
+    }
+}
+
+impl fmt::Display for AttackScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attack scenario ({} blackouts)", self.blackouts.len())
+    }
+}
+
+/// An [`AttackScenario`] resolved to concrete addresses and intervals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompiledAttack {
+    dead: HashMap<Ipv4Addr, Vec<(SimTime, SimTime)>>,
+}
+
+impl CompiledAttack {
+    /// No attack.
+    pub fn none() -> Self {
+        CompiledAttack::default()
+    }
+
+    /// Whether `addr` is blacked out at `now`.
+    pub fn is_dead(&self, addr: Ipv4Addr, now: SimTime) -> bool {
+        self.dead
+            .get(&addr)
+            .is_some_and(|iv| iv.iter().any(|&(s, e)| s <= now && now < e))
+    }
+
+    /// Number of attacked addresses.
+    pub fn target_count(&self) -> usize {
+        self.dead.len()
+    }
+}
+
+impl fmt::Display for CompiledAttack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compiled attack ({} targets)", self.dead.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_trace::UniverseSpec;
+
+    fn universe() -> Universe {
+        UniverseSpec::small().build(7)
+    }
+
+    #[test]
+    fn root_and_tlds_targets_every_top_level_server() {
+        let u = universe();
+        let attack =
+            AttackScenario::root_and_tlds(SimTime::from_days(6), SimDuration::from_hours(6))
+                .compile(&u);
+        let expected: usize = u
+            .root_and_tld_apexes()
+            .iter()
+            .map(|a| u.get(a).unwrap().ns.len())
+            .sum();
+        assert_eq!(attack.target_count(), expected);
+    }
+
+    #[test]
+    fn interval_boundaries_are_half_open() {
+        let u = universe();
+        let start = SimTime::from_days(6);
+        let attack =
+            AttackScenario::root_and_tlds(start, SimDuration::from_hours(3)).compile(&u);
+        let victim = u.root_servers()[0].1;
+        assert!(!attack.is_dead(victim, SimTime::from_secs(start.as_secs() - 1)));
+        assert!(attack.is_dead(victim, start));
+        let end = start + SimDuration::from_hours(3);
+        assert!(attack.is_dead(victim, SimTime::from_secs(end.as_secs() - 1)));
+        assert!(!attack.is_dead(victim, end));
+    }
+
+    #[test]
+    fn explicit_zone_attack_spares_others() {
+        let u = universe();
+        let sld = u
+            .zones()
+            .iter()
+            .find(|z| z.apex.label_count() == 2)
+            .unwrap();
+        let attack = AttackScenario::zones(
+            vec![sld.apex.clone()],
+            SimTime::ZERO,
+            SimDuration::from_hours(1),
+        )
+        .compile(&u);
+        assert!(attack.is_dead(sld.ns[0].1, SimTime::from_mins(30)));
+        assert!(!attack.is_dead(u.root_servers()[0].1, SimTime::from_mins(30)));
+    }
+
+    #[test]
+    fn multiple_blackouts_union() {
+        let u = universe();
+        let sld = u
+            .zones()
+            .iter()
+            .find(|z| z.apex.label_count() == 2)
+            .unwrap();
+        let scenario = AttackScenario::root_and_tlds(SimTime::ZERO, SimDuration::from_hours(1))
+            .and(Blackout {
+                zones: vec![sld.apex.clone()],
+                start: SimTime::from_hours(2),
+                duration: SimDuration::from_hours(1),
+            });
+        let attack = scenario.compile(&u);
+        assert!(attack.is_dead(u.root_servers()[0].1, SimTime::from_mins(10)));
+        assert!(attack.is_dead(sld.ns[0].1, SimTime::from_mins(150)));
+        assert!(!attack.is_dead(sld.ns[0].1, SimTime::from_mins(10)));
+    }
+
+    #[test]
+    fn none_attack_kills_nothing() {
+        let u = universe();
+        let attack = CompiledAttack::none();
+        assert!(!attack.is_dead(u.root_servers()[0].1, SimTime::ZERO));
+        assert_eq!(attack.target_count(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! A greedy approximation of the paper's §6 *maximum damage attack*: given
+//! a budget of zones to attack, which choice maximises failed queries?
+//!
+//! The paper observes that finding the true optimum is impractical (it
+//! needs an oracle over future queries and cascading-failure timing), and
+//! suggests counting upcoming queries towards descendants. This module
+//! implements that counting heuristic as a greedy set cover: repeatedly
+//! pick the zone whose subtree contains the most not-yet-covered upcoming
+//! queries.
+
+use crate::{AttackScenario, SimConfig, Simulation};
+use dns_core::{Name, SimDuration, SimTime};
+use dns_resolver::ResolverConfig;
+use dns_trace::{Trace, Universe};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The zones a budgeted attacker should hit, with the query coverage the
+/// heuristic attributes to each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DamagePlan {
+    /// `(zone, upcoming queries newly covered by attacking it)`, in pick
+    /// order.
+    pub picks: Vec<(Name, u64)>,
+}
+
+impl DamagePlan {
+    /// The planned target zones.
+    pub fn zones(&self) -> Vec<Name> {
+        self.picks.iter().map(|(z, _)| z.clone()).collect()
+    }
+
+    /// Total queries the heuristic expects to disrupt.
+    pub fn covered(&self) -> u64 {
+        self.picks.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+impl fmt::Display for DamagePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "damage plan ({} zones, {} queries covered)", self.picks.len(), self.covered())
+    }
+}
+
+/// Greedily selects up to `budget` zones maximising coverage of the
+/// queries in `[window_start, window_end)`.
+///
+/// The root is excluded: the paper's positional analysis (§3.2) notes
+/// that although every name descends from the root, root referrals are
+/// cached for days, making TLD-level targets more damaging per zone —
+/// and including the root would trivially cover everything.
+pub fn greedy_max_damage(
+    universe: &Universe,
+    trace: &Trace,
+    window_start: SimTime,
+    window_end: SimTime,
+    budget: usize,
+) -> DamagePlan {
+    // The deepest owning zone of each upcoming query.
+    let queries = trace.queries_between(window_start, window_end);
+    let mut owner_of: Vec<Option<Name>> = Vec::with_capacity(queries.len());
+    for q in queries {
+        owner_of.push(universe.zone_of(&q.question.name).map(|z| z.apex.clone()));
+    }
+
+    let mut covered = vec![false; queries.len()];
+    let mut picks = Vec::new();
+    for _ in 0..budget {
+        // Count uncovered queries per candidate zone: every ancestor zone
+        // of the query's owner (excluding the root) is a candidate.
+        let mut counts: HashMap<Name, u64> = HashMap::new();
+        for (i, owner) in owner_of.iter().enumerate() {
+            if covered[i] {
+                continue;
+            }
+            let Some(owner) = owner else { continue };
+            for anc in owner.ancestors() {
+                if anc.is_root() {
+                    break;
+                }
+                if universe.get(&anc).is_some() {
+                    *counts.entry(anc).or_default() += 1;
+                }
+            }
+        }
+        let Some((zone, gain)) = counts
+            .into_iter()
+            .max_by_key(|&(ref z, n)| (n, std::cmp::Reverse(z.label_count()), z.clone()))
+        else {
+            break;
+        };
+        if gain == 0 {
+            break;
+        }
+        for (i, owner) in owner_of.iter().enumerate() {
+            if covered[i] {
+                continue;
+            }
+            if let Some(owner) = owner {
+                if owner.is_subdomain_of(&zone) {
+                    covered[i] = true;
+                }
+            }
+        }
+        picks.push((zone, gain));
+    }
+    DamagePlan { picks }
+}
+
+/// Simulates an attack plan and returns the % of client queries failing
+/// inside the window (vanilla resolver — the attacker's best case).
+pub fn evaluate_plan(
+    universe: &Universe,
+    trace: &Trace,
+    zones: Vec<Name>,
+    window_start: SimTime,
+    duration: SimDuration,
+) -> f64 {
+    let mut sim = Simulation::new(
+        universe,
+        trace.clone(),
+        SimConfig::new(ResolverConfig::vanilla()),
+    );
+    sim.set_attack(AttackScenario::zones(zones, window_start, duration).compile(universe));
+    sim.run_until(window_start);
+    let before = sim.metrics();
+    sim.run_until(window_start + duration);
+    let window = sim.metrics() - before;
+    window.failed_in_ratio() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_trace::{TraceSpec, UniverseSpec};
+
+    fn setup() -> (Universe, Trace) {
+        let u = UniverseSpec::small().build(7);
+        let t = TraceSpec::demo().scaled(0.25).generate(&u, 5);
+        (u, t)
+    }
+
+    #[test]
+    fn greedy_prefers_high_traffic_zones() {
+        let (u, t) = setup();
+        let start = SimTime::from_days(6);
+        let end = start + SimDuration::from_hours(6);
+        let plan = greedy_max_damage(&u, &t, start, end, 5);
+        assert_eq!(plan.picks.len(), 5);
+        // Picks are ordered by decreasing marginal gain.
+        assert!(plan.picks.windows(2).all(|w| w[0].1 >= w[1].1));
+        // The heuristic never selects the root.
+        assert!(plan.picks.iter().all(|(z, _)| !z.is_root()));
+        // Coverage never exceeds the window's query count.
+        let window_queries = t.queries_between(start, end).len() as u64;
+        assert!(plan.covered() <= window_queries);
+        // With Zipf traffic, a handful of zones covers a sizeable share.
+        assert!(plan.covered() * 4 >= window_queries,
+            "5 zones should cover >=25% of a Zipf window, got {}/{}",
+            plan.covered(), window_queries);
+    }
+
+    #[test]
+    fn picks_do_not_overlap_in_coverage() {
+        let (u, t) = setup();
+        let start = SimTime::from_days(6);
+        let end = start + SimDuration::from_hours(6);
+        let plan = greedy_max_damage(&u, &t, start, end, 8);
+        // No pick is an ancestor of another (its queries would already be
+        // covered, so the greedy gain would have been zero).
+        for (i, (a, _)) in plan.picks.iter().enumerate() {
+            for (b, _) in plan.picks.iter().skip(i + 1) {
+                assert!(
+                    !a.is_subdomain_of(b) && !b.is_subdomain_of(a),
+                    "{a} and {b} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planned_attack_beats_random_zones() {
+        let (u, t) = setup();
+        let start = SimTime::from_days(6);
+        let duration = SimDuration::from_hours(6);
+        let plan = greedy_max_damage(&u, &t, start, start + duration, 5);
+        let planned = evaluate_plan(&u, &t, plan.zones(), start, duration);
+
+        // Five arbitrary (low-traffic) zones for comparison.
+        let random: Vec<Name> = u
+            .zones()
+            .iter()
+            .filter(|z| z.apex.label_count() == 2)
+            .rev()
+            .take(5)
+            .map(|z| z.apex.clone())
+            .collect();
+        let unplanned = evaluate_plan(&u, &t, random, start, duration);
+        assert!(
+            planned > unplanned,
+            "greedy ({planned:.2}%) should out-damage arbitrary zones ({unplanned:.2}%)"
+        );
+    }
+
+    #[test]
+    fn empty_window_yields_empty_plan() {
+        let (u, t) = setup();
+        let start = SimTime::from_days(100);
+        let plan = greedy_max_damage(&u, &t, start, start + SimDuration::from_hours(1), 5);
+        assert!(plan.picks.is_empty());
+        assert_eq!(plan.covered(), 0);
+    }
+}

@@ -1,0 +1,408 @@
+//! The simulation driver: trace replay with interleaved renewal events,
+//! occupancy sampling and cache maintenance.
+
+use crate::{CompiledAttack, ServerFarm, SimNet};
+use dns_core::{SimDuration, SimTime, Ttl};
+use dns_resolver::{
+    CachingServer, GapSample, OccupancySample, ResolverConfig, ResolverMetrics, RootHints,
+};
+use dns_trace::{Trace, Universe};
+use std::fmt;
+use std::sync::Arc;
+
+/// Configuration of one simulation run: the resolver scheme plus the
+/// zone-operator-side long-TTL override and sampling cadence.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Caching-server configuration (refresh / renewal schemes).
+    pub resolver: ResolverConfig,
+    /// Long-TTL override applied to every zone's infrastructure records.
+    pub long_ttl: Option<Ttl>,
+    /// Occupancy sampling interval (`None` disables sampling).
+    pub occupancy_interval: Option<SimDuration>,
+    /// How often expired cache entries are purged.
+    pub purge_interval: SimDuration,
+}
+
+impl SimConfig {
+    /// A run with the given resolver scheme and default cadences.
+    pub fn new(resolver: ResolverConfig) -> Self {
+        SimConfig {
+            resolver,
+            long_ttl: None,
+            occupancy_interval: None,
+            purge_interval: SimDuration::from_hours(6),
+        }
+    }
+
+    /// Applies the operator-side long-TTL scheme.
+    pub fn long_ttl(mut self, ttl: Ttl) -> Self {
+        self.long_ttl = Some(ttl);
+        self
+    }
+
+    /// Enables occupancy sampling every `interval`.
+    pub fn occupancy_every(mut self, interval: SimDuration) -> Self {
+        self.occupancy_interval = Some(interval);
+        self
+    }
+
+    /// Human-readable scheme label (`refresh+A-LFU_3+longttl3d`, …).
+    pub fn label(&self) -> String {
+        match self.long_ttl {
+            Some(ttl) => format!("{}+longttl{}", self.resolver.label(), ttl),
+            None => self.resolver.label(),
+        }
+    }
+}
+
+impl fmt::Display for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Summary of one finished run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Scheme label.
+    pub scheme: String,
+    /// Trace label.
+    pub trace: String,
+    /// Final counters.
+    pub metrics: ResolverMetrics,
+    /// Occupancy series (empty unless sampling was enabled).
+    pub occupancy: Vec<OccupancySample>,
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}: {}", self.scheme, self.trace, self.metrics)
+    }
+}
+
+/// A deterministic trace replay: one caching server resolving a trace's
+/// queries against the universe's server farm, with renewal timers firing
+/// between queries.
+///
+/// Replay can be paused at any virtual time ([`Simulation::run_until`])
+/// and forked ([`Simulation::fork`]); the attack-duration sweeps share a
+/// single warmed-up simulation this way.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+    cs: CachingServer,
+    net: SimNet,
+    trace: Arc<Trace>,
+    pos: usize,
+    now: SimTime,
+    occupancy: Vec<OccupancySample>,
+    next_occupancy: Option<SimTime>,
+    next_purge: SimTime,
+}
+
+impl Simulation {
+    /// Builds a simulation: materialises the farm (applying any long-TTL
+    /// override) and seeds the resolver with the universe's root hints.
+    pub fn new(universe: &Universe, trace: Trace, config: SimConfig) -> Self {
+        let farm = ServerFarm::build(universe, config.long_ttl);
+        Simulation::with_farm(farm, universe, trace, config)
+    }
+
+    /// Like [`Simulation::new`] but reuses an already-built farm — farm
+    /// construction dominates setup cost, so sweeps that run many schemes
+    /// over the same universe build each farm once and clone it here.
+    ///
+    /// The caller is responsible for passing a farm built with the same
+    /// `long_ttl` as `config` (see [`ServerFarm::build`]); the label and
+    /// behaviour diverge otherwise.
+    pub fn with_farm(farm: ServerFarm, universe: &Universe, trace: Trace, config: SimConfig) -> Self {
+        let hints = RootHints::new(universe.root_servers().to_vec());
+        let cs = CachingServer::new(config.resolver, hints);
+        let next_occupancy = config.occupancy_interval.map(|_| SimTime::ZERO);
+        let next_purge = SimTime::ZERO + config.purge_interval;
+        Simulation {
+            config,
+            cs,
+            net: SimNet::new(farm),
+            trace: Arc::new(trace),
+            pos: 0,
+            now: SimTime::ZERO,
+            occupancy: Vec::new(),
+            next_occupancy,
+            next_purge,
+        }
+    }
+
+    /// Installs the attack schedule (replacing any previous one).
+    pub fn set_attack(&mut self, attack: CompiledAttack) {
+        self.net.set_attack(attack);
+    }
+
+    /// Enables deterministic random packet loss on the simulated network
+    /// (see [`SimNet::set_loss`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate < 1.0`.
+    pub fn set_loss(&mut self, rate: f64, seed: u64) {
+        self.net.set_loss(rate, seed);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Resolver counters so far.
+    pub fn metrics(&self) -> ResolverMetrics {
+        *self.cs.metrics()
+    }
+
+    /// The caching server under test.
+    pub fn cs(&self) -> &CachingServer {
+        &self.cs
+    }
+
+    /// The simulated network.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Queries processed so far.
+    pub fn processed(&self) -> usize {
+        self.pos
+    }
+
+    /// Occupancy samples collected so far.
+    pub fn occupancy(&self) -> &[OccupancySample] {
+        &self.occupancy
+    }
+
+    /// Drains the Figure-3 gap samples collected so far.
+    pub fn take_gap_samples(&mut self) -> Vec<GapSample> {
+        self.cs.take_gap_samples()
+    }
+
+    /// An independent copy sharing the (immutable) trace — used to sweep
+    /// attack durations from one warmed-up state.
+    pub fn fork(&self) -> Simulation {
+        self.clone()
+    }
+
+    /// Replays all queries with `at < until`, firing due renewal timers,
+    /// occupancy samples and purges in timestamp order, then advances the
+    /// clock to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while self.pos < self.trace.queries.len() {
+            let at = self.trace.queries[self.pos].at;
+            if at >= until {
+                break;
+            }
+            self.advance_background(at);
+            let question = self.trace.queries[self.pos].question.clone();
+            self.cs.resolve(&question, at, &mut self.net);
+            self.now = at;
+            self.pos += 1;
+        }
+        self.advance_background(until);
+        self.now = until;
+    }
+
+    /// Replays the remainder of the trace.
+    pub fn run_to_end(&mut self) {
+        let horizon = SimTime::from_days(self.trace.days);
+        let last = self.trace.queries.last().map(|q| q.at).unwrap_or(horizon);
+        self.run_until(last.max(horizon) + SimDuration::from_secs(1));
+    }
+
+    /// Produces the run summary.
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            scheme: self.config.label(),
+            trace: self.trace.name.clone(),
+            metrics: self.metrics(),
+            occupancy: self.occupancy.clone(),
+        }
+    }
+
+    /// Fires every background event (renewal, occupancy sample, purge) due
+    /// at or before `t`, each at its own virtual time.
+    fn advance_background(&mut self, t: SimTime) {
+        loop {
+            let next_marker = [Some(self.next_purge), self.next_occupancy]
+                .into_iter()
+                .flatten()
+                .filter(|&m| m <= t)
+                .min();
+            let Some(marker) = next_marker else {
+                self.cs.run_renewals_until(t, &mut self.net);
+                return;
+            };
+            self.cs.run_renewals_until(marker, &mut self.net);
+            if self.next_occupancy == Some(marker) {
+                self.occupancy.push(self.cs.occupancy(marker));
+                let interval = self
+                    .config
+                    .occupancy_interval
+                    .expect("sampling enabled if scheduled");
+                self.next_occupancy = Some(marker + interval);
+            }
+            if self.next_purge == marker {
+                self.cs.purge(marker);
+                self.next_purge = marker + self.config.purge_interval;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation {} on {} at {} ({}/{} queries)",
+            self.config.label(),
+            self.trace.name,
+            self.now,
+            self.pos,
+            self.trace.queries.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttackScenario;
+    use dns_resolver::RenewalPolicy;
+    use dns_trace::{TraceSpec, UniverseSpec};
+
+    fn universe() -> Universe {
+        UniverseSpec::small().build(7)
+    }
+
+    fn small_trace(u: &Universe) -> Trace {
+        TraceSpec::demo().scaled(0.1).generate(u, 5)
+    }
+
+    #[test]
+    fn replay_processes_every_query() {
+        let u = universe();
+        let t = small_trace(&u);
+        let n = t.queries.len();
+        let mut sim = Simulation::new(&u, t, SimConfig::new(ResolverConfig::vanilla()));
+        sim.run_to_end();
+        assert_eq!(sim.processed(), n);
+        assert_eq!(sim.metrics().queries_in, n as u64);
+        // Without an attack nothing fails.
+        assert_eq!(sim.metrics().failed_in, 0);
+    }
+
+    #[test]
+    fn run_until_is_incremental() {
+        let u = universe();
+        let t = small_trace(&u);
+        let mut sim = Simulation::new(&u, t, SimConfig::new(ResolverConfig::vanilla()));
+        sim.run_until(SimTime::from_days(3));
+        let mid = sim.processed();
+        assert!(mid > 0);
+        sim.run_to_end();
+        assert!(sim.processed() > mid);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let u = universe();
+        let t = small_trace(&u);
+        let run = || {
+            let mut sim =
+                Simulation::new(&u, t.clone(), SimConfig::new(ResolverConfig::vanilla()));
+            sim.run_to_end();
+            sim.metrics()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fork_diverges_independently() {
+        let u = universe();
+        let t = small_trace(&u);
+        let mut sim = Simulation::new(&u, t, SimConfig::new(ResolverConfig::vanilla()));
+        sim.run_until(SimTime::from_days(6));
+        let mut attacked = sim.fork();
+        attacked.set_attack(
+            AttackScenario::root_and_tlds(SimTime::from_days(6), SimDuration::from_hours(24))
+                .compile(&u),
+        );
+        sim.run_to_end();
+        attacked.run_to_end();
+        assert_eq!(sim.metrics().failed_in, 0);
+        assert!(attacked.metrics().failed_in > 0);
+        assert!(attacked.metrics().failed_in < attacked.metrics().queries_in);
+    }
+
+    #[test]
+    fn attack_increases_failures_and_schemes_reduce_them() {
+        let u = universe();
+        let t = small_trace(&u);
+        let attack = AttackScenario::root_and_tlds(
+            SimTime::from_days(6),
+            SimDuration::from_hours(12),
+        );
+        let run = |config: SimConfig| {
+            let mut sim = Simulation::new(&u, t.clone(), config);
+            sim.set_attack(attack.compile(&u));
+            sim.run_until(SimTime::from_days(6));
+            let before = sim.metrics();
+            sim.run_until(SimTime::from_days(6) + SimDuration::from_hours(12));
+            let window = sim.metrics() - before;
+            window.failed_in_ratio()
+        };
+        let vanilla = run(SimConfig::new(ResolverConfig::vanilla()));
+        let refresh = run(SimConfig::new(ResolverConfig::with_refresh()));
+        let combined = run(
+            SimConfig::new(ResolverConfig::with_renewal(RenewalPolicy::adaptive_lfu(3)))
+                .long_ttl(Ttl::from_days(3)),
+        );
+        assert!(vanilla > 0.0, "vanilla must fail under attack");
+        assert!(refresh <= vanilla, "refresh {refresh} vs vanilla {vanilla}");
+        assert!(combined < vanilla, "combined {combined} vs vanilla {vanilla}");
+    }
+
+    #[test]
+    fn occupancy_sampling_produces_series() {
+        let u = universe();
+        let t = small_trace(&u);
+        let mut sim = Simulation::new(
+            &u,
+            t,
+            SimConfig::new(ResolverConfig::vanilla()).occupancy_every(SimDuration::from_days(1)),
+        );
+        sim.run_to_end();
+        // Sampled at 0,1,…,7 days.
+        assert_eq!(sim.occupancy().len(), 8);
+        assert!(sim.occupancy().windows(2).all(|w| w[0].at < w[1].at));
+        // Caches fill up over the warm-up.
+        assert!(sim.occupancy().last().unwrap().zones > sim.occupancy()[0].zones);
+    }
+
+    #[test]
+    fn report_carries_labels() {
+        let u = universe();
+        let t = small_trace(&u);
+        let mut sim = Simulation::new(
+            &u,
+            t,
+            SimConfig::new(ResolverConfig::with_refresh()).long_ttl(Ttl::from_days(3)),
+        );
+        sim.run_until(SimTime::from_days(1));
+        let report = sim.report();
+        assert_eq!(report.scheme, "refresh+longttl3d");
+        assert_eq!(report.trace, "DEMO");
+    }
+}

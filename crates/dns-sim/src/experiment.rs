@@ -1,0 +1,398 @@
+//! Parameter sweeps behind the paper's figures and tables.
+//!
+//! Every bench binary in `dns-bench` is a thin wrapper over the functions
+//! here: warm a simulation over the first six days of a trace, fork it per
+//! attack duration, and measure failure ratios inside the attack window —
+//! exactly the paper's §5.1 methodology.
+
+use crate::{AttackScenario, SimConfig, Simulation};
+use dns_core::{SimDuration, SimTime, Ttl};
+use dns_resolver::{
+    OccupancySample, RenewalPolicy, ResolverConfig, ResolverMetrics,
+};
+use dns_trace::{Trace, Universe};
+use std::fmt;
+
+/// A complete scheme under evaluation: the caching-server configuration
+/// plus the operator-side long-TTL override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheme {
+    /// Resolver-side configuration.
+    pub resolver: ResolverConfig,
+    /// Zone-side long TTL, if any.
+    pub long_ttl: Option<Ttl>,
+}
+
+impl Scheme {
+    /// The current DNS (Figure 4 baseline).
+    pub fn vanilla() -> Self {
+        Scheme {
+            resolver: ResolverConfig::vanilla(),
+            long_ttl: None,
+        }
+    }
+
+    /// TTL refresh only (Figure 5).
+    pub fn refresh() -> Self {
+        Scheme {
+            resolver: ResolverConfig::with_refresh(),
+            long_ttl: None,
+        }
+    }
+
+    /// TTL refresh + a renewal policy (Figures 6–9).
+    pub fn renewal(policy: RenewalPolicy) -> Self {
+        Scheme {
+            resolver: ResolverConfig::with_renewal(policy),
+            long_ttl: None,
+        }
+    }
+
+    /// TTL refresh + long TTL (Figure 10).
+    pub fn refresh_long_ttl(ttl: Ttl) -> Self {
+        Scheme {
+            resolver: ResolverConfig::with_refresh(),
+            long_ttl: Some(ttl),
+        }
+    }
+
+    /// All three combined (Figure 11).
+    pub fn combined(policy: RenewalPolicy, ttl: Ttl) -> Self {
+        Scheme {
+            resolver: ResolverConfig::with_renewal(policy),
+            long_ttl: Some(ttl),
+        }
+    }
+
+    /// The scheme's display label.
+    pub fn label(&self) -> String {
+        self.sim_config().label()
+    }
+
+    /// The corresponding simulation configuration.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut config = SimConfig::new(self.resolver);
+        if let Some(ttl) = self.long_ttl {
+            config = config.long_ttl(ttl);
+        }
+        config
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Failure measurement for one (scheme, trace, attack duration) cell.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// Scheme label.
+    pub scheme: String,
+    /// Trace label.
+    pub trace: String,
+    /// Attack duration.
+    pub duration: SimDuration,
+    /// % of stub-resolver queries failing during the attack window
+    /// (the paper's "queries from SRs" series).
+    pub sr_failed_pct: f64,
+    /// % of caching-server → authoritative queries failing during the
+    /// window (the paper's "queries from CSs" series).
+    pub cs_failed_pct: f64,
+    /// Raw counters accumulated inside the window.
+    pub window: ResolverMetrics,
+}
+
+impl fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {} / {}h: SR {:.2}% CS {:.2}%",
+            self.scheme,
+            self.trace,
+            self.duration.as_secs() / 3600,
+            self.sr_failed_pct,
+            self.cs_failed_pct
+        )
+    }
+}
+
+/// The paper's §5.1 experiment: warm the cache for `attack_start` worth of
+/// trace, then black out the root + all TLDs for each duration in turn,
+/// measuring the failure percentages inside each attack window.
+///
+/// One warm-up is shared by all durations via [`Simulation::fork`].
+pub fn attack_sweep(
+    universe: &Universe,
+    trace: &Trace,
+    scheme: Scheme,
+    attack_start: SimTime,
+    durations: &[SimDuration],
+) -> Vec<AttackOutcome> {
+    let farm = crate::ServerFarm::build(universe, scheme.long_ttl);
+    attack_sweep_with_farm(farm, universe, trace, scheme, attack_start, durations)
+}
+
+/// [`attack_sweep`] with a pre-built farm (must match `scheme.long_ttl`);
+/// sweeps over many traces reuse one farm per long-TTL setting this way.
+pub fn attack_sweep_with_farm(
+    farm: crate::ServerFarm,
+    universe: &Universe,
+    trace: &Trace,
+    scheme: Scheme,
+    attack_start: SimTime,
+    durations: &[SimDuration],
+) -> Vec<AttackOutcome> {
+    let mut warm = Simulation::with_farm(farm, universe, trace.clone(), scheme.sim_config());
+    warm.run_until(attack_start);
+    durations
+        .iter()
+        .map(|&duration| {
+            let mut sim = warm.fork();
+            sim.set_attack(
+                AttackScenario::root_and_tlds(attack_start, duration).compile(universe),
+            );
+            let before = sim.metrics();
+            sim.run_until(attack_start + duration);
+            let window = sim.metrics() - before;
+            AttackOutcome {
+                scheme: scheme.label(),
+                trace: trace.name.clone(),
+                duration,
+                sr_failed_pct: window.failed_in_ratio() * 100.0,
+                cs_failed_pct: window.failed_out_ratio() * 100.0,
+                window,
+            }
+        })
+        .collect()
+}
+
+/// The attack durations evaluated in Figures 4–5 (3, 6, 12, 24 hours).
+pub fn paper_durations() -> [SimDuration; 4] {
+    [
+        SimDuration::from_hours(3),
+        SimDuration::from_hours(6),
+        SimDuration::from_hours(12),
+        SimDuration::from_hours(24),
+    ]
+}
+
+/// The 6-hour window used by the policy-comparison figures (6–11).
+pub const POLICY_FIGURE_DURATION: SimDuration = SimDuration::from_hours(6);
+
+/// The attack onset: the start of day 7, after six days of warm-up.
+pub const ATTACK_START_DAY: u64 = 6;
+
+/// Outcome of a full no-attack run, used for Table 2 (message overhead)
+/// and Figure 12 (memory overhead).
+#[derive(Debug, Clone)]
+pub struct OverheadOutcome {
+    /// Scheme label.
+    pub scheme: String,
+    /// Trace label.
+    pub trace: String,
+    /// Final counters for the whole run.
+    pub metrics: ResolverMetrics,
+    /// Occupancy series (hourly unless overridden).
+    pub occupancy: Vec<OccupancySample>,
+}
+
+impl OverheadOutcome {
+    /// % change in outgoing messages relative to `baseline` (negative
+    /// means fewer messages — the hoped-for result for refresh and
+    /// long-TTL).
+    pub fn message_overhead_pct(&self, baseline: &OverheadOutcome) -> f64 {
+        let base = baseline.metrics.queries_out;
+        if base == 0 {
+            return 0.0;
+        }
+        (self.metrics.queries_out as f64 - base as f64) / base as f64 * 100.0
+    }
+
+    /// Mean fresh-zone count over the occupancy series.
+    pub fn mean_zones(&self) -> f64 {
+        mean(self.occupancy.iter().map(|o| o.zones as f64))
+    }
+
+    /// Mean cached-record count over the occupancy series.
+    pub fn mean_records(&self) -> f64 {
+        mean(self.occupancy.iter().map(|o| o.total_records() as f64))
+    }
+
+    /// Ratio of mean cached zones vs a baseline run.
+    pub fn zone_ratio(&self, baseline: &OverheadOutcome) -> f64 {
+        safe_ratio(self.mean_zones(), baseline.mean_zones())
+    }
+
+    /// Ratio of mean cached records vs a baseline run.
+    pub fn record_ratio(&self, baseline: &OverheadOutcome) -> f64 {
+        safe_ratio(self.mean_records(), baseline.mean_records())
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn safe_ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
+/// Runs a scheme over the whole trace with no attack, sampling occupancy
+/// every `sample_every`.
+pub fn overhead_run(
+    universe: &Universe,
+    trace: &Trace,
+    scheme: Scheme,
+    sample_every: SimDuration,
+) -> OverheadOutcome {
+    let farm = crate::ServerFarm::build(universe, scheme.long_ttl);
+    overhead_run_with_farm(farm, universe, trace, scheme, sample_every)
+}
+
+/// [`overhead_run`] with a pre-built farm (must match `scheme.long_ttl`).
+pub fn overhead_run_with_farm(
+    farm: crate::ServerFarm,
+    universe: &Universe,
+    trace: &Trace,
+    scheme: Scheme,
+    sample_every: SimDuration,
+) -> OverheadOutcome {
+    let mut sim = Simulation::with_farm(
+        farm,
+        universe,
+        trace.clone(),
+        scheme.sim_config().occupancy_every(sample_every),
+    );
+    sim.run_to_end();
+    OverheadOutcome {
+        scheme: scheme.label(),
+        trace: trace.name.clone(),
+        metrics: sim.metrics(),
+        occupancy: sim.occupancy().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_trace::{TraceSpec, UniverseSpec};
+
+    fn setup() -> (Universe, Trace) {
+        let u = UniverseSpec::small().build(7);
+        let t = TraceSpec::demo().scaled(0.15).generate(&u, 5);
+        (u, t)
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(Scheme::vanilla().label(), "vanilla");
+        assert_eq!(Scheme::refresh().label(), "refresh");
+        assert_eq!(
+            Scheme::renewal(RenewalPolicy::lru(3)).label(),
+            "refresh+LRU_3"
+        );
+        assert_eq!(
+            Scheme::refresh_long_ttl(Ttl::from_days(5)).label(),
+            "refresh+longttl5d"
+        );
+        assert_eq!(
+            Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3)).label(),
+            "refresh+A-LFU_3+longttl3d"
+        );
+    }
+
+    #[test]
+    fn sweep_longer_attacks_fail_more_for_vanilla() {
+        let (u, t) = setup();
+        let outcomes = attack_sweep(
+            &u,
+            &t,
+            Scheme::vanilla(),
+            SimTime::from_days(ATTACK_START_DAY),
+            &paper_durations(),
+        );
+        assert_eq!(outcomes.len(), 4);
+        // Failures are roughly monotone in attack duration. The demo
+        // trace is sparse (little cache reuse), so failure saturates near
+        // its ceiling and we only require monotonicity up to small noise.
+        for pair in outcomes.windows(2) {
+            assert!(
+                pair[1].sr_failed_pct >= pair[0].sr_failed_pct - 5.0,
+                "{} then {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // The 24h attack must hurt a vanilla resolver badly.
+        assert!(outcomes[3].sr_failed_pct > 10.0);
+        // CS-side failures exceed SR-side ones (cache shields clients,
+        // not the caching server itself) — the paper's Fig. 4 asymmetry.
+        assert!(outcomes[3].cs_failed_pct > outcomes[3].sr_failed_pct);
+    }
+
+    #[test]
+    fn schemes_order_as_in_the_paper() {
+        let (u, t) = setup();
+        let start = SimTime::from_days(ATTACK_START_DAY);
+        let durations = [SimDuration::from_hours(6)];
+        let fail = |s: Scheme| attack_sweep(&u, &t, s, start, &durations)[0].sr_failed_pct;
+        let vanilla = fail(Scheme::vanilla());
+        let refresh = fail(Scheme::refresh());
+        let combined = fail(Scheme::combined(
+            RenewalPolicy::adaptive_lfu(3),
+            Ttl::from_days(3),
+        ));
+        assert!(vanilla > 0.0);
+        assert!(refresh <= vanilla);
+        assert!(combined <= refresh);
+        // The headline claim: combined is roughly an order of magnitude
+        // better than vanilla (allow generous slack on the small trace).
+        assert!(
+            combined < vanilla / 2.0,
+            "combined {combined} vanilla {vanilla}"
+        );
+    }
+
+    #[test]
+    fn overhead_run_collects_metrics_and_occupancy() {
+        let (u, t) = setup();
+        let vanilla = overhead_run(&u, &t, Scheme::vanilla(), SimDuration::from_hours(12));
+        assert!(vanilla.metrics.queries_out > 0);
+        assert!(!vanilla.occupancy.is_empty());
+        assert_eq!(vanilla.message_overhead_pct(&vanilla), 0.0);
+
+        // Refresh reduces message volume (fewer referral walks).
+        let refresh = overhead_run(&u, &t, Scheme::refresh(), SimDuration::from_hours(12));
+        assert!(
+            refresh.message_overhead_pct(&vanilla) < 5.0,
+            "refresh should not add much traffic: {:+.1}%",
+            refresh.message_overhead_pct(&vanilla)
+        );
+
+        // Renewal adds traffic but also adds cached zones.
+        let renew = overhead_run(
+            &u,
+            &t,
+            Scheme::renewal(RenewalPolicy::adaptive_lru(3)),
+            SimDuration::from_hours(12),
+        );
+        assert!(renew.metrics.renewals_sent > 0);
+        assert!(renew.zone_ratio(&vanilla) > 1.0);
+    }
+}

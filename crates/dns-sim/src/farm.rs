@@ -1,0 +1,195 @@
+//! The authoritative server population of a simulated universe.
+
+use dns_auth::AuthServer;
+use dns_core::{Message, Name, Ttl};
+use dns_trace::Universe;
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Every authoritative server in the universe, addressable by IP.
+///
+/// Zone data is materialised once and shared (`Arc`) among the servers of
+/// a zone, so even a 20k-zone universe with two or three servers per zone
+/// stays cheap to build and clone.
+#[derive(Debug, Clone)]
+pub struct ServerFarm {
+    servers: HashMap<Ipv4Addr, AuthServer>,
+}
+
+impl ServerFarm {
+    /// Builds the farm for `universe`, optionally overriding every
+    /// non-root zone's infrastructure TTL (the paper's *long-TTL* scheme,
+    /// a zone-operator-side change).
+    ///
+    /// The override rewrites both each zone's own records *and* the
+    /// delegation (parent-side) copies, exactly as republishing the zone
+    /// would.
+    pub fn build(universe: &Universe, long_ttl: Option<Ttl>) -> Self {
+        // Apply the operator-side TTL override at the spec level so both
+        // child zones and parent delegations pick it up.
+        let storage;
+        let universe = match long_ttl {
+            Some(ttl) => {
+                storage = universe.with_infra_ttl_override(ttl);
+                &storage
+            }
+            None => universe,
+        };
+        let zones = universe.build_all_zones();
+        let mut servers: HashMap<Ipv4Addr, AuthServer> = HashMap::new();
+        for (addr, apexes) in universe.server_assignments() {
+            let display_name = apexes
+                .first()
+                .and_then(|apex| universe.get(apex))
+                .and_then(|spec| {
+                    spec.ns
+                        .iter()
+                        .find(|(_, a)| *a == addr)
+                        .map(|(n, _)| n.clone())
+                })
+                .unwrap_or_else(Name::root);
+            let mut server = AuthServer::new(display_name, addr);
+            for apex in apexes {
+                server.add_zone(Arc::clone(&zones[&apex]));
+            }
+            servers.insert(addr, server);
+        }
+        ServerFarm { servers }
+    }
+
+    /// Dispatches a query to the server at `addr`; `None` when no server
+    /// listens there.
+    pub fn handle(&self, addr: Ipv4Addr, query: &Message) -> Option<Message> {
+        self.servers.get(&addr).map(|s| s.handle_query(query))
+    }
+
+    /// Number of distinct server addresses.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the farm is empty.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The server at `addr`, if any.
+    pub fn get(&self, addr: Ipv4Addr) -> Option<&AuthServer> {
+        self.servers.get(&addr)
+    }
+}
+
+impl fmt::Display for ServerFarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server farm ({} servers)", self.servers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_core::{Question, RecordType, ResponseKind};
+    use dns_trace::UniverseSpec;
+
+    fn universe() -> Universe {
+        UniverseSpec::small().build(7)
+    }
+
+    #[test]
+    fn farm_covers_every_server_address() {
+        let u = universe();
+        let farm = ServerFarm::build(&u, None);
+        assert_eq!(farm.len(), u.server_assignments().len());
+        for (addr, _) in u.server_assignments() {
+            assert!(farm.get(addr).is_some());
+        }
+    }
+
+    #[test]
+    fn root_server_answers_with_referral() {
+        let u = universe();
+        let farm = ServerFarm::build(&u, None);
+        let root_addr = u.root_servers()[0].1;
+        // Any TLD-or-deeper name should produce a referral from the root.
+        let tld = u
+            .zones()
+            .iter()
+            .find(|z| z.apex.label_count() == 1)
+            .unwrap();
+        let q = Message::query(1, Question::new(tld.apex.clone(), RecordType::Ns));
+        let resp = farm.handle(root_addr, &q).unwrap();
+        assert_eq!(resp.kind(), ResponseKind::Referral);
+    }
+
+    #[test]
+    fn data_names_answer_authoritatively() {
+        let u = universe();
+        let farm = ServerFarm::build(&u, None);
+        let zone = u
+            .zones()
+            .iter()
+            .find(|z| !z.data_names.is_empty())
+            .unwrap();
+        let (host, _) = &zone.data_names[0];
+        let addr = zone.ns[0].1;
+        let q = Message::query(2, Question::new(host.clone(), RecordType::A));
+        let resp = farm.handle(addr, &q).unwrap();
+        assert_eq!(resp.kind(), ResponseKind::Answer);
+        assert!(resp.header.authoritative);
+    }
+
+    #[test]
+    fn unknown_address_yields_none() {
+        let farm = ServerFarm::build(&universe(), None);
+        let q = Message::query(3, Question::new("x.y".parse().unwrap(), RecordType::A));
+        assert!(farm.handle(Ipv4Addr::new(203, 0, 113, 1), &q).is_none());
+    }
+
+    #[test]
+    fn long_ttl_override_rewrites_zone_and_delegation_copies() {
+        let u = universe();
+        let ttl = Ttl::from_days(5);
+        let farm = ServerFarm::build(&u, Some(ttl));
+        // Child zone's own NS set carries the override.
+        let zone = u
+            .zones()
+            .iter()
+            .find(|z| z.apex.label_count() == 2)
+            .unwrap();
+        let q = Message::query(4, Question::new(zone.apex.clone(), RecordType::Ns));
+        let resp = farm.handle(zone.ns[0].1, &q).unwrap();
+        assert!(resp
+            .answers
+            .iter()
+            .all(|r| r.ttl() == ttl), "child NS records must carry the long TTL");
+        // Parent referral copy does too.
+        let parent = u.get(zone.parent.as_ref().unwrap()).unwrap();
+        let q = Message::query(5, Question::new(zone.data_names[0].0.clone(), RecordType::A));
+        let resp = farm.handle(parent.ns[0].1, &q).unwrap();
+        assert_eq!(resp.kind(), ResponseKind::Referral);
+        assert!(resp.authorities.iter().all(|r| r.ttl() == ttl));
+    }
+
+    #[test]
+    fn shared_servers_serve_multiple_zones() {
+        let u = universe();
+        let farm = ServerFarm::build(&u, None);
+        let shared = u
+            .server_assignments()
+            .into_iter()
+            .find(|(_, zones)| zones.len() > 1)
+            .expect("universe has shared servers");
+        let (addr, apexes) = shared;
+        for apex in apexes {
+            let spec = u.get(&apex).unwrap();
+            if spec.data_names.is_empty() {
+                continue;
+            }
+            let q = Message::query(6, Question::new(spec.data_names[0].0.clone(), RecordType::A));
+            let resp = farm.handle(addr, &q).unwrap();
+            assert_eq!(resp.kind(), ResponseKind::Answer, "zone {apex}");
+        }
+    }
+}

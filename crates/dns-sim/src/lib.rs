@@ -1,0 +1,52 @@
+//! Trace-driven DNS simulator with DDoS attack injection.
+//!
+//! This crate glues the workspace together into the paper's experimental
+//! apparatus:
+//!
+//! * [`ServerFarm`] — every authoritative server of a generated
+//!   [`Universe`](dns_trace::Universe), sharing zone data behind `Arc`,
+//! * [`AttackScenario`] / [`CompiledAttack`] — black-outs of zone sets over
+//!   time intervals (the headline scenario targets the root and all TLDs
+//!   at the start of day 7),
+//! * [`SimNet`] — the [`Upstream`](dns_resolver::Upstream) implementation
+//!   that routes resolver queries to the farm, subject to the attack,
+//! * [`Simulation`] — replays a [`Trace`](dns_trace::Trace) through a
+//!   [`CachingServer`](dns_resolver::CachingServer), interleaving renewal
+//!   events, occupancy sampling and metric snapshots,
+//! * [`experiment`] — the parameter sweeps behind every figure and table.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dns_sim::{AttackScenario, SimConfig, Simulation};
+//! use dns_trace::{TraceSpec, UniverseSpec};
+//! use dns_core::{SimDuration, SimTime};
+//! use dns_resolver::ResolverConfig;
+//!
+//! let universe = UniverseSpec::small().build(7);
+//! let trace = TraceSpec::demo().scaled(0.05).generate(&universe, 7);
+//!
+//! let mut sim = Simulation::new(&universe, trace, SimConfig::new(ResolverConfig::vanilla()));
+//! sim.set_attack(
+//!     AttackScenario::root_and_tlds(SimTime::from_days(6), SimDuration::from_hours(6))
+//!         .compile(&universe),
+//! );
+//! sim.run_to_end();
+//! assert!(sim.metrics().queries_in > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+pub mod damage;
+mod driver;
+pub mod experiment;
+mod farm;
+pub mod gap;
+mod network;
+
+pub use attack::{AttackScenario, Blackout, CompiledAttack};
+pub use driver::{SimConfig, SimReport, Simulation};
+pub use farm::ServerFarm;
+pub use network::{NetworkStats, SimNet};

@@ -1,0 +1,207 @@
+//! The simulated network between the caching server and the farm.
+
+use crate::{CompiledAttack, ServerFarm};
+use dns_core::{Message, SimTime};
+use dns_resolver::Upstream;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Aggregate counters kept by the simulated network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Queries delivered to a live server.
+    pub delivered: u64,
+    /// Queries dropped because the destination was blacked out.
+    pub dropped_by_attack: u64,
+    /// Queries dropped by random packet loss.
+    pub dropped_by_loss: u64,
+    /// Queries to addresses where no server listens.
+    pub unroutable: u64,
+}
+
+impl NetworkStats {
+    /// Total queries the network saw.
+    pub fn total(&self) -> u64 {
+        self.delivered + self.dropped_by_attack + self.dropped_by_loss + self.unroutable
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "net: {} delivered, {} dropped by attack, {} unroutable",
+            self.delivered, self.dropped_by_attack, self.unroutable
+        )
+    }
+}
+
+/// [`Upstream`] implementation routing resolver queries to a
+/// [`ServerFarm`], subject to a [`CompiledAttack`] and (optionally)
+/// deterministic pseudo-random packet loss.
+#[derive(Debug, Clone)]
+pub struct SimNet {
+    farm: ServerFarm,
+    attack: CompiledAttack,
+    stats: NetworkStats,
+    /// Loss probability in `[0, 1)`, applied per query.
+    loss_rate: f64,
+    /// xorshift state for the loss coin; deterministic per seed.
+    loss_state: u64,
+}
+
+impl SimNet {
+    /// Creates a network over `farm` with no attack and no loss.
+    pub fn new(farm: ServerFarm) -> Self {
+        SimNet {
+            farm,
+            attack: CompiledAttack::none(),
+            stats: NetworkStats::default(),
+            loss_rate: 0.0,
+            loss_state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Enables deterministic random packet loss (fraction of queries that
+    /// silently vanish). The experiments run loss-free; this models the
+    /// "network or host problems" of Mockapetris' original TTL guidance
+    /// and is used by the failure-injection tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate < 1.0`.
+    pub fn set_loss(&mut self, rate: f64, seed: u64) {
+        assert!((0.0..1.0).contains(&rate), "loss rate must be in [0, 1)");
+        self.loss_rate = rate;
+        self.loss_state = seed | 1;
+    }
+
+    fn loss_coin(&mut self) -> bool {
+        if self.loss_rate == 0.0 {
+            return false;
+        }
+        // xorshift64* — cheap, deterministic, good enough for loss coins.
+        let mut x = self.loss_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.loss_state = x;
+        let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.loss_rate
+    }
+
+    /// Installs (or replaces) the attack schedule.
+    pub fn set_attack(&mut self, attack: CompiledAttack) {
+        self.attack = attack;
+    }
+
+    /// The current attack schedule.
+    pub fn attack(&self) -> &CompiledAttack {
+        &self.attack
+    }
+
+    /// Network-side counters.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// The underlying farm.
+    pub fn farm(&self) -> &ServerFarm {
+        &self.farm
+    }
+}
+
+impl Upstream for SimNet {
+    fn query(&mut self, server: Ipv4Addr, query: &Message, now: SimTime) -> Option<Message> {
+        if self.attack.is_dead(server, now) {
+            self.stats.dropped_by_attack += 1;
+            return None;
+        }
+        if self.loss_coin() {
+            self.stats.dropped_by_loss += 1;
+            return None;
+        }
+        match self.farm.handle(server, query) {
+            Some(resp) => {
+                self.stats.delivered += 1;
+                Some(resp)
+            }
+            None => {
+                self.stats.unroutable += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttackScenario;
+    use dns_core::{Question, RecordType, SimDuration};
+    use dns_trace::UniverseSpec;
+
+    #[test]
+    fn routes_and_counts() {
+        let u = UniverseSpec::small().build(7);
+        let farm = ServerFarm::build(&u, None);
+        let mut net = SimNet::new(farm);
+        let root = u.root_servers()[0].1;
+        let q = Message::query(1, Question::new("com".parse().unwrap(), RecordType::Ns));
+
+        assert!(net.query(root, &q, SimTime::ZERO).is_some());
+        assert!(net.query(Ipv4Addr::new(203, 0, 113, 9), &q, SimTime::ZERO).is_none());
+
+        net.set_attack(
+            AttackScenario::root_and_tlds(SimTime::ZERO, SimDuration::from_hours(1)).compile(&u),
+        );
+        assert!(net.query(root, &q, SimTime::from_mins(30)).is_none());
+        assert!(net.query(root, &q, SimTime::from_hours(2)).is_some());
+
+        let stats = net.stats();
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(stats.dropped_by_attack, 1);
+        assert_eq!(stats.unroutable, 1);
+        assert_eq!(stats.total(), 4);
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_configured_fraction() {
+        let u = UniverseSpec::small().build(7);
+        let farm = ServerFarm::build(&u, None);
+        let mut net = SimNet::new(farm);
+        net.set_loss(0.3, 42);
+        let root = u.root_servers()[0].1;
+        let q = Message::query(1, Question::new("com".parse().unwrap(), RecordType::Ns));
+        for _ in 0..10_000 {
+            let _ = net.query(root, &q, SimTime::ZERO);
+        }
+        let lost = net.stats().dropped_by_loss;
+        assert!((2_500..=3_500).contains(&lost), "lost {lost} of 10000");
+        assert_eq!(net.stats().total(), 10_000);
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let u = UniverseSpec::small().build(7);
+        let run = |seed| {
+            let mut net = SimNet::new(ServerFarm::build(&u, None));
+            net.set_loss(0.2, seed);
+            let root = u.root_servers()[0].1;
+            let q = Message::query(1, Question::new("com".parse().unwrap(), RecordType::Ns));
+            (0..200)
+                .map(|_| net.query(root, &q, SimTime::ZERO).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate must be in [0, 1)")]
+    fn full_loss_rejected() {
+        let u = UniverseSpec::small().build(7);
+        let mut net = SimNet::new(ServerFarm::build(&u, None));
+        net.set_loss(1.0, 1);
+    }
+}

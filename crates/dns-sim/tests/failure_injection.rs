@@ -1,0 +1,74 @@
+//! Failure injection: behaviour under random packet loss, with and
+//! without the resilience schemes. Mockapetris' original TTL guidance —
+//! which the paper frames itself as realising — was about masking exactly
+//! these "periods of server unavailability due to network or host
+//! problems".
+
+use dns_core::Ttl;
+use dns_resolver::{RenewalPolicy, ResolverConfig};
+use dns_sim::{SimConfig, Simulation};
+use dns_trace::{Trace, Universe, UniverseSpec, WorkloadBuilder};
+
+fn setup() -> (Universe, Trace) {
+    let mut spec = UniverseSpec::small();
+    spec.sld_count = 600;
+    spec.tld_count = 20;
+    let u = spec.build(31);
+    let t = WorkloadBuilder::new("loss", 2, 10, 6_000).generate(&u, 17);
+    (u, t)
+}
+
+fn failure_pct(universe: &Universe, trace: &Trace, config: SimConfig, loss: f64) -> f64 {
+    let mut sim = Simulation::new(universe, trace.clone(), config);
+    if loss > 0.0 {
+        sim.set_loss(loss, 2024);
+    }
+    sim.run_to_end();
+    sim.metrics().failed_in_ratio() * 100.0
+}
+
+#[test]
+fn moderate_loss_mostly_masked_by_server_redundancy() {
+    let (u, t) = setup();
+    let with_loss = failure_pct(&u, &t, SimConfig::new(ResolverConfig::vanilla()), 0.10);
+    // Each zone has ≥2 servers and the resolver fails over, so 10% packet
+    // loss translates into far fewer than 10% client failures.
+    assert!(
+        with_loss < 5.0,
+        "10% loss should be mostly absorbed, got {with_loss:.2}%"
+    );
+    let without = failure_pct(&u, &t, SimConfig::new(ResolverConfig::vanilla()), 0.0);
+    assert_eq!(without, 0.0);
+}
+
+#[test]
+fn schemes_also_help_against_plain_loss() {
+    let (u, t) = setup();
+    let vanilla = failure_pct(&u, &t, SimConfig::new(ResolverConfig::vanilla()), 0.25);
+    let combined = failure_pct(
+        &u,
+        &t,
+        SimConfig::new(ResolverConfig::with_renewal(RenewalPolicy::adaptive_lfu(3)))
+            .long_ttl(Ttl::from_days(3)),
+        0.25,
+    );
+    assert!(vanilla > 0.0, "25% loss must cause some failures");
+    // Longer-lived infrastructure means fewer fragile multi-step walks,
+    // so the combined scheme fails less under loss too.
+    assert!(
+        combined <= vanilla,
+        "combined {combined:.2}% vs vanilla {vanilla:.2}%"
+    );
+}
+
+#[test]
+fn loss_failures_scale_with_rate() {
+    let (u, t) = setup();
+    let config = || SimConfig::new(ResolverConfig::vanilla());
+    let low = failure_pct(&u, &t, config(), 0.05);
+    let high = failure_pct(&u, &t, config(), 0.40);
+    assert!(
+        high > low,
+        "heavier loss must fail more: {high:.2}% vs {low:.2}%"
+    );
+}

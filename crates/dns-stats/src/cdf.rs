@@ -1,0 +1,156 @@
+//! Empirical cumulative distribution functions.
+
+use std::fmt;
+
+/// An empirical CDF over `f64` samples.
+///
+/// Non-finite samples are dropped at construction. Quantiles use the
+/// nearest-rank definition, so [`Cdf::quantile`] always returns an actual
+/// sample value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF, sorting the samples and discarding NaN/∞.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| x.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`, in `[0, 1]`. Returns 0 when empty.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Nearest-rank quantile: the smallest sample `v` such that at least
+    /// `q` of the distribution is `<= v`. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Evenly spaced `(value, cumulative_fraction)` points suitable for
+    /// plotting, at most `points` of them.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = (n.max(points) / points).max(1);
+        let mut out = Vec::new();
+        let mut i = step - 1;
+        while i < n {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(_, f)| f) != Some(1.0) {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Cdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cdf(n={}, p50={:?}, p90={:?}, p99={:?})",
+            self.len(),
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_counts_inclusively() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let cdf = Cdf::from_samples(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(cdf.quantile(0.0), Some(10.0));
+        assert_eq!(cdf.quantile(0.25), Some(10.0));
+        assert_eq!(cdf.quantile(0.26), Some(20.0));
+        assert_eq!(cdf.quantile(0.5), Some(20.0));
+        assert_eq!(cdf.quantile(1.0), Some(40.0));
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let cdf = Cdf::from_samples(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert!(cdf.curve(10).is_empty());
+    }
+
+    #[test]
+    fn non_finite_samples_dropped() {
+        let cdf = Cdf::from_samples(vec![f64::NAN, 1.0, f64::INFINITY, 2.0]);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.max(), Some(2.0));
+    }
+
+    #[test]
+    fn curve_ends_at_one() {
+        let cdf = Cdf::from_samples((1..=100).map(|i| i as f64).collect());
+        let curve = cdf.curve(10);
+        assert!(curve.len() >= 10);
+        assert_eq!(curve.last().unwrap().1, 1.0);
+        // Curve fractions are non-decreasing.
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn quantile_out_of_range_panics() {
+        Cdf::from_samples(vec![1.0]).quantile(1.5);
+    }
+}

@@ -1,0 +1,184 @@
+//! Terminal plotting: sparklines and multi-series line charts for the
+//! experiment binaries, so figures are legible without leaving the shell.
+
+use std::fmt::Write as _;
+
+/// Eight-level block characters used by [`sparkline`].
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// One chart series: label, glyph and `(x, y)` points.
+type Series = (String, char, Vec<(f64, f64)>);
+
+/// Renders a one-line sparkline of `values` (empty input → empty string).
+///
+/// ```rust
+/// use dns_stats::sparkline;
+/// let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+/// assert_eq!(s.chars().count(), 4);
+/// assert!(s.ends_with('█'));
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (min, max) = match (
+        finite.iter().copied().reduce(f64::min),
+        finite.iter().copied().reduce(f64::max),
+    ) {
+        (Some(min), Some(max)) => (min, max),
+        _ => return String::new(),
+    };
+    let span = (max - min).max(f64::EPSILON);
+    values
+        .iter()
+        .map(|v| {
+            if !v.is_finite() {
+                return ' ';
+            }
+            let idx = (((v - min) / span) * (BLOCKS.len() - 1) as f64).round() as usize;
+            BLOCKS[idx.min(BLOCKS.len() - 1)]
+        })
+        .collect()
+}
+
+/// An ASCII line chart over `(x, y)` series, one glyph per series.
+///
+/// Designed for the occupancy/CDF plots: modest sizes, shared axes, no
+/// dependencies.
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+impl AsciiChart {
+    /// Creates a chart canvas of `width`×`height` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 2.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "chart too small");
+        AsciiChart {
+            width,
+            height,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series drawn with `glyph`.
+    pub fn series(
+        &mut self,
+        label: impl Into<String>,
+        glyph: char,
+        points: Vec<(f64, f64)>,
+    ) -> &mut Self {
+        self.series.push((label.into(), glyph, points));
+        self
+    }
+
+    /// Renders the chart with a legend and y-axis bounds.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, _, pts)| pts.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            return "(no data)\n".to_string();
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &all {
+            x_min = x_min.min(*x);
+            x_max = x_max.max(*x);
+            y_min = y_min.min(*y);
+            y_max = y_max.max(*y);
+        }
+        let x_span = (x_max - x_min).max(f64::EPSILON);
+        let y_span = (y_max - y_min).max(f64::EPSILON);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (_, glyph, pts) in &self.series {
+            for (x, y) in pts {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let col = (((x - x_min) / x_span) * (self.width - 1) as f64).round() as usize;
+                let row = (((y - y_min) / y_span) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - row;
+                grid[row][col.min(self.width - 1)] = *glyph;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{y_max:>10.2} ┤");
+        for row in grid {
+            let line: String = row.into_iter().collect();
+            let _ = writeln!(out, "{:>10} │{line}", "");
+        }
+        let _ = writeln!(out, "{y_min:>10.2} ┤{}", "─".repeat(self.width));
+        let _ = writeln!(
+            out,
+            "{:>11}x: {x_min:.2} … {x_max:.2}",
+            ""
+        );
+        for (label, glyph, _) in &self.series {
+            let _ = writeln!(out, "{:>11}{glyph} {label}", "");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_extremes() {
+        let s = sparkline(&[0.0, 10.0]);
+        assert_eq!(s, "▁█");
+    }
+
+    #[test]
+    fn sparkline_constant_input() {
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.chars().count(), 3);
+    }
+
+    #[test]
+    fn sparkline_empty_and_nan() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[f64::NAN]), "");
+        let s = sparkline(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn chart_renders_all_series() {
+        let mut chart = AsciiChart::new(40, 8);
+        chart.series("up", '*', (0..10).map(|i| (i as f64, i as f64)).collect());
+        chart.series("down", 'o', (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect());
+        let out = chart.render();
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+        assert!(out.contains("up"));
+        assert!(out.contains("down"));
+        // Height rows + header + footer + x-range + 2 legend lines.
+        assert_eq!(out.lines().count(), 8 + 3 + 2);
+    }
+
+    #[test]
+    fn chart_empty_data() {
+        let mut chart = AsciiChart::new(10, 4);
+        chart.series("none", '*', vec![]);
+        assert_eq!(chart.render(), "(no data)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_rejected() {
+        AsciiChart::new(1, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Running summary statistics.
+
+use std::fmt;
+
+/// Accumulates samples and reports count/mean/min/max; percentiles are
+/// computed on demand from the retained samples.
+///
+/// The experiments are modest in size (≤ tens of millions of samples), so
+/// `Summary` simply retains everything — exactness matters more than memory
+/// here, and the callers that only need a mean use the `mean` field of the
+/// simulator's counters instead.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records a sample; non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.samples.push(x);
+        self.sum += x;
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.samples.len() as f64)
+        }
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Nearest-rank percentile, `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        Some(sorted[rank - 1])
+    }
+
+    /// Converts into a [`crate::Cdf`] over the recorded samples.
+    pub fn into_cdf(self) -> crate::Cdf {
+        crate::Cdf::from_samples(self.samples)
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.4} min={:.4} max={:.4}",
+                self.count(),
+                mean,
+                self.min.unwrap(),
+                self.max.unwrap()
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_min_max() {
+        let s: Summary = [2.0, 4.0, 6.0].into_iter().collect();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(4.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(6.0));
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s: Summary = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.percentile(50.0), Some(50.0));
+        assert_eq!(s.percentile(99.0), Some(99.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut s = Summary::new();
+        s.record(f64::NAN);
+        s.record(f64::NEG_INFINITY);
+        s.record(3.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn into_cdf_preserves_samples() {
+        let s: Summary = [3.0, 1.0, 2.0].into_iter().collect();
+        let cdf = s.into_cdf();
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf.quantile(1.0), Some(3.0));
+    }
+}

@@ -1,0 +1,211 @@
+//! Aligned plain-text and CSV table emission.
+
+use std::fmt;
+
+/// Column alignment for plain-text rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Flush left (labels).
+    #[default]
+    Left,
+    /// Flush right (numbers).
+    Right,
+}
+
+/// A simple table with a header row, used by every experiment binary to
+/// print paper-style tables.
+///
+/// ```rust
+/// use dns_stats::{Align, Table};
+///
+/// let mut t = Table::new(vec!["trace", "failed %"]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["TRC1".into(), "12.3".into()]);
+/// let text = t.render();
+/// assert!(text.contains("TRC1"));
+/// assert!(t.to_csv().starts_with("trace,failed %\n"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the alignment of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn align(&mut self, col: usize, align: Align) -> &mut Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Right-aligns every column except the first — the common shape for
+    /// the paper's tables (label column + numeric columns).
+    pub fn numeric(&mut self) -> &mut Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a row, padding or truncating to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The data rows (each padded to the header width).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The header row.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned plain-text table with a separator under the
+    /// header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                match aligns[i] {
+                    Align::Left => line.push_str(&format!("{cell:<width$}", width = widths[i])),
+                    Align::Right => line.push_str(&format!("{cell:>width$}", width = widths[i])),
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths, &self.aligns));
+        out.push('\n');
+        let sep: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(sep));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Emits RFC-4180-style CSV (quoting cells that contain commas, quotes
+    /// or newlines).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["trace", "clients", "failed %"]);
+        t.numeric();
+        t.row(vec!["TRC1".into(), "120".into(), "12.3".into()]);
+        t.row(vec!["TRC2".into(), "3000".into(), "1.05".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Numeric columns right-aligned: the shorter number is padded.
+        assert!(lines[2].contains(" 120"));
+        assert!(lines[3].contains("3000"));
+        // Header separator present.
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only".into()]);
+        assert_eq!(t.rows[0].len(), 2);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(vec!["name", "note"]);
+        t.row(vec!["a,b".into(), "said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_header_first() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("trace,clients,failed %\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let t = sample();
+        assert_eq!(t.to_string(), t.render());
+    }
+}

@@ -1,0 +1,177 @@
+//! Query traces and their Table-1 statistics.
+
+use dns_core::{Name, Question, SimTime};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One stub-resolver query as captured in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryEvent {
+    /// When the stub resolver asked.
+    pub at: SimTime,
+    /// Client (stub resolver) identifier.
+    pub client: u32,
+    /// The question asked.
+    pub question: Question,
+}
+
+/// A multi-day query workload for one caching server.
+///
+/// Queries are ordered by timestamp; the simulator replays them in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Trace label (`TRC1` … `TRC6`).
+    pub name: String,
+    /// Trace length in days.
+    pub days: u64,
+    /// Number of distinct clients behind the caching server.
+    pub clients: u32,
+    /// The query stream, sorted by `at`.
+    pub queries: Vec<QueryEvent>,
+}
+
+impl Trace {
+    /// Computes the Table-1 statistics for this trace.
+    ///
+    /// The owning zone of each queried name is taken to be its parent
+    /// domain, which holds for every name the generator emits (all data
+    /// names sit directly below their zone apex, and apex MX queries map
+    /// to the apex itself).
+    pub fn stats(&self) -> TraceStats {
+        let mut names: HashSet<&Name> = HashSet::new();
+        let mut zones: HashSet<Name> = HashSet::new();
+        let mut clients: HashSet<u32> = HashSet::new();
+        for q in &self.queries {
+            clients.insert(q.client);
+            if names.insert(&q.question.name) {
+                let zone = q
+                    .question
+                    .name
+                    .parent()
+                    .unwrap_or_else(Name::root);
+                zones.insert(zone);
+            }
+        }
+        TraceStats {
+            name: self.name.clone(),
+            days: self.days,
+            clients: clients.len(),
+            requests_in: self.queries.len() as u64,
+            distinct_names: names.len(),
+            distinct_zones: zones.len(),
+        }
+    }
+
+    /// Queries whose timestamp lies in `[from, to)`.
+    pub fn queries_between(&self, from: SimTime, to: SimTime) -> &[QueryEvent] {
+        let start = self.queries.partition_point(|q| q.at < from);
+        let end = self.queries.partition_point(|q| q.at < to);
+        &self.queries[start..end]
+    }
+
+    /// Whether timestamps are non-decreasing (replay invariant).
+    pub fn is_sorted(&self) -> bool {
+        self.queries.windows(2).all(|w| w[0].at <= w[1].at)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} days, {} clients, {} queries)",
+            self.name,
+            self.days,
+            self.clients,
+            self.queries.len()
+        )
+    }
+}
+
+/// The row Table 1 reports for one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Trace label.
+    pub name: String,
+    /// Duration in days.
+    pub days: u64,
+    /// Distinct clients that actually appear in the trace.
+    pub clients: usize,
+    /// Stub-resolver queries ("requests in").
+    pub requests_in: u64,
+    /// Distinct names queried.
+    pub distinct_names: usize,
+    /// Distinct zones queried.
+    pub distinct_zones: usize,
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}d, {} clients, {} requests, {} names, {} zones",
+            self.name, self.days, self.clients, self.requests_in, self.distinct_names, self.distinct_zones
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_core::RecordType;
+
+    fn ev(at_secs: u64, client: u32, name: &str) -> QueryEvent {
+        QueryEvent {
+            at: SimTime::from_secs(at_secs),
+            client,
+            question: Question::new(name.parse().unwrap(), RecordType::A),
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            name: "T".into(),
+            days: 1,
+            clients: 3,
+            queries: vec![
+                ev(10, 0, "www.a.com"),
+                ev(20, 1, "www.a.com"),
+                ev(30, 0, "www.b.com"),
+                ev(40, 2, "host1.a.com"),
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_count_distincts() {
+        let s = sample().stats();
+        assert_eq!(s.requests_in, 4);
+        assert_eq!(s.clients, 3);
+        assert_eq!(s.distinct_names, 3);
+        assert_eq!(s.distinct_zones, 2); // a.com, b.com
+    }
+
+    #[test]
+    fn queries_between_is_half_open() {
+        let t = sample();
+        let window = t.queries_between(SimTime::from_secs(20), SimTime::from_secs(40));
+        assert_eq!(window.len(), 2);
+        assert_eq!(window[0].at, SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn sortedness_check() {
+        let mut t = sample();
+        assert!(t.is_sorted());
+        t.queries.swap(0, 3);
+        assert!(!t.is_sorted());
+    }
+
+    #[test]
+    fn empty_window_is_empty() {
+        let t = sample();
+        assert!(t
+            .queries_between(SimTime::from_secs(100), SimTime::from_secs(200))
+            .is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Empirical TTL mixtures for infrastructure and data records.
+//!
+//! The paper reports that IRR TTLs in the 2006 DNS ranged "from some
+//! minutes to some days" with "most zones [having] a TTL value less or
+//! equal to 12 hours" (§4, Long TTL), and that the large per-TTL variance
+//! is what makes the relative (fraction-of-TTL) gap distribution so wide
+//! (§5, Figure 3). These mixtures encode that shape.
+
+use dns_core::Ttl;
+use rand::{Rng, RngExt};
+use std::fmt;
+
+/// A discrete TTL mixture: `(ttl, weight)` buckets sampled by weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtlModel {
+    buckets: Vec<(Ttl, f64)>,
+    total_weight: f64,
+}
+
+impl TtlModel {
+    /// Builds a mixture from `(ttl, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `buckets` is empty or any weight is non-positive.
+    pub fn new(buckets: Vec<(Ttl, f64)>) -> Self {
+        assert!(!buckets.is_empty(), "ttl model needs at least one bucket");
+        assert!(
+            buckets.iter().all(|&(_, w)| w > 0.0 && w.is_finite()),
+            "weights must be positive"
+        );
+        let total_weight = buckets.iter().map(|&(_, w)| w).sum();
+        TtlModel {
+            buckets,
+            total_weight,
+        }
+    }
+
+    /// Infrastructure-record TTLs: minutes → days, mode at 12 hours, a
+    /// small multi-day tail. Matches the paper's description of observed
+    /// zone IRR TTLs.
+    pub fn infrastructure() -> Self {
+        TtlModel::new(vec![
+            (Ttl::from_mins(5), 0.05),
+            (Ttl::from_mins(30), 0.08),
+            (Ttl::from_hours(1), 0.10),
+            (Ttl::from_hours(2), 0.10),
+            (Ttl::from_hours(6), 0.15),
+            (Ttl::from_hours(12), 0.27),
+            (Ttl::from_days(1), 0.15),
+            (Ttl::from_days(2), 0.07),
+            (Ttl::from_days(7), 0.03),
+        ])
+    }
+
+    /// End-host (data) record TTLs: strongly skewed toward hours, with a
+    /// CDN-like short-TTL head. The paper's example data record
+    /// (`www.ucla.edu`) carries 4 hours.
+    pub fn data() -> Self {
+        TtlModel::new(vec![
+            (Ttl::from_secs(60), 0.08),
+            (Ttl::from_mins(5), 0.12),
+            (Ttl::from_mins(30), 0.15),
+            (Ttl::from_hours(1), 0.20),
+            (Ttl::from_hours(4), 0.25),
+            (Ttl::from_hours(12), 0.10),
+            (Ttl::from_days(1), 0.10),
+        ])
+    }
+
+    /// TTLs for root/TLD infrastructure: multi-day values, as the paper
+    /// notes for zones directly below the root.
+    pub fn top_level() -> Self {
+        TtlModel::new(vec![
+            (Ttl::from_days(2), 0.5),
+            (Ttl::from_days(4), 0.3),
+            (Ttl::from_days(7), 0.2),
+        ])
+    }
+
+    /// Draws one TTL.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Ttl {
+        let mut u: f64 = rng.random::<f64>() * self.total_weight;
+        for &(ttl, w) in &self.buckets {
+            if u < w {
+                return ttl;
+            }
+            u -= w;
+        }
+        self.buckets.last().expect("non-empty").0
+    }
+
+    /// The buckets.
+    pub fn buckets(&self) -> &[(Ttl, f64)] {
+        &self.buckets
+    }
+
+    /// Weighted fraction of the mixture at or below `ttl`.
+    pub fn fraction_at_or_below(&self, ttl: Ttl) -> f64 {
+        let below: f64 = self
+            .buckets
+            .iter()
+            .filter(|&&(t, _)| t <= ttl)
+            .map(|&(_, w)| w)
+            .sum();
+        below / self.total_weight
+    }
+}
+
+impl fmt::Display for TtlModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ttl model ({} buckets)", self.buckets.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn infrastructure_mixture_is_mostly_short() {
+        // The paper: "most zones have a TTL value less or equal to 12 h".
+        let m = TtlModel::infrastructure();
+        assert!(m.fraction_at_or_below(Ttl::from_hours(12)) >= 0.7);
+        assert!(m.fraction_at_or_below(Ttl::from_days(7)) >= 0.999);
+    }
+
+    #[test]
+    fn samples_come_from_buckets() {
+        let m = TtlModel::infrastructure();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let t = m.sample(&mut rng);
+            assert!(m.buckets().iter().any(|&(b, _)| b == t));
+        }
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let m = TtlModel::new(vec![(Ttl::from_mins(1), 9.0), (Ttl::from_days(1), 1.0)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let short = (0..10_000)
+            .filter(|_| m.sample(&mut rng) == Ttl::from_mins(1))
+            .count();
+        assert!((8_700..=9_300).contains(&short), "got {short}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn non_positive_weight_rejected() {
+        TtlModel::new(vec![(Ttl::from_mins(1), 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn empty_model_rejected() {
+        TtlModel::new(vec![]);
+    }
+}

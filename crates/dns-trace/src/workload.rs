@@ -1,0 +1,292 @@
+//! Query workload synthesis over a generated universe.
+
+use crate::{QueryEvent, Trace, Universe, Zipf};
+use dns_core::{Label, Name, Question, RecordType, SimTime, HOUR};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::f64::consts::TAU;
+use std::fmt;
+
+/// Builds a [`Trace`] over a [`Universe`]: Zipf name popularity, diurnal
+/// rate modulation, a sprinkling of MX and non-existent-name queries.
+///
+/// ```rust
+/// use dns_trace::{UniverseSpec, WorkloadBuilder};
+///
+/// let universe = UniverseSpec::small().build(7);
+/// let trace = WorkloadBuilder::new("demo", 1, 10, 5_000)
+///     .zipf_alpha(0.9)
+///     .generate(&universe, 42);
+/// assert_eq!(trace.queries.len(), 5_000);
+/// assert!(trace.is_sorted());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    name: String,
+    days: u64,
+    clients: u32,
+    total_queries: u64,
+    zipf_alpha: f64,
+    nxdomain_fraction: f64,
+    mx_fraction: f64,
+    diurnal_amplitude: f64,
+}
+
+impl WorkloadBuilder {
+    /// Starts a workload: `days` of traffic from `clients` clients,
+    /// `total_queries` queries in total.
+    pub fn new(name: &str, days: u64, clients: u32, total_queries: u64) -> Self {
+        WorkloadBuilder {
+            name: name.to_string(),
+            days,
+            clients,
+            total_queries,
+            zipf_alpha: 1.05,
+            nxdomain_fraction: 0.03,
+            mx_fraction: 0.05,
+            diurnal_amplitude: 0.5,
+        }
+    }
+
+    /// Sets the popularity skew (default 1.05; DNS name popularity is
+    /// classically Zipf with alpha near 1, Jung et al. IMW 2001).
+    pub fn zipf_alpha(mut self, alpha: f64) -> Self {
+        self.zipf_alpha = alpha;
+        self
+    }
+
+    /// Sets the fraction of queries for names that do not exist.
+    pub fn nxdomain_fraction(mut self, f: f64) -> Self {
+        self.nxdomain_fraction = f;
+        self
+    }
+
+    /// Sets the fraction of apex queries asking for MX instead of A.
+    pub fn mx_fraction(mut self, f: f64) -> Self {
+        self.mx_fraction = f;
+        self
+    }
+
+    /// Sets the day/night swing of the arrival rate (0 = flat,
+    /// 1 = nights are silent).
+    pub fn diurnal_amplitude(mut self, a: f64) -> Self {
+        self.diurnal_amplitude = a.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates the trace deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe has no queryable names or `clients == 0`.
+    pub fn generate(&self, universe: &Universe, seed: u64) -> Trace {
+        assert!(self.clients > 0, "workload needs at least one client");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let targets = universe.query_targets();
+        assert!(!targets.is_empty(), "universe has no queryable names");
+
+        // Two-level popularity, matching how real DNS load concentrates:
+        // zones are Zipf-popular (one popular site drags queries to all
+        // of its hostnames), and names within a zone are mildly skewed.
+        let mut groups: Vec<Vec<Name>> = {
+            let mut by_zone: std::collections::HashMap<usize, Vec<Name>> =
+                std::collections::HashMap::new();
+            for (name, zone_idx) in targets {
+                by_zone.entry(zone_idx).or_default().push(name);
+            }
+            let mut keys: Vec<usize> = by_zone.keys().copied().collect();
+            keys.sort_unstable();
+            keys.into_iter()
+                .map(|k| by_zone.remove(&k).expect("key present"))
+                .collect()
+        };
+        // Shuffle so zone popularity rank is independent of generation
+        // order (Fisher–Yates with our seeded rng).
+        for i in (1..groups.len()).rev() {
+            let j = rng.random_range(0..=i);
+            groups.swap(i, j);
+        }
+        let zone_zipf = Zipf::new(groups.len(), self.zipf_alpha);
+        let max_group = groups.iter().map(Vec::len).max().unwrap_or(1);
+        let name_zipfs: Vec<Zipf> = (1..=max_group).map(|n| Zipf::new(n, 0.8)).collect();
+
+        // Distribute query counts over hours with a diurnal curve.
+        let hours = self.days * 24;
+        let weights: Vec<f64> = (0..hours)
+            .map(|h| self.diurnal_weight(h % 24))
+            .collect();
+        let total_weight: f64 = weights.iter().sum();
+        let mut counts: Vec<u64> = weights
+            .iter()
+            .map(|w| ((w / total_weight) * self.total_queries as f64).floor() as u64)
+            .collect();
+        let mut assigned: u64 = counts.iter().sum();
+        // Distribute the rounding remainder deterministically.
+        let n_hours = counts.len();
+        let mut h = 0;
+        while assigned < self.total_queries {
+            counts[h % n_hours] += 1;
+            assigned += 1;
+            h += 1;
+        }
+
+        let mut queries = Vec::with_capacity(self.total_queries as usize);
+        for (hour, &count) in counts.iter().enumerate() {
+            let hour_start = hour as u64 * HOUR;
+            let mut offsets: Vec<u64> =
+                (0..count).map(|_| rng.random_range(0..HOUR)).collect();
+            offsets.sort_unstable();
+            for off in offsets {
+                let group = &groups[zone_zipf.sample(&mut rng)];
+                let name = &group[name_zipfs[group.len() - 1].sample(&mut rng)];
+                let question = self.make_question(name, &mut rng);
+                queries.push(QueryEvent {
+                    at: SimTime::from_secs(hour_start + off),
+                    client: rng.random_range(0..self.clients),
+                    question,
+                });
+            }
+        }
+
+        Trace {
+            name: self.name.clone(),
+            days: self.days,
+            clients: self.clients,
+            queries,
+        }
+    }
+
+    fn make_question(&self, name: &Name, rng: &mut StdRng) -> Question {
+        let roll: f64 = rng.random();
+        if roll < self.nxdomain_fraction {
+            // A name that cannot exist in the generated universe: the
+            // generator never emits an `nx…` label.
+            let k: u32 = rng.random_range(0..1000);
+            let zone = name.parent().unwrap_or_else(Name::root);
+            let label = Label::new(format!("nx{k}").as_bytes()).expect("valid label");
+            if let Ok(nx) = zone.child(label) {
+                return Question::new(nx, RecordType::A);
+            }
+        } else if roll < self.nxdomain_fraction + self.mx_fraction {
+            return Question::new(name.clone(), RecordType::Mx);
+        }
+        Question::new(name.clone(), RecordType::A)
+    }
+
+    fn diurnal_weight(&self, hour_of_day: u64) -> f64 {
+        // Peak mid-afternoon, trough early morning.
+        let phase = (hour_of_day as f64 - 15.0) / 24.0 * TAU;
+        1.0 + self.diurnal_amplitude * phase.cos()
+    }
+}
+
+impl fmt::Display for WorkloadBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "workload {} ({}d, {} clients, {} queries)",
+            self.name, self.days, self.clients, self.total_queries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniverseSpec;
+
+    fn universe() -> Universe {
+        UniverseSpec::small().build(7)
+    }
+
+    fn gen(total: u64) -> Trace {
+        WorkloadBuilder::new("T", 2, 20, total).generate(&universe(), 42)
+    }
+
+    #[test]
+    fn exact_query_count_and_sorted() {
+        let t = gen(10_000);
+        assert_eq!(t.queries.len(), 10_000);
+        assert!(t.is_sorted());
+        // All timestamps within the trace horizon.
+        let horizon = SimTime::from_days(2);
+        assert!(t.queries.iter().all(|q| q.at < horizon));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let u = universe();
+        let a = WorkloadBuilder::new("T", 1, 5, 2_000).generate(&u, 1);
+        let b = WorkloadBuilder::new("T", 1, 5, 2_000).generate(&u, 1);
+        assert_eq!(a, b);
+        let c = WorkloadBuilder::new("T", 1, 5, 2_000).generate(&u, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let t = gen(20_000);
+        let mut counts: std::collections::HashMap<&Name, usize> = std::collections::HashMap::new();
+        for q in &t.queries {
+            *counts.entry(&q.question.name).or_default() += 1;
+        }
+        let mut sorted: Vec<usize> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        // Top name should dwarf the median (Zipf head).
+        let median = sorted[sorted.len() / 2];
+        assert!(sorted[0] > median * 10, "head {} median {}", sorted[0], median);
+    }
+
+    #[test]
+    fn diurnal_variation_present() {
+        let t = WorkloadBuilder::new("T", 2, 20, 48_000)
+            .diurnal_amplitude(0.8)
+            .generate(&universe(), 9);
+        let hour = |h: u64| {
+            t.queries_between(SimTime::from_hours(h), SimTime::from_hours(h + 1))
+                .len()
+        };
+        // 15:00 (peak) vs 03:00 (trough) on day one.
+        assert!(hour(15) > hour(3) * 2, "peak {} trough {}", hour(15), hour(3));
+    }
+
+    #[test]
+    fn query_mix_includes_mx_and_nxdomain() {
+        let t = WorkloadBuilder::new("T", 1, 10, 20_000)
+            .nxdomain_fraction(0.05)
+            .mx_fraction(0.05)
+            .generate(&universe(), 3);
+        let mx = t
+            .queries
+            .iter()
+            .filter(|q| q.question.rtype == RecordType::Mx)
+            .count();
+        let nx = t
+            .queries
+            .iter()
+            .filter(|q| {
+                q.question
+                    .name
+                    .labels()
+                    .first()
+                    .is_some_and(|l| l.as_bytes().starts_with(b"nx"))
+            })
+            .count();
+        assert!((600..=1_400).contains(&mx), "mx {mx}");
+        assert!((600..=1_400).contains(&nx), "nx {nx}");
+    }
+
+    #[test]
+    fn clients_all_appear() {
+        let t = gen(20_000);
+        let distinct: std::collections::HashSet<u32> =
+            t.queries.iter().map(|q| q.client).collect();
+        assert_eq!(distinct.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_rejected() {
+        WorkloadBuilder::new("T", 1, 0, 10).generate(&universe(), 1);
+    }
+}

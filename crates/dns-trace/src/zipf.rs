@@ -1,0 +1,153 @@
+//! Deterministic Zipf sampling.
+
+use rand::{Rng, RngExt};
+use std::fmt;
+
+/// A Zipf(α) distribution over ranks `0..n`, sampled by inverse-CDF binary
+/// search over precomputed cumulative weights.
+///
+/// Rank 0 is the most popular item. DNS name popularity is classically
+/// Zipf-like with α ≈ 0.9 (Jung et al., IMW 2001), which is the default
+/// used by the workload generator.
+///
+/// ```rust
+/// use dns_trace::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1000, 0.9);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(alpha);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point drift in the last bucket.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative, alpha }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is degenerate (single rank).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cumulative.len() {
+            return 0.0;
+        }
+        let prev = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        self.cumulative[rank] - prev
+    }
+}
+
+impl fmt::Display for Zipf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zipf(n={}, alpha={})", self.len(), self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 0.9);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_ranks_are_more_likely() {
+        let z = Zipf::new(50, 1.0);
+        for r in 1..50 {
+            assert!(z.pmf(r - 1) > z.pmf(r));
+        }
+    }
+
+    #[test]
+    fn samples_match_pmf_roughly() {
+        let z = Zipf::new(10, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate() {
+            let expected = z.pmf(r) * n as f64;
+            let got = count as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.1 + 50.0,
+                "rank {r}: expected {expected}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(1000, 0.9);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Resilience tuning: sweep renewal credits and long-TTL values on one
+//! workload to pick an operating point — a miniature of Figures 6–11.
+//!
+//! ```sh
+//! cargo run --release --example resilience_tuning
+//! ```
+
+use dns_resilience::core::{SimDuration, SimTime, Ttl};
+use dns_resilience::resolver::RenewalPolicy;
+use dns_resilience::sim::experiment::{attack_sweep, Scheme};
+use dns_resilience::stats::Table;
+use dns_resilience::trace::{TraceSpec, UniverseSpec};
+
+fn main() {
+    let universe = UniverseSpec::small().build(7);
+    let trace = TraceSpec::demo().generate(&universe, 42);
+    let start = SimTime::from_days(6);
+    let duration = [SimDuration::from_hours(6)];
+
+    let fail =
+        |scheme: Scheme| attack_sweep(&universe, &trace, scheme, start, &duration)[0].sr_failed_pct;
+
+    // Sweep 1: renewal credit, for the plain and adaptive LFU policies.
+    let mut credits = Table::new(vec!["credit", "LFU", "A-LFU"]);
+    credits.numeric();
+    for c in [1u32, 3, 5] {
+        credits.row(vec![
+            c.to_string(),
+            format!("{:.2}", fail(Scheme::renewal(RenewalPolicy::lfu(c)))),
+            format!("{:.2}", fail(Scheme::renewal(RenewalPolicy::adaptive_lfu(c)))),
+        ]);
+    }
+    println!("SR failure % by renewal credit (6h root+TLD attack)");
+    println!("{credits}");
+
+    // Sweep 2: long-TTL value, alone and combined with A-LFU_3.
+    let mut ttls = Table::new(vec!["IRR TTL", "refresh+longTTL", "combined"]);
+    ttls.numeric();
+    for days in [1u32, 3, 5, 7] {
+        let ttl = Ttl::from_days(days);
+        ttls.row(vec![
+            format!("{days}d"),
+            format!("{:.2}", fail(Scheme::refresh_long_ttl(ttl))),
+            format!(
+                "{:.2}",
+                fail(Scheme::combined(RenewalPolicy::adaptive_lfu(3), ttl))
+            ),
+        ]);
+    }
+    println!("SR failure % by infrastructure-record TTL");
+    println!("{ttls}");
+
+    println!("Reading the tables: adaptive credits beat plain ones because they");
+    println!("normalise by each zone's TTL; past ~3 days, longer TTLs stop");
+    println!("helping because the expiry-to-next-query gaps are already covered.");
+}

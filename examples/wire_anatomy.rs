@@ -1,0 +1,69 @@
+//! Wire anatomy: drive the DNS substrate directly — build an
+//! authoritative server, ask it questions, and inspect the raw RFC 1035
+//! bytes of the exchange (including the infrastructure records that the
+//! resilience schemes feed on).
+//!
+//! ```sh
+//! cargo run --release --example wire_anatomy
+//! ```
+
+use dns_resilience::auth::AuthServer;
+use dns_resilience::core::{
+    wire, Message, Name, Question, RecordType, ResponseKind, Ttl, ZoneBuilder,
+};
+use std::net::Ipv4Addr;
+
+fn hexdump(bytes: &[u8]) {
+    for (i, chunk) in bytes.chunks(16).enumerate() {
+        let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+        println!("  {:04x}  {}", i * 16, hex.join(" "));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An authoritative server for ucla.edu, the paper's running example.
+    let zone = ZoneBuilder::new("ucla.edu".parse()?)
+        .ns("ns1.ucla.edu".parse()?, Ipv4Addr::new(192, 0, 2, 1), Ttl::from_days(1))
+        .ns("ns2.ucla.edu".parse()?, Ipv4Addr::new(192, 0, 2, 2), Ttl::from_days(1))
+        .a("www.ucla.edu".parse()?, Ipv4Addr::new(192, 0, 2, 80), Ttl::from_hours(4))
+        .build()?;
+    let mut server = AuthServer::new("ns1.ucla.edu".parse()?, Ipv4Addr::new(192, 0, 2, 1));
+    server.add_zone(zone);
+
+    // The query, as bytes on the wire.
+    let qname: Name = "www.ucla.edu".parse()?;
+    let query = Message::query(0x1234, Question::new(qname, RecordType::A));
+    let query_bytes = wire::encode(&query)?;
+    println!("query ({} octets):", query_bytes.len());
+    hexdump(&query_bytes);
+
+    // The server answers; note the authority/additional sections carrying
+    // the zone's NS set and glue — the *infrastructure records*.
+    let response = server.handle_query(&wire::decode(&query_bytes)?);
+    assert_eq!(response.kind(), ResponseKind::Answer);
+    println!();
+    println!("response sections:");
+    for rec in &response.answers {
+        println!("  answer      {rec}");
+    }
+    for rec in &response.authorities {
+        println!("  authority   {rec}");
+    }
+    for rec in &response.additionals {
+        println!("  additional  {rec}");
+    }
+
+    let response_bytes = wire::encode(&response)?;
+    println!();
+    println!(
+        "response ({} octets, name compression keeps the repeats cheap):",
+        response_bytes.len()
+    );
+    hexdump(&response_bytes);
+
+    // Round-trip fidelity.
+    assert_eq!(wire::decode(&response_bytes)?, response);
+    println!();
+    println!("decode(encode(response)) == response ✓");
+    Ok(())
+}

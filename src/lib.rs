@@ -1,0 +1,27 @@
+//! Facade crate for the DSN 2007 DNS-resilience reproduction.
+//!
+//! Re-exports the public API of every workspace crate so downstream users
+//! (and the `examples/`) can depend on a single crate:
+//!
+//! * [`core`] — names, records, messages, zones, wire format.
+//! * [`auth`] — authoritative name-server engine.
+//! * [`resolver`] — caching resolver with the paper's resilience policies.
+//! * [`sim`] — discrete-event simulator and DDoS attack scenarios.
+//! * [`trace`] — synthetic namespace and query-trace generation.
+//! * [`stats`] — CDFs, histograms and table emitters.
+//! * [`netd`] — live UDP daemons (authoritative + recursive) and a
+//!   dig-like client, binding the same engines to real sockets.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: build a namespace,
+//! generate a workload, attack the root + TLDs and compare the vanilla
+//! resolver against the paper's combined scheme.
+
+pub use dns_auth as auth;
+pub use dns_netd as netd;
+pub use dns_core as core;
+pub use dns_resolver as resolver;
+pub use dns_sim as sim;
+pub use dns_stats as stats;
+pub use dns_trace as trace;

@@ -1,0 +1,144 @@
+//! DNSSEC structure at universe scale: a fully signed synthetic internet,
+//! validated through the simulator's farm (paper §6's extension of the
+//! caching schemes to the new infrastructure records).
+
+use dns_resilience::core::{Name, SimDuration, SimTime};
+use dns_resilience::resolver::{CachingServer, ResolverConfig, RootHints, SecureStatus};
+use dns_resilience::sim::{AttackScenario, ServerFarm, SimNet};
+use dns_resilience::trace::{Universe, UniverseSpec};
+
+fn signed_universe() -> Universe {
+    let mut spec = UniverseSpec::small_signed();
+    spec.sld_count = 400;
+    spec.tld_count = 12;
+    spec.build(77)
+}
+
+fn resolver_over(universe: &Universe, config: ResolverConfig) -> (CachingServer, SimNet) {
+    let farm = ServerFarm::build(universe, None);
+    let hints = RootHints::new(universe.root_servers().to_vec());
+    (CachingServer::new(config, hints), SimNet::new(farm))
+}
+
+#[test]
+fn signed_zones_validate_across_the_universe() {
+    let u = signed_universe();
+    let (mut cs, mut net) = resolver_over(&u, ResolverConfig::with_refresh());
+    let signed: Vec<_> = u
+        .zones()
+        .iter()
+        .filter(|z| z.dnskey.is_some() && !z.data_names.is_empty())
+        .step_by(37)
+        .take(10)
+        .collect();
+    assert!(!signed.is_empty());
+    for zone in signed {
+        let (host, _) = &zone.data_names[0];
+        let out = cs.resolve_a(host, SimTime::ZERO, &mut net);
+        assert!(out.is_success(), "{host} must resolve");
+        assert_eq!(
+            cs.validate_zone(&zone.apex, SimTime::from_mins(1), &mut net),
+            SecureStatus::Secure,
+            "zone {} must validate",
+            zone.apex
+        );
+    }
+}
+
+#[test]
+fn unsigned_universe_is_uniformly_insecure() {
+    let mut spec = UniverseSpec::small();
+    spec.sld_count = 100;
+    spec.tld_count = 8;
+    let u = spec.build(5);
+    let (mut cs, mut net) = resolver_over(&u, ResolverConfig::vanilla());
+    let zone = u.zones().iter().find(|z| !z.data_names.is_empty()).unwrap();
+    cs.resolve_a(&zone.data_names[0].0, SimTime::ZERO, &mut net);
+    assert_eq!(
+        cs.validate_zone(&zone.apex, SimTime::from_mins(1), &mut net),
+        SecureStatus::Insecure
+    );
+}
+
+#[test]
+fn validation_survives_root_and_tld_attack_with_refresh() {
+    let u = signed_universe();
+    let (mut cs, mut net) = resolver_over(&u, ResolverConfig::with_refresh());
+    let zone = u
+        .zones()
+        .iter()
+        .find(|z| z.dnskey.is_some() && !z.data_names.is_empty())
+        .unwrap();
+    let (host, _) = &zone.data_names[0];
+
+    // Prime and refresh once within the IRR TTL.
+    cs.resolve_a(host, SimTime::ZERO, &mut net);
+    let half_ttl = SimDuration::from_secs(u64::from(zone.infra_ttl.as_secs()) / 2);
+    cs.resolve_a(host, SimTime::ZERO + half_ttl, &mut net);
+
+    // Black out the root and every TLD "forever".
+    net.set_attack(
+        AttackScenario::zones(
+            u.root_and_tld_apexes(),
+            SimTime::ZERO,
+            SimDuration::from_days(365),
+        )
+        .compile(&u),
+    );
+
+    // Inside the refreshed window: both resolution and DNSSEC validation
+    // still work, because the DS rides on the (refreshed) infra entry.
+    let probe_at = SimTime::ZERO + half_ttl + SimDuration::from_secs(1);
+    assert_eq!(
+        cs.validate_zone(&zone.apex, probe_at, &mut net),
+        SecureStatus::Secure
+    );
+}
+
+#[test]
+fn signed_universe_roundtrips_through_io() {
+    let u = signed_universe();
+    let mut buf = Vec::new();
+    dns_resilience::trace::io::save_universe(&mut buf, &u).unwrap();
+    let back = dns_resilience::trace::io::load_universe(buf.as_slice()).unwrap();
+    let signed_count = |u: &Universe| u.zones().iter().filter(|z| z.dnskey.is_some()).count();
+    assert_eq!(signed_count(&u), signed_count(&back));
+    assert!(signed_count(&u) > 100);
+    // And the reloaded universe still validates.
+    let (mut cs, mut net) = resolver_over(&back, ResolverConfig::with_refresh());
+    let zone = back
+        .zones()
+        .iter()
+        .find(|z| z.dnskey.is_some() && !z.data_names.is_empty())
+        .unwrap();
+    cs.resolve_a(&zone.data_names[0].0, SimTime::ZERO, &mut net);
+    assert_eq!(
+        cs.validate_zone(&zone.apex, SimTime::from_mins(1), &mut net),
+        SecureStatus::Secure
+    );
+}
+
+#[test]
+fn deep_signed_zones_validate_too() {
+    let u = signed_universe();
+    let deep: Vec<&Name> = u
+        .zones()
+        .iter()
+        .filter(|z| z.apex.label_count() >= 3 && z.dnskey.is_some())
+        .map(|z| &z.apex)
+        .take(3)
+        .collect();
+    if deep.is_empty() {
+        return; // tiny universe may have no deep signed zones
+    }
+    let (mut cs, mut net) = resolver_over(&u, ResolverConfig::with_refresh());
+    for apex in deep {
+        let spec = u.get(apex).unwrap();
+        cs.resolve_a(&spec.data_names[0].0, SimTime::ZERO, &mut net);
+        assert_eq!(
+            cs.validate_zone(apex, SimTime::from_mins(1), &mut net),
+            SecureStatus::Secure,
+            "deep zone {apex}"
+        );
+    }
+}

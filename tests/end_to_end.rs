@@ -1,0 +1,155 @@
+//! Cross-crate integration: generated universe → server farm → caching
+//! resolver, exercised through the facade crate.
+
+use dns_resilience::core::{Name, Question, RecordType, SimDuration, SimTime};
+use dns_resilience::resolver::{CachingServer, Outcome, ResolverConfig, RootHints};
+use dns_resilience::sim::{AttackScenario, ServerFarm, SimConfig, SimNet, Simulation};
+use dns_resilience::trace::{TraceSpec, Universe, UniverseSpec};
+
+fn universe() -> Universe {
+    UniverseSpec::small().build(7)
+}
+
+fn resolver_over(universe: &Universe) -> (CachingServer, SimNet) {
+    let farm = ServerFarm::build(universe, None);
+    let net = SimNet::new(farm);
+    let hints = RootHints::new(universe.root_servers().to_vec());
+    (CachingServer::new(ResolverConfig::vanilla(), hints), net)
+}
+
+#[test]
+fn every_generated_data_name_resolves() {
+    let u = universe();
+    let (mut cs, mut net) = resolver_over(&u);
+    // Sample a spread of zones: first, last, and some in between.
+    let zones: Vec<_> = u
+        .zones()
+        .iter()
+        .filter(|z| !z.data_names.is_empty())
+        .step_by(97)
+        .collect();
+    assert!(zones.len() > 10);
+    for (i, zone) in zones.iter().enumerate() {
+        let (name, _) = &zone.data_names[0];
+        let out = cs.resolve_a(name, SimTime::from_secs(i as u64), &mut net);
+        assert!(
+            matches!(out, Outcome::Answer { .. }),
+            "{name} failed: {out}"
+        );
+    }
+    // No failures at the resolver and none dropped by the network.
+    assert_eq!(cs.metrics().failed_in, 0);
+    assert_eq!(net.stats().dropped_by_attack, 0);
+    assert_eq!(net.stats().unroutable, 0);
+}
+
+#[test]
+fn cname_aliases_resolve_through_the_stack() {
+    let u = universe();
+    let (mut cs, mut net) = resolver_over(&u);
+    let zone = u
+        .zones()
+        .iter()
+        .find(|z| !z.cnames.is_empty())
+        .expect("universe has aliases");
+    let (alias, target, _) = &zone.cnames[0];
+    let out = cs.resolve_a(alias, SimTime::ZERO, &mut net);
+    match out {
+        Outcome::Answer { records, .. } => {
+            assert_eq!(records[0].rtype(), RecordType::Cname);
+            assert!(records.iter().any(|r| r.name() == target));
+        }
+        other => panic!("alias {alias} gave {other}"),
+    }
+}
+
+#[test]
+fn mx_and_nxdomain_queries_behave() {
+    let u = universe();
+    let (mut cs, mut net) = resolver_over(&u);
+    let mx_zone = u
+        .zones()
+        .iter()
+        .find(|z| z.has_mx)
+        .expect("universe has MX zones");
+    let out = cs.resolve(
+        &Question::new(mx_zone.apex.clone(), RecordType::Mx),
+        SimTime::ZERO,
+        &mut net,
+    );
+    assert!(matches!(out, Outcome::Answer { .. }), "MX gave {out}");
+
+    let missing: Name = format!("nx999.{}", mx_zone.apex).parse().unwrap();
+    let out = cs.resolve_a(&missing, SimTime::from_secs(1), &mut net);
+    assert!(matches!(out, Outcome::NxDomain { .. }), "got {out}");
+}
+
+#[test]
+fn out_of_bailiwick_zones_resolve() {
+    let u = universe();
+    let (mut cs, mut net) = resolver_over(&u);
+    let oob: Vec<_> = u
+        .zones()
+        .iter()
+        .filter(|z| z.ns.iter().any(|(n, _)| !n.is_subdomain_of(&z.apex)))
+        .take(5)
+        .collect();
+    assert!(!oob.is_empty());
+    for zone in oob {
+        let (name, _) = &zone.data_names[0];
+        let out = cs.resolve_a(name, SimTime::ZERO, &mut net);
+        assert!(matches!(out, Outcome::Answer { .. }), "{name} gave {out}");
+    }
+}
+
+#[test]
+fn full_simulation_is_deterministic_across_runs() {
+    let u = universe();
+    let trace = TraceSpec::demo().scaled(0.2).generate(&u, 9);
+    let attack = AttackScenario::root_and_tlds(SimTime::from_days(6), SimDuration::from_hours(6));
+    let run = || {
+        let mut sim = Simulation::new(
+            &u,
+            trace.clone(),
+            SimConfig::new(ResolverConfig::with_refresh()),
+        );
+        sim.set_attack(attack.compile(&u));
+        sim.run_to_end();
+        (sim.metrics(), sim.net().stats())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn attack_only_affects_the_window() {
+    let u = universe();
+    let trace = TraceSpec::demo().scaled(0.2).generate(&u, 9);
+    let start = SimTime::from_days(6);
+    let duration = SimDuration::from_hours(3);
+
+    let mut sim = Simulation::new(&u, trace, SimConfig::new(ResolverConfig::vanilla()));
+    sim.set_attack(AttackScenario::root_and_tlds(start, duration).compile(&u));
+
+    sim.run_until(start);
+    assert_eq!(sim.metrics().failed_in, 0, "no failures before the attack");
+
+    sim.run_until(start + duration);
+    let during = sim.metrics().failed_in;
+    assert!(during > 0, "the attack must cause failures");
+
+    // After the attack ends, failures stop accumulating (beyond the
+    // window's edge effects there is nothing left to fail).
+    sim.run_to_end();
+    let after = sim.metrics().failed_in;
+    assert_eq!(after, during, "no failures after the servers recover");
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The facade must expose enough to write the quickstart end to end.
+    let u = UniverseSpec::small().build(1);
+    let t = TraceSpec::demo().scaled(0.01).generate(&u, 1);
+    let mut sim = Simulation::new(&u, t, SimConfig::new(ResolverConfig::vanilla()));
+    sim.run_to_end();
+    assert!(sim.metrics().queries_in > 0);
+}
