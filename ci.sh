@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Repo gate: formatting, lints, the full test suite, and an end-to-end
+# smoke run of one figure binary on a tiny workload.
+#
+#   ./ci.sh            # everything (a few minutes)
+#   ./ci.sh smoke      # just the figure smoke run
+set -eu
+
+smoke() {
+    echo "== smoke: fig4 on a tiny trace =="
+    out=$(mktemp -d)
+    DNS_REPRO_SCALE=0.05 DNS_REPRO_OUT="$out" \
+        cargo run --release -p dns-bench --bin fig4 --offline
+    for f in fig4_sr fig4_cs run_manifest; do
+        test -s "$out/$f.csv" || { echo "missing $out/$f.csv" >&2; exit 1; }
+    done
+    rm -rf "$out"
+    echo "smoke OK"
+}
+
+if [ "${1:-}" = "smoke" ]; then
+    smoke
+    exit 0
+fi
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --offline
+
+smoke

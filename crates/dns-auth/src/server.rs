@@ -148,11 +148,7 @@ impl AuthServer {
                     zone.apex().clone(),
                     Ttl::from_mins(5),
                     RData::Soa {
-                        mname: zone
-                            .ns_names()
-                            .first()
-                            .cloned()
-                            .unwrap_or_else(Name::root),
+                        mname: zone.ns_names().first().cloned().unwrap_or_else(Name::root),
                         rname: zone.apex().clone(),
                         serial: 1,
                         refresh: 7200,
@@ -182,7 +178,13 @@ impl AuthServer {
 
 impl fmt::Display for AuthServer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}) serving {} zones", self.name, self.addr, self.zones.len())
+        write!(
+            f,
+            "{} ({}) serving {} zones",
+            self.name,
+            self.addr,
+            self.zones.len()
+        )
     }
 }
 

@@ -141,7 +141,11 @@ mod tests {
     #[test]
     fn root_zone_catches_everything() {
         let root = ZoneBuilder::new(Name::root())
-            .ns(name("a.root-servers.net"), Ipv4Addr::new(198, 41, 0, 4), Ttl::from_days(7))
+            .ns(
+                name("a.root-servers.net"),
+                Ipv4Addr::new(198, 41, 0, 4),
+                Ttl::from_days(7),
+            )
             .build()
             .unwrap();
         let store: ZoneStore = [root].into_iter().collect();
@@ -178,8 +182,14 @@ mod tests {
             .unwrap()
             .set_infra_ttl(Ttl::from_days(5));
         // `a` sees the new TTL, `b` keeps the original.
-        assert_eq!(a.get(&name("ucla.edu")).unwrap().infra_ttl(), Ttl::from_days(5));
-        assert_eq!(b.get(&name("ucla.edu")).unwrap().infra_ttl(), Ttl::from_days(1));
+        assert_eq!(
+            a.get(&name("ucla.edu")).unwrap().infra_ttl(),
+            Ttl::from_days(5)
+        );
+        assert_eq!(
+            b.get(&name("ucla.edu")).unwrap().infra_ttl(),
+            Ttl::from_days(1)
+        );
     }
 
     #[test]

@@ -15,9 +15,21 @@ fn name(s: &str) -> Name {
 
 fn server() -> AuthServer {
     let zone = ZoneBuilder::new(name("ucla.edu"))
-        .ns(name("ns1.ucla.edu"), Ipv4Addr::new(192, 0, 2, 1), Ttl::from_days(1))
-        .ns(name("ns2.ucla.edu"), Ipv4Addr::new(192, 0, 2, 2), Ttl::from_days(1))
-        .a(name("www.ucla.edu"), Ipv4Addr::new(192, 0, 2, 80), Ttl::from_hours(4))
+        .ns(
+            name("ns1.ucla.edu"),
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ttl::from_days(1),
+        )
+        .ns(
+            name("ns2.ucla.edu"),
+            Ipv4Addr::new(192, 0, 2, 2),
+            Ttl::from_days(1),
+        )
+        .a(
+            name("www.ucla.edu"),
+            Ipv4Addr::new(192, 0, 2, 80),
+            Ttl::from_hours(4),
+        )
         .record(Record::new(
             name("ucla.edu"),
             Ttl::from_hours(4),
@@ -26,7 +38,11 @@ fn server() -> AuthServer {
                 exchange: name("mail.ucla.edu"),
             },
         ))
-        .a(name("mail.ucla.edu"), Ipv4Addr::new(192, 0, 2, 25), Ttl::from_hours(4))
+        .a(
+            name("mail.ucla.edu"),
+            Ipv4Addr::new(192, 0, 2, 25),
+            Ttl::from_hours(4),
+        )
         .delegate(Delegation {
             child: name("cs.ucla.edu"),
             ns_names: vec![name("ns.cs.ucla.edu")],
@@ -81,7 +97,10 @@ fn mx_answer_over_the_wire() {
     let resp = exchange(&server(), "ucla.edu", RecordType::Mx);
     assert_eq!(resp.kind(), ResponseKind::Answer);
     match resp.answers[0].rdata() {
-        RData::Mx { preference, exchange } => {
+        RData::Mx {
+            preference,
+            exchange,
+        } => {
             assert_eq!(*preference, 10);
             assert_eq!(exchange, &name("mail.ucla.edu"));
         }
@@ -93,7 +112,10 @@ fn mx_answer_over_the_wire() {
 fn nxdomain_over_the_wire() {
     let resp = exchange(&server(), "missing.ucla.edu", RecordType::A);
     assert_eq!(resp.kind(), ResponseKind::NxDomain);
-    assert!(resp.authorities.iter().any(|r| r.rtype() == RecordType::Soa));
+    assert!(resp
+        .authorities
+        .iter()
+        .any(|r| r.rtype() == RecordType::Soa));
 }
 
 #[test]
@@ -115,8 +137,16 @@ fn response_sizes_are_wire_plausible() {
 fn multi_zone_server_over_the_wire() {
     let mut s = server();
     let other = ZoneBuilder::new(name("mit.edu"))
-        .ns(name("ns1.ucla.edu"), Ipv4Addr::new(192, 0, 2, 1), Ttl::from_days(1))
-        .a(name("www.mit.edu"), Ipv4Addr::new(192, 0, 2, 90), Ttl::from_hours(4))
+        .ns(
+            name("ns1.ucla.edu"),
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ttl::from_days(1),
+        )
+        .a(
+            name("www.mit.edu"),
+            Ipv4Addr::new(192, 0, 2, 90),
+            Ttl::from_hours(4),
+        )
         .build()
         .unwrap();
     s.add_zone(other);

@@ -22,21 +22,43 @@ fn bench_record_cache(c: &mut Criterion) {
         .map(|i| format!("host{i}.z{}.com", i % 997))
         .collect();
     for n in &names {
-        warm.insert(a_set(n, Ttl::from_hours(4)), SimTime::ZERO, Credibility::AuthAnswer);
+        warm.insert(
+            a_set(n, Ttl::from_hours(4)),
+            SimTime::ZERO,
+            Credibility::AuthAnswer,
+        );
     }
     let probe = name(&names[4242]);
 
     c.bench_function("cache/record_insert", |b| {
         let set = a_set("www.example.com", Ttl::from_hours(4));
         let mut cache = warm.clone();
-        b.iter(|| cache.insert(black_box(set.clone()), SimTime::ZERO, Credibility::AuthAnswer))
+        b.iter(|| {
+            cache.insert(
+                black_box(set.clone()),
+                SimTime::ZERO,
+                Credibility::AuthAnswer,
+            )
+        })
     });
     c.bench_function("cache/record_hit", |b| {
-        b.iter(|| warm.get(black_box(&probe), dns_core::RecordType::A, SimTime::from_mins(1)))
+        b.iter(|| {
+            warm.get(
+                black_box(&probe),
+                dns_core::RecordType::A,
+                SimTime::from_mins(1),
+            )
+        })
     });
     c.bench_function("cache/record_miss", |b| {
         let missing = name("not.cached.example");
-        b.iter(|| warm.get(black_box(&missing), dns_core::RecordType::A, SimTime::from_mins(1)))
+        b.iter(|| {
+            warm.get(
+                black_box(&missing),
+                dns_core::RecordType::A,
+                SimTime::from_mins(1),
+            )
+        })
     });
     c.bench_function("cache/purge_10k", |b| {
         b.iter_with_setup(

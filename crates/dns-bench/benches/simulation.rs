@@ -23,7 +23,10 @@ fn bench_replay(c: &mut Criterion) {
     let schemes = [
         ("vanilla", Scheme::vanilla()),
         ("refresh", Scheme::refresh()),
-        ("renewal_alfu3", Scheme::renewal(RenewalPolicy::adaptive_lfu(3))),
+        (
+            "renewal_alfu3",
+            Scheme::renewal(RenewalPolicy::adaptive_lfu(3)),
+        ),
         (
             "combined",
             Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3)),
@@ -34,14 +37,7 @@ fn bench_replay(c: &mut Criterion) {
         let farm = dns_sim::ServerFarm::build(&universe, scheme.long_ttl);
         group.bench_with_input(BenchmarkId::from_parameter(label), &scheme, |b, s| {
             b.iter_with_setup(
-                || {
-                    Simulation::with_farm(
-                        farm.clone(),
-                        &universe,
-                        trace.clone(),
-                        s.sim_config(),
-                    )
-                },
+                || Simulation::with_farm(farm.clone(), &universe, trace.clone(), s.sim_config()),
                 |mut sim| {
                     sim.run_to_end();
                     sim.metrics().queries_in

@@ -8,10 +8,11 @@
 //!
 //! Run with `DNS_REPRO_SCALE=0.3` for a quick pass.
 
-use dns_bench::{emit, pct, standard_universe, Lab};
+use dns_bench::{emit, pct, Lab};
 use dns_core::{SimDuration, SimTime};
 use dns_resolver::RenewalPolicy;
-use dns_sim::experiment::{attack_sweep, attack_sweep_with_farm, Scheme, ATTACK_START_DAY};
+use dns_sim::experiment::{Scheme, ATTACK_START_DAY};
+use dns_sim::ExperimentSpec;
 use dns_stats::Table;
 use dns_trace::{TraceSpec, WorkloadBuilder};
 
@@ -23,31 +24,33 @@ fn main() {
 
     // --- Ablation 1: LFU credit cap -------------------------------------
     // The cap does not appear in the scheme label, so Lab's memo would
-    // collapse all cap values into one run: sweep directly instead.
-    lab.trace(&spec);
+    // collapse all cap values into one run: sweep directly instead, all
+    // five caps as one parallel engine run (outcomes zip with `caps` by
+    // spec order).
+    let caps = [5u32, 10, 20, 50, 1000];
+    let trc1 = lab.trace(&spec);
+    let farm = lab.farm(None);
+    let outcome = ExperimentSpec::new(lab.universe())
+        .trace(trc1)
+        .schemes(caps.iter().map(|&cap| {
+            Scheme::renewal(RenewalPolicy::Lfu {
+                credit: 3,
+                max_credit: cap,
+            })
+        }))
+        .farm(None, farm)
+        .attack(start, &durations)
+        .run();
     let mut cap_table = Table::new(vec!["Cap M", "LFU_3 SR %", "LFU_3 CS %"]);
     cap_table.numeric();
-    for cap in [5u32, 10, 20, 50, 1000] {
-        let policy = RenewalPolicy::Lfu {
-            credit: 3,
-            max_credit: cap,
-        };
-        let farm = lab.farm(None);
-        let trace = lab.trace(&spec).clone();
-        let outcome = &attack_sweep_with_farm(
-            farm,
-            lab.universe(),
-            &trace,
-            Scheme::renewal(policy),
-            start,
-            &durations,
-        )[0];
+    for (cap, o) in caps.iter().zip(&outcome.attacks) {
         cap_table.row(vec![
             cap.to_string(),
-            pct(outcome.sr_failed_pct),
-            pct(outcome.cs_failed_pct),
+            pct(o.sr_failed_pct),
+            pct(o.cs_failed_pct),
         ]);
     }
+    lab.record_manifest(outcome.manifest);
     emit(
         "Ablation: LFU credit cap M (6h attack, TRC1)",
         "ablation_lfu_cap",
@@ -55,7 +58,30 @@ fn main() {
     );
 
     // --- Ablation 2: workload skew --------------------------------------
-    let universe = standard_universe();
+    // 4 traces × 3 schemes, one parallel engine run; attacks arrive
+    // trace-major so row t reads outcomes [3t .. 3t+3].
+    let alphas = [0.7, 0.9, 1.05, 1.2];
+    let schemes = [
+        Scheme::vanilla(),
+        Scheme::refresh(),
+        Scheme::renewal(RenewalPolicy::adaptive_lfu(3)),
+    ];
+    let farm = lab.farm(None);
+    let outcome = ExperimentSpec::new(lab.universe())
+        .traces(alphas.iter().map(|&alpha| {
+            WorkloadBuilder::new(
+                &format!("skew{alpha}"),
+                7,
+                spec.clients,
+                spec.total_queries / 2,
+            )
+            .zipf_alpha(alpha)
+            .generate(lab.universe(), 42)
+        }))
+        .schemes(schemes)
+        .farm(None, farm)
+        .attack(start, &durations)
+        .run();
     let mut skew_table = Table::new(vec![
         "Zipf alpha",
         "DNS SR %",
@@ -63,25 +89,22 @@ fn main() {
         "A-LFU_3 SR %",
     ]);
     skew_table.numeric();
-    for alpha in [0.7, 0.9, 1.05, 1.2] {
-        let trace = WorkloadBuilder::new("skew", 7, spec.clients, spec.total_queries / 2)
-            .zipf_alpha(alpha)
-            .generate(&universe, 42);
-        let fail = |scheme: Scheme| {
-            attack_sweep(&universe, &trace, scheme, start, &durations)[0].sr_failed_pct
-        };
+    for (t, alpha) in alphas.iter().enumerate() {
+        let row = &outcome.attacks[t * schemes.len()..(t + 1) * schemes.len()];
         skew_table.row(vec![
             format!("{alpha:.2}"),
-            pct(fail(Scheme::vanilla())),
-            pct(fail(Scheme::refresh())),
-            pct(fail(Scheme::renewal(RenewalPolicy::adaptive_lfu(3)))),
+            pct(row[0].sr_failed_pct),
+            pct(row[1].sr_failed_pct),
+            pct(row[2].sr_failed_pct),
         ]);
     }
+    lab.record_manifest(outcome.manifest);
     emit(
         "Ablation: workload Zipf skew (6h attack)",
         "ablation_skew",
         &skew_table,
     );
+    lab.emit_manifest();
     println!("Takeaways: raising the LFU cap helps popular zones accumulate more");
     println!("renewals, with diminishing returns once demand (not M) bounds the");
     println!("credit; and the scheme ordering — vanilla ≫ refresh ≫ adaptive");

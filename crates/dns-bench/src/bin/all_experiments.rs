@@ -17,5 +17,6 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
     experiments::all(&mut lab);
+    lab.emit_manifest();
     println!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
 }

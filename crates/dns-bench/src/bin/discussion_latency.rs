@@ -21,8 +21,14 @@ fn main() {
     let schemes = [
         ("DNS".to_string(), Scheme::vanilla()),
         ("Refresh".to_string(), Scheme::refresh()),
-        ("A-LFU_3".to_string(), Scheme::renewal(RenewalPolicy::adaptive_lfu(3))),
-        ("Long-TTL 7d".to_string(), Scheme::refresh_long_ttl(Ttl::from_days(7))),
+        (
+            "A-LFU_3".to_string(),
+            Scheme::renewal(RenewalPolicy::adaptive_lfu(3)),
+        ),
+        (
+            "Long-TTL 7d".to_string(),
+            Scheme::refresh_long_ttl(Ttl::from_days(7)),
+        ),
         (
             "Combination".to_string(),
             Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3)),
@@ -36,6 +42,9 @@ fn main() {
         "Referrals / 1k queries",
     ]);
     table.numeric();
+    // One parallel sweep covers all five schemes before the reads below.
+    let scheme_list: Vec<Scheme> = schemes.iter().map(|(_, s)| *s).collect();
+    lab.overhead_grid(std::slice::from_ref(&spec), &scheme_list, sample);
     for (label, scheme) in schemes {
         let out = lab.overhead(&spec, scheme, sample);
         let m = out.metrics;
@@ -54,6 +63,7 @@ fn main() {
         "discussion_latency",
         &table,
     );
+    lab.emit_manifest();
     println!("Fewer tree walks (referrals) ⇒ fewer synchronous round trips ⇒");
     println!("lower client-visible latency, exactly as the paper argues for");
     println!("refresh and long-TTL.");

@@ -8,4 +8,5 @@ use dns_trace::TraceSpec;
 fn main() {
     let mut lab = Lab::new();
     fig12(&mut lab, &TraceSpec::TRC6);
+    lab.emit_manifest();
 }

@@ -8,4 +8,5 @@ use dns_trace::TraceSpec;
 fn main() {
     let mut lab = Lab::new();
     fig8(&mut lab, &TraceSpec::weekly());
+    lab.emit_manifest();
 }

@@ -26,7 +26,11 @@ fn main() {
 
     let t2 = Instant::now();
     let mut sim = Simulation::new(&universe, trace, SimConfig::new(ResolverConfig::vanilla()));
-    println!("farm build: {:.1}s ({})", t2.elapsed().as_secs_f64(), sim.net().farm());
+    println!(
+        "farm build: {:.1}s ({})",
+        t2.elapsed().as_secs_f64(),
+        sim.net().farm()
+    );
 
     let t3 = Instant::now();
     sim.run_to_end();

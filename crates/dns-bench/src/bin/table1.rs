@@ -8,4 +8,5 @@ use dns_trace::TraceSpec;
 fn main() {
     let mut lab = Lab::new();
     table1(&mut lab, &TraceSpec::all());
+    lab.emit_manifest();
 }

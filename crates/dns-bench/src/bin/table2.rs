@@ -8,4 +8,5 @@ use dns_trace::TraceSpec;
 fn main() {
     let mut lab = Lab::new();
     table2(&mut lab, &TraceSpec::TRC1);
+    lab.emit_manifest();
 }

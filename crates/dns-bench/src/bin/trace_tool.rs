@@ -71,9 +71,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 .find(|s| s.name == spec_name)
                 .or_else(|| (spec_name == "DEMO").then(TraceSpec::demo))
                 .ok_or_else(|| format!("unknown spec {spec_name:?} (TRC1..TRC6, DEMO)"))?;
-            let universe =
-                load_universe(File::open(ufile).map_err(|e| e.to_string())?)
-                    .map_err(|e| e.to_string())?;
+            let universe = load_universe(File::open(ufile).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
             let trace = spec.generate(&universe, seed);
             let file = File::create(out).map_err(|e| e.to_string())?;
             save_trace(file, &trace).map_err(|e| e.to_string())?;
@@ -90,16 +89,21 @@ fn run(args: &[String]) -> Result<(), String> {
             table.row(vec!["days".into(), stats.days.to_string()]);
             table.row(vec!["clients".into(), stats.clients.to_string()]);
             table.row(vec!["requests in".into(), stats.requests_in.to_string()]);
-            table.row(vec!["distinct names".into(), stats.distinct_names.to_string()]);
-            table.row(vec!["distinct zones".into(), stats.distinct_zones.to_string()]);
+            table.row(vec![
+                "distinct names".into(),
+                stats.distinct_names.to_string(),
+            ]);
+            table.row(vec![
+                "distinct zones".into(),
+                stats.distinct_zones.to_string(),
+            ]);
             print!("{table}");
             Ok(())
         }
         "inspect" => {
             let ufile = args.get(1).ok_or("missing universe file")?;
-            let universe =
-                load_universe(File::open(ufile).map_err(|e| e.to_string())?)
-                    .map_err(|e| e.to_string())?;
+            let universe = load_universe(File::open(ufile).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
             let tlds = universe
                 .zones()
                 .iter()

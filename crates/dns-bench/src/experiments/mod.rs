@@ -6,15 +6,16 @@
 
 use crate::{emit, pct, ratio, Lab};
 use dns_core::{SimDuration, SimTime, Ttl};
-use dns_resolver::{RenewalPolicy, ResolverConfig};
+use dns_resolver::RenewalPolicy;
 use dns_sim::experiment::{
-    attack_sweep_with_farm, overhead_run_with_farm, AttackOutcome, OverheadOutcome, Scheme,
-    ATTACK_START_DAY, POLICY_FIGURE_DURATION,
+    AttackOutcome, OverheadOutcome, Scheme, ATTACK_START_DAY, POLICY_FIGURE_DURATION,
 };
 use dns_sim::gap::GapAnalysis;
-use dns_sim::{SimConfig, Simulation};
+use dns_sim::{ExperimentSpec, ServerFarm, SweepOutcome};
 use dns_stats::{AsciiChart, Table};
-use dns_trace::TraceSpec;
+use dns_trace::{Trace, TraceSpec};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Attack onset shared by every failure experiment: start of day 7.
 pub fn attack_start() -> SimTime {
@@ -27,56 +28,159 @@ pub fn durations_hours() -> [u64; 4] {
 }
 
 impl Lab {
-    /// Memoised attack outcomes for one `(trace, scheme, duration)` cell;
-    /// repeated columns across figures (e.g. the vanilla baseline) are
-    /// simulated only once.
+    /// Runs one engine sweep over `names` × `group`, reusing the lab's
+    /// trace/farm caches and recording the sweep's manifest.
+    fn sweep<F>(
+        &mut self,
+        specs: &[TraceSpec],
+        names: &[&'static str],
+        group: &[Scheme],
+        configure: F,
+    ) -> SweepOutcome
+    where
+        F: for<'s> FnOnce(ExperimentSpec<'s>) -> ExperimentSpec<'s>,
+    {
+        let traces: Vec<Arc<Trace>> = names
+            .iter()
+            .map(|name| {
+                let spec = specs
+                    .iter()
+                    .find(|s| s.name == *name)
+                    .expect("grouped name comes from specs");
+                self.trace(spec)
+            })
+            .collect();
+        let farms: Vec<(Option<Ttl>, Arc<ServerFarm>)> = group
+            .iter()
+            .map(|s| (s.long_ttl, self.farm(s.long_ttl)))
+            .collect();
+        let mut espec = ExperimentSpec::new(&self.universe)
+            .traces(traces)
+            .schemes(group.iter().copied());
+        for (ttl, farm) in farms {
+            espec = espec.farm(ttl, farm);
+        }
+        let outcome = configure(espec).run();
+        self.manifests.push(outcome.manifest.clone());
+        outcome
+    }
+
+    /// Ensures every `(trace, scheme, duration)` attack cell is memoised,
+    /// batching the missing cells into as few parallel engine sweeps as
+    /// possible: schemes missing the same trace set share one sweep, so
+    /// the engine fans full trace × scheme products over its workers.
+    pub fn attack_grid(
+        &mut self,
+        specs: &[TraceSpec],
+        schemes: &[Scheme],
+        durations: &[SimDuration],
+    ) {
+        let mut groups: BTreeMap<Vec<&'static str>, Vec<Scheme>> = BTreeMap::new();
+        for scheme in schemes {
+            let missing: Vec<&'static str> = specs
+                .iter()
+                .filter(|spec| {
+                    durations
+                        .iter()
+                        .any(|d| !self.attack_memo.contains_key(&memo_key(spec, scheme, *d)))
+                })
+                .map(|spec| spec.name)
+                .collect();
+            if !missing.is_empty() {
+                groups.entry(missing).or_default().push(*scheme);
+            }
+        }
+        for (names, group) in groups {
+            let outcome = self.sweep(specs, &names, &group, |s| {
+                s.attack(attack_start(), durations)
+            });
+            for o in outcome.attacks {
+                let name = static_name(specs, &o.trace);
+                self.attack_memo
+                    .insert((o.scheme.clone(), name, o.duration.as_secs()), o);
+            }
+        }
+    }
+
+    /// Ensures every `(trace, scheme)` overhead cell is memoised, batched
+    /// like [`Lab::attack_grid`].
+    pub fn overhead_grid(
+        &mut self,
+        specs: &[TraceSpec],
+        schemes: &[Scheme],
+        sample_every: SimDuration,
+    ) {
+        let mut groups: BTreeMap<Vec<&'static str>, Vec<Scheme>> = BTreeMap::new();
+        for scheme in schemes {
+            let missing: Vec<&'static str> = specs
+                .iter()
+                .filter(|spec| {
+                    !self
+                        .overhead_memo
+                        .contains_key(&(scheme.label(), spec.name))
+                })
+                .map(|spec| spec.name)
+                .collect();
+            if !missing.is_empty() {
+                groups.entry(missing).or_default().push(*scheme);
+            }
+        }
+        for (names, group) in groups {
+            let outcome = self.sweep(specs, &names, &group, |s| s.overhead(sample_every));
+            for o in outcome.overheads {
+                let name = static_name(specs, &o.trace);
+                self.overhead_memo.insert((o.scheme.clone(), name), o);
+            }
+        }
+    }
+
+    /// Memoised attack outcomes for one `(trace, scheme)` column across
+    /// `durations`; delegates to [`Lab::attack_grid`], so repeated
+    /// columns (e.g. the vanilla baseline) are simulated only once.
     pub fn attack_outcomes(
         &mut self,
         spec: &TraceSpec,
         scheme: Scheme,
         durations: &[SimDuration],
     ) -> Vec<AttackOutcome> {
-        let missing: Vec<SimDuration> = durations
-            .iter()
-            .copied()
-            .filter(|d| !self.attack_memo.contains_key(&memo_key(spec, &scheme, *d)))
-            .collect();
-        if !missing.is_empty() {
-            let farm = self.farm(scheme.long_ttl);
-            self.trace(spec); // ensure built before immutably borrowing
-            let outs = {
-                let trace = self.traces.get(spec.name).expect("trace just built");
-                attack_sweep_with_farm(farm, &self.universe, trace, scheme, attack_start(), &missing)
-            };
-            for o in outs {
-                self.attack_memo
-                    .insert(memo_key(spec, &scheme, o.duration), o);
-            }
-        }
+        self.attack_grid(std::slice::from_ref(spec), &[scheme], durations);
         durations
             .iter()
             .map(|d| self.attack_memo[&memo_key(spec, &scheme, *d)].clone())
             .collect()
     }
 
-    /// Memoised full-trace overhead run for Table 2 / Figure 12.
+    /// Memoised full-trace overhead run for Table 1 / Table 2 / Figure 12.
     pub fn overhead(
         &mut self,
         spec: &TraceSpec,
         scheme: Scheme,
         sample_every: SimDuration,
     ) -> OverheadOutcome {
-        let key = (scheme.label(), spec.name);
-        if !self.overhead_memo.contains_key(&key) {
-            let farm = self.farm(scheme.long_ttl);
-            self.trace(spec);
-            let out = {
-                let trace = self.traces.get(spec.name).expect("trace just built");
-                overhead_run_with_farm(farm, &self.universe, trace, scheme, sample_every)
-            };
-            self.overhead_memo.insert(key.clone(), out);
+        self.overhead_grid(std::slice::from_ref(spec), &[scheme], sample_every);
+        self.overhead_memo[&(scheme.label(), spec.name)].clone()
+    }
+
+    /// Memoised Figure-3 gap analyses (vanilla full-trace replay), with
+    /// any missing traces run as one parallel sweep.
+    pub fn gap_analyses(&mut self, specs: &[TraceSpec]) -> Vec<GapAnalysis> {
+        let missing: Vec<&'static str> = specs
+            .iter()
+            .filter(|s| !self.gap_memo.contains_key(s.name))
+            .map(|s| s.name)
+            .collect();
+        if !missing.is_empty() {
+            let outcome = self.sweep(specs, &missing, &[Scheme::vanilla()], |s| s.gaps());
+            for g in outcome.gaps {
+                let name = static_name(specs, &g.trace);
+                self.gap_memo
+                    .insert(name, GapAnalysis::from_samples(&g.samples));
+            }
         }
-        self.overhead_memo[&key].clone()
+        specs
+            .iter()
+            .map(|s| self.gap_memo[s.name].clone())
+            .collect()
     }
 }
 
@@ -84,15 +188,40 @@ fn memo_key(spec: &TraceSpec, scheme: &Scheme, d: SimDuration) -> (String, &'sta
     (scheme.label(), spec.name, d.as_secs())
 }
 
+/// Maps an outcome's trace label back to the `&'static str` preset name
+/// the memo tables are keyed by.
+fn static_name(specs: &[TraceSpec], name: &str) -> &'static str {
+    specs
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| s.name)
+        .expect("outcome trace label comes from the sweep's specs")
+}
+
 // ---------------------------------------------------------------------
 // Table 1 — trace statistics
 // ---------------------------------------------------------------------
 
+/// The cache-occupancy sampling interval shared by every overhead run
+/// (Tables 1–2, Figure 12), so their memo entries are interchangeable.
+pub fn overhead_sample() -> SimDuration {
+    SimDuration::from_hours(6)
+}
+
 /// Regenerates Table 1: per-trace statistics, with "requests out"
 /// measured by a vanilla replay (as the paper's caching servers did).
 pub fn table1(lab: &mut Lab, specs: &[TraceSpec]) {
+    // One parallel sweep covers every trace's vanilla replay; Table 2
+    // and Figure 12 reuse the same memo entries.
+    lab.overhead_grid(specs, &[Scheme::vanilla()], overhead_sample());
     let mut table = Table::new(vec![
-        "Trace", "Duration", "Clients", "Requests In", "Requests Out", "Names", "Zones",
+        "Trace",
+        "Duration",
+        "Clients",
+        "Requests In",
+        "Requests Out",
+        "Names",
+        "Zones",
     ]);
     table.numeric();
     for spec in specs {
@@ -100,18 +229,10 @@ pub fn table1(lab: &mut Lab, specs: &[TraceSpec]) {
         let stats = lab.traces[spec.name].stats();
         // "Requests out" is a property of a (vanilla) caching server in
         // front of the clients, so measure it by replay.
-        let farm = lab.farm(None);
-        let out = {
-            let trace = &lab.traces[spec.name];
-            let mut sim = Simulation::with_farm(
-                farm,
-                &lab.universe,
-                trace.clone(),
-                SimConfig::new(ResolverConfig::vanilla()),
-            );
-            sim.run_to_end();
-            sim.metrics().queries_out
-        };
+        let out = lab
+            .overhead(spec, Scheme::vanilla(), overhead_sample())
+            .metrics
+            .queries_out;
         table.row(vec![
             stats.name.clone(),
             format!("{} Days", stats.days),
@@ -134,26 +255,19 @@ pub fn table1(lab: &mut Lab, specs: &[TraceSpec]) {
 /// relative (fraction of the zone's IRR TTL).
 pub fn fig3(lab: &mut Lab, specs: &[TraceSpec]) {
     let mut summary = Table::new(vec![
-        "Trace", "Gaps", "P50 (days)", "P90 (days)", "<=1 day %", "<=5 days %", "P50 (xTTL)",
+        "Trace",
+        "Gaps",
+        "P50 (days)",
+        "P90 (days)",
+        "<=1 day %",
+        "<=5 days %",
+        "P50 (xTTL)",
         "P90 (xTTL)",
     ]);
     summary.numeric();
     let mut curves = Table::new(vec!["Trace", "Kind", "Value", "CDF"]);
-    for spec in specs {
-        lab.trace(spec);
-        let farm = lab.farm(None);
-        let analysis = {
-            let trace = &lab.traces[spec.name];
-            let mut sim = Simulation::with_farm(
-                farm,
-                &lab.universe,
-                trace.clone(),
-                SimConfig::new(ResolverConfig::vanilla()),
-            );
-            sim.run_to_end();
-            let samples = sim.take_gap_samples();
-            GapAnalysis::from_samples(&samples)
-        };
+    let analyses = lab.gap_analyses(specs);
+    for (spec, analysis) in specs.iter().zip(&analyses) {
         summary.row(vec![
             spec.name.to_string(),
             analysis.samples.to_string(),
@@ -161,8 +275,14 @@ pub fn fig3(lab: &mut Lab, specs: &[TraceSpec]) {
             format!("{:.3}", analysis.absolute_days.quantile(0.9).unwrap_or(0.0)),
             pct(analysis.absolute_days.fraction_at_or_below(1.0) * 100.0),
             pct(analysis.absolute_days.fraction_at_or_below(5.0) * 100.0),
-            format!("{:.3}", analysis.fraction_of_ttl.quantile(0.5).unwrap_or(0.0)),
-            format!("{:.3}", analysis.fraction_of_ttl.quantile(0.9).unwrap_or(0.0)),
+            format!(
+                "{:.3}",
+                analysis.fraction_of_ttl.quantile(0.5).unwrap_or(0.0)
+            ),
+            format!(
+                "{:.3}",
+                analysis.fraction_of_ttl.quantile(0.9).unwrap_or(0.0)
+            ),
         ]);
         for (value, cdf) in analysis.absolute_days.curve(64) {
             curves.row(vec![
@@ -181,7 +301,11 @@ pub fn fig3(lab: &mut Lab, specs: &[TraceSpec]) {
             ]);
         }
     }
-    emit("Figure 3: time-gap duration summary", "fig3_summary", &summary);
+    emit(
+        "Figure 3: time-gap duration summary",
+        "fig3_summary",
+        &summary,
+    );
     emit("Figure 3: time-gap CDF curves", "fig3_curves", &curves);
 
     // Terminal rendition of the upper plot (absolute gaps, first trace).
@@ -189,7 +313,11 @@ pub fn fig3(lab: &mut Lab, specs: &[TraceSpec]) {
         let points: Vec<(f64, f64)> = curves_points_for(&curves, spec.name, "days");
         if !points.is_empty() {
             let mut chart = AsciiChart::new(64, 12);
-            chart.series(format!("{} gap CDF (days → fraction)", spec.name), '*', points);
+            chart.series(
+                format!("{} gap CDF (days → fraction)", spec.name),
+                '*',
+                points,
+            );
             println!("{}", chart.render());
         }
     }
@@ -217,6 +345,8 @@ fn duration_figure(lab: &mut Lab, specs: &[TraceSpec], scheme: Scheme, figure: &
         .iter()
         .map(|&h| SimDuration::from_hours(h))
         .collect();
+    // All traces in one parallel sweep before the per-row reads below.
+    lab.attack_grid(specs, &[scheme], &durations);
     let mut headers = vec!["Trace".to_string()];
     headers.extend(durations_hours().iter().map(|h| format!("{h} Hours")));
 
@@ -290,6 +420,9 @@ fn columns_figure(
     stem: &str,
 ) {
     let durations = [POLICY_FIGURE_DURATION];
+    // Full trace × scheme product in one parallel sweep.
+    let scheme_list: Vec<Scheme> = schemes.iter().map(|(_, s)| *s).collect();
+    lab.attack_grid(specs, &scheme_list, &durations);
     let mut headers = vec!["Trace".to_string()];
     headers.extend(schemes.iter().map(|(label, _)| label.clone()));
     let mut sr = Table::new(headers.clone());
@@ -407,7 +540,10 @@ pub fn table2_schemes() -> Vec<(String, Scheme)> {
 /// Regenerates Table 2: % change in generated DNS messages vs vanilla,
 /// plus cached-zone and cached-record multipliers, over `spec`.
 pub fn table2(lab: &mut Lab, spec: &TraceSpec) {
-    let sample = SimDuration::from_hours(6);
+    let sample = overhead_sample();
+    let mut all: Vec<Scheme> = vec![Scheme::vanilla()];
+    all.extend(table2_schemes().into_iter().map(|(_, s)| s));
+    lab.overhead_grid(std::slice::from_ref(spec), &all, sample);
     let vanilla = lab.overhead(spec, Scheme::vanilla(), sample);
     let mut table = Table::new(vec![
         "Scheme",
@@ -473,7 +609,9 @@ pub fn fig12_schemes() -> Vec<(String, Scheme)> {
 /// Regenerates Figure 12: cached zones and records over time for each
 /// scheme, on the one-month trace.
 pub fn fig12(lab: &mut Lab, spec: &TraceSpec) {
-    let sample = SimDuration::from_hours(6);
+    let sample = overhead_sample();
+    let schemes: Vec<Scheme> = fig12_schemes().into_iter().map(|(_, s)| s).collect();
+    lab.overhead_grid(std::slice::from_ref(spec), &schemes, sample);
     let mut series = Table::new(vec!["Scheme", "Day", "Zones", "Records"]);
     let mut summary = Table::new(vec!["Scheme", "Mean Zones", "Mean Records", "Peak Records"]);
     summary.numeric();

@@ -4,12 +4,15 @@
 //! (see `DESIGN.md` §4 for the index). They all follow the same recipe:
 //!
 //! 1. build the standard [`Universe`] and the trace(s) involved,
-//! 2. run the sweep from [`dns_sim::experiment`],
-//! 3. print a paper-shaped table and write a CSV next to it.
+//! 2. declare the sweep as a [`dns_sim::sweep::ExperimentSpec`] (via the
+//!    [`Lab`]'s memoised grid helpers) and run it on the parallel engine,
+//! 3. print a paper-shaped table, write a CSV next to it, and emit the
+//!    run manifest ([`Lab::emit_manifest`]).
 //!
 //! Set `DNS_REPRO_SCALE` (a float, default `1.0`) to shrink or grow the
 //! workloads, e.g. `DNS_REPRO_SCALE=0.1 cargo run --release --bin fig4`
-//! for a quick preview.
+//! for a quick preview. `DNS_SIM_THREADS` pins the engine's worker count
+//! (`1` forces sequential execution; results are identical either way).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,11 +21,13 @@ pub mod experiments;
 
 use dns_core::Ttl;
 use dns_sim::experiment::{AttackOutcome, OverheadOutcome};
-use dns_sim::ServerFarm;
-use dns_stats::Table;
+use dns_sim::gap::GapAnalysis;
+use dns_sim::{RunManifest, ServerFarm};
+use dns_stats::{manifest_table, Table};
 use dns_trace::{Trace, TraceSpec, Universe, UniverseSpec};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Seed for universe generation (shared by every experiment so that all
 /// figures describe the same simulated internet).
@@ -101,15 +106,18 @@ pub fn ratio(v: f64) -> String {
 }
 
 /// Shared state for a sweep of experiments: the universe plus memoised
-/// traces and server farms (farm construction dominates setup cost, so
-/// each long-TTL setting is built once and cloned per run).
+/// traces, server farms (one per long-TTL setting, shared by `Arc`
+/// across every run), memoised outcomes, and the run manifests of every
+/// engine sweep executed so far.
 #[derive(Debug)]
 pub struct Lab {
     pub(crate) universe: Universe,
-    pub(crate) traces: HashMap<&'static str, Trace>,
-    pub(crate) farms: HashMap<u64, ServerFarm>,
+    pub(crate) traces: HashMap<&'static str, Arc<Trace>>,
+    pub(crate) farms: HashMap<u64, Arc<ServerFarm>>,
     pub(crate) attack_memo: HashMap<(String, &'static str, u64), AttackOutcome>,
     pub(crate) overhead_memo: HashMap<(String, &'static str), OverheadOutcome>,
+    pub(crate) gap_memo: HashMap<&'static str, GapAnalysis>,
+    pub(crate) manifests: Vec<RunManifest>,
 }
 
 impl Lab {
@@ -126,6 +134,8 @@ impl Lab {
             farms: HashMap::new(),
             attack_memo: HashMap::new(),
             overhead_memo: HashMap::new(),
+            gap_memo: HashMap::new(),
+            manifests: Vec::new(),
         }
     }
 
@@ -134,21 +144,69 @@ impl Lab {
         &self.universe
     }
 
-    /// The (memoised) trace for a preset.
-    pub fn trace(&mut self, spec: &TraceSpec) -> &Trace {
+    /// The (memoised) trace for a preset, shared without copying.
+    pub fn trace(&mut self, spec: &TraceSpec) -> Arc<Trace> {
         let index = spec.name.as_bytes().last().copied().unwrap_or(0) as u64;
-        self.traces
-            .entry(spec.name)
-            .or_insert_with(|| build_trace(&self.universe, spec, index))
+        Arc::clone(
+            self.traces
+                .entry(spec.name)
+                .or_insert_with(|| Arc::new(build_trace(&self.universe, spec, index))),
+        )
     }
 
-    /// A farm for the given long-TTL setting, built once and cloned.
-    pub fn farm(&mut self, long_ttl: Option<Ttl>) -> ServerFarm {
+    /// A farm for the given long-TTL setting, built once and shared.
+    pub fn farm(&mut self, long_ttl: Option<Ttl>) -> Arc<ServerFarm> {
         let key = long_ttl.map_or(u64::MAX, |t| u64::from(t.as_secs()));
-        self.farms
-            .entry(key)
-            .or_insert_with(|| ServerFarm::build(&self.universe, long_ttl))
-            .clone()
+        Arc::clone(
+            self.farms
+                .entry(key)
+                .or_insert_with(|| Arc::new(ServerFarm::build(&self.universe, long_ttl))),
+        )
+    }
+
+    /// Records the manifest of one engine sweep.
+    pub fn record_manifest(&mut self, manifest: RunManifest) {
+        self.manifests.push(manifest);
+    }
+
+    /// Prints the combined run manifest of every sweep this lab executed
+    /// and writes it as `run_manifest.csv` into [`output_dir`].
+    pub fn emit_manifest(&self) {
+        if self.manifests.is_empty() {
+            return;
+        }
+        let mut rows = Vec::new();
+        for manifest in &self.manifests {
+            let offset = rows.len();
+            rows.extend(manifest.rows().into_iter().map(|mut r| {
+                r.unit += offset;
+                r
+            }));
+        }
+        let table = manifest_table(&rows);
+        emit("Run manifest", "run_manifest", &table);
+        let threads = self.manifests.iter().map(|m| m.threads).max().unwrap_or(1);
+        let wall: f64 = self
+            .manifests
+            .iter()
+            .map(|m| m.total_wall.as_secs_f64())
+            .sum();
+        let unit_sum: f64 = self
+            .manifests
+            .iter()
+            .map(|m| m.unit_wall_sum().as_secs_f64())
+            .sum();
+        let speedup = if wall > 0.0 { unit_sum / wall } else { 1.0 };
+        println!(
+            "{} sweep(s), {} units on up to {} thread(s): {:.1}s wall, \
+             {:.1}s unit total, est. speedup {:.2}x",
+            self.manifests.len(),
+            rows.len(),
+            threads,
+            wall,
+            unit_sum,
+            speedup
+        );
     }
 }
 

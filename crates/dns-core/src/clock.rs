@@ -4,7 +4,6 @@
 //! parameterised by a [`SimTime`]. This keeps the experiments deterministic
 //! and lets the simulator fast-forward through multi-day traces.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -25,7 +24,7 @@ pub const DAY: u64 = 86_400;
 /// let t = SimTime::from_days(6) + SimDuration::from_hours(3);
 /// assert_eq!(t.as_secs(), 6 * 86_400 + 3 * 3_600);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -101,7 +100,7 @@ impl fmt::Display for SimTime {
 }
 
 /// A span of simulated time in whole seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -168,7 +167,7 @@ impl From<Ttl> for SimDuration {
 /// assert_eq!(Ttl::from_days(1).as_secs(), 86_400);
 /// assert!(Ttl::from_mins(5) < Ttl::from_hours(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ttl(u32);
 
 impl Ttl {
@@ -262,13 +261,22 @@ mod tests {
 
     #[test]
     fn ttl_max_combinator() {
-        assert_eq!(Ttl::from_days(3).max(Ttl::from_hours(12)), Ttl::from_days(3));
-        assert_eq!(Ttl::from_hours(12).max(Ttl::from_days(3)), Ttl::from_days(3));
+        assert_eq!(
+            Ttl::from_days(3).max(Ttl::from_hours(12)),
+            Ttl::from_days(3)
+        );
+        assert_eq!(
+            Ttl::from_hours(12).max(Ttl::from_days(3)),
+            Ttl::from_days(3)
+        );
     }
 
     #[test]
     fn display_formats() {
-        assert_eq!(SimTime::from_secs(90_061 + 86_400).to_string(), "2d01:01:01");
+        assert_eq!(
+            SimTime::from_secs(90_061 + 86_400).to_string(),
+            "2d01:01:01"
+        );
         assert_eq!(Ttl::from_days(2).to_string(), "2d");
         assert_eq!(Ttl::from_hours(4).to_string(), "4h");
         assert_eq!(Ttl::from_mins(30).to_string(), "30m");

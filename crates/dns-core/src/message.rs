@@ -1,11 +1,10 @@
 //! DNS messages: header, question and the three record sections.
 
 use crate::{Name, Record, RecordClass, RecordType};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Query/response operation code (RFC 1035 §4.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Opcode {
     /// Standard query.
     #[default]
@@ -38,7 +37,7 @@ impl Opcode {
 }
 
 /// Response code (RFC 1035 §4.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Rcode {
     /// No error.
     #[default]
@@ -98,7 +97,7 @@ impl fmt::Display for Rcode {
 
 /// Message header: identifier plus the flag/opcode/rcode bits
 /// (RFC 1035 §4.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Header {
     /// Query identifier, echoed in the response.
     pub id: u16,
@@ -119,7 +118,7 @@ pub struct Header {
 }
 
 /// The question section entry: name, type, class.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Question {
     /// Queried name.
     pub name: Name,
@@ -162,7 +161,7 @@ impl fmt::Display for Question {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Message {
     /// Header bits.
     pub header: Header,
@@ -240,10 +239,7 @@ impl Message {
         if !self.answers.is_empty() {
             return ResponseKind::Answer;
         }
-        let has_ns = self
-            .authorities
-            .iter()
-            .any(|r| r.rtype() == RecordType::Ns);
+        let has_ns = self.authorities.iter().any(|r| r.rtype() == RecordType::Ns);
         if has_ns && !self.header.authoritative {
             ResponseKind::Referral
         } else {
@@ -258,7 +254,11 @@ impl fmt::Display for Message {
             f,
             "id={} {} {} q={} an={} au={} ad={}",
             self.header.id,
-            if self.header.response { "resp" } else { "query" },
+            if self.header.response {
+                "resp"
+            } else {
+                "query"
+            },
             self.header.rcode,
             self.questions.len(),
             self.answers.len(),

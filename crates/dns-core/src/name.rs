@@ -1,7 +1,6 @@
 //! Domain names and label-wise hierarchy operations.
 
 use crate::DnsError;
-use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 use std::str::FromStr;
 
@@ -249,7 +248,11 @@ impl Iterator for Ancestors<'_> {
             self.next_depth = None;
             return None;
         }
-        self.next_depth = if depth == total { None } else { Some(depth + 1) };
+        self.next_depth = if depth == total {
+            None
+        } else {
+            Some(depth + 1)
+        };
         Some(Name {
             labels: self.name.labels[depth..].to_vec(),
         })
@@ -287,19 +290,6 @@ impl FromStr for Name {
     }
 }
 
-impl Serialize for Name {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_string())
-    }
-}
-
-impl<'de> Deserialize<'de> for Name {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Name::parse(&s).map_err(de::Error::custom)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,10 +316,7 @@ mod tests {
         assert!(Name::parse("exa mple.com").is_err());
         assert!(Name::parse("a..b").is_err());
         let long = "a".repeat(64);
-        assert_eq!(
-            Name::parse(&long).unwrap_err(),
-            DnsError::LabelTooLong(64)
-        );
+        assert_eq!(Name::parse(&long).unwrap_err(), DnsError::LabelTooLong(64));
     }
 
     #[test]
@@ -353,10 +340,7 @@ mod tests {
         let mut cur = Some(name);
         while let Some(x) = cur {
             chain.push(x.to_string());
-            cur = chain
-                .last()
-                .map(|s| n(s))
-                .and_then(|x| x.parent());
+            cur = chain.last().map(|s| n(s)).and_then(|x| x.parent());
         }
         assert_eq!(
             chain,

@@ -1,7 +1,6 @@
 //! Resource records: types, classes, RDATA and RRsets.
 
 use crate::{Name, SimTime, Ttl};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -10,7 +9,7 @@ use std::net::{Ipv4Addr, Ipv6Addr};
 /// The subset implemented here covers everything the paper's experiments
 /// exercise: address records, the infrastructure `NS` record, `SOA` for zone
 /// apexes, plus the common application types found in real traces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RecordType {
     /// IPv4 host address (code 1).
     A,
@@ -114,7 +113,7 @@ impl fmt::Display for RecordType {
 
 /// DNS class. Only `IN` is used by the experiments; `CH` is included for
 /// completeness of the wire codec.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum RecordClass {
     /// The Internet class (code 1).
     #[default]
@@ -152,7 +151,7 @@ impl fmt::Display for RecordClass {
 }
 
 /// Typed RDATA for the supported record types.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum RData {
     /// IPv4 address.
     A(Ipv4Addr),
@@ -274,13 +273,16 @@ impl fmt::Display for RData {
             } => write!(f, "{preference} {exchange}"),
             RData::Txt(s) => write!(f, "{s:?}"),
             RData::Ds { key_tag, digest } => write!(f, "{key_tag} {digest:08x}"),
-            RData::Dnskey { key_tag, public_key } => write!(f, "{key_tag} {public_key:08x}"),
+            RData::Dnskey {
+                key_tag,
+                public_key,
+            } => write!(f, "{key_tag} {public_key:08x}"),
         }
     }
 }
 
 /// A single resource record: owner name, class, TTL and typed RDATA.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Record {
     name: Name,
     class: RecordClass,
@@ -366,7 +368,7 @@ impl fmt::Display for Record {
 
 /// Identity of an RRset: owner name plus record type (class is implicitly
 /// `IN` throughout the experiments).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RrKey {
     /// Owner name.
     pub name: Name,
@@ -392,7 +394,7 @@ impl fmt::Display for RrKey {
 ///
 /// All records in the set share one TTL (per RFC 2181 §5.2 the TTLs of an
 /// RRset must match; we normalise to the minimum on construction).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RrSet {
     key: RrKey,
     ttl: Ttl,
@@ -546,8 +548,16 @@ mod tests {
     fn rrset_normalises_ttl_to_minimum() {
         let nm = name("ucla.edu");
         let recs = vec![
-            Record::new(nm.clone(), Ttl::from_hours(4), RData::Ns(name("ns1.ucla.edu"))),
-            Record::new(nm.clone(), Ttl::from_hours(2), RData::Ns(name("ns2.ucla.edu"))),
+            Record::new(
+                nm.clone(),
+                Ttl::from_hours(4),
+                RData::Ns(name("ns1.ucla.edu")),
+            ),
+            Record::new(
+                nm.clone(),
+                Ttl::from_hours(2),
+                RData::Ns(name("ns2.ucla.edu")),
+            ),
         ];
         let set = RrSet::from_records(&recs).unwrap();
         assert_eq!(set.ttl(), Ttl::from_hours(2));
@@ -564,7 +574,11 @@ mod tests {
             // Different owner: must be excluded.
             Record::new(name("mit.edu"), Ttl::from_hours(1), ns.clone()),
             // Different type: must be excluded.
-            Record::new(nm.clone(), Ttl::from_hours(1), RData::A(Ipv4Addr::LOCALHOST)),
+            Record::new(
+                nm.clone(),
+                Ttl::from_hours(1),
+                RData::A(Ipv4Addr::LOCALHOST),
+            ),
         ];
         let set = RrSet::from_records(&recs).unwrap();
         assert_eq!(set.len(), 1);
@@ -582,7 +596,10 @@ mod tests {
         let set = RrSet::new(
             RrKey::new(nm.clone(), RecordType::Ns),
             Ttl::from_days(1),
-            vec![RData::Ns(name("ns1.ucla.edu")), RData::Ns(name("ns2.ucla.edu"))],
+            vec![
+                RData::Ns(name("ns1.ucla.edu")),
+                RData::Ns(name("ns2.ucla.edu")),
+            ],
         );
         let recs = set.to_records();
         assert_eq!(recs.len(), 2);

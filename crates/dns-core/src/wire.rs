@@ -21,7 +21,6 @@ use crate::{
     DnsError, Header, Label, Message, Name, Opcode, Question, RData, Rcode, Record, RecordClass,
     RecordType, Ttl,
 };
-use bytes::{Buf, BufMut, BytesMut};
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -54,7 +53,7 @@ pub fn encode(msg: &Message) -> Result<Vec<u8>, DnsError> {
     for r in &msg.additionals {
         enc.record(r)?;
     }
-    let out = enc.buf.to_vec();
+    let out = enc.buf;
     if out.len() > MAX_MESSAGE_LEN {
         return Err(DnsError::MessageTooLong(out.len()));
     }
@@ -90,8 +89,31 @@ pub fn decode(bytes: &[u8]) -> Result<Message, DnsError> {
     Ok(msg)
 }
 
+/// Big-endian append helpers over the plain `Vec<u8>` output buffer.
+trait PutExt {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl PutExt for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
 struct Encoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
     /// Canonical text of a name suffix → offset of its first encoding.
     compress: HashMap<String, u16>,
 }
@@ -99,7 +121,7 @@ struct Encoder {
 impl Encoder {
     fn new() -> Self {
         Encoder {
-            buf: BytesMut::with_capacity(512),
+            buf: Vec::with_capacity(512),
             compress: HashMap::new(),
         }
     }
@@ -193,7 +215,10 @@ impl Encoder {
                 self.buf.put_u16(*key_tag);
                 self.buf.put_u32(*digest);
             }
-            RData::Dnskey { key_tag, public_key } => {
+            RData::Dnskey {
+                key_tag,
+                public_key,
+            } => {
                 self.buf.put_u16(*key_tag);
                 self.buf.put_u32(*public_key);
             }
@@ -216,10 +241,7 @@ impl Encoder {
     fn name(&mut self, name: &Name) -> Result<(), DnsError> {
         let labels = name.labels();
         for depth in 0..labels.len() {
-            let suffix_key: String = labels[depth..]
-                .iter()
-                .map(|l| format!("{l}."))
-                .collect();
+            let suffix_key: String = labels[depth..].iter().map(|l| format!("{l}.")).collect();
             if let Some(&offset) = self.compress.get(&suffix_key) {
                 self.buf.put_u16(0xC000 | offset);
                 return Ok(());
@@ -261,13 +283,13 @@ impl<'a> Decoder<'a> {
     }
 
     fn u16(&mut self, context: &'static str) -> Result<u16, DnsError> {
-        let mut s = self.take(2, context)?;
-        Ok(s.get_u16())
+        let s = self.take(2, context)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
     }
 
     fn u32(&mut self, context: &'static str) -> Result<u32, DnsError> {
-        let mut s = self.take(4, context)?;
-        Ok(s.get_u32())
+        let s = self.take(4, context)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
     }
 
     #[allow(clippy::type_complexity)]
@@ -276,8 +298,8 @@ impl<'a> Decoder<'a> {
         let flags = self.u16("header flags")?;
         let opcode = Opcode::from_code(((flags >> 11) & 0xF) as u8)
             .ok_or(DnsError::UnknownRecordType((flags >> 11) & 0xF))?;
-        let rcode =
-            Rcode::from_code((flags & 0xF) as u8).ok_or(DnsError::UnknownRecordType(flags & 0xF))?;
+        let rcode = Rcode::from_code((flags & 0xF) as u8)
+            .ok_or(DnsError::UnknownRecordType(flags & 0xF))?;
         let header = Header {
             id,
             response: flags & 0x8000 != 0,
@@ -523,8 +545,14 @@ mod tests {
                 exchange: name("mx.example.com"),
             },
             RData::Txt("v=spf1 -all".to_string()),
-            RData::Ds { key_tag: 12345, digest: 0xDEAD_BEEF },
-            RData::Dnskey { key_tag: 12345, public_key: 0xFEED_F00D },
+            RData::Ds {
+                key_tag: 12345,
+                digest: 0xDEAD_BEEF,
+            },
+            RData::Dnskey {
+                key_tag: 12345,
+                public_key: 0xFEED_F00D,
+            },
         ];
         for rd in rdatas {
             let mut m = Message::default();

@@ -1,7 +1,6 @@
 //! Authoritative zone data: apex records, in-zone data and delegations.
 
 use crate::{DnsError, Name, RData, Record, RecordType, RrKey, RrSet, Ttl};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -11,7 +10,7 @@ use std::net::Ipv4Addr;
 ///
 /// These are exactly the paper's *infrastructure resource records* as seen
 /// from the parent side of a zone cut.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Delegation {
     /// Apex of the child zone.
     pub child: Name,
@@ -68,7 +67,7 @@ impl Delegation {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Zone {
     apex: Name,
     /// Apex NS names (this zone's own infrastructure records).
@@ -125,9 +124,10 @@ impl Zone {
     /// Whether any RRset exists at `name`.
     pub fn name_exists(&self, name: &Name) -> bool {
         self.records.keys().any(|k| &k.name == name)
-            || self.delegations.values().any(|d| {
-                d.child == *name || d.glue.iter().any(|g| g.name() == name)
-            })
+            || self
+                .delegations
+                .values()
+                .any(|d| d.child == *name || d.glue.iter().any(|g| g.name() == name))
     }
 
     /// The deepest delegation whose child apex is `name` or an ancestor of
@@ -210,7 +210,8 @@ impl Zone {
                 delegation.child, self.apex
             )));
         }
-        self.delegations.insert(delegation.child.clone(), delegation);
+        self.delegations
+            .insert(delegation.child.clone(), delegation);
         Ok(())
     }
 }
@@ -340,7 +341,10 @@ impl ZoneBuilder {
             push(Record::new(
                 self.apex.clone(),
                 self.infra_ttl,
-                RData::Dnskey { key_tag, public_key },
+                RData::Dnskey {
+                    key_tag,
+                    public_key,
+                },
             ));
         }
 
@@ -456,12 +460,16 @@ mod tests {
             Ttl::from_days(7)
         );
         assert_eq!(
-            z.lookup(&name("ns1.ucla.edu"), RecordType::A).unwrap().ttl(),
+            z.lookup(&name("ns1.ucla.edu"), RecordType::A)
+                .unwrap()
+                .ttl(),
             Ttl::from_days(7)
         );
         // Data record untouched.
         assert_eq!(
-            z.lookup(&name("www.ucla.edu"), RecordType::A).unwrap().ttl(),
+            z.lookup(&name("www.ucla.edu"), RecordType::A)
+                .unwrap()
+                .ttl(),
             Ttl::from_hours(4)
         );
     }

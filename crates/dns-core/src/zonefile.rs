@@ -84,10 +84,8 @@ pub fn parse_zone(text: &str) -> Result<Zone, DnsError> {
     // Cuts below other cuts belong to the child zone, not this one.
     let all_cuts = cut_owners.clone();
     cut_owners.retain(|c| !all_cuts.iter().any(|other| c.is_proper_subdomain_of(other)));
-    let cut_of = |name: &Name| -> Option<Name> {
-        name.ancestors()
-            .find(|a| cut_owners.contains(a))
-    };
+    let cut_of =
+        |name: &Name| -> Option<Name> { name.ancestors().find(|a| cut_owners.contains(a)) };
 
     // Pass 2b: classify every record.
     let mut apex_dnskey: Option<(u16, u32)> = None;
@@ -95,7 +93,10 @@ pub fn parse_zone(text: &str) -> Result<Zone, DnsError> {
     let mut data: Vec<Record> = Vec::new();
     let mut cuts: BTreeMap<Name, CutParts> = BTreeMap::new();
     for owner in &cut_owners {
-        cuts.insert(owner.clone(), (Vec::new(), Ttl::ZERO, Vec::new(), Vec::new()));
+        cuts.insert(
+            owner.clone(),
+            (Vec::new(), Ttl::ZERO, Vec::new(), Vec::new()),
+        );
     }
     for (lineno, record) in parsed {
         let owner = record.name().clone();
@@ -129,7 +130,11 @@ pub fn parse_zone(text: &str) -> Result<Zone, DnsError> {
             }
             (RecordType::Ns, None) => {} // apex NS, handled in pass 2a
             (RecordType::Dnskey, None) if owner == apex => {
-                if let RData::Dnskey { key_tag, public_key } = record.rdata() {
+                if let RData::Dnskey {
+                    key_tag,
+                    public_key,
+                } = record.rdata()
+                {
                     apex_dnskey = Some((*key_tag, *public_key));
                 }
             }
@@ -287,7 +292,9 @@ ns.cs.ucla.edu. 12h IN A 192.0.2.53
         assert_eq!(zone.ns_names().len(), 2);
         assert_eq!(zone.infra_ttl(), Ttl::from_days(1));
         assert!(zone.lookup(&name("www.ucla.edu"), RecordType::A).is_some());
-        assert!(zone.lookup(&name("web.ucla.edu"), RecordType::Cname).is_some());
+        assert!(zone
+            .lookup(&name("web.ucla.edu"), RecordType::Cname)
+            .is_some());
         assert!(zone.lookup(&name("ucla.edu"), RecordType::Mx).is_some());
         let d = zone.delegation(&name("cs.ucla.edu")).unwrap();
         assert_eq!(d.ns_names, vec![name("ns.cs.ucla.edu")]);

@@ -31,18 +31,30 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         arb_name().prop_map(RData::Ns),
         arb_name().prop_map(RData::Cname),
         arb_name().prop_map(RData::Ptr),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa {
-                mname,
-                rname,
-                serial,
-                refresh,
-                retry,
-                expire,
-                minimum,
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                }
             }),
-        (any::<u16>(), arb_name())
-            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
         "[ -~]{0,40}".prop_map(RData::Txt),
     ]
 }
@@ -60,7 +72,11 @@ fn arb_header() -> impl Strategy<Value = Header> {
         any::<bool>(),
         any::<bool>(),
         any::<bool>(),
-        prop_oneof![Just(Opcode::Query), Just(Opcode::IQuery), Just(Opcode::Status)],
+        prop_oneof![
+            Just(Opcode::Query),
+            Just(Opcode::IQuery),
+            Just(Opcode::Status)
+        ],
         prop_oneof![
             Just(Rcode::NoError),
             Just(Rcode::FormErr),
@@ -96,13 +112,15 @@ fn arb_message() -> impl Strategy<Value = Message> {
         proptest::collection::vec(arb_record(), 0..=4),
         proptest::collection::vec(arb_record(), 0..=4),
     )
-        .prop_map(|(header, questions, answers, authorities, additionals)| Message {
-            header,
-            questions,
-            answers,
-            authorities,
-            additionals,
-        })
+        .prop_map(
+            |(header, questions, answers, authorities, additionals)| Message {
+                header,
+                questions,
+                answers,
+                authorities,
+                additionals,
+            },
+        )
 }
 
 proptest! {

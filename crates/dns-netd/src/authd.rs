@@ -119,8 +119,16 @@ mod tests {
 
     fn demo_server() -> AuthServer {
         let zone = ZoneBuilder::new("example.com".parse::<Name>().unwrap())
-            .ns("ns1.example.com".parse().unwrap(), Ipv4Addr::LOCALHOST, Ttl::from_days(1))
-            .a("www.example.com".parse().unwrap(), Ipv4Addr::new(192, 0, 2, 80), Ttl::from_hours(4))
+            .ns(
+                "ns1.example.com".parse().unwrap(),
+                Ipv4Addr::LOCALHOST,
+                Ttl::from_days(1),
+            )
+            .a(
+                "www.example.com".parse().unwrap(),
+                Ipv4Addr::new(192, 0, 2, 80),
+                Ttl::from_hours(4),
+            )
             .build()
             .unwrap();
         let mut s = AuthServer::new("ns1.example.com".parse().unwrap(), Ipv4Addr::LOCALHOST);

@@ -15,7 +15,9 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: dns-dig <server:port> <name> [A|NS|CNAME|SOA|PTR|MX|TXT|AAAA|DS|DNSKEY]");
+            eprintln!(
+                "usage: dns-dig <server:port> <name> [A|NS|CNAME|SOA|PTR|MX|TXT|AAAA|DS|DNSKEY]"
+            );
             ExitCode::FAILURE
         }
     }

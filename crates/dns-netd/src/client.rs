@@ -23,8 +23,7 @@ pub fn query(
     // A process-unique id derived from the ephemeral port.
     let id = socket.local_addr()?.port();
     let msg = Message::query(id, Question::new(name.clone(), rtype));
-    let bytes =
-        wire::encode(&msg).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let bytes = wire::encode(&msg).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     socket.send_to(&bytes, server)?;
 
     let mut buf = [0u8; wire::MAX_MESSAGE_LEN];
@@ -33,8 +32,8 @@ pub fn query(
         if from != server {
             continue; // stray datagram
         }
-        let resp = wire::decode(&buf[..len])
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let resp =
+            wire::decode(&buf[..len]).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         if resp.header.id == id && resp.header.response {
             return Ok(resp);
         }
@@ -50,7 +49,11 @@ pub fn render(resp: &Message) -> String {
         ";; status: {}, id: {}{}",
         resp.header.rcode,
         resp.header.id,
-        if resp.header.authoritative { ", aa" } else { "" }
+        if resp.header.authoritative {
+            ", aa"
+        } else {
+            ""
+        }
     );
     if let Some(q) = resp.question() {
         let _ = writeln!(out, ";; QUESTION:\n;  {q}");
@@ -107,7 +110,10 @@ mod tests {
         )
         .unwrap_err();
         assert!(
-            matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut),
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
             "{err}"
         );
     }

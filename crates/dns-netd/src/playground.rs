@@ -68,13 +68,21 @@ pub fn boot() -> io::Result<Playground> {
             name("edu"),
             vec![name("ns.edu")],
             Ttl::from_days(2),
-            vec![Record::new(name("ns.edu"), Ttl::from_days(2), RData::A(ip_edu))],
+            vec![Record::new(
+                name("ns.edu"),
+                Ttl::from_days(2),
+                RData::A(ip_edu),
+            )],
         ))
         .delegate(Delegation::unsigned(
             name("com"),
             vec![name("ns.com")],
             Ttl::from_days(2),
-            vec![Record::new(name("ns.com"), Ttl::from_days(2), RData::A(ip_com))],
+            vec![Record::new(
+                name("ns.com"),
+                Ttl::from_days(2),
+                RData::A(ip_com),
+            )],
         ))
         .build()
         .expect("static zone");
@@ -112,7 +120,11 @@ pub fn boot() -> io::Result<Playground> {
     let cs_key: (u16, u32) = (257, 0xC0FF_EE00);
     let ucla_zone = ZoneBuilder::new(name("ucla.edu"))
         .ns(name("ns1.ucla.edu"), ip_ucla, Ttl::from_hours(12))
-        .a(name("www.ucla.edu"), Ipv4Addr::new(192, 0, 2, 80), Ttl::from_hours(4))
+        .a(
+            name("www.ucla.edu"),
+            Ipv4Addr::new(192, 0, 2, 80),
+            Ttl::from_hours(4),
+        )
         .record(Record::new(
             name("web.ucla.edu"),
             Ttl::from_hours(4),
@@ -142,13 +154,21 @@ pub fn boot() -> io::Result<Playground> {
     let cs_zone = ZoneBuilder::new(name("cs.ucla.edu"))
         .ns(name("ns.cs.ucla.edu"), ip_cs, Ttl::from_hours(6))
         .dnskey(cs_key.0, cs_key.1)
-        .a(name("host.cs.ucla.edu"), Ipv4Addr::new(192, 0, 2, 90), Ttl::from_mins(30))
+        .a(
+            name("host.cs.ucla.edu"),
+            Ipv4Addr::new(192, 0, 2, 90),
+            Ttl::from_mins(30),
+        )
         .build()
         .expect("static zone");
 
     let example_zone = ZoneBuilder::new(name("example.com"))
         .ns(name("ns1.example.com"), ip_example, Ttl::from_days(1))
-        .a(name("www.example.com"), Ipv4Addr::new(192, 0, 2, 70), Ttl::from_hours(1))
+        .a(
+            name("www.example.com"),
+            Ipv4Addr::new(192, 0, 2, 70),
+            Ttl::from_hours(1),
+        )
         .build()
         .expect("static zone");
 

@@ -4,12 +4,12 @@
 use crate::{wall_clock, UdpUpstream};
 use dns_core::{wire, Message, Rcode};
 use dns_resolver::{CachingServer, Outcome};
-use parking_lot::Mutex;
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -85,11 +85,7 @@ impl Resolved {
         })
     }
 
-    fn answer(
-        cs: &Mutex<CachingServer>,
-        upstream: &mut UdpUpstream,
-        query: &Message,
-    ) -> Message {
+    fn answer(cs: &Mutex<CachingServer>, upstream: &mut UdpUpstream, query: &Message) -> Message {
         let mut resp = Message::response_to(query);
         resp.header.recursion_available = true;
         let Some(question) = query.question().cloned() else {
@@ -97,7 +93,7 @@ impl Resolved {
             return resp;
         };
         let now = wall_clock();
-        let outcome = cs.lock().resolve(&question, now, upstream);
+        let outcome = cs.lock().unwrap().resolve(&question, now, upstream);
         match outcome {
             Outcome::Answer { records, .. } => {
                 resp.answers = records;
@@ -121,7 +117,7 @@ impl Resolved {
 
     /// Snapshot of the resolver's counters.
     pub fn metrics(&self) -> dns_resolver::ResolverMetrics {
-        *self.cs.lock().metrics()
+        *self.cs.lock().unwrap().metrics()
     }
 
     /// Stops the daemon and joins its thread.

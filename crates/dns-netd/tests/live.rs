@@ -1,7 +1,7 @@
 //! Live end-to-end tests: real UDP sockets, real threads, the same
 //! resolver code the simulator evaluates.
 
-use dns_core::{RecordType, ResponseKind, Rcode};
+use dns_core::{Rcode, RecordType, ResponseKind};
 use dns_netd::{client, playground, Resolved, UdpUpstream};
 use dns_resolver::{CachingServer, ResolverConfig};
 use std::time::Duration;
@@ -11,8 +11,7 @@ fn timeout() -> Duration {
 }
 
 fn resolver_for(net: &playground::Playground, config: ResolverConfig) -> Resolved {
-    let upstream =
-        UdpUpstream::with_route(Duration::from_millis(250), net.route_fn()).unwrap();
+    let upstream = UdpUpstream::with_route(Duration::from_millis(250), net.route_fn()).unwrap();
     let cs = CachingServer::new(config, net.hints.clone());
     Resolved::spawn(cs, upstream, "127.0.0.1:0").unwrap()
 }
@@ -117,7 +116,11 @@ fn cached_infrastructure_survives_live_daemon_kill() {
         timeout(),
     )
     .unwrap();
-    assert_eq!(resp.kind(), ResponseKind::Answer, "cached IRRs must carry us");
+    assert_eq!(
+        resp.kind(),
+        ResponseKind::Answer,
+        "cached IRRs must carry us"
+    );
 
     // A branch never visited needs the dead root → SERVFAIL.
     let resp = client::query(

@@ -205,30 +205,48 @@ mod tests {
     #[test]
     fn fresh_until_ttl_then_gone() {
         let mut c = RecordCache::new();
-        c.insert(a_set("www.x.com", 1, Ttl::from_hours(1)), SimTime::ZERO, Credibility::AuthAnswer);
-        assert!(c.get(&name("www.x.com"), RecordType::A, SimTime::from_mins(59)).is_some());
+        c.insert(
+            a_set("www.x.com", 1, Ttl::from_hours(1)),
+            SimTime::ZERO,
+            Credibility::AuthAnswer,
+        );
+        assert!(c
+            .get(&name("www.x.com"), RecordType::A, SimTime::from_mins(59))
+            .is_some());
         // Expiry is exclusive: at exactly TTL the entry is stale.
-        assert!(c.get(&name("www.x.com"), RecordType::A, SimTime::from_hours(1)).is_none());
+        assert!(c
+            .get(&name("www.x.com"), RecordType::A, SimTime::from_hours(1))
+            .is_none());
     }
 
     #[test]
     fn lower_credibility_cannot_displace_fresh_entry() {
         let mut c = RecordCache::new();
-        c.insert(a_set("ns.x.com", 1, Ttl::from_hours(4)), SimTime::ZERO, Credibility::AuthAnswer);
+        c.insert(
+            a_set("ns.x.com", 1, Ttl::from_hours(4)),
+            SimTime::ZERO,
+            Credibility::AuthAnswer,
+        );
         let stored = c.insert(
             a_set("ns.x.com", 9, Ttl::from_hours(4)),
             SimTime::from_mins(10),
             Credibility::Additional,
         );
         assert!(!stored);
-        let entry = c.get(&name("ns.x.com"), RecordType::A, SimTime::from_mins(20)).unwrap();
+        let entry = c
+            .get(&name("ns.x.com"), RecordType::A, SimTime::from_mins(20))
+            .unwrap();
         assert_eq!(entry.set.rdatas(), &[RData::A(Ipv4Addr::new(192, 0, 2, 1))]);
     }
 
     #[test]
     fn higher_or_equal_credibility_replaces() {
         let mut c = RecordCache::new();
-        c.insert(a_set("ns.x.com", 1, Ttl::from_hours(4)), SimTime::ZERO, Credibility::Additional);
+        c.insert(
+            a_set("ns.x.com", 1, Ttl::from_hours(4)),
+            SimTime::ZERO,
+            Credibility::Additional,
+        );
         assert!(c.insert(
             a_set("ns.x.com", 2, Ttl::from_hours(4)),
             SimTime::from_mins(1),
@@ -244,7 +262,11 @@ mod tests {
     #[test]
     fn expired_entry_replaceable_by_any_credibility() {
         let mut c = RecordCache::new();
-        c.insert(a_set("ns.x.com", 1, Ttl::from_mins(5)), SimTime::ZERO, Credibility::AuthAnswer);
+        c.insert(
+            a_set("ns.x.com", 1, Ttl::from_mins(5)),
+            SimTime::ZERO,
+            Credibility::AuthAnswer,
+        );
         assert!(c.insert(
             a_set("ns.x.com", 2, Ttl::from_hours(1)),
             SimTime::from_hours(1),
@@ -275,8 +297,16 @@ mod tests {
     #[test]
     fn purge_drops_only_expired() {
         let mut c = RecordCache::new();
-        c.insert(a_set("a.x.com", 1, Ttl::from_mins(5)), SimTime::ZERO, Credibility::AuthAnswer);
-        c.insert(a_set("b.x.com", 2, Ttl::from_hours(5)), SimTime::ZERO, Credibility::AuthAnswer);
+        c.insert(
+            a_set("a.x.com", 1, Ttl::from_mins(5)),
+            SimTime::ZERO,
+            Credibility::AuthAnswer,
+        );
+        c.insert(
+            a_set("b.x.com", 2, Ttl::from_hours(5)),
+            SimTime::ZERO,
+            Credibility::AuthAnswer,
+        );
         c.insert_negative(
             name("n.x.com"),
             RecordType::A,
@@ -292,8 +322,16 @@ mod tests {
     #[test]
     fn occupancy_counts_fresh_only() {
         let mut c = RecordCache::new();
-        c.insert(a_set("a.x.com", 1, Ttl::from_mins(5)), SimTime::ZERO, Credibility::AuthAnswer);
-        c.insert(a_set("b.x.com", 2, Ttl::from_hours(5)), SimTime::ZERO, Credibility::AuthAnswer);
+        c.insert(
+            a_set("a.x.com", 1, Ttl::from_mins(5)),
+            SimTime::ZERO,
+            Credibility::AuthAnswer,
+        );
+        c.insert(
+            a_set("b.x.com", 2, Ttl::from_hours(5)),
+            SimTime::ZERO,
+            Credibility::AuthAnswer,
+        );
         assert_eq!(c.fresh_len(SimTime::from_hours(1)), 1);
         assert_eq!(c.fresh_record_count(SimTime::from_hours(1)), 1);
         assert_eq!(c.len(), 2); // lazily retained

@@ -2,13 +2,12 @@
 
 use crate::RenewalPolicy;
 use dns_core::{Name, SimDuration, Ttl};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 
 /// Root hints: the hard-coded name-server set for the root zone that every
 /// caching server ships with (paper §2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RootHints {
     servers: Vec<(Name, Ipv4Addr)>,
 }
@@ -41,7 +40,7 @@ impl RootHints {
 /// * [`ResolverConfig::with_renewal`] — refresh + renewal (Figures 6–9),
 /// * long-TTL (Figures 10–11) is a *zone-side* change applied by the
 ///   simulator; the resolver just honours the longer TTLs up to `ttl_cap`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResolverConfig {
     /// Reset a zone's cached IRR expiry whenever a response from the
     /// zone's own servers carries a copy.

@@ -65,7 +65,10 @@ impl CachingServer {
         match self.resolve(&question, now, up) {
             Outcome::Answer { records, .. } => {
                 let keys = records.iter().filter_map(|r| match r.rdata() {
-                    RData::Dnskey { key_tag, public_key } => Some((*key_tag, *public_key)),
+                    RData::Dnskey {
+                        key_tag,
+                        public_key,
+                    } => Some((*key_tag, *public_key)),
                     _ => None,
                 });
                 for key in keys {
@@ -98,10 +101,7 @@ mod tests {
 
     #[test]
     fn digest_is_deterministic_and_spreading() {
-        assert_eq!(
-            synthetic_key_digest(42),
-            synthetic_key_digest(42)
-        );
+        assert_eq!(synthetic_key_digest(42), synthetic_key_digest(42));
         assert_ne!(synthetic_key_digest(1), synthetic_key_digest(2));
     }
 

@@ -218,8 +218,15 @@ impl InfraCache {
             None => None,
         };
         let mut ds = Vec::new();
-        if let Some((was_fresh, old_source, old_expiry, old_credit, old_parent_contact, same, old_ds)) =
-            existing
+        if let Some((
+            was_fresh,
+            old_source,
+            old_expiry,
+            old_credit,
+            old_parent_contact,
+            same,
+            old_ds,
+        )) = existing
         {
             if was_fresh {
                 let replace = match (old_source, source) {
@@ -442,9 +449,8 @@ impl InfraCache {
     /// and have already been sampled. Returns how many were dropped.
     pub fn purge_tombstones(&mut self, now: SimTime, retention: SimDuration) -> usize {
         let before = self.entries.len();
-        self.entries.retain(|_, e| {
-            e.is_fresh(now) || !e.gap_recorded || now - e.expires_at <= retention
-        });
+        self.entries
+            .retain(|_, e| e.is_fresh(now) || !e.gap_recorded || now - e.expires_at <= retention);
         before - self.entries.len()
     }
 }
@@ -488,7 +494,9 @@ mod tests {
     #[test]
     fn root_hints_never_expire_or_get_replaced() {
         let mut c = cache_with_root();
-        let entry = c.deepest_fresh_ancestor(&name("anything.com"), SimTime::from_days(400)).unwrap();
+        let entry = c
+            .deepest_fresh_ancestor(&name("anything.com"), SimTime::from_days(400))
+            .unwrap();
         assert!(entry.zone.is_root());
         // A parent/child copy cannot displace the hints.
         assert!(!c.install(
@@ -515,10 +523,14 @@ mod tests {
             false,
         );
         install_ucla(&mut c, SimTime::ZERO, InfraSource::Child, false);
-        let e = c.deepest_fresh_ancestor(&name("www.ucla.edu"), SimTime::from_hours(1)).unwrap();
+        let e = c
+            .deepest_fresh_ancestor(&name("www.ucla.edu"), SimTime::from_hours(1))
+            .unwrap();
         assert_eq!(e.zone, name("ucla.edu"));
         // After ucla's 12h TTL, falls back to edu.
-        let e = c.deepest_fresh_ancestor(&name("www.ucla.edu"), SimTime::from_hours(13)).unwrap();
+        let e = c
+            .deepest_fresh_ancestor(&name("www.ucla.edu"), SimTime::from_hours(13))
+            .unwrap();
         assert_eq!(e.zone, name("edu"));
     }
 
@@ -534,16 +546,28 @@ mod tests {
             InfraSource::Parent,
             false,
         );
-        let e = c.deepest_fresh_ancestor(&name("www.ucla.edu"), SimTime::ZERO).unwrap();
+        let e = c
+            .deepest_fresh_ancestor(&name("www.ucla.edu"), SimTime::ZERO)
+            .unwrap();
         assert!(e.zone.is_root());
     }
 
     #[test]
     fn vanilla_child_copy_does_not_refresh() {
         let mut c = cache_with_root();
-        assert!(install_ucla(&mut c, SimTime::ZERO, InfraSource::Child, false));
+        assert!(install_ucla(
+            &mut c,
+            SimTime::ZERO,
+            InfraSource::Child,
+            false
+        ));
         // A later duplicate child copy is ignored without refresh.
-        assert!(!install_ucla(&mut c, SimTime::from_hours(6), InfraSource::Child, false));
+        assert!(!install_ucla(
+            &mut c,
+            SimTime::from_hours(6),
+            InfraSource::Child,
+            false
+        ));
         let e = c.get(&name("ucla.edu")).unwrap();
         assert_eq!(e.expires_at, SimTime::from_hours(12));
     }
@@ -551,8 +575,18 @@ mod tests {
     #[test]
     fn refresh_resets_expiry_on_child_copy() {
         let mut c = cache_with_root();
-        assert!(install_ucla(&mut c, SimTime::ZERO, InfraSource::Child, true));
-        assert!(install_ucla(&mut c, SimTime::from_hours(6), InfraSource::Child, true));
+        assert!(install_ucla(
+            &mut c,
+            SimTime::ZERO,
+            InfraSource::Child,
+            true
+        ));
+        assert!(install_ucla(
+            &mut c,
+            SimTime::from_hours(6),
+            InfraSource::Child,
+            true
+        ));
         let e = c.get(&name("ucla.edu")).unwrap();
         assert_eq!(e.expires_at, SimTime::from_hours(18));
     }
@@ -560,11 +594,26 @@ mod tests {
     #[test]
     fn child_replaces_fresh_parent_but_not_vice_versa() {
         let mut c = cache_with_root();
-        assert!(install_ucla(&mut c, SimTime::ZERO, InfraSource::Parent, false));
-        assert!(install_ucla(&mut c, SimTime::from_hours(1), InfraSource::Child, false));
+        assert!(install_ucla(
+            &mut c,
+            SimTime::ZERO,
+            InfraSource::Parent,
+            false
+        ));
+        assert!(install_ucla(
+            &mut c,
+            SimTime::from_hours(1),
+            InfraSource::Child,
+            false
+        ));
         assert_eq!(c.get(&name("ucla.edu")).unwrap().source, InfraSource::Child);
         // Fresh child entry resists parent data.
-        assert!(!install_ucla(&mut c, SimTime::from_hours(2), InfraSource::Parent, false));
+        assert!(!install_ucla(
+            &mut c,
+            SimTime::from_hours(2),
+            InfraSource::Parent,
+            false
+        ));
         assert_eq!(c.get(&name("ucla.edu")).unwrap().source, InfraSource::Child);
     }
 
@@ -572,8 +621,16 @@ mod tests {
     fn anything_replaces_expired_entry() {
         let mut c = cache_with_root();
         install_ucla(&mut c, SimTime::ZERO, InfraSource::Child, false);
-        assert!(install_ucla(&mut c, SimTime::from_days(1), InfraSource::Parent, false));
-        assert_eq!(c.get(&name("ucla.edu")).unwrap().source, InfraSource::Parent);
+        assert!(install_ucla(
+            &mut c,
+            SimTime::from_days(1),
+            InfraSource::Parent,
+            false
+        ));
+        assert_eq!(
+            c.get(&name("ucla.edu")).unwrap().source,
+            InfraSource::Parent
+        );
     }
 
     #[test]
@@ -679,7 +736,12 @@ mod tests {
         install_ucla(&mut c, SimTime::ZERO, InfraSource::Child, true);
         // Same NS set from the parent at hour 3: entry untouched, but the
         // parent-contact clock resets.
-        assert!(!install_ucla(&mut c, SimTime::from_hours(3), InfraSource::Parent, true));
+        assert!(!install_ucla(
+            &mut c,
+            SimTime::from_hours(3),
+            InfraSource::Parent,
+            true
+        ));
         let e = c.get(&name("ucla.edu")).unwrap();
         assert_eq!(e.source, InfraSource::Child);
         assert_eq!(e.expires_at, SimTime::from_hours(12));
@@ -746,9 +808,15 @@ mod tests {
         let mut c = cache_with_root();
         install_ucla(&mut c, SimTime::ZERO, InfraSource::Child, false);
         // Expired but unsampled: retained regardless of age.
-        assert_eq!(c.purge_tombstones(SimTime::from_days(30), SimDuration::from_days(1)), 0);
+        assert_eq!(
+            c.purge_tombstones(SimTime::from_days(30), SimDuration::from_days(1)),
+            0
+        );
         c.record_use(&name("ucla.edu"), SimTime::from_days(30), None);
-        assert_eq!(c.purge_tombstones(SimTime::from_days(60), SimDuration::from_days(1)), 1);
+        assert_eq!(
+            c.purge_tombstones(SimTime::from_days(60), SimDuration::from_days(1)),
+            1
+        );
         assert!(c.get(&name("ucla.edu")).is_none());
     }
 }

@@ -56,8 +56,8 @@ mod resolve;
 mod upstream;
 
 pub use cache::{CacheEntry, Credibility, RecordCache};
-pub use dnssec::SecureStatus;
 pub use config::{ResolverConfig, RootHints};
+pub use dnssec::SecureStatus;
 pub use infra::{GapSample, InfraCache, InfraEntry, InfraSource};
 pub use metrics::{OccupancySample, ResolverMetrics};
 pub use policy::RenewalPolicy;

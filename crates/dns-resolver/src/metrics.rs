@@ -1,7 +1,6 @@
 //! Resolver-side counters and occupancy sampling.
 
 use dns_core::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Sub;
 
@@ -10,7 +9,7 @@ use std::ops::Sub;
 /// All fields are public passive data; the experiment harness snapshots the
 /// struct at attack-window boundaries and subtracts (`-` is implemented) to
 /// obtain per-window counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResolverMetrics {
     /// Client (stub-resolver) queries received.
     pub queries_in: u64,
@@ -97,7 +96,7 @@ impl fmt::Display for ResolverMetrics {
 }
 
 /// A point-in-time measurement of cache occupancy (Figure 12's series).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OccupancySample {
     /// Sampling instant.
     pub at: SimTime,

@@ -16,7 +16,6 @@
 //! gets the same *extra time* in the cache regardless of its TTL.
 
 use dns_core::{Ttl, DAY};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Default LFU credit cap (`M` in the paper, which leaves the value open).
@@ -41,7 +40,7 @@ pub const DEFAULT_ALFU_MAX_DAYS: u32 = 20;
 /// let alru = RenewalPolicy::adaptive_lru(3);
 /// assert_eq!(alru.credit_on_use(0, Ttl::from_hours(12)), 6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RenewalPolicy {
     /// `LRU(c)`: set credit to `credit` on every use.
     Lru {
@@ -176,7 +175,10 @@ mod tests {
 
     #[test]
     fn adaptive_lfu_caps_at_max_days_equivalent() {
-        let p = RenewalPolicy::AdaptiveLfu { days: 3, max_days: 6 };
+        let p = RenewalPolicy::AdaptiveLfu {
+            days: 3,
+            max_days: 6,
+        };
         let ttl = Ttl::from_days(1);
         // Per use: 3; cap: 6.
         assert_eq!(p.credit_on_use(0, ttl), 3);

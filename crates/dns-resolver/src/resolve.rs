@@ -74,8 +74,16 @@ impl Outcome {
 impl fmt::Display for Outcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Outcome::Answer { records, from_cache } => {
-                write!(f, "answer ({} records{})", records.len(), cache_tag(*from_cache))
+            Outcome::Answer {
+                records,
+                from_cache,
+            } => {
+                write!(
+                    f,
+                    "answer ({} records{})",
+                    records.len(),
+                    cache_tag(*from_cache)
+                )
             }
             Outcome::NxDomain { from_cache } => write!(f, "nxdomain{}", cache_tag(*from_cache)),
             Outcome::NoData { from_cache } => write!(f, "nodata{}", cache_tag(*from_cache)),
@@ -151,7 +159,12 @@ impl CachingServer {
     /// This is the entry point the simulator drives with stub-resolver
     /// queries; it updates [`ResolverMetrics`] (`queries_in`, `failed_in`,
     /// `cache_hits`, …).
-    pub fn resolve<U: Upstream>(&mut self, question: &Question, now: SimTime, up: &mut U) -> Outcome {
+    pub fn resolve<U: Upstream>(
+        &mut self,
+        question: &Question,
+        now: SimTime,
+        up: &mut U,
+    ) -> Outcome {
         self.metrics.queries_in += 1;
         let outcome = self.lookup_or_fetch(question, now, up, 0);
         if outcome.is_failure() {
@@ -446,9 +459,12 @@ impl CachingServer {
             }
             // Out-of-bailiwick server: resolve its address recursively.
             if depth < MAX_RECURSION_DEPTH {
-                if let Outcome::Answer { records, .. } =
-                    self.lookup_or_fetch(&Question::new(ns.clone(), RecordType::A), now, up, depth + 1)
-                {
+                if let Outcome::Answer { records, .. } = self.lookup_or_fetch(
+                    &Question::new(ns.clone(), RecordType::A),
+                    now,
+                    up,
+                    depth + 1,
+                ) {
                     for r in records {
                         if let RData::A(a) = r.rdata() {
                             learned.push((ns.clone(), *a));
@@ -489,7 +505,13 @@ impl CachingServer {
     ///
     /// `demand` marks client-driven traffic: only demand responses grant
     /// renewal credit (a renewal re-fetch must not refill its own budget).
-    fn harvest_response(&mut self, resp: &Message, zone_queried: &Name, now: SimTime, demand: bool) {
+    fn harvest_response(
+        &mut self,
+        resp: &Message,
+        zone_queried: &Name,
+        now: SimTime,
+        demand: bool,
+    ) {
         if demand {
             let policy = self.config.renewal;
             self.infra.record_use(zone_queried, now, policy.as_ref());
@@ -613,9 +635,7 @@ impl CachingServer {
         resp.authorities
             .iter()
             .find_map(|r| match r.rdata() {
-                RData::Soa { minimum, .. } => {
-                    Some(Ttl::from_secs(*minimum).min(r.ttl()))
-                }
+                RData::Soa { minimum, .. } => Some(Ttl::from_secs(*minimum).min(r.ttl())),
                 _ => None,
             })
             .unwrap_or(Ttl::from_mins(5))
@@ -680,8 +700,16 @@ mod tests {
     fn group_rrsets_merges_by_key() {
         let n: Name = "x.com".parse().unwrap();
         let recs = vec![
-            Record::new(n.clone(), Ttl::from_hours(1), RData::Ns("a.x.com".parse().unwrap())),
-            Record::new(n.clone(), Ttl::from_hours(1), RData::Ns("b.x.com".parse().unwrap())),
+            Record::new(
+                n.clone(),
+                Ttl::from_hours(1),
+                RData::Ns("a.x.com".parse().unwrap()),
+            ),
+            Record::new(
+                n.clone(),
+                Ttl::from_hours(1),
+                RData::Ns("b.x.com".parse().unwrap()),
+            ),
             Record::new(n, Ttl::from_hours(1), RData::A(Ipv4Addr::LOCALHOST)),
         ];
         let sets = group_rrsets(&recs);

@@ -1,9 +1,7 @@
 //! Adversarial upstream tests: the resolver must not be poisoned,
 //! confused or crashed by hostile or broken authoritative servers.
 
-use dns_core::{
-    Message, Name, RData, Rcode, Record, RecordType, SimTime, Ttl,
-};
+use dns_core::{Message, Name, RData, Rcode, Record, RecordType, SimTime, Ttl};
 use dns_resolver::{CachingServer, Outcome, ResolverConfig, RootHints, Upstream};
 use std::net::Ipv4Addr;
 
@@ -135,7 +133,11 @@ fn mismatched_transaction_id_is_ignored() {
     assert!(out.is_failure());
     assert!(cs
         .cache()
-        .get(&name("www.victim.com"), RecordType::A, SimTime::from_secs(1))
+        .get(
+            &name("www.victim.com"),
+            RecordType::A,
+            SimTime::from_secs(1)
+        )
         .is_none());
     // The bogus response counts as a failed exchange.
     assert!(cs.metrics().failed_out >= 1);
@@ -153,11 +155,8 @@ fn infinite_cname_chain_terminates() {
         } else {
             name("a.loop.test")
         };
-        resp.answers.push(Record::new(
-            qname,
-            Ttl::from_hours(1),
-            RData::Cname(target),
-        ));
+        resp.answers
+            .push(Record::new(qname, Ttl::from_hours(1), RData::Cname(target)));
         Some(resp)
     });
     let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
@@ -258,5 +257,8 @@ fn answers_for_a_different_question_are_not_used() {
     });
     let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
     let out = cs.resolve_a(&name("www.victim.com"), SimTime::ZERO, &mut evil);
-    assert!(out.is_failure(), "unrelated answers must not satisfy the query");
+    assert!(
+        out.is_failure(),
+        "unrelated answers must not satisfy the query"
+    );
 }

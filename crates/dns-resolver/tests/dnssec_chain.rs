@@ -6,9 +6,7 @@ use dns_auth::AuthServer;
 use dns_core::{
     synthetic_key_digest, Delegation, Message, Name, RData, Record, SimTime, Ttl, ZoneBuilder,
 };
-use dns_resolver::{
-    CachingServer, ResolverConfig, RootHints, SecureStatus, Upstream,
-};
+use dns_resolver::{CachingServer, ResolverConfig, RootHints, SecureStatus, Upstream};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -49,7 +47,11 @@ fn build_net() -> (MiniNet, RootHints) {
             name("edu"),
             vec![name("ns.edu")],
             Ttl::from_days(2),
-            vec![Record::new(name("ns.edu"), Ttl::from_days(2), RData::A(ip(1, 1)))],
+            vec![Record::new(
+                name("ns.edu"),
+                Ttl::from_days(2),
+                RData::A(ip(1, 1)),
+            )],
         ))
         .build()
         .unwrap();
@@ -215,7 +217,7 @@ fn attack_on_child_makes_validation_indeterminate() {
     let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints);
     cs.resolve_a(&name("www.ucla.edu"), SimTime::ZERO, &mut net);
     net.dead.insert(ip(2, 1)); // ucla's only server
-    // DS is cached but the DNSKEY cannot be fetched.
+                               // DS is cached but the DNSKEY cannot be fetched.
     assert_eq!(
         cs.validate_zone(&name("ucla.edu"), SimTime::from_mins(5), &mut net),
         SecureStatus::Indeterminate

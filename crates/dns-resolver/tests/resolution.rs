@@ -3,12 +3,8 @@
 //! attack (blacked-out zone) scenarios that exercise the paper's schemes.
 
 use dns_auth::AuthServer;
-use dns_core::{
-    Delegation, Message, Name, RData, Record, RecordType, SimTime, Ttl, ZoneBuilder,
-};
-use dns_resolver::{
-    CachingServer, Outcome, RenewalPolicy, ResolverConfig, RootHints, Upstream,
-};
+use dns_core::{Delegation, Message, Name, RData, Record, RecordType, SimTime, Ttl, ZoneBuilder};
+use dns_resolver::{CachingServer, Outcome, RenewalPolicy, ResolverConfig, RootHints, Upstream};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -106,8 +102,16 @@ fn build_net() -> (MiniNet, RootHints) {
             ns_names: vec![name("ns1.ucla.edu"), name("ns2.ucla.edu")],
             ns_ttl: Ttl::from_hours(12),
             glue: vec![
-                Record::new(name("ns1.ucla.edu"), Ttl::from_hours(12), RData::A(ip(2, 1))),
-                Record::new(name("ns2.ucla.edu"), Ttl::from_hours(12), RData::A(ip(2, 2))),
+                Record::new(
+                    name("ns1.ucla.edu"),
+                    Ttl::from_hours(12),
+                    RData::A(ip(2, 1)),
+                ),
+                Record::new(
+                    name("ns2.ucla.edu"),
+                    Ttl::from_hours(12),
+                    RData::A(ip(2, 2)),
+                ),
             ],
             ds: Vec::new(),
         })
@@ -475,7 +479,7 @@ fn occupancy_tracks_fresh_entries() {
     // Root hints + edu + ucla.edu.
     assert_eq!(occ.zones, 3);
     assert!(occ.data_rrsets >= 1); // www.ucla.edu A
-    // After everything expires only the hints remain.
+                                   // After everything expires only the hints remain.
     let occ = cs.occupancy(SimTime::from_days(30));
     assert_eq!(occ.zones, 1);
     assert_eq!(occ.data_rrsets, 0);
@@ -546,8 +550,8 @@ fn without_recheck_a_refreshing_resolver_never_sees_new_owners() {
 #[test]
 fn parent_recheck_bounds_delegation_staleness() {
     let (mut net, hints) = build_net();
-    let config = ResolverConfig::with_refresh()
-        .with_parent_recheck(dns_core::SimDuration::from_days(7));
+    let config =
+        ResolverConfig::with_refresh().with_parent_recheck(dns_core::SimDuration::from_days(7));
     let mut cs = CachingServer::new(config, hints);
     cs.resolve_a(&name("www.ucla.edu"), SimTime::ZERO, &mut net);
 

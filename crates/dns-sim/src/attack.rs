@@ -169,8 +169,7 @@ mod tests {
     fn interval_boundaries_are_half_open() {
         let u = universe();
         let start = SimTime::from_days(6);
-        let attack =
-            AttackScenario::root_and_tlds(start, SimDuration::from_hours(3)).compile(&u);
+        let attack = AttackScenario::root_and_tlds(start, SimDuration::from_hours(3)).compile(&u);
         let victim = u.root_servers()[0].1;
         assert!(!attack.is_dead(victim, SimTime::from_secs(start.as_secs() - 1)));
         assert!(attack.is_dead(victim, start));

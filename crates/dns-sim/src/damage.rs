@@ -38,7 +38,12 @@ impl DamagePlan {
 
 impl fmt::Display for DamagePlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "damage plan ({} zones, {} queries covered)", self.picks.len(), self.covered())
+        write!(
+            f,
+            "damage plan ({} zones, {} queries covered)",
+            self.picks.len(),
+            self.covered()
+        )
     }
 }
 
@@ -155,9 +160,12 @@ mod tests {
         let window_queries = t.queries_between(start, end).len() as u64;
         assert!(plan.covered() <= window_queries);
         // With Zipf traffic, a handful of zones covers a sizeable share.
-        assert!(plan.covered() * 4 >= window_queries,
+        assert!(
+            plan.covered() * 4 >= window_queries,
             "5 zones should cover >=25% of a Zipf window, got {}/{}",
-            plan.covered(), window_queries);
+            plan.covered(),
+            window_queries
+        );
     }
 
     #[test]

@@ -10,6 +10,20 @@ use dns_trace::{Trace, Universe};
 use std::fmt;
 use std::sync::Arc;
 
+/// The single source of scheme display labels, shared by
+/// [`SimConfig::label`] and [`Scheme::label`](crate::experiment::Scheme):
+/// the resolver label plus a `+longttl{ttl}` suffix when the
+/// operator-side long-TTL scheme is active
+/// (`refresh+A-LFU_3+longttl3d`, …). Memoisation keys in `dns-bench` and
+/// every CSV's scheme column go through this one function, so the format
+/// must stay stable.
+pub fn scheme_label(resolver: &ResolverConfig, long_ttl: Option<Ttl>) -> String {
+    match long_ttl {
+        Some(ttl) => format!("{}+longttl{}", resolver.label(), ttl),
+        None => resolver.label(),
+    }
+}
+
 /// Configuration of one simulation run: the resolver scheme plus the
 /// zone-operator-side long-TTL override and sampling cadence.
 #[derive(Debug, Clone)]
@@ -47,12 +61,10 @@ impl SimConfig {
         self
     }
 
-    /// Human-readable scheme label (`refresh+A-LFU_3+longttl3d`, …).
+    /// Human-readable scheme label (`refresh+A-LFU_3+longttl3d`, …); see
+    /// [`scheme_label`].
     pub fn label(&self) -> String {
-        match self.long_ttl {
-            Some(ttl) => format!("{}+longttl{}", self.resolver.label(), ttl),
-            None => self.resolver.label(),
-        }
+        scheme_label(&self.resolver, self.long_ttl)
     }
 }
 
@@ -116,7 +128,27 @@ impl Simulation {
     /// The caller is responsible for passing a farm built with the same
     /// `long_ttl` as `config` (see [`ServerFarm::build`]); the label and
     /// behaviour diverge otherwise.
-    pub fn with_farm(farm: ServerFarm, universe: &Universe, trace: Trace, config: SimConfig) -> Self {
+    pub fn with_farm(
+        farm: ServerFarm,
+        universe: &Universe,
+        trace: Trace,
+        config: SimConfig,
+    ) -> Self {
+        Simulation::shared(Arc::new(farm), universe, Arc::new(trace), config)
+    }
+
+    /// The zero-copy constructor behind the sweep engine: both the farm
+    /// and the trace are immutable during replay, so concurrent runs over
+    /// the same universe share one allocation of each instead of cloning.
+    ///
+    /// As with [`Simulation::with_farm`], the farm must have been built
+    /// with the same `long_ttl` as `config`.
+    pub fn shared(
+        farm: Arc<ServerFarm>,
+        universe: &Universe,
+        trace: Arc<Trace>,
+        config: SimConfig,
+    ) -> Self {
         let hints = RootHints::new(universe.root_servers().to_vec());
         let cs = CachingServer::new(config.resolver, hints);
         let next_occupancy = config.occupancy_interval.map(|_| SimTime::ZERO);
@@ -124,8 +156,8 @@ impl Simulation {
         Simulation {
             config,
             cs,
-            net: SimNet::new(farm),
-            trace: Arc::new(trace),
+            net: SimNet::with_shared(farm),
+            trace,
             pos: 0,
             now: SimTime::ZERO,
             occupancy: Vec::new(),
@@ -320,8 +352,7 @@ mod tests {
         let u = universe();
         let t = small_trace(&u);
         let run = || {
-            let mut sim =
-                Simulation::new(&u, t.clone(), SimConfig::new(ResolverConfig::vanilla()));
+            let mut sim = Simulation::new(&u, t.clone(), SimConfig::new(ResolverConfig::vanilla()));
             sim.run_to_end();
             sim.metrics()
         };
@@ -350,10 +381,8 @@ mod tests {
     fn attack_increases_failures_and_schemes_reduce_them() {
         let u = universe();
         let t = small_trace(&u);
-        let attack = AttackScenario::root_and_tlds(
-            SimTime::from_days(6),
-            SimDuration::from_hours(12),
-        );
+        let attack =
+            AttackScenario::root_and_tlds(SimTime::from_days(6), SimDuration::from_hours(12));
         let run = |config: SimConfig| {
             let mut sim = Simulation::new(&u, t.clone(), config);
             sim.set_attack(attack.compile(&u));
@@ -365,13 +394,16 @@ mod tests {
         };
         let vanilla = run(SimConfig::new(ResolverConfig::vanilla()));
         let refresh = run(SimConfig::new(ResolverConfig::with_refresh()));
-        let combined = run(
-            SimConfig::new(ResolverConfig::with_renewal(RenewalPolicy::adaptive_lfu(3)))
-                .long_ttl(Ttl::from_days(3)),
-        );
+        let combined = run(SimConfig::new(ResolverConfig::with_renewal(
+            RenewalPolicy::adaptive_lfu(3),
+        ))
+        .long_ttl(Ttl::from_days(3)));
         assert!(vanilla > 0.0, "vanilla must fail under attack");
         assert!(refresh <= vanilla, "refresh {refresh} vs vanilla {vanilla}");
-        assert!(combined < vanilla, "combined {combined} vs vanilla {vanilla}");
+        assert!(
+            combined < vanilla,
+            "combined {combined} vs vanilla {vanilla}"
+        );
     }
 
     #[test]

@@ -1,17 +1,19 @@
-//! Parameter sweeps behind the paper's figures and tables.
+//! Schemes, outcome types and the paper's experiment constants.
 //!
-//! Every bench binary in `dns-bench` is a thin wrapper over the functions
-//! here: warm a simulation over the first six days of a trace, fork it per
-//! attack duration, and measure failure ratios inside the attack window —
-//! exactly the paper's §5.1 methodology.
+//! Sweeps themselves run through the [`crate::sweep::ExperimentSpec`]
+//! engine: warm a simulation over the first six days of a trace, fork it
+//! per attack duration, and measure failure ratios inside the attack
+//! window — exactly the paper's §5.1 methodology. The free functions
+//! kept here ([`attack_sweep`], [`overhead_run`] and their `_with_farm`
+//! variants) are deprecated single-unit wrappers over that engine.
 
-use crate::{AttackScenario, SimConfig, Simulation};
+use crate::sweep::ExperimentSpec;
+use crate::SimConfig;
 use dns_core::{SimDuration, SimTime, Ttl};
-use dns_resolver::{
-    OccupancySample, RenewalPolicy, ResolverConfig, ResolverMetrics,
-};
+use dns_resolver::{OccupancySample, RenewalPolicy, ResolverConfig, ResolverMetrics};
 use dns_trace::{Trace, Universe};
 use std::fmt;
+use std::sync::Arc;
 
 /// A complete scheme under evaluation: the caching-server configuration
 /// plus the operator-side long-TTL override.
@@ -118,11 +120,14 @@ impl fmt::Display for AttackOutcome {
     }
 }
 
-/// The paper's §5.1 experiment: warm the cache for `attack_start` worth of
-/// trace, then black out the root + all TLDs for each duration in turn,
-/// measuring the failure percentages inside each attack window.
-///
-/// One warm-up is shared by all durations via [`Simulation::fork`].
+/// The paper's §5.1 experiment as a single-unit sweep: warm the cache
+/// for `attack_start` worth of trace, then black out the root + all TLDs
+/// for each duration in turn, measuring the failure percentages inside
+/// each attack window.
+#[deprecated(
+    since = "0.2.0",
+    note = "use sweep::ExperimentSpec::new(universe).trace(..).scheme(..).attack(..).run()"
+)]
 pub fn attack_sweep(
     universe: &Universe,
     trace: &Trace,
@@ -130,12 +135,20 @@ pub fn attack_sweep(
     attack_start: SimTime,
     durations: &[SimDuration],
 ) -> Vec<AttackOutcome> {
-    let farm = crate::ServerFarm::build(universe, scheme.long_ttl);
-    attack_sweep_with_farm(farm, universe, trace, scheme, attack_start, durations)
+    ExperimentSpec::new(universe)
+        .trace(trace.clone())
+        .scheme(scheme)
+        .attack(attack_start, durations)
+        .threads(1)
+        .run()
+        .attacks
 }
 
-/// [`attack_sweep`] with a pre-built farm (must match `scheme.long_ttl`);
-/// sweeps over many traces reuse one farm per long-TTL setting this way.
+/// [`attack_sweep`] with a pre-built farm (must match `scheme.long_ttl`).
+#[deprecated(
+    since = "0.2.0",
+    note = "use sweep::ExperimentSpec::new(universe).farm(..).trace(..).scheme(..).attack(..).run()"
+)]
 pub fn attack_sweep_with_farm(
     farm: crate::ServerFarm,
     universe: &Universe,
@@ -144,28 +157,14 @@ pub fn attack_sweep_with_farm(
     attack_start: SimTime,
     durations: &[SimDuration],
 ) -> Vec<AttackOutcome> {
-    let mut warm = Simulation::with_farm(farm, universe, trace.clone(), scheme.sim_config());
-    warm.run_until(attack_start);
-    durations
-        .iter()
-        .map(|&duration| {
-            let mut sim = warm.fork();
-            sim.set_attack(
-                AttackScenario::root_and_tlds(attack_start, duration).compile(universe),
-            );
-            let before = sim.metrics();
-            sim.run_until(attack_start + duration);
-            let window = sim.metrics() - before;
-            AttackOutcome {
-                scheme: scheme.label(),
-                trace: trace.name.clone(),
-                duration,
-                sr_failed_pct: window.failed_in_ratio() * 100.0,
-                cs_failed_pct: window.failed_out_ratio() * 100.0,
-                window,
-            }
-        })
-        .collect()
+    ExperimentSpec::new(universe)
+        .farm(scheme.long_ttl, Arc::new(farm))
+        .trace(trace.clone())
+        .scheme(scheme)
+        .attack(attack_start, durations)
+        .threads(1)
+        .run()
+        .attacks
 }
 
 /// The attack durations evaluated in Figures 4–5 (3, 6, 12, 24 hours).
@@ -255,17 +254,31 @@ fn safe_ratio(a: f64, b: f64) -> f64 {
 
 /// Runs a scheme over the whole trace with no attack, sampling occupancy
 /// every `sample_every`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use sweep::ExperimentSpec::new(universe).trace(..).scheme(..).overhead(..).run()"
+)]
 pub fn overhead_run(
     universe: &Universe,
     trace: &Trace,
     scheme: Scheme,
     sample_every: SimDuration,
 ) -> OverheadOutcome {
-    let farm = crate::ServerFarm::build(universe, scheme.long_ttl);
-    overhead_run_with_farm(farm, universe, trace, scheme, sample_every)
+    ExperimentSpec::new(universe)
+        .trace(trace.clone())
+        .scheme(scheme)
+        .overhead(sample_every)
+        .threads(1)
+        .run()
+        .overheads
+        .remove(0)
 }
 
 /// [`overhead_run`] with a pre-built farm (must match `scheme.long_ttl`).
+#[deprecated(
+    since = "0.2.0",
+    note = "use sweep::ExperimentSpec::new(universe).farm(..).trace(..).scheme(..).overhead(..).run()"
+)]
 pub fn overhead_run_with_farm(
     farm: crate::ServerFarm,
     universe: &Universe,
@@ -273,19 +286,15 @@ pub fn overhead_run_with_farm(
     scheme: Scheme,
     sample_every: SimDuration,
 ) -> OverheadOutcome {
-    let mut sim = Simulation::with_farm(
-        farm,
-        universe,
-        trace.clone(),
-        scheme.sim_config().occupancy_every(sample_every),
-    );
-    sim.run_to_end();
-    OverheadOutcome {
-        scheme: scheme.label(),
-        trace: trace.name.clone(),
-        metrics: sim.metrics(),
-        occupancy: sim.occupancy().to_vec(),
-    }
+    ExperimentSpec::new(universe)
+        .farm(scheme.long_ttl, Arc::new(farm))
+        .trace(trace.clone())
+        .scheme(scheme)
+        .overhead(sample_every)
+        .threads(1)
+        .run()
+        .overheads
+        .remove(0)
 }
 
 #[cfg(test)]
@@ -320,13 +329,12 @@ mod tests {
     #[test]
     fn sweep_longer_attacks_fail_more_for_vanilla() {
         let (u, t) = setup();
-        let outcomes = attack_sweep(
-            &u,
-            &t,
-            Scheme::vanilla(),
-            SimTime::from_days(ATTACK_START_DAY),
-            &paper_durations(),
-        );
+        let outcomes = ExperimentSpec::new(&u)
+            .trace(t)
+            .scheme(Scheme::vanilla())
+            .attack(SimTime::from_days(ATTACK_START_DAY), &paper_durations())
+            .run()
+            .attacks;
         assert_eq!(outcomes.len(), 4);
         // Failures are roughly monotone in attack duration. The demo
         // trace is sparse (little cache reuse), so failure saturates near
@@ -351,7 +359,15 @@ mod tests {
         let (u, t) = setup();
         let start = SimTime::from_days(ATTACK_START_DAY);
         let durations = [SimDuration::from_hours(6)];
-        let fail = |s: Scheme| attack_sweep(&u, &t, s, start, &durations)[0].sr_failed_pct;
+        let fail = |s: Scheme| {
+            ExperimentSpec::new(&u)
+                .trace(t.clone())
+                .scheme(s)
+                .attack(start, &durations)
+                .run()
+                .attacks[0]
+                .sr_failed_pct
+        };
         let vanilla = fail(Scheme::vanilla());
         let refresh = fail(Scheme::refresh());
         let combined = fail(Scheme::combined(
@@ -372,13 +388,22 @@ mod tests {
     #[test]
     fn overhead_run_collects_metrics_and_occupancy() {
         let (u, t) = setup();
-        let vanilla = overhead_run(&u, &t, Scheme::vanilla(), SimDuration::from_hours(12));
+        let run = |s: Scheme| {
+            ExperimentSpec::new(&u)
+                .trace(t.clone())
+                .scheme(s)
+                .overhead(SimDuration::from_hours(12))
+                .run()
+                .overheads
+                .remove(0)
+        };
+        let vanilla = run(Scheme::vanilla());
         assert!(vanilla.metrics.queries_out > 0);
         assert!(!vanilla.occupancy.is_empty());
         assert_eq!(vanilla.message_overhead_pct(&vanilla), 0.0);
 
         // Refresh reduces message volume (fewer referral walks).
-        let refresh = overhead_run(&u, &t, Scheme::refresh(), SimDuration::from_hours(12));
+        let refresh = run(Scheme::refresh());
         assert!(
             refresh.message_overhead_pct(&vanilla) < 5.0,
             "refresh should not add much traffic: {:+.1}%",
@@ -386,12 +411,7 @@ mod tests {
         );
 
         // Renewal adds traffic but also adds cached zones.
-        let renew = overhead_run(
-            &u,
-            &t,
-            Scheme::renewal(RenewalPolicy::adaptive_lru(3)),
-            SimDuration::from_hours(12),
-        );
+        let renew = run(Scheme::renewal(RenewalPolicy::adaptive_lru(3)));
         assert!(renew.metrics.renewals_sent > 0);
         assert!(renew.zone_ratio(&vanilla) > 1.0);
     }

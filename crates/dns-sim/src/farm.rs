@@ -127,11 +127,7 @@ mod tests {
     fn data_names_answer_authoritatively() {
         let u = universe();
         let farm = ServerFarm::build(&u, None);
-        let zone = u
-            .zones()
-            .iter()
-            .find(|z| !z.data_names.is_empty())
-            .unwrap();
+        let zone = u.zones().iter().find(|z| !z.data_names.is_empty()).unwrap();
         let (host, _) = &zone.data_names[0];
         let addr = zone.ns[0].1;
         let q = Message::query(2, Question::new(host.clone(), RecordType::A));
@@ -160,13 +156,16 @@ mod tests {
             .unwrap();
         let q = Message::query(4, Question::new(zone.apex.clone(), RecordType::Ns));
         let resp = farm.handle(zone.ns[0].1, &q).unwrap();
-        assert!(resp
-            .answers
-            .iter()
-            .all(|r| r.ttl() == ttl), "child NS records must carry the long TTL");
+        assert!(
+            resp.answers.iter().all(|r| r.ttl() == ttl),
+            "child NS records must carry the long TTL"
+        );
         // Parent referral copy does too.
         let parent = u.get(zone.parent.as_ref().unwrap()).unwrap();
-        let q = Message::query(5, Question::new(zone.data_names[0].0.clone(), RecordType::A));
+        let q = Message::query(
+            5,
+            Question::new(zone.data_names[0].0.clone(), RecordType::A),
+        );
         let resp = farm.handle(parent.ns[0].1, &q).unwrap();
         assert_eq!(resp.kind(), ResponseKind::Referral);
         assert!(resp.authorities.iter().all(|r| r.ttl() == ttl));
@@ -187,7 +186,10 @@ mod tests {
             if spec.data_names.is_empty() {
                 continue;
             }
-            let q = Message::query(6, Question::new(spec.data_names[0].0.clone(), RecordType::A));
+            let q = Message::query(
+                6,
+                Question::new(spec.data_names[0].0.clone(), RecordType::A),
+            );
             let resp = farm.handle(addr, &q).unwrap();
             assert_eq!(resp.kind(), ResponseKind::Answer, "zone {apex}");
         }

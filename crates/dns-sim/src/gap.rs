@@ -86,7 +86,11 @@ mod tests {
         let u = UniverseSpec::small().build(7);
         let t = TraceSpec::demo().scaled(0.3).generate(&u, 5);
         let g = measure_gaps(&u, &t);
-        assert!(g.samples > 50, "expected many gap events, got {}", g.samples);
+        assert!(
+            g.samples > 50,
+            "expected many gap events, got {}",
+            g.samples
+        );
         // Figure 3: "in absolute time almost all gaps are less than 5
         // days" — trivially bounded by our 7-day trace, but the bulk
         // must be well under 5 days.

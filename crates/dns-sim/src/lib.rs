@@ -13,7 +13,12 @@
 //! * [`Simulation`] — replays a [`Trace`](dns_trace::Trace) through a
 //!   [`CachingServer`](dns_resolver::CachingServer), interleaving renewal
 //!   events, occupancy sampling and metric snapshots,
-//! * [`experiment`] — the parameter sweeps behind every figure and table.
+//! * [`experiment`] — schemes, outcome types and the paper's constants,
+//! * [`sweep`] — the parallel experiment engine: an [`ExperimentSpec`]
+//!   fans (trace × scheme) run units over scoped worker threads, shares
+//!   one farm per long-TTL setting via `Arc`, collects results in stable
+//!   spec order (so output is thread-count independent) and records a
+//!   [`RunManifest`] of per-unit accounting.
 //!
 //! # Example
 //!
@@ -45,8 +50,10 @@ pub mod experiment;
 mod farm;
 pub mod gap;
 mod network;
+pub mod sweep;
 
 pub use attack::{AttackScenario, Blackout, CompiledAttack};
-pub use driver::{SimConfig, SimReport, Simulation};
+pub use driver::{scheme_label, SimConfig, SimReport, Simulation};
 pub use farm::ServerFarm;
 pub use network::{NetworkStats, SimNet};
+pub use sweep::{ExperimentSpec, GapOutcome, RunManifest, SweepOutcome, UnitRecord};

@@ -5,6 +5,7 @@ use dns_core::{Message, SimTime};
 use dns_resolver::Upstream;
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Aggregate counters kept by the simulated network.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,7 +42,10 @@ impl fmt::Display for NetworkStats {
 /// deterministic pseudo-random packet loss.
 #[derive(Debug, Clone)]
 pub struct SimNet {
-    farm: ServerFarm,
+    /// The farm is immutable once built and shared between concurrent
+    /// simulations (the sweep engine runs one per worker thread), so it
+    /// sits behind an `Arc` instead of being cloned per run.
+    farm: Arc<ServerFarm>,
     attack: CompiledAttack,
     stats: NetworkStats,
     /// Loss probability in `[0, 1)`, applied per query.
@@ -53,6 +57,11 @@ pub struct SimNet {
 impl SimNet {
     /// Creates a network over `farm` with no attack and no loss.
     pub fn new(farm: ServerFarm) -> Self {
+        SimNet::with_shared(Arc::new(farm))
+    }
+
+    /// Like [`SimNet::new`] but shares an already-built farm.
+    pub fn with_shared(farm: Arc<ServerFarm>) -> Self {
         SimNet {
             farm,
             attack: CompiledAttack::none(),
@@ -150,7 +159,9 @@ mod tests {
         let q = Message::query(1, Question::new("com".parse().unwrap(), RecordType::Ns));
 
         assert!(net.query(root, &q, SimTime::ZERO).is_some());
-        assert!(net.query(Ipv4Addr::new(203, 0, 113, 9), &q, SimTime::ZERO).is_none());
+        assert!(net
+            .query(Ipv4Addr::new(203, 0, 113, 9), &q, SimTime::ZERO)
+            .is_none());
 
         net.set_attack(
             AttackScenario::root_and_tlds(SimTime::ZERO, SimDuration::from_hours(1)).compile(&u),

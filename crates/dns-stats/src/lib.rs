@@ -6,7 +6,9 @@
 //! * [`Histogram`] — fixed-bin counting,
 //! * [`Summary`] — running mean/min/max/percentiles,
 //! * [`Table`] — aligned plain-text and CSV table emission matching the
-//!   rows/series the paper reports.
+//!   rows/series the paper reports,
+//! * [`manifest`] — the run-manifest table every sweep prints and writes
+//!   alongside its CSVs.
 //!
 //! # Example
 //!
@@ -23,12 +25,14 @@
 
 mod cdf;
 mod histogram;
+pub mod manifest;
 mod plot;
 mod summary;
 mod table;
 
 pub use cdf::Cdf;
 pub use histogram::Histogram;
+pub use manifest::{manifest_table, ManifestRow};
 pub use plot::{sparkline, AsciiChart};
 pub use summary::Summary;
 pub use table::{Align, Table};

@@ -1,0 +1,111 @@
+//! Tabular rendering of experiment-engine run manifests.
+//!
+//! The sweep engine in `dns-sim` records one row per run unit (wall
+//! clock, queries replayed, events processed, cache-occupancy peak,
+//! worker id, seed). This module turns those rows into a [`Table`] so
+//! every bench binary prints and exports the same manifest format.
+
+use crate::table::Table;
+
+/// One run unit of a sweep, in the engine's stable spec order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestRow {
+    /// Position in spec order (0-based).
+    pub unit: usize,
+    /// Unit kind (`attack` or `overhead`).
+    pub kind: String,
+    /// Trace label.
+    pub trace: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Simulation runs inside the unit (one per attack duration).
+    pub runs: usize,
+    /// Wall-clock time spent on the unit, in milliseconds.
+    pub wall_ms: u64,
+    /// Trace queries replayed.
+    pub queries: u64,
+    /// Simulator events processed (queries in + out, refreshes,
+    /// renewals).
+    pub events: u64,
+    /// Peak cached-record count observed.
+    pub peak_records: u64,
+    /// Id of the worker thread that executed the unit.
+    pub worker: usize,
+    /// RNG seed the unit ran with.
+    pub seed: u64,
+}
+
+/// Column headers of the manifest table, shared with its CSV form.
+pub const MANIFEST_HEADERS: [&str; 11] = [
+    "unit",
+    "kind",
+    "trace",
+    "scheme",
+    "runs",
+    "wall_ms",
+    "queries",
+    "events",
+    "peak_records",
+    "worker",
+    "seed",
+];
+
+/// Builds the manifest summary table (also used for `run_manifest.csv`).
+pub fn manifest_table(rows: &[ManifestRow]) -> Table {
+    let mut table = Table::new(MANIFEST_HEADERS.to_vec());
+    table.numeric();
+    for r in rows {
+        table.row(vec![
+            r.unit.to_string(),
+            r.kind.clone(),
+            r.trace.clone(),
+            r.scheme.clone(),
+            r.runs.to_string(),
+            r.wall_ms.to_string(),
+            r.queries.to_string(),
+            r.events.to_string(),
+            r.peak_records.to_string(),
+            r.worker.to_string(),
+            r.seed.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(unit: usize) -> ManifestRow {
+        ManifestRow {
+            unit,
+            kind: "attack".into(),
+            trace: "UCLA".into(),
+            scheme: "vanilla".into(),
+            runs: 4,
+            wall_ms: 1200,
+            queries: 50_000,
+            events: 180_000,
+            peak_records: 900,
+            worker: 0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn table_has_one_row_per_unit_plus_headers() {
+        let t = manifest_table(&[row(0), row(1)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.headers().len(), MANIFEST_HEADERS.len());
+        let csv = t.to_csv();
+        assert!(csv.starts_with("unit,kind,trace,scheme"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn renders_without_panicking() {
+        let rendered = manifest_table(&[row(0)]).render();
+        assert!(rendered.contains("vanilla"));
+        assert!(rendered.contains("1200"));
+    }
+}

@@ -118,11 +118,7 @@ impl AsciiChart {
             let _ = writeln!(out, "{:>10} │{line}", "");
         }
         let _ = writeln!(out, "{y_min:>10.2} ┤{}", "─".repeat(self.width));
-        let _ = writeln!(
-            out,
-            "{:>11}x: {x_min:.2} … {x_max:.2}",
-            ""
-        );
+        let _ = writeln!(out, "{:>11}x: {x_min:.2} … {x_max:.2}", "");
         for (label, glyph, _) in &self.series {
             let _ = writeln!(out, "{:>11}{glyph} {label}", "");
         }
@@ -159,7 +155,11 @@ mod tests {
     fn chart_renders_all_series() {
         let mut chart = AsciiChart::new(40, 8);
         chart.series("up", '*', (0..10).map(|i| (i as f64, i as f64)).collect());
-        chart.series("down", 'o', (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect());
+        chart.series(
+            "down",
+            'o',
+            (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect(),
+        );
         let out = chart.render();
         assert!(out.contains('*'));
         assert!(out.contains('o'));

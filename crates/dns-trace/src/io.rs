@@ -175,11 +175,15 @@ pub fn load_trace<R: Read>(r: R) -> Result<Trace, LoadError> {
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| parse_err(lineno, "bad client id"))?;
                 let rtype = parse_rtype(
-                    parts.next().ok_or_else(|| parse_err(lineno, "missing type"))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing type"))?,
                     lineno,
                 )?;
                 let qname = parse_name(
-                    parts.next().ok_or_else(|| parse_err(lineno, "missing name"))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing name"))?,
                     lineno,
                 )?;
                 if parts.next().is_some() {
@@ -270,7 +274,9 @@ pub fn load_universe<R: Read>(r: R) -> Result<Universe, LoadError> {
                     return Err(parse_err(lineno, "zone before previous 'end'"));
                 }
                 let apex = parse_name(
-                    parts.next().ok_or_else(|| parse_err(lineno, "missing apex"))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing apex"))?,
                     lineno,
                 )?;
                 let mut parent = None;
@@ -301,7 +307,8 @@ pub fn load_universe<R: Read>(r: R) -> Result<Universe, LoadError> {
                                 .ok_or_else(|| parse_err(lineno, "bad key attribute"))?;
                             dnskey = Some((
                                 tag.parse().map_err(|_| parse_err(lineno, "bad key tag"))?,
-                                key.parse().map_err(|_| parse_err(lineno, "bad key value"))?,
+                                key.parse()
+                                    .map_err(|_| parse_err(lineno, "bad key value"))?,
                             ));
                         }
                         other => {
@@ -325,7 +332,9 @@ pub fn load_universe<R: Read>(r: R) -> Result<Universe, LoadError> {
                     .as_mut()
                     .ok_or_else(|| parse_err(lineno, "ns outside zone"))?;
                 let name = parse_name(
-                    parts.next().ok_or_else(|| parse_err(lineno, "missing ns name"))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing ns name"))?,
                     lineno,
                 )?;
                 let addr: Ipv4Addr = parts
@@ -339,7 +348,9 @@ pub fn load_universe<R: Read>(r: R) -> Result<Universe, LoadError> {
                     .as_mut()
                     .ok_or_else(|| parse_err(lineno, "a outside zone"))?;
                 let name = parse_name(
-                    parts.next().ok_or_else(|| parse_err(lineno, "missing owner"))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing owner"))?,
                     lineno,
                 )?;
                 let ttl = parts
@@ -354,11 +365,15 @@ pub fn load_universe<R: Read>(r: R) -> Result<Universe, LoadError> {
                     .as_mut()
                     .ok_or_else(|| parse_err(lineno, "cname outside zone"))?;
                 let alias = parse_name(
-                    parts.next().ok_or_else(|| parse_err(lineno, "missing alias"))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing alias"))?,
                     lineno,
                 )?;
                 let target = parse_name(
-                    parts.next().ok_or_else(|| parse_err(lineno, "missing target"))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing target"))?,
                     lineno,
                 )?;
                 let ttl = parts
@@ -373,7 +388,10 @@ pub fn load_universe<R: Read>(r: R) -> Result<Universe, LoadError> {
                     .take()
                     .ok_or_else(|| parse_err(lineno, "end without zone"))?;
                 if zone.ns.is_empty() {
-                    return Err(parse_err(lineno, format!("zone {} has no servers", zone.apex)));
+                    return Err(parse_err(
+                        lineno,
+                        format!("zone {} has no servers", zone.apex),
+                    ));
                 }
                 zones.push(zone);
             }

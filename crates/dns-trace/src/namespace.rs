@@ -439,7 +439,9 @@ impl Generator {
 
         // TLDs: a handful of real generic labels plus generated ones.
         let mut tld_names: Vec<Name> = Vec::new();
-        let real = ["com", "net", "org", "edu", "gov", "uk", "cn", "de", "jp", "fr"];
+        let real = [
+            "com", "net", "org", "edu", "gov", "uk", "cn", "de", "jp", "fr",
+        ];
         for label in real.iter().take(self.spec.tld_count) {
             tld_names.push(label.parse().expect("static label"));
         }
@@ -661,11 +663,7 @@ mod tests {
     #[test]
     fn zone_of_resolves_names_to_owners() {
         let u = small();
-        let spec = u
-            .zones()
-            .iter()
-            .find(|z| !z.data_names.is_empty())
-            .unwrap();
+        let spec = u.zones().iter().find(|z| !z.data_names.is_empty()).unwrap();
         let (name, _) = &spec.data_names[0];
         assert_eq!(u.zone_of(name).unwrap().apex, spec.apex);
     }

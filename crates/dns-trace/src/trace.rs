@@ -44,11 +44,7 @@ impl Trace {
         for q in &self.queries {
             clients.insert(q.client);
             if names.insert(&q.question.name) {
-                let zone = q
-                    .question
-                    .name
-                    .parent()
-                    .unwrap_or_else(Name::root);
+                let zone = q.question.name.parent().unwrap_or_else(Name::root);
                 zones.insert(zone);
             }
         }
@@ -110,7 +106,12 @@ impl fmt::Display for TraceStats {
         write!(
             f,
             "{}: {}d, {} clients, {} requests, {} names, {} zones",
-            self.name, self.days, self.clients, self.requests_in, self.distinct_names, self.distinct_zones
+            self.name,
+            self.days,
+            self.clients,
+            self.requests_in,
+            self.distinct_names,
+            self.distinct_zones
         )
     }
 }

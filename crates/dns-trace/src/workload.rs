@@ -112,9 +112,7 @@ impl WorkloadBuilder {
 
         // Distribute query counts over hours with a diurnal curve.
         let hours = self.days * 24;
-        let weights: Vec<f64> = (0..hours)
-            .map(|h| self.diurnal_weight(h % 24))
-            .collect();
+        let weights: Vec<f64> = (0..hours).map(|h| self.diurnal_weight(h % 24)).collect();
         let total_weight: f64 = weights.iter().sum();
         let mut counts: Vec<u64> = weights
             .iter()
@@ -133,8 +131,7 @@ impl WorkloadBuilder {
         let mut queries = Vec::with_capacity(self.total_queries as usize);
         for (hour, &count) in counts.iter().enumerate() {
             let hour_start = hour as u64 * HOUR;
-            let mut offsets: Vec<u64> =
-                (0..count).map(|_| rng.random_range(0..HOUR)).collect();
+            let mut offsets: Vec<u64> = (0..count).map(|_| rng.random_range(0..HOUR)).collect();
             offsets.sort_unstable();
             for off in offsets {
                 let group = &groups[zone_zipf.sample(&mut rng)];
@@ -234,7 +231,12 @@ mod tests {
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         // Top name should dwarf the median (Zipf head).
         let median = sorted[sorted.len() / 2];
-        assert!(sorted[0] > median * 10, "head {} median {}", sorted[0], median);
+        assert!(
+            sorted[0] > median * 10,
+            "head {} median {}",
+            sorted[0],
+            median
+        );
     }
 
     #[test]
@@ -247,7 +249,12 @@ mod tests {
                 .len()
         };
         // 15:00 (peak) vs 03:00 (trough) on day one.
-        assert!(hour(15) > hour(3) * 2, "peak {} trough {}", hour(15), hour(3));
+        assert!(
+            hour(15) > hour(3) * 2,
+            "peak {} trough {}",
+            hour(15),
+            hour(3)
+        );
     }
 
     #[test]
@@ -279,8 +286,7 @@ mod tests {
     #[test]
     fn clients_all_appear() {
         let t = gen(20_000);
-        let distinct: std::collections::HashSet<u32> =
-            t.queries.iter().map(|q| q.client).collect();
+        let distinct: std::collections::HashSet<u32> = t.queries.iter().map(|q| q.client).collect();
         assert_eq!(distinct.len(), 20);
     }
 

@@ -68,7 +68,9 @@ impl Zipf {
     /// Draws one rank in `0..len()`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Probability mass of `rank`.
@@ -76,7 +78,11 @@ impl Zipf {
         if rank >= self.cumulative.len() {
             return 0.0;
         }
-        let prev = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
         self.cumulative[rank] - prev
     }
 }

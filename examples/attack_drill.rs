@@ -9,10 +9,7 @@
 //! cargo run --release --example attack_drill
 //! ```
 
-use dns_resilience::core::{Name, SimDuration, SimTime};
-use dns_resilience::resolver::ResolverConfig;
-use dns_resilience::sim::{AttackScenario, SimConfig, Simulation};
-use dns_resilience::trace::{TraceSpec, Universe, UniverseSpec};
+use dns_resilience::prelude::*;
 
 /// Runs one attack scenario over the workload and reports the failure
 /// percentage inside the attack window.
@@ -21,11 +18,7 @@ fn measure(universe: &Universe, scenario: AttackScenario, label: &str) {
     let start = SimTime::from_days(6);
     let duration = SimDuration::from_hours(12);
 
-    let mut sim = Simulation::new(
-        universe,
-        trace,
-        SimConfig::new(ResolverConfig::vanilla()),
-    );
+    let mut sim = Simulation::new(universe, trace, SimConfig::new(ResolverConfig::vanilla()));
     sim.set_attack(scenario.compile(universe));
     sim.run_until(start);
     let before = sim.metrics();

@@ -6,11 +6,8 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use dns_resilience::core::{SimDuration, SimTime, Ttl};
-use dns_resilience::resolver::{RenewalPolicy, ResolverConfig};
-use dns_resilience::sim::{AttackScenario, SimConfig, Simulation};
+use dns_resilience::prelude::*;
 use dns_resilience::trace::io::{load_trace, load_universe, save_trace, save_universe};
-use dns_resilience::trace::{TraceSpec, UniverseSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Generate and export — in a real deployment you would instead
@@ -37,9 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Replay under attack with the combined scheme.
-    let mut config = SimConfig::new(
-        ResolverConfig::with_renewal(RenewalPolicy::adaptive_lfu(3)),
-    );
+    let mut config = SimConfig::new(ResolverConfig::with_renewal(RenewalPolicy::adaptive_lfu(3)));
     config = config.long_ttl(Ttl::from_days(3));
     let mut sim = Simulation::new(&universe, trace, config);
     let start = SimTime::from_days(6);

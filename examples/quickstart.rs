@@ -5,10 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dns_resilience::core::{SimDuration, SimTime, Ttl};
-use dns_resilience::resolver::RenewalPolicy;
-use dns_resilience::sim::experiment::{attack_sweep, Scheme};
-use dns_resilience::trace::{TraceSpec, UniverseSpec};
+use dns_resilience::prelude::*;
 
 fn main() {
     // 1. A synthetic DNS tree: root → TLDs → thousands of zones, with
@@ -25,18 +22,22 @@ fn main() {
     let start = SimTime::from_days(6);
     let duration = [SimDuration::from_hours(6)];
 
-    for scheme in [
-        Scheme::vanilla(),
-        Scheme::refresh(),
-        Scheme::renewal(RenewalPolicy::adaptive_lfu(3)),
-        Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3)),
-    ] {
-        let outcome = &attack_sweep(&universe, &trace, scheme, start, &duration)[0];
+    // One engine run fans the four schemes over the available cores and
+    // returns the outcomes in the order the schemes were declared.
+    let outcome = ExperimentSpec::new(&universe)
+        .trace(trace)
+        .schemes([
+            Scheme::vanilla(),
+            Scheme::refresh(),
+            Scheme::renewal(RenewalPolicy::adaptive_lfu(3)),
+            Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3)),
+        ])
+        .attack(start, &duration)
+        .run();
+    for o in &outcome.attacks {
         println!(
             "{:<28} SR failures: {:>6.2}%   CS failures: {:>6.2}%",
-            scheme.label(),
-            outcome.sr_failed_pct,
-            outcome.cs_failed_pct
+            o.scheme, o.sr_failed_pct, o.cs_failed_pct
         );
     }
 

@@ -5,20 +5,24 @@
 //! cargo run --release --example resilience_tuning
 //! ```
 
-use dns_resilience::core::{SimDuration, SimTime, Ttl};
-use dns_resilience::resolver::RenewalPolicy;
-use dns_resilience::sim::experiment::{attack_sweep, Scheme};
-use dns_resilience::stats::Table;
-use dns_resilience::trace::{TraceSpec, UniverseSpec};
+use dns_resilience::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let universe = UniverseSpec::small().build(7);
-    let trace = TraceSpec::demo().generate(&universe, 42);
+    let trace = Arc::new(TraceSpec::demo().generate(&universe, 42));
     let start = SimTime::from_days(6);
     let duration = [SimDuration::from_hours(6)];
 
-    let fail =
-        |scheme: Scheme| attack_sweep(&universe, &trace, scheme, start, &duration)[0].sr_failed_pct;
+    let fail = |scheme: Scheme| {
+        ExperimentSpec::new(&universe)
+            .trace(Arc::clone(&trace))
+            .scheme(scheme)
+            .attack(start, &duration)
+            .run()
+            .attacks[0]
+            .sr_failed_pct
+    };
 
     // Sweep 1: renewal credit, for the plain and adaptive LFU policies.
     let mut credits = Table::new(vec!["credit", "LFU", "A-LFU"]);
@@ -27,7 +31,10 @@ fn main() {
         credits.row(vec![
             c.to_string(),
             format!("{:.2}", fail(Scheme::renewal(RenewalPolicy::lfu(c)))),
-            format!("{:.2}", fail(Scheme::renewal(RenewalPolicy::adaptive_lfu(c)))),
+            format!(
+                "{:.2}",
+                fail(Scheme::renewal(RenewalPolicy::adaptive_lfu(c)))
+            ),
         ]);
     }
     println!("SR failure % by renewal credit (6h root+TLD attack)");

@@ -6,10 +6,7 @@
 //! cargo run --release --example secure_resolution
 //! ```
 
-use dns_resilience::core::{SimDuration, SimTime};
-use dns_resilience::resolver::{CachingServer, ResolverConfig, RootHints};
-use dns_resilience::sim::{AttackScenario, ServerFarm, SimNet};
-use dns_resilience::trace::UniverseSpec;
+use dns_resilience::prelude::*;
 
 fn main() {
     // A fully signed synthetic internet.
@@ -21,10 +18,7 @@ fn main() {
         .iter()
         .filter(|z| z.dnskey.is_some())
         .count();
-    println!(
-        "built {} ({} signed zones)",
-        universe, signed
-    );
+    println!("built {} ({} signed zones)", universe, signed);
 
     let farm = ServerFarm::build(&universe, None);
     let hints = RootHints::new(universe.root_servers().to_vec());
@@ -59,15 +53,19 @@ fn main() {
 
         // Probe just past the *original* TTL: only a refreshing resolver
         // still holds the infrastructure (and the DS riding on it).
-        let probe = SimTime::ZERO
-            + SimDuration::from_secs(u64::from(zone.infra_ttl.as_secs()) + 60);
+        let probe =
+            SimTime::ZERO + SimDuration::from_secs(u64::from(zone.infra_ttl.as_secs()) + 60);
         let resolution = cs.resolve_a(host, probe, &mut net);
         let validation = cs.validate_zone(&zone.apex, probe, &mut net);
         println!(
             "{label:<8} zone {} (IRR TTL {}): resolution {} — validation {}",
             zone.apex,
             zone.infra_ttl,
-            if resolution.is_success() { "OK " } else { "FAIL" },
+            if resolution.is_success() {
+                "OK "
+            } else {
+                "FAIL"
+            },
             validation
         );
         net.set_attack(dns_resilience::sim::CompiledAttack::none());

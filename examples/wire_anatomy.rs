@@ -8,9 +8,8 @@
 //! ```
 
 use dns_resilience::auth::AuthServer;
-use dns_resilience::core::{
-    wire, Message, Name, Question, RecordType, ResponseKind, Ttl, ZoneBuilder,
-};
+use dns_resilience::core::{wire, Message, ResponseKind, ZoneBuilder};
+use dns_resilience::prelude::*;
 use std::net::Ipv4Addr;
 
 fn hexdump(bytes: &[u8]) {
@@ -23,9 +22,21 @@ fn hexdump(bytes: &[u8]) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An authoritative server for ucla.edu, the paper's running example.
     let zone = ZoneBuilder::new("ucla.edu".parse()?)
-        .ns("ns1.ucla.edu".parse()?, Ipv4Addr::new(192, 0, 2, 1), Ttl::from_days(1))
-        .ns("ns2.ucla.edu".parse()?, Ipv4Addr::new(192, 0, 2, 2), Ttl::from_days(1))
-        .a("www.ucla.edu".parse()?, Ipv4Addr::new(192, 0, 2, 80), Ttl::from_hours(4))
+        .ns(
+            "ns1.ucla.edu".parse()?,
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ttl::from_days(1),
+        )
+        .ns(
+            "ns2.ucla.edu".parse()?,
+            Ipv4Addr::new(192, 0, 2, 2),
+            Ttl::from_days(1),
+        )
+        .a(
+            "www.ucla.edu".parse()?,
+            Ipv4Addr::new(192, 0, 2, 80),
+            Ttl::from_hours(4),
+        )
         .build()?;
     let mut server = AuthServer::new("ns1.ucla.edu".parse()?, Ipv4Addr::new(192, 0, 2, 1));
     server.add_zone(zone);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-af24694096d9b2d8.d: crates/dns-bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-af24694096d9b2d8: crates/dns-bench/src/bin/ablation.rs
+
+crates/dns-bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-f2ab8a2f30517ed8.d: crates/dns-bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-f2ab8a2f30517ed8: crates/dns-bench/src/bin/ablation.rs
+
+crates/dns-bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-016ec446e47e1bcb.d: crates/dns-resolver/tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-016ec446e47e1bcb: crates/dns-resolver/tests/adversarial.rs
+
+crates/dns-resolver/tests/adversarial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-b36f67d4d53dd739.d: crates/dns-bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-b36f67d4d53dd739: crates/dns-bench/src/bin/all_experiments.rs
+
+crates/dns-bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-fb1bae54f9b68396.d: crates/dns-bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-fb1bae54f9b68396: crates/dns-bench/src/bin/all_experiments.rs
+
+crates/dns-bench/src/bin/all_experiments.rs:

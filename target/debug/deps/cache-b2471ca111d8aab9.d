@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache-b2471ca111d8aab9.d: crates/dns-bench/benches/cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache-b2471ca111d8aab9.rmeta: crates/dns-bench/benches/cache.rs Cargo.toml
+
+crates/dns-bench/benches/cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discussion_latency-2ce04f72991aa45c.d: crates/dns-bench/src/bin/discussion_latency.rs
+
+/root/repo/target/debug/deps/discussion_latency-2ce04f72991aa45c: crates/dns-bench/src/bin/discussion_latency.rs
+
+crates/dns-bench/src/bin/discussion_latency.rs:

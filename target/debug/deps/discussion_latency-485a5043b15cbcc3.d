@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discussion_latency-485a5043b15cbcc3.d: crates/dns-bench/src/bin/discussion_latency.rs
+
+/root/repo/target/debug/deps/discussion_latency-485a5043b15cbcc3: crates/dns-bench/src/bin/discussion_latency.rs
+
+crates/dns-bench/src/bin/discussion_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discussion_maxdamage-19af69bc72581f42.d: crates/dns-bench/src/bin/discussion_maxdamage.rs
+
+/root/repo/target/debug/deps/discussion_maxdamage-19af69bc72581f42: crates/dns-bench/src/bin/discussion_maxdamage.rs
+
+crates/dns-bench/src/bin/discussion_maxdamage.rs:

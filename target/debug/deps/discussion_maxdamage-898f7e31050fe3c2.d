@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discussion_maxdamage-898f7e31050fe3c2.d: crates/dns-bench/src/bin/discussion_maxdamage.rs
+
+/root/repo/target/debug/deps/discussion_maxdamage-898f7e31050fe3c2: crates/dns-bench/src/bin/discussion_maxdamage.rs
+
+crates/dns-bench/src/bin/discussion_maxdamage.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dns_auth-0924623f1d87cda6.d: crates/dns-auth/src/lib.rs crates/dns-auth/src/server.rs crates/dns-auth/src/store.rs
+
+/root/repo/target/debug/deps/dns_auth-0924623f1d87cda6: crates/dns-auth/src/lib.rs crates/dns-auth/src/server.rs crates/dns-auth/src/store.rs
+
+crates/dns-auth/src/lib.rs:
+crates/dns-auth/src/server.rs:
+crates/dns-auth/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dns_auth-ab50a696bce2b4e5.d: crates/dns-auth/src/lib.rs crates/dns-auth/src/server.rs crates/dns-auth/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_auth-ab50a696bce2b4e5.rmeta: crates/dns-auth/src/lib.rs crates/dns-auth/src/server.rs crates/dns-auth/src/store.rs Cargo.toml
+
+crates/dns-auth/src/lib.rs:
+crates/dns-auth/src/server.rs:
+crates/dns-auth/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dns_auth-fbbfb28d065e8473.d: crates/dns-auth/src/lib.rs crates/dns-auth/src/server.rs crates/dns-auth/src/store.rs
+
+/root/repo/target/debug/deps/libdns_auth-fbbfb28d065e8473.rlib: crates/dns-auth/src/lib.rs crates/dns-auth/src/server.rs crates/dns-auth/src/store.rs
+
+/root/repo/target/debug/deps/libdns_auth-fbbfb28d065e8473.rmeta: crates/dns-auth/src/lib.rs crates/dns-auth/src/server.rs crates/dns-auth/src/store.rs
+
+crates/dns-auth/src/lib.rs:
+crates/dns-auth/src/server.rs:
+crates/dns-auth/src/store.rs:

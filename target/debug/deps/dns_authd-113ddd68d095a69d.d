@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_authd-113ddd68d095a69d.d: crates/dns-netd/src/bin/dns-authd.rs
+
+/root/repo/target/debug/deps/dns_authd-113ddd68d095a69d: crates/dns-netd/src/bin/dns-authd.rs
+
+crates/dns-netd/src/bin/dns-authd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_authd-30bf5f757ba8aeed.d: crates/dns-netd/src/bin/dns-authd.rs
+
+/root/repo/target/debug/deps/dns_authd-30bf5f757ba8aeed: crates/dns-netd/src/bin/dns-authd.rs
+
+crates/dns-netd/src/bin/dns-authd.rs:

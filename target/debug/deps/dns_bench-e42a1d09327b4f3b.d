@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dns_bench-e42a1d09327b4f3b.d: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+/root/repo/target/debug/deps/dns_bench-e42a1d09327b4f3b: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+crates/dns-bench/src/lib.rs:
+crates/dns-bench/src/experiments/mod.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dns_bench-f39fec79389fe0d6.d: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+/root/repo/target/debug/deps/libdns_bench-f39fec79389fe0d6.rlib: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+/root/repo/target/debug/deps/libdns_bench-f39fec79389fe0d6.rmeta: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+crates/dns-bench/src/lib.rs:
+crates/dns-bench/src/experiments/mod.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dns_core-031f28e5abe11bc3.d: crates/dns-core/src/lib.rs crates/dns-core/src/clock.rs crates/dns-core/src/error.rs crates/dns-core/src/message.rs crates/dns-core/src/name.rs crates/dns-core/src/rr.rs crates/dns-core/src/wire.rs crates/dns-core/src/zone.rs crates/dns-core/src/zonefile.rs
+
+/root/repo/target/debug/deps/dns_core-031f28e5abe11bc3: crates/dns-core/src/lib.rs crates/dns-core/src/clock.rs crates/dns-core/src/error.rs crates/dns-core/src/message.rs crates/dns-core/src/name.rs crates/dns-core/src/rr.rs crates/dns-core/src/wire.rs crates/dns-core/src/zone.rs crates/dns-core/src/zonefile.rs
+
+crates/dns-core/src/lib.rs:
+crates/dns-core/src/clock.rs:
+crates/dns-core/src/error.rs:
+crates/dns-core/src/message.rs:
+crates/dns-core/src/name.rs:
+crates/dns-core/src/rr.rs:
+crates/dns-core/src/wire.rs:
+crates/dns-core/src/zone.rs:
+crates/dns-core/src/zonefile.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dns_core-e1d2baff0b55e09d.d: crates/dns-core/src/lib.rs crates/dns-core/src/clock.rs crates/dns-core/src/error.rs crates/dns-core/src/message.rs crates/dns-core/src/name.rs crates/dns-core/src/rr.rs crates/dns-core/src/wire.rs crates/dns-core/src/zone.rs crates/dns-core/src/zonefile.rs
+
+/root/repo/target/debug/deps/libdns_core-e1d2baff0b55e09d.rlib: crates/dns-core/src/lib.rs crates/dns-core/src/clock.rs crates/dns-core/src/error.rs crates/dns-core/src/message.rs crates/dns-core/src/name.rs crates/dns-core/src/rr.rs crates/dns-core/src/wire.rs crates/dns-core/src/zone.rs crates/dns-core/src/zonefile.rs
+
+/root/repo/target/debug/deps/libdns_core-e1d2baff0b55e09d.rmeta: crates/dns-core/src/lib.rs crates/dns-core/src/clock.rs crates/dns-core/src/error.rs crates/dns-core/src/message.rs crates/dns-core/src/name.rs crates/dns-core/src/rr.rs crates/dns-core/src/wire.rs crates/dns-core/src/zone.rs crates/dns-core/src/zonefile.rs
+
+crates/dns-core/src/lib.rs:
+crates/dns-core/src/clock.rs:
+crates/dns-core/src/error.rs:
+crates/dns-core/src/message.rs:
+crates/dns-core/src/name.rs:
+crates/dns-core/src/rr.rs:
+crates/dns-core/src/wire.rs:
+crates/dns-core/src/zone.rs:
+crates/dns-core/src/zonefile.rs:

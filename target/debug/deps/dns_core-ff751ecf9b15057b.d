@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dns_core-ff751ecf9b15057b.d: crates/dns-core/src/lib.rs crates/dns-core/src/clock.rs crates/dns-core/src/error.rs crates/dns-core/src/message.rs crates/dns-core/src/name.rs crates/dns-core/src/rr.rs crates/dns-core/src/wire.rs crates/dns-core/src/zone.rs crates/dns-core/src/zonefile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_core-ff751ecf9b15057b.rmeta: crates/dns-core/src/lib.rs crates/dns-core/src/clock.rs crates/dns-core/src/error.rs crates/dns-core/src/message.rs crates/dns-core/src/name.rs crates/dns-core/src/rr.rs crates/dns-core/src/wire.rs crates/dns-core/src/zone.rs crates/dns-core/src/zonefile.rs Cargo.toml
+
+crates/dns-core/src/lib.rs:
+crates/dns-core/src/clock.rs:
+crates/dns-core/src/error.rs:
+crates/dns-core/src/message.rs:
+crates/dns-core/src/name.rs:
+crates/dns-core/src/rr.rs:
+crates/dns-core/src/wire.rs:
+crates/dns-core/src/zone.rs:
+crates/dns-core/src/zonefile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dns_dig-670a0f4b66c5fb97.d: crates/dns-netd/src/bin/dns-dig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_dig-670a0f4b66c5fb97.rmeta: crates/dns-netd/src/bin/dns-dig.rs Cargo.toml
+
+crates/dns-netd/src/bin/dns-dig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

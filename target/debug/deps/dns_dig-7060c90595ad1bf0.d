@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_dig-7060c90595ad1bf0.d: crates/dns-netd/src/bin/dns-dig.rs
+
+/root/repo/target/debug/deps/dns_dig-7060c90595ad1bf0: crates/dns-netd/src/bin/dns-dig.rs
+
+crates/dns-netd/src/bin/dns-dig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_dig-8c3d1465652a140c.d: crates/dns-netd/src/bin/dns-dig.rs
+
+/root/repo/target/debug/deps/dns_dig-8c3d1465652a140c: crates/dns-netd/src/bin/dns-dig.rs
+
+crates/dns-netd/src/bin/dns-dig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_playground-7ced48de47a2fdd4.d: crates/dns-netd/src/bin/dns-playground.rs
+
+/root/repo/target/debug/deps/dns_playground-7ced48de47a2fdd4: crates/dns-netd/src/bin/dns-playground.rs
+
+crates/dns-netd/src/bin/dns-playground.rs:

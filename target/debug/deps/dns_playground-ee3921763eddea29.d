@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_playground-ee3921763eddea29.d: crates/dns-netd/src/bin/dns-playground.rs
+
+/root/repo/target/debug/deps/dns_playground-ee3921763eddea29: crates/dns-netd/src/bin/dns-playground.rs
+
+crates/dns-netd/src/bin/dns-playground.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_resilience-68aabb3ba5b546fc.d: src/lib.rs
+
+/root/repo/target/debug/deps/dns_resilience-68aabb3ba5b546fc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dns_resilience-e525ed326a945e39.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdns_resilience-e525ed326a945e39.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdns_resilience-e525ed326a945e39.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dns_resolver-98694fd2d61fb89d.d: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/upstream.rs
+
+/root/repo/target/debug/deps/libdns_resolver-98694fd2d61fb89d.rlib: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/upstream.rs
+
+/root/repo/target/debug/deps/libdns_resolver-98694fd2d61fb89d.rmeta: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/upstream.rs
+
+crates/dns-resolver/src/lib.rs:
+crates/dns-resolver/src/cache.rs:
+crates/dns-resolver/src/config.rs:
+crates/dns-resolver/src/dnssec.rs:
+crates/dns-resolver/src/infra.rs:
+crates/dns-resolver/src/metrics.rs:
+crates/dns-resolver/src/policy.rs:
+crates/dns-resolver/src/resolve.rs:
+crates/dns-resolver/src/upstream.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dns_stats-194e7d381024d61b.d: crates/dns-stats/src/lib.rs crates/dns-stats/src/cdf.rs crates/dns-stats/src/histogram.rs crates/dns-stats/src/manifest.rs crates/dns-stats/src/plot.rs crates/dns-stats/src/summary.rs crates/dns-stats/src/table.rs
+
+/root/repo/target/debug/deps/libdns_stats-194e7d381024d61b.rlib: crates/dns-stats/src/lib.rs crates/dns-stats/src/cdf.rs crates/dns-stats/src/histogram.rs crates/dns-stats/src/manifest.rs crates/dns-stats/src/plot.rs crates/dns-stats/src/summary.rs crates/dns-stats/src/table.rs
+
+/root/repo/target/debug/deps/libdns_stats-194e7d381024d61b.rmeta: crates/dns-stats/src/lib.rs crates/dns-stats/src/cdf.rs crates/dns-stats/src/histogram.rs crates/dns-stats/src/manifest.rs crates/dns-stats/src/plot.rs crates/dns-stats/src/summary.rs crates/dns-stats/src/table.rs
+
+crates/dns-stats/src/lib.rs:
+crates/dns-stats/src/cdf.rs:
+crates/dns-stats/src/histogram.rs:
+crates/dns-stats/src/manifest.rs:
+crates/dns-stats/src/plot.rs:
+crates/dns-stats/src/summary.rs:
+crates/dns-stats/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dns_stats-491181bb1771b87f.d: crates/dns-stats/src/lib.rs crates/dns-stats/src/cdf.rs crates/dns-stats/src/histogram.rs crates/dns-stats/src/manifest.rs crates/dns-stats/src/plot.rs crates/dns-stats/src/summary.rs crates/dns-stats/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_stats-491181bb1771b87f.rmeta: crates/dns-stats/src/lib.rs crates/dns-stats/src/cdf.rs crates/dns-stats/src/histogram.rs crates/dns-stats/src/manifest.rs crates/dns-stats/src/plot.rs crates/dns-stats/src/summary.rs crates/dns-stats/src/table.rs Cargo.toml
+
+crates/dns-stats/src/lib.rs:
+crates/dns-stats/src/cdf.rs:
+crates/dns-stats/src/histogram.rs:
+crates/dns-stats/src/manifest.rs:
+crates/dns-stats/src/plot.rs:
+crates/dns-stats/src/summary.rs:
+crates/dns-stats/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

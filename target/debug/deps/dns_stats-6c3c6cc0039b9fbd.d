@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dns_stats-6c3c6cc0039b9fbd.d: crates/dns-stats/src/lib.rs crates/dns-stats/src/cdf.rs crates/dns-stats/src/histogram.rs crates/dns-stats/src/plot.rs crates/dns-stats/src/summary.rs crates/dns-stats/src/table.rs
+
+/root/repo/target/debug/deps/dns_stats-6c3c6cc0039b9fbd: crates/dns-stats/src/lib.rs crates/dns-stats/src/cdf.rs crates/dns-stats/src/histogram.rs crates/dns-stats/src/plot.rs crates/dns-stats/src/summary.rs crates/dns-stats/src/table.rs
+
+crates/dns-stats/src/lib.rs:
+crates/dns-stats/src/cdf.rs:
+crates/dns-stats/src/histogram.rs:
+crates/dns-stats/src/plot.rs:
+crates/dns-stats/src/summary.rs:
+crates/dns-stats/src/table.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dns_trace-16dd9c0ca185c476.d: crates/dns-trace/src/lib.rs crates/dns-trace/src/io.rs crates/dns-trace/src/namespace.rs crates/dns-trace/src/spec.rs crates/dns-trace/src/trace.rs crates/dns-trace/src/ttl_model.rs crates/dns-trace/src/workload.rs crates/dns-trace/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_trace-16dd9c0ca185c476.rmeta: crates/dns-trace/src/lib.rs crates/dns-trace/src/io.rs crates/dns-trace/src/namespace.rs crates/dns-trace/src/spec.rs crates/dns-trace/src/trace.rs crates/dns-trace/src/ttl_model.rs crates/dns-trace/src/workload.rs crates/dns-trace/src/zipf.rs Cargo.toml
+
+crates/dns-trace/src/lib.rs:
+crates/dns-trace/src/io.rs:
+crates/dns-trace/src/namespace.rs:
+crates/dns-trace/src/spec.rs:
+crates/dns-trace/src/trace.rs:
+crates/dns-trace/src/ttl_model.rs:
+crates/dns-trace/src/workload.rs:
+crates/dns-trace/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dns_trace-8e1fb27dbaeef4b3.d: crates/dns-trace/src/lib.rs crates/dns-trace/src/io.rs crates/dns-trace/src/namespace.rs crates/dns-trace/src/spec.rs crates/dns-trace/src/trace.rs crates/dns-trace/src/ttl_model.rs crates/dns-trace/src/workload.rs crates/dns-trace/src/zipf.rs
+
+/root/repo/target/debug/deps/libdns_trace-8e1fb27dbaeef4b3.rlib: crates/dns-trace/src/lib.rs crates/dns-trace/src/io.rs crates/dns-trace/src/namespace.rs crates/dns-trace/src/spec.rs crates/dns-trace/src/trace.rs crates/dns-trace/src/ttl_model.rs crates/dns-trace/src/workload.rs crates/dns-trace/src/zipf.rs
+
+/root/repo/target/debug/deps/libdns_trace-8e1fb27dbaeef4b3.rmeta: crates/dns-trace/src/lib.rs crates/dns-trace/src/io.rs crates/dns-trace/src/namespace.rs crates/dns-trace/src/spec.rs crates/dns-trace/src/trace.rs crates/dns-trace/src/ttl_model.rs crates/dns-trace/src/workload.rs crates/dns-trace/src/zipf.rs
+
+crates/dns-trace/src/lib.rs:
+crates/dns-trace/src/io.rs:
+crates/dns-trace/src/namespace.rs:
+crates/dns-trace/src/spec.rs:
+crates/dns-trace/src/trace.rs:
+crates/dns-trace/src/ttl_model.rs:
+crates/dns-trace/src/workload.rs:
+crates/dns-trace/src/zipf.rs:

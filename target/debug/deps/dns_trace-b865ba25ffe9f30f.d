@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dns_trace-b865ba25ffe9f30f.d: crates/dns-trace/src/lib.rs crates/dns-trace/src/io.rs crates/dns-trace/src/namespace.rs crates/dns-trace/src/spec.rs crates/dns-trace/src/trace.rs crates/dns-trace/src/ttl_model.rs crates/dns-trace/src/workload.rs crates/dns-trace/src/zipf.rs
+
+/root/repo/target/debug/deps/dns_trace-b865ba25ffe9f30f: crates/dns-trace/src/lib.rs crates/dns-trace/src/io.rs crates/dns-trace/src/namespace.rs crates/dns-trace/src/spec.rs crates/dns-trace/src/trace.rs crates/dns-trace/src/ttl_model.rs crates/dns-trace/src/workload.rs crates/dns-trace/src/zipf.rs
+
+crates/dns-trace/src/lib.rs:
+crates/dns-trace/src/io.rs:
+crates/dns-trace/src/namespace.rs:
+crates/dns-trace/src/spec.rs:
+crates/dns-trace/src/trace.rs:
+crates/dns-trace/src/ttl_model.rs:
+crates/dns-trace/src/workload.rs:
+crates/dns-trace/src/zipf.rs:

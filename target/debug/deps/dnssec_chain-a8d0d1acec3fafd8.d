@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dnssec_chain-a8d0d1acec3fafd8.d: crates/dns-resolver/tests/dnssec_chain.rs
+
+/root/repo/target/debug/deps/dnssec_chain-a8d0d1acec3fafd8: crates/dns-resolver/tests/dnssec_chain.rs
+
+crates/dns-resolver/tests/dnssec_chain.rs:

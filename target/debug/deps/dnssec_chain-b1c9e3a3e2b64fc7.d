@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dnssec_chain-b1c9e3a3e2b64fc7.d: crates/dns-resolver/tests/dnssec_chain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnssec_chain-b1c9e3a3e2b64fc7.rmeta: crates/dns-resolver/tests/dnssec_chain.rs Cargo.toml
+
+crates/dns-resolver/tests/dnssec_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

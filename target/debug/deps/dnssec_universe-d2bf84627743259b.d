@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dnssec_universe-d2bf84627743259b.d: tests/dnssec_universe.rs
+
+/root/repo/target/debug/deps/dnssec_universe-d2bf84627743259b: tests/dnssec_universe.rs
+
+tests/dnssec_universe.rs:

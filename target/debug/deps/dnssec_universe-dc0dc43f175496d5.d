@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dnssec_universe-dc0dc43f175496d5.d: tests/dnssec_universe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnssec_universe-dc0dc43f175496d5.rmeta: tests/dnssec_universe.rs Cargo.toml
+
+tests/dnssec_universe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-492d62eaf03776fa.d: crates/dns-sim/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-492d62eaf03776fa: crates/dns-sim/tests/failure_injection.rs
+
+crates/dns-sim/tests/failure_injection.rs:

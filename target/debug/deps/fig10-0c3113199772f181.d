@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-0c3113199772f181.d: crates/dns-bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-0c3113199772f181: crates/dns-bench/src/bin/fig10.rs
+
+crates/dns-bench/src/bin/fig10.rs:

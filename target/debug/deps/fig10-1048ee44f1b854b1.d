@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-1048ee44f1b854b1.d: crates/dns-bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-1048ee44f1b854b1: crates/dns-bench/src/bin/fig10.rs
+
+crates/dns-bench/src/bin/fig10.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-12ae81209b8d4e4c.d: crates/dns-bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-12ae81209b8d4e4c.rmeta: crates/dns-bench/src/bin/fig10.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

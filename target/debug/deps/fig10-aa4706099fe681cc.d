@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-aa4706099fe681cc.d: crates/dns-bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-aa4706099fe681cc.rmeta: crates/dns-bench/src/bin/fig10.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

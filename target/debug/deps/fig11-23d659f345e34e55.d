@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-23d659f345e34e55.d: crates/dns-bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-23d659f345e34e55: crates/dns-bench/src/bin/fig11.rs
+
+crates/dns-bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-d2ddd9c34f44c241.d: crates/dns-bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-d2ddd9c34f44c241: crates/dns-bench/src/bin/fig11.rs
+
+crates/dns-bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-2f0d9e8674fe1daa.d: crates/dns-bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-2f0d9e8674fe1daa: crates/dns-bench/src/bin/fig12.rs
+
+crates/dns-bench/src/bin/fig12.rs:

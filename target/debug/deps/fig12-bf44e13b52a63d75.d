@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-bf44e13b52a63d75.d: crates/dns-bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-bf44e13b52a63d75: crates/dns-bench/src/bin/fig12.rs
+
+crates/dns-bench/src/bin/fig12.rs:

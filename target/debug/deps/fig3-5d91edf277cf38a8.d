@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-5d91edf277cf38a8.d: crates/dns-bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-5d91edf277cf38a8: crates/dns-bench/src/bin/fig3.rs
+
+crates/dns-bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-aef724750a54bb01.d: crates/dns-bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-aef724750a54bb01: crates/dns-bench/src/bin/fig3.rs
+
+crates/dns-bench/src/bin/fig3.rs:

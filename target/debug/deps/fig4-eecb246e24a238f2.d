@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-eecb246e24a238f2.d: crates/dns-bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-eecb246e24a238f2: crates/dns-bench/src/bin/fig4.rs
+
+crates/dns-bench/src/bin/fig4.rs:

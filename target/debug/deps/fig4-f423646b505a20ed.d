@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-f423646b505a20ed.d: crates/dns-bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-f423646b505a20ed: crates/dns-bench/src/bin/fig4.rs
+
+crates/dns-bench/src/bin/fig4.rs:

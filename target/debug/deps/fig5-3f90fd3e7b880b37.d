@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-3f90fd3e7b880b37.d: crates/dns-bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-3f90fd3e7b880b37: crates/dns-bench/src/bin/fig5.rs
+
+crates/dns-bench/src/bin/fig5.rs:

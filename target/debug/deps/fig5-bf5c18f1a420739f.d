@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-bf5c18f1a420739f.d: crates/dns-bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-bf5c18f1a420739f: crates/dns-bench/src/bin/fig5.rs
+
+crates/dns-bench/src/bin/fig5.rs:

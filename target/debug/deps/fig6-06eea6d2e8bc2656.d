@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-06eea6d2e8bc2656.d: crates/dns-bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-06eea6d2e8bc2656: crates/dns-bench/src/bin/fig6.rs
+
+crates/dns-bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-9dbaa74e6acb9a95.d: crates/dns-bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-9dbaa74e6acb9a95: crates/dns-bench/src/bin/fig6.rs
+
+crates/dns-bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-2bc58d1fe91d1d86.d: crates/dns-bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-2bc58d1fe91d1d86: crates/dns-bench/src/bin/fig7.rs
+
+crates/dns-bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-caf49c0267a05948.d: crates/dns-bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-caf49c0267a05948: crates/dns-bench/src/bin/fig7.rs
+
+crates/dns-bench/src/bin/fig7.rs:

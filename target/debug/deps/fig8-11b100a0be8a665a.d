@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-11b100a0be8a665a.d: crates/dns-bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-11b100a0be8a665a: crates/dns-bench/src/bin/fig8.rs
+
+crates/dns-bench/src/bin/fig8.rs:

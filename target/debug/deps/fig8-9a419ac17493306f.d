@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-9a419ac17493306f.d: crates/dns-bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-9a419ac17493306f: crates/dns-bench/src/bin/fig8.rs
+
+crates/dns-bench/src/bin/fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-ab70de3d227c5560.d: crates/dns-bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-ab70de3d227c5560.rmeta: crates/dns-bench/src/bin/fig8.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-2dbad6a660c941d8.d: crates/dns-bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-2dbad6a660c941d8: crates/dns-bench/src/bin/fig9.rs
+
+crates/dns-bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-48be6a8c73438c35.d: crates/dns-bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-48be6a8c73438c35.rmeta: crates/dns-bench/src/bin/fig9.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

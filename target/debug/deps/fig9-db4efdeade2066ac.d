@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-db4efdeade2066ac.d: crates/dns-bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-db4efdeade2066ac: crates/dns-bench/src/bin/fig9.rs
+
+crates/dns-bench/src/bin/fig9.rs:

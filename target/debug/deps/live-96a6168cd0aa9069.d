@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live-96a6168cd0aa9069.d: crates/dns-netd/tests/live.rs
+
+/root/repo/target/debug/deps/live-96a6168cd0aa9069: crates/dns-netd/tests/live.rs
+
+crates/dns-netd/tests/live.rs:

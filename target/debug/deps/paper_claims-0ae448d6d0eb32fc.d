@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-0ae448d6d0eb32fc.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-0ae448d6d0eb32fc: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy-2a27d25588cdda3b.d: crates/dns-bench/benches/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy-2a27d25588cdda3b.rmeta: crates/dns-bench/benches/policy.rs Cargo.toml
+
+crates/dns-bench/benches/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_timing-99e5386c62203744.d: crates/dns-bench/src/bin/probe_timing.rs
+
+/root/repo/target/debug/deps/probe_timing-99e5386c62203744: crates/dns-bench/src/bin/probe_timing.rs
+
+crates/dns-bench/src/bin/probe_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_timing-b3e99387b5c5dd4f.d: crates/dns-bench/src/bin/probe_timing.rs
+
+/root/repo/target/debug/deps/probe_timing-b3e99387b5c5dd4f: crates/dns-bench/src/bin/probe_timing.rs
+
+crates/dns-bench/src/bin/probe_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-163d0be4c2295540.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-163d0be4c2295540: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

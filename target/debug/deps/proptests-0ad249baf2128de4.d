@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0ad249baf2128de4.d: crates/dns-resolver/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0ad249baf2128de4: crates/dns-resolver/tests/proptests.rs
+
+crates/dns-resolver/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3ff339d7d38ce977.d: crates/dns-core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3ff339d7d38ce977: crates/dns-core/tests/proptests.rs
+
+crates/dns-core/tests/proptests.rs:

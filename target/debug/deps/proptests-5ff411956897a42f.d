@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-5ff411956897a42f.d: crates/dns-resolver/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5ff411956897a42f.rmeta: crates/dns-resolver/tests/proptests.rs Cargo.toml
+
+crates/dns-resolver/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

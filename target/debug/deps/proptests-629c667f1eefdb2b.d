@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-629c667f1eefdb2b.d: crates/dns-sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-629c667f1eefdb2b.rmeta: crates/dns-sim/tests/proptests.rs Cargo.toml
+
+crates/dns-sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-80624d8f50539b37.d: crates/dns-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-80624d8f50539b37: crates/dns-sim/tests/proptests.rs
+
+crates/dns-sim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a4ac77da3e50fb5a.d: crates/dns-core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a4ac77da3e50fb5a.rmeta: crates/dns-core/tests/proptests.rs Cargo.toml
+
+crates/dns-core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

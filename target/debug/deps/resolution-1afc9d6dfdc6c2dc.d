@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resolution-1afc9d6dfdc6c2dc.d: crates/dns-resolver/tests/resolution.rs
+
+/root/repo/target/debug/deps/resolution-1afc9d6dfdc6c2dc: crates/dns-resolver/tests/resolution.rs
+
+crates/dns-resolver/tests/resolution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resolve-d9036cbb9ce02140.d: crates/dns-bench/benches/resolve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresolve-d9036cbb9ce02140.rmeta: crates/dns-bench/benches/resolve.rs Cargo.toml
+
+crates/dns-bench/benches/resolve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c6f2b09cd2f4464e.d: crates/dns-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c6f2b09cd2f4464e: crates/dns-bench/src/bin/table1.rs
+
+crates/dns-bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-dd8460066851fd46.d: crates/dns-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-dd8460066851fd46: crates/dns-bench/src/bin/table1.rs
+
+crates/dns-bench/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-e221c3dd916fb38e.d: crates/dns-bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-e221c3dd916fb38e.rmeta: crates/dns-bench/src/bin/table1.rs Cargo.toml
+
+crates/dns-bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-2053b92d16c26e94.d: crates/dns-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-2053b92d16c26e94: crates/dns-bench/src/bin/table2.rs
+
+crates/dns-bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ae3ffec571bfcf31.d: crates/dns-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ae3ffec571bfcf31: crates/dns-bench/src/bin/table2.rs
+
+crates/dns-bench/src/bin/table2.rs:

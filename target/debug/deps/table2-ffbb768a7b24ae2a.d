@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-ffbb768a7b24ae2a.d: crates/dns-bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-ffbb768a7b24ae2a.rmeta: crates/dns-bench/src/bin/table2.rs Cargo.toml
+
+crates/dns-bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

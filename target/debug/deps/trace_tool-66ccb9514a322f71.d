@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-66ccb9514a322f71.d: crates/dns-bench/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/trace_tool-66ccb9514a322f71: crates/dns-bench/src/bin/trace_tool.rs
+
+crates/dns-bench/src/bin/trace_tool.rs:

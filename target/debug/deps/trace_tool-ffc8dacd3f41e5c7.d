@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-ffc8dacd3f41e5c7.d: crates/dns-bench/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/trace_tool-ffc8dacd3f41e5c7: crates/dns-bench/src/bin/trace_tool.rs
+
+crates/dns-bench/src/bin/trace_tool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracegen-73200867349618f2.d: crates/dns-bench/benches/tracegen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracegen-73200867349618f2.rmeta: crates/dns-bench/benches/tracegen.rs Cargo.toml
+
+crates/dns-bench/benches/tracegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire-c880e80f88207543.d: crates/dns-bench/benches/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire-c880e80f88207543.rmeta: crates/dns-bench/benches/wire.rs Cargo.toml
+
+crates/dns-bench/benches/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

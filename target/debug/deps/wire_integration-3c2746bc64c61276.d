@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_integration-3c2746bc64c61276.d: crates/dns-auth/tests/wire_integration.rs
+
+/root/repo/target/debug/deps/wire_integration-3c2746bc64c61276: crates/dns-auth/tests/wire_integration.rs
+
+crates/dns-auth/tests/wire_integration.rs:

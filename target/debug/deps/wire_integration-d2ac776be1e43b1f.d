@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_integration-d2ac776be1e43b1f.d: crates/dns-auth/tests/wire_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_integration-d2ac776be1e43b1f.rmeta: crates/dns-auth/tests/wire_integration.rs Cargo.toml
+
+crates/dns-auth/tests/wire_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zonefile_roundtrip-b8713b74a44bfdfd.d: tests/zonefile_roundtrip.rs
+
+/root/repo/target/debug/deps/zonefile_roundtrip-b8713b74a44bfdfd: tests/zonefile_roundtrip.rs
+
+tests/zonefile_roundtrip.rs:

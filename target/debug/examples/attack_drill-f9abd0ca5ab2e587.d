@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_drill-f9abd0ca5ab2e587.d: examples/attack_drill.rs
+
+/root/repo/target/debug/examples/attack_drill-f9abd0ca5ab2e587: examples/attack_drill.rs
+
+examples/attack_drill.rs:

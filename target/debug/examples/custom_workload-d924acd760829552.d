@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-d924acd760829552.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-d924acd760829552: examples/custom_workload.rs
+
+examples/custom_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-739da80008030257.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-739da80008030257: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilience_tuning-962e0578b45061dc.d: examples/resilience_tuning.rs
+
+/root/repo/target/debug/examples/resilience_tuning-962e0578b45061dc: examples/resilience_tuning.rs
+
+examples/resilience_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilience_tuning-f299978549ace370.d: examples/resilience_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilience_tuning-f299978549ace370.rmeta: examples/resilience_tuning.rs Cargo.toml
+
+examples/resilience_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

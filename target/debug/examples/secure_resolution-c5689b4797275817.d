@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_resolution-c5689b4797275817.d: examples/secure_resolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_resolution-c5689b4797275817.rmeta: examples/secure_resolution.rs Cargo.toml
+
+examples/secure_resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

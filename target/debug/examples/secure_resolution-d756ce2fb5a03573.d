@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_resolution-d756ce2fb5a03573.d: examples/secure_resolution.rs
+
+/root/repo/target/debug/examples/secure_resolution-d756ce2fb5a03573: examples/secure_resolution.rs
+
+examples/secure_resolution.rs:

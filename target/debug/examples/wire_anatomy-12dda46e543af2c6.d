@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wire_anatomy-12dda46e543af2c6.d: examples/wire_anatomy.rs
+
+/root/repo/target/debug/examples/wire_anatomy-12dda46e543af2c6: examples/wire_anatomy.rs
+
+examples/wire_anatomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-db0d128a4a220af5.d: crates/dns-bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-db0d128a4a220af5: crates/dns-bench/src/bin/ablation.rs
+
+crates/dns-bench/src/bin/ablation.rs:

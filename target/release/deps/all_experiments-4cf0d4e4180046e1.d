@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-4cf0d4e4180046e1.d: crates/dns-bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-4cf0d4e4180046e1: crates/dns-bench/src/bin/all_experiments.rs
+
+crates/dns-bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/discussion_latency-2703d8023100c62c.d: crates/dns-bench/src/bin/discussion_latency.rs
+
+/root/repo/target/release/deps/discussion_latency-2703d8023100c62c: crates/dns-bench/src/bin/discussion_latency.rs
+
+crates/dns-bench/src/bin/discussion_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/discussion_maxdamage-5ed860802f7a1368.d: crates/dns-bench/src/bin/discussion_maxdamage.rs
+
+/root/repo/target/release/deps/discussion_maxdamage-5ed860802f7a1368: crates/dns-bench/src/bin/discussion_maxdamage.rs
+
+crates/dns-bench/src/bin/discussion_maxdamage.rs:

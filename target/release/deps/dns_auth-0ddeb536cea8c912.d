@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dns_auth-0ddeb536cea8c912.d: crates/dns-auth/src/lib.rs crates/dns-auth/src/server.rs crates/dns-auth/src/store.rs
+
+/root/repo/target/release/deps/libdns_auth-0ddeb536cea8c912.rlib: crates/dns-auth/src/lib.rs crates/dns-auth/src/server.rs crates/dns-auth/src/store.rs
+
+/root/repo/target/release/deps/libdns_auth-0ddeb536cea8c912.rmeta: crates/dns-auth/src/lib.rs crates/dns-auth/src/server.rs crates/dns-auth/src/store.rs
+
+crates/dns-auth/src/lib.rs:
+crates/dns-auth/src/server.rs:
+crates/dns-auth/src/store.rs:

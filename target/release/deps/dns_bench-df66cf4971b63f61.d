@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dns_bench-df66cf4971b63f61.d: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+/root/repo/target/release/deps/libdns_bench-df66cf4971b63f61.rlib: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+/root/repo/target/release/deps/libdns_bench-df66cf4971b63f61.rmeta: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+crates/dns-bench/src/lib.rs:
+crates/dns-bench/src/experiments/mod.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dns_core-be8afab64eb368c4.d: crates/dns-core/src/lib.rs crates/dns-core/src/clock.rs crates/dns-core/src/error.rs crates/dns-core/src/message.rs crates/dns-core/src/name.rs crates/dns-core/src/rr.rs crates/dns-core/src/wire.rs crates/dns-core/src/zone.rs crates/dns-core/src/zonefile.rs
+
+/root/repo/target/release/deps/libdns_core-be8afab64eb368c4.rlib: crates/dns-core/src/lib.rs crates/dns-core/src/clock.rs crates/dns-core/src/error.rs crates/dns-core/src/message.rs crates/dns-core/src/name.rs crates/dns-core/src/rr.rs crates/dns-core/src/wire.rs crates/dns-core/src/zone.rs crates/dns-core/src/zonefile.rs
+
+/root/repo/target/release/deps/libdns_core-be8afab64eb368c4.rmeta: crates/dns-core/src/lib.rs crates/dns-core/src/clock.rs crates/dns-core/src/error.rs crates/dns-core/src/message.rs crates/dns-core/src/name.rs crates/dns-core/src/rr.rs crates/dns-core/src/wire.rs crates/dns-core/src/zone.rs crates/dns-core/src/zonefile.rs
+
+crates/dns-core/src/lib.rs:
+crates/dns-core/src/clock.rs:
+crates/dns-core/src/error.rs:
+crates/dns-core/src/message.rs:
+crates/dns-core/src/name.rs:
+crates/dns-core/src/rr.rs:
+crates/dns-core/src/wire.rs:
+crates/dns-core/src/zone.rs:
+crates/dns-core/src/zonefile.rs:

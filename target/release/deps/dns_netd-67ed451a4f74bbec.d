@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dns_netd-67ed451a4f74bbec.d: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs
+
+/root/repo/target/release/deps/libdns_netd-67ed451a4f74bbec.rlib: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs
+
+/root/repo/target/release/deps/libdns_netd-67ed451a4f74bbec.rmeta: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs
+
+crates/dns-netd/src/lib.rs:
+crates/dns-netd/src/authd.rs:
+crates/dns-netd/src/client.rs:
+crates/dns-netd/src/playground.rs:
+crates/dns-netd/src/resolved.rs:
+crates/dns-netd/src/upstream.rs:

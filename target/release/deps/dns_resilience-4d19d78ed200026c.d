@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dns_resilience-4d19d78ed200026c.d: src/lib.rs
+
+/root/repo/target/release/deps/libdns_resilience-4d19d78ed200026c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdns_resilience-4d19d78ed200026c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dns_resolver-da2cf59874a1ce40.d: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/upstream.rs
+
+/root/repo/target/release/deps/libdns_resolver-da2cf59874a1ce40.rlib: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/upstream.rs
+
+/root/repo/target/release/deps/libdns_resolver-da2cf59874a1ce40.rmeta: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/upstream.rs
+
+crates/dns-resolver/src/lib.rs:
+crates/dns-resolver/src/cache.rs:
+crates/dns-resolver/src/config.rs:
+crates/dns-resolver/src/dnssec.rs:
+crates/dns-resolver/src/infra.rs:
+crates/dns-resolver/src/metrics.rs:
+crates/dns-resolver/src/policy.rs:
+crates/dns-resolver/src/resolve.rs:
+crates/dns-resolver/src/upstream.rs:

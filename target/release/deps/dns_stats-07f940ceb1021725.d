@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dns_stats-07f940ceb1021725.d: crates/dns-stats/src/lib.rs crates/dns-stats/src/cdf.rs crates/dns-stats/src/histogram.rs crates/dns-stats/src/manifest.rs crates/dns-stats/src/plot.rs crates/dns-stats/src/summary.rs crates/dns-stats/src/table.rs
+
+/root/repo/target/release/deps/libdns_stats-07f940ceb1021725.rlib: crates/dns-stats/src/lib.rs crates/dns-stats/src/cdf.rs crates/dns-stats/src/histogram.rs crates/dns-stats/src/manifest.rs crates/dns-stats/src/plot.rs crates/dns-stats/src/summary.rs crates/dns-stats/src/table.rs
+
+/root/repo/target/release/deps/libdns_stats-07f940ceb1021725.rmeta: crates/dns-stats/src/lib.rs crates/dns-stats/src/cdf.rs crates/dns-stats/src/histogram.rs crates/dns-stats/src/manifest.rs crates/dns-stats/src/plot.rs crates/dns-stats/src/summary.rs crates/dns-stats/src/table.rs
+
+crates/dns-stats/src/lib.rs:
+crates/dns-stats/src/cdf.rs:
+crates/dns-stats/src/histogram.rs:
+crates/dns-stats/src/manifest.rs:
+crates/dns-stats/src/plot.rs:
+crates/dns-stats/src/summary.rs:
+crates/dns-stats/src/table.rs:

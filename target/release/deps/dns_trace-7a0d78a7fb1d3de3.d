@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dns_trace-7a0d78a7fb1d3de3.d: crates/dns-trace/src/lib.rs crates/dns-trace/src/io.rs crates/dns-trace/src/namespace.rs crates/dns-trace/src/spec.rs crates/dns-trace/src/trace.rs crates/dns-trace/src/ttl_model.rs crates/dns-trace/src/workload.rs crates/dns-trace/src/zipf.rs
+
+/root/repo/target/release/deps/libdns_trace-7a0d78a7fb1d3de3.rlib: crates/dns-trace/src/lib.rs crates/dns-trace/src/io.rs crates/dns-trace/src/namespace.rs crates/dns-trace/src/spec.rs crates/dns-trace/src/trace.rs crates/dns-trace/src/ttl_model.rs crates/dns-trace/src/workload.rs crates/dns-trace/src/zipf.rs
+
+/root/repo/target/release/deps/libdns_trace-7a0d78a7fb1d3de3.rmeta: crates/dns-trace/src/lib.rs crates/dns-trace/src/io.rs crates/dns-trace/src/namespace.rs crates/dns-trace/src/spec.rs crates/dns-trace/src/trace.rs crates/dns-trace/src/ttl_model.rs crates/dns-trace/src/workload.rs crates/dns-trace/src/zipf.rs
+
+crates/dns-trace/src/lib.rs:
+crates/dns-trace/src/io.rs:
+crates/dns-trace/src/namespace.rs:
+crates/dns-trace/src/spec.rs:
+crates/dns-trace/src/trace.rs:
+crates/dns-trace/src/ttl_model.rs:
+crates/dns-trace/src/workload.rs:
+crates/dns-trace/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-8fa8ee3ae3b0a13e.d: crates/dns-bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-8fa8ee3ae3b0a13e: crates/dns-bench/src/bin/fig10.rs
+
+crates/dns-bench/src/bin/fig10.rs:

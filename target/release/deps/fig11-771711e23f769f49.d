@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-771711e23f769f49.d: crates/dns-bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-771711e23f769f49: crates/dns-bench/src/bin/fig11.rs
+
+crates/dns-bench/src/bin/fig11.rs:

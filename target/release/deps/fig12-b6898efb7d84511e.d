@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-b6898efb7d84511e.d: crates/dns-bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-b6898efb7d84511e: crates/dns-bench/src/bin/fig12.rs
+
+crates/dns-bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-31b34408bd4aeac3.d: crates/dns-bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-31b34408bd4aeac3: crates/dns-bench/src/bin/fig3.rs
+
+crates/dns-bench/src/bin/fig3.rs:

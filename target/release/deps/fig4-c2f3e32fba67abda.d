@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-c2f3e32fba67abda.d: crates/dns-bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-c2f3e32fba67abda: crates/dns-bench/src/bin/fig4.rs
+
+crates/dns-bench/src/bin/fig4.rs:

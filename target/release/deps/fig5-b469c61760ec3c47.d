@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-b469c61760ec3c47.d: crates/dns-bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-b469c61760ec3c47: crates/dns-bench/src/bin/fig5.rs
+
+crates/dns-bench/src/bin/fig5.rs:

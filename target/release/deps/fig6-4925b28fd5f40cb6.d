@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-4925b28fd5f40cb6.d: crates/dns-bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-4925b28fd5f40cb6: crates/dns-bench/src/bin/fig6.rs
+
+crates/dns-bench/src/bin/fig6.rs:

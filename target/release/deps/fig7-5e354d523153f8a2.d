@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-5e354d523153f8a2.d: crates/dns-bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-5e354d523153f8a2: crates/dns-bench/src/bin/fig7.rs
+
+crates/dns-bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-e0b53d48344422f3.d: crates/dns-bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-e0b53d48344422f3: crates/dns-bench/src/bin/fig8.rs
+
+crates/dns-bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-fd617b146b0c8481.d: crates/dns-bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-fd617b146b0c8481: crates/dns-bench/src/bin/fig9.rs
+
+crates/dns-bench/src/bin/fig9.rs:

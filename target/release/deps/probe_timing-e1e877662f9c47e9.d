@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_timing-e1e877662f9c47e9.d: crates/dns-bench/src/bin/probe_timing.rs
+
+/root/repo/target/release/deps/probe_timing-e1e877662f9c47e9: crates/dns-bench/src/bin/probe_timing.rs
+
+crates/dns-bench/src/bin/probe_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e8781525ccf58061.d: crates/dns-bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e8781525ccf58061: crates/dns-bench/src/bin/table1.rs
+
+crates/dns-bench/src/bin/table1.rs:

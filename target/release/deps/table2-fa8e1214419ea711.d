@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-fa8e1214419ea711.d: crates/dns-bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-fa8e1214419ea711: crates/dns-bench/src/bin/table2.rs
+
+crates/dns-bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_tool-ae214254a512c53e.d: crates/dns-bench/src/bin/trace_tool.rs
+
+/root/repo/target/release/deps/trace_tool-ae214254a512c53e: crates/dns-bench/src/bin/trace_tool.rs
+
+crates/dns-bench/src/bin/trace_tool.rs:

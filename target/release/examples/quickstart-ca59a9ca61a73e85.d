@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ca59a9ca61a73e85.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ca59a9ca61a73e85: examples/quickstart.rs
+
+examples/quickstart.rs:

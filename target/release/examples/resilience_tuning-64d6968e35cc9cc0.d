@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resilience_tuning-64d6968e35cc9cc0.d: examples/resilience_tuning.rs
+
+/root/repo/target/release/examples/resilience_tuning-64d6968e35cc9cc0: examples/resilience_tuning.rs
+
+examples/resilience_tuning.rs:

@@ -1,11 +1,9 @@
 //! The paper's qualitative claims, asserted end-to-end on a small but
 //! non-trivial setup. Each test names the claim it checks.
 
-use dns_resilience::core::{SimDuration, SimTime, Ttl};
-use dns_resilience::resolver::RenewalPolicy;
-use dns_resilience::sim::experiment::{attack_sweep, overhead_run, Scheme};
+use dns_resilience::prelude::*;
+use dns_resilience::sim::experiment::OverheadOutcome;
 use dns_resilience::sim::gap::measure_gaps;
-use dns_resilience::trace::{Trace, TraceSpec, Universe, UniverseSpec};
 
 fn setup() -> (Universe, Trace) {
     let u = UniverseSpec::small().build(7);
@@ -14,14 +12,23 @@ fn setup() -> (Universe, Trace) {
 }
 
 fn sr_failure(u: &Universe, t: &Trace, scheme: Scheme) -> f64 {
-    attack_sweep(
-        u,
-        t,
-        scheme,
-        SimTime::from_days(6),
-        &[SimDuration::from_hours(6)],
-    )[0]
-    .sr_failed_pct
+    ExperimentSpec::new(u)
+        .trace(t.clone())
+        .scheme(scheme)
+        .attack(SimTime::from_days(6), &[SimDuration::from_hours(6)])
+        .run()
+        .attacks[0]
+        .sr_failed_pct
+}
+
+fn overhead(u: &Universe, t: &Trace, scheme: Scheme, sample: SimDuration) -> OverheadOutcome {
+    ExperimentSpec::new(u)
+        .trace(t.clone())
+        .scheme(scheme)
+        .overhead(sample)
+        .run()
+        .overheads
+        .remove(0)
 }
 
 /// §1: "the DNS service availability can be improved by one order of
@@ -35,7 +42,10 @@ fn order_of_magnitude_improvement() {
         &t,
         Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3)),
     );
-    assert!(vanilla > 10.0, "vanilla should fail substantially: {vanilla}");
+    assert!(
+        vanilla > 10.0,
+        "vanilla should fail substantially: {vanilla}"
+    );
     assert!(
         combined <= vanilla / 10.0,
         "expected ≥10x improvement: vanilla {vanilla:.2}% vs combined {combined:.2}%"
@@ -74,7 +84,10 @@ fn long_ttl_benefit_saturates() {
     let day1 = sr_failure(&u, &t, Scheme::refresh_long_ttl(Ttl::from_days(1)));
     let day5 = sr_failure(&u, &t, Scheme::refresh_long_ttl(Ttl::from_days(5)));
     let day7 = sr_failure(&u, &t, Scheme::refresh_long_ttl(Ttl::from_days(7)));
-    assert!(day5 <= day1, "longer TTL must not hurt: 5d {day5} vs 1d {day1}");
+    assert!(
+        day5 <= day1,
+        "longer TTL must not hurt: 5d {day5} vs 1d {day1}"
+    );
     // Diminishing returns: the 1d→5d step buys far more than 5d→7d.
     // (Our demo trace is sparser than the paper's, so we assert the
     // saturation *shape* rather than near-equality.)
@@ -105,10 +118,15 @@ fn combined_scheme_saturates_at_three_days() {
 fn message_overhead_signs_match_table2() {
     let (u, t) = setup();
     let sample = SimDuration::from_days(1);
-    let vanilla = overhead_run(&u, &t, Scheme::vanilla(), sample);
-    let refresh = overhead_run(&u, &t, Scheme::refresh(), sample);
-    let long7 = overhead_run(&u, &t, Scheme::refresh_long_ttl(Ttl::from_days(7)), sample);
-    let alfu = overhead_run(&u, &t, Scheme::renewal(RenewalPolicy::adaptive_lfu(3)), sample);
+    let vanilla = overhead(&u, &t, Scheme::vanilla(), sample);
+    let refresh = overhead(&u, &t, Scheme::refresh(), sample);
+    let long7 = overhead(&u, &t, Scheme::refresh_long_ttl(Ttl::from_days(7)), sample);
+    let alfu = overhead(
+        &u,
+        &t,
+        Scheme::renewal(RenewalPolicy::adaptive_lfu(3)),
+        sample,
+    );
 
     assert!(
         refresh.message_overhead_pct(&vanilla) < 0.0,
@@ -133,8 +151,8 @@ fn message_overhead_signs_match_table2() {
 fn memory_overhead_is_bounded() {
     let (u, t) = setup();
     let sample = SimDuration::from_days(1);
-    let vanilla = overhead_run(&u, &t, Scheme::vanilla(), sample);
-    let combined = overhead_run(
+    let vanilla = overhead(&u, &t, Scheme::vanilla(), sample);
+    let combined = overhead(
         &u,
         &t,
         Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3)),
@@ -159,4 +177,28 @@ fn gap_distribution_shape() {
     // Relative gaps span beyond 2x the TTL (the long tail the renewal
     // policies are designed around).
     assert!(gaps.fraction_of_ttl.max().unwrap() > 2.0);
+}
+
+/// The experiment engine is deterministic: a 4-thread sweep produces
+/// outcome vectors identical to a 1-thread (sequential) sweep, field for
+/// field, because results are collected in spec order.
+#[test]
+fn engine_is_thread_count_independent() {
+    let (u, t) = setup();
+    let build = || {
+        ExperimentSpec::new(&u)
+            .trace(t.clone())
+            .schemes([Scheme::vanilla(), Scheme::refresh()])
+            .attack(SimTime::from_days(6), &paper_durations())
+            .overhead(SimDuration::from_days(1))
+    };
+    let seq = build().threads(1).run();
+    let par = build().threads(4).run();
+    assert_eq!(seq.manifest.threads, 1);
+    assert_eq!(par.manifest.threads, 4);
+    assert_eq!(format!("{:?}", seq.attacks), format!("{:?}", par.attacks));
+    assert_eq!(
+        format!("{:?}", seq.overheads),
+        format!("{:?}", par.overheads)
+    );
 }

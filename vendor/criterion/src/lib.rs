@@ -1,0 +1,290 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the subset of the criterion API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_with_setup`], [`BenchmarkId`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! plain wall-clock measurement loop (median of timed batches) instead of
+//! criterion's statistical machinery.
+//!
+//! Results print as `bench <name> ... <time>/iter (<iters> iters)`.
+//! `--bench`/`--test` CLI arguments and name filters are accepted the way
+//! `cargo bench` passes them; under `--test` each benchmark runs exactly
+//! once so `cargo test` stays fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Label for a parameterised benchmark, as in criterion.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id (`function/parameter`).
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The per-benchmark measurement driver handed to bench closures.
+pub struct Bencher<'a> {
+    mode: &'a Mode,
+    /// Measured median time per iteration, filled by `iter*`.
+    reported: Option<(Duration, u64)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// `cargo test` runs each benchmark body once, as criterion does.
+    Test,
+    /// Timed run: calibrate, then take the median of timed batches.
+    Bench { sample_size: usize },
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        self.iter_with_setup(|| (), |()| routine());
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine
+    /// is measured.
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        let samples = match *self.mode {
+            Mode::Test => {
+                black_box(routine(setup()));
+                self.reported = Some((Duration::ZERO, 1));
+                return;
+            }
+            Mode::Bench { sample_size } => sample_size,
+        };
+        // Calibrate: grow the batch until one batch takes >= 2ms, so timer
+        // resolution never dominates.
+        let mut batch: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+        let mut iters_total = 0u64;
+        for _ in 0..samples {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            per_iter.push(t0.elapsed() / batch as u32);
+            iters_total += batch;
+        }
+        per_iter.sort_unstable();
+        self.reported = Some((per_iter[per_iter.len() / 2], iters_total));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager, handed to every function registered with
+/// [`criterion_group!`].
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    fn run_one(&self, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mode = match self.mode {
+            Mode::Test => Mode::Test,
+            Mode::Bench { .. } => Mode::Bench { sample_size },
+        };
+        let mut b = Bencher {
+            mode: &mode,
+            reported: None,
+        };
+        f(&mut b);
+        match b.reported {
+            Some((d, iters)) if matches!(mode, Mode::Bench { .. }) => {
+                println!(
+                    "bench {name:<48} {:>12}/iter ({iters} iters)",
+                    fmt_duration(d)
+                );
+            }
+            _ => println!("bench {name:<48} ok (test mode)"),
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, 50, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 50,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{id}", self.name);
+        self.criterion.run_one(&name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{id}", self.name);
+        self.criterion
+            .run_one(&name, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point used by [`criterion_main!`]; parses the arguments `cargo
+/// bench`/`cargo test` pass and runs every registered group.
+pub fn run_registered(groups: &[&dyn Fn(&mut Criterion)]) {
+    let mut mode = Mode::Bench { sample_size: 50 };
+    let mut filter = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => mode = Mode::Test,
+            "--bench" => {}
+            a if a.starts_with("--") => {}
+            a => filter = Some(a.to_string()),
+        }
+    }
+    let mut c = Criterion { mode, filter };
+    for g in groups {
+        g(&mut c);
+    }
+}
+
+/// Declares a benchmark group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::run_registered(&[$(&$group),+]);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_in_test_mode() {
+        let mode = Mode::Test;
+        let mut b = Bencher {
+            mode: &mode,
+            reported: None,
+        };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert_eq!(b.reported.unwrap().1, 1);
+    }
+
+    #[test]
+    fn bench_mode_measures_something() {
+        let mode = Mode::Bench { sample_size: 3 };
+        let mut b = Bencher {
+            mode: &mode,
+            reported: None,
+        };
+        b.iter(|| std::hint::black_box(41u64) + 1);
+        let (_, iters) = b.reported.unwrap();
+        assert!(iters >= 3);
+    }
+}
