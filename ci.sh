@@ -15,6 +15,14 @@ smoke() {
         test -s "$out/$f.csv" || { echo "missing $out/$f.csv" >&2; exit 1; }
     done
     rm -rf "$out"
+
+    echo "== smoke: netd playground under 10% injected loss =="
+    # Boots the loopback internet, resolves through the retry policy with
+    # deterministic 10% packet loss, then through a root/TLD blackout;
+    # the binary exits non-zero if any scripted resolution deviates.
+    DNS_PLAYGROUND_LOSS=0.1 DNS_PLAYGROUND_SEED=7 \
+        cargo run --release -p dns-netd --bin dns-playground --offline
+
     echo "smoke OK"
 }
 

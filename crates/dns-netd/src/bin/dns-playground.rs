@@ -1,74 +1,113 @@
 //! Boots a miniature internet on loopback — six authoritative daemons and
 //! one recursive resolver — then resolves names through it over real UDP,
-//! demonstrates the TTL-refresh scheme surviving a live "attack" (killing
-//! the root and TLD daemons), and prints a dig-style transcript.
+//! and demonstrates the live robustness layer: the retry policy resolving
+//! through injected packet loss, and the TTL-refresh scheme surviving a
+//! 100%-loss blackout window over every root and TLD daemon (the paper's
+//! headline attack, on real sockets).
 //!
 //! ```sh
 //! cargo run --release -p dns-netd --bin dns-playground
+//! # with injected loss (used by ci.sh as the netd smoke test):
+//! DNS_PLAYGROUND_LOSS=0.1 DNS_PLAYGROUND_SEED=7 \
+//!     cargo run --release -p dns-netd --bin dns-playground
 //! ```
+//!
+//! Exits non-zero when any of the scripted resolutions deviates from its
+//! expected outcome, so CI can gate on it.
 
+use dns_core::{Rcode, RecordType};
 use dns_netd::playground;
-use dns_netd::{client, Resolved, UdpUpstream};
-use dns_resolver::{CachingServer, ResolverConfig};
+use dns_netd::{client, FaultInjector, Resolved, UdpUpstream};
+use dns_resolver::{CachingServer, ResolverConfig, RetryPolicy};
 use std::time::Duration;
 
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let loss = env_f64("DNS_PLAYGROUND_LOSS", 0.0);
+    let seed = env_u64("DNS_PLAYGROUND_SEED", 7);
+
     println!("booting the playground internet…");
     let net = playground::boot()?;
     for d in &net.daemons {
         println!("  {d}");
     }
 
-    let upstream = UdpUpstream::with_route(Duration::from_millis(300), net.route_fn())?;
-    let cs = CachingServer::new(ResolverConfig::with_refresh(), net.hints.clone());
+    let udp = UdpUpstream::with_route(Duration::from_millis(300), net.route_fn())?;
+    let (upstream, faults) = FaultInjector::new(udp, seed);
+    if loss > 0.0 {
+        faults.set_loss(loss);
+        println!("  injecting {:.0}% packet loss (seed {seed})", loss * 100.0);
+    }
+    let config = ResolverConfig::with_refresh()
+        .with_retry(RetryPolicy::standard())
+        .with_seed(seed);
+    let cs = CachingServer::new(config, net.hints.clone());
     let resolver = Resolved::spawn(cs, upstream, "127.0.0.1:0")?;
-    println!("  resolver on {}", resolver.addr());
+    println!("  resolver on {} ({})", resolver.addr(), config.retry);
     println!();
 
-    let dig = |qname: &str, rtype| {
+    let mut failures = 0u32;
+    let mut dig = |qname: &str, rtype, expect: Rcode| {
         let name = qname.parse().expect("valid name");
-        match client::query(resolver.addr(), &name, rtype, Duration::from_secs(2)) {
+        match client::query(resolver.addr(), &name, rtype, Duration::from_secs(5)) {
             Ok(resp) => {
                 println!("$ dig @{} {qname}", resolver.addr());
                 print!("{}", client::render(&resp));
+                if resp.header.rcode != expect {
+                    println!(";; UNEXPECTED: wanted {expect}");
+                    failures += 1;
+                }
             }
-            Err(e) => println!("$ dig {qname} → error: {e}"),
+            Err(e) => {
+                println!("$ dig {qname} → error: {e}");
+                failures += 1;
+            }
         }
         println!();
     };
 
-    dig("www.ucla.edu", dns_core::RecordType::A);
-    dig("web.ucla.edu", dns_core::RecordType::A); // CNAME chain
-    dig("host.cs.ucla.edu", dns_core::RecordType::A); // deep, signed zone
-    dig("www.example.com", dns_core::RecordType::A); // other branch
-    dig("nowhere.ucla.edu", dns_core::RecordType::A); // NXDOMAIN
+    dig("www.ucla.edu", RecordType::A, Rcode::NoError);
+    dig("web.ucla.edu", RecordType::A, Rcode::NoError); // CNAME chain
+    dig("host.cs.ucla.edu", RecordType::A, Rcode::NoError); // deep, signed zone
+    dig("www.example.com", RecordType::A, Rcode::NoError); // other branch
+    dig("nowhere.ucla.edu", RecordType::A, Rcode::NxDomain); // NXDOMAIN
 
-    println!("--- killing the root and TLD daemons (live DDoS) ---");
-    // The playground assigns 10.99.0-2.x to the root/TLD layer; find the
-    // daemons bound for those synthetic addresses via the route map.
-    let routes = net.routes.clone();
-    let mut survivors = Vec::new();
-    for d in net.daemons {
-        let is_top_level = routes
-            .iter()
-            .any(|(syn, sock)| *sock == d.addr() && syn.octets()[2] <= 2);
-        if is_top_level {
-            d.stop();
-        } else {
-            survivors.push(d);
-        }
-    }
-    println!("top-level daemons stopped; cached infrastructure remains.\n");
+    println!("--- blacking out the root and TLD daemons (live DDoS, 100% loss) ---");
+    let targets = net.top_level_ips();
+    faults.blackout(&targets, Duration::from_secs(3600));
+    println!(
+        "injected blackout over {} top-level servers; daemons stay up, their packets vanish.\n",
+        targets.len()
+    );
 
     // Still resolvable: the resolver holds ucla.edu's (refreshed) IRRs.
-    dig("www.ucla.edu", dns_core::RecordType::A);
-    // A name in a never-visited branch now fails (SERVFAIL).
-    dig("www.never-seen.com", dns_core::RecordType::A);
+    dig("www.ucla.edu", RecordType::A, Rcode::NoError);
+    // A name in a never-visited branch now fails (SERVFAIL) — after the
+    // retry policy exhausts its budget against the blackout.
+    dig("www.never-seen.com", RecordType::A, Rcode::ServFail);
 
     println!("resolver metrics: {}", resolver.metrics());
+    println!("daemon stats: {}", resolver.stats());
+    println!("fault stats: {}", faults.stats());
     resolver.stop();
-    for d in survivors {
-        d.stop();
+    net.stop();
+
+    if failures > 0 {
+        return Err(format!("{failures} resolution(s) deviated from the script").into());
     }
+    println!("playground script OK");
     Ok(())
 }

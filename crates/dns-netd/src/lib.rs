@@ -6,8 +6,12 @@
 //! just simulated:
 //!
 //! * [`Authd`] — an authoritative name-server daemon on a UDP socket,
-//! * [`Resolved`] — a recursive caching-resolver daemon whose upstream is
-//!   the real network ([`UdpUpstream`]) and whose clock is wall time,
+//! * [`Resolved`] — a recursive caching-resolver daemon (a small worker
+//!   pool with health reporting) whose upstream is the real network
+//!   ([`UdpUpstream`]) and whose clock is wall time,
+//! * [`FaultInjector`] — deterministic packet loss, delay and per-server
+//!   blackout windows wrapped around any upstream: the simulator's
+//!   attack model replayed on real sockets,
 //! * [`client::query`] — a one-shot dig-like client.
 //!
 //! The `dns-playground` binary boots an entire miniature internet (root,
@@ -48,12 +52,14 @@
 
 mod authd;
 pub mod client;
+mod fault;
 pub mod playground;
 mod resolved;
 mod upstream;
 
 pub use authd::Authd;
-pub use resolved::Resolved;
+pub use fault::{FaultHandle, FaultInjector, FaultStats};
+pub use resolved::{DaemonStats, Resolved};
 pub use upstream::UdpUpstream;
 
 /// The wall clock mapped into the simulator's time vocabulary: seconds

@@ -34,6 +34,20 @@ impl Playground {
         }
     }
 
+    /// Synthetic addresses of the root and TLD daemons — the paper's
+    /// attack surface, handy for blackout experiments
+    /// ([`crate::FaultHandle::blackout`]).
+    pub fn top_level_ips(&self) -> Vec<Ipv4Addr> {
+        let mut ips: Vec<Ipv4Addr> = self
+            .routes
+            .keys()
+            .filter(|ip| ip.octets()[2] <= 2)
+            .copied()
+            .collect();
+        ips.sort();
+        ips
+    }
+
     /// Stops every daemon.
     pub fn stop(self) {
         for d in self.daemons {

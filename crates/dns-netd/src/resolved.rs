@@ -1,9 +1,9 @@
 //! The recursive resolver daemon: a [`CachingServer`] behind a UDP
 //! socket, resolving through real upstream sockets in wall-clock time.
 
-use crate::{wall_clock, UdpUpstream};
+use crate::wall_clock;
 use dns_core::{wire, Message, Rcode};
-use dns_resolver::{CachingServer, Outcome};
+use dns_resolver::{CachingServer, Outcome, Upstream};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
@@ -13,6 +13,46 @@ use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Daemon-side counters: what happened between the socket and the
+/// resolver (the resolver's own counters live in
+/// [`dns_resolver::ResolverMetrics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Responses successfully sent back to clients.
+    pub served: u64,
+    /// Responses that could not be sent (socket-level send errors).
+    pub send_errors: u64,
+    /// Responses too large for the wire that were downgraded to a
+    /// TC-bit truncated reply instead of being silently dropped.
+    pub truncated_responses: u64,
+}
+
+impl fmt::Display for DaemonStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} served, {} send errors, {} truncated",
+            self.served, self.send_errors, self.truncated_responses
+        )
+    }
+}
+
+/// Health state shared by the worker pool: the first non-timeout socket
+/// error flips the flag and is retained for inspection, instead of a
+/// worker dying silently.
+#[derive(Debug, Default)]
+struct Health {
+    failed: AtomicBool,
+    last_error: Mutex<Option<String>>,
+}
+
+impl Health {
+    fn record(&self, context: &str, e: &io::Error) {
+        self.failed.store(true, Ordering::Relaxed);
+        *self.last_error.lock().unwrap() = Some(format!("{context}: {e}"));
+    }
+}
+
 /// A running recursive resolver daemon.
 ///
 /// Clients send standard DNS queries; the daemon resolves them through
@@ -20,72 +60,167 @@ use std::time::Duration;
 /// same code the simulator evaluates) and answers with the outcome:
 /// answers as-is, NXDOMAIN/NODATA as negative responses, and resolution
 /// failure as SERVFAIL.
+///
+/// The daemon runs a small worker pool ([`Resolved::spawn_pool`]): every
+/// worker blocks on a clone of the same UDP socket (the kernel delivers
+/// each datagram to exactly one) and owns its own upstream transport, so
+/// decoding, encoding and socket I/O overlap across workers while the
+/// shared cache stays behind one lock. A worker that hits a fatal socket
+/// error records it ([`Resolved::last_error`]) and drops out, flipping
+/// [`Resolved::healthy`] — the daemon degrades visibly instead of dying
+/// silently.
+#[derive(Debug)]
 pub struct Resolved {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     served: Arc<AtomicU64>,
+    send_errors: Arc<AtomicU64>,
+    truncated: Arc<AtomicU64>,
+    health: Arc<Health>,
     cs: Arc<Mutex<CachingServer>>,
 }
 
 impl Resolved {
-    /// Binds `bind` and starts resolving through `upstream`.
+    /// Binds `bind` and starts resolving through `upstream` with a single
+    /// worker.
     ///
     /// # Errors
     ///
     /// Returns any socket-level error from binding.
-    pub fn spawn(
+    pub fn spawn<U>(
         cs: CachingServer,
-        upstream: UdpUpstream,
+        upstream: U,
         bind: impl ToSocketAddrs,
-    ) -> io::Result<Resolved> {
+    ) -> io::Result<Resolved>
+    where
+        U: Upstream + Send + 'static,
+    {
+        Resolved::spawn_pool(cs, vec![upstream], bind)
+    }
+
+    /// Binds `bind` and starts one worker per upstream in `upstreams`
+    /// (each worker owns its transport; the caller decides the pool
+    /// size).
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-level errors from binding/cloning, and
+    /// `InvalidInput` when `upstreams` is empty.
+    pub fn spawn_pool<U>(
+        cs: CachingServer,
+        upstreams: Vec<U>,
+        bind: impl ToSocketAddrs,
+    ) -> io::Result<Resolved>
+    where
+        U: Upstream + Send + 'static,
+    {
+        if upstreams.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "worker pool needs at least one upstream",
+            ));
+        }
         let socket = UdpSocket::bind(bind)?;
         socket.set_read_timeout(Some(Duration::from_millis(50)))?;
         let addr = socket.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
+        let send_errors = Arc::new(AtomicU64::new(0));
+        let truncated = Arc::new(AtomicU64::new(0));
+        let health = Arc::new(Health::default());
         let cs = Arc::new(Mutex::new(cs));
 
-        let t_stop = Arc::clone(&stop);
-        let t_served = Arc::clone(&served);
-        let t_cs = Arc::clone(&cs);
-        let handle = std::thread::Builder::new()
-            .name(format!("resolved-{addr}"))
-            .spawn(move || {
-                let mut upstream = upstream;
-                let mut buf = [0u8; wire::MAX_MESSAGE_LEN];
-                while !t_stop.load(Ordering::Relaxed) {
-                    let (len, peer) = match socket.recv_from(&mut buf) {
-                        Ok(x) => x,
-                        Err(e)
-                            if e.kind() == io::ErrorKind::WouldBlock
-                                || e.kind() == io::ErrorKind::TimedOut =>
-                        {
-                            continue
-                        }
-                        Err(_) => break,
-                    };
-                    let Ok(query) = wire::decode(&buf[..len]) else {
-                        continue;
-                    };
-                    let response = Self::answer(&t_cs, &mut upstream, &query);
-                    if let Ok(bytes) = wire::encode(&response) {
-                        let _ = socket.send_to(&bytes, peer);
-                    }
-                    t_served.fetch_add(1, Ordering::Relaxed);
-                }
-            })
-            .expect("spawn resolved thread");
+        let mut workers = Vec::with_capacity(upstreams.len());
+        for (i, upstream) in upstreams.into_iter().enumerate() {
+            let socket = socket.try_clone()?;
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            let send_errors = Arc::clone(&send_errors);
+            let truncated = Arc::clone(&truncated);
+            let health = Arc::clone(&health);
+            let cs = Arc::clone(&cs);
+            let handle = std::thread::Builder::new()
+                .name(format!("resolved-{addr}-w{i}"))
+                .spawn(move || {
+                    Self::worker_loop(
+                        socket,
+                        upstream,
+                        &stop,
+                        &served,
+                        &send_errors,
+                        &truncated,
+                        &health,
+                        &cs,
+                    )
+                })
+                .expect("spawn resolved worker");
+            workers.push(handle);
+        }
         Ok(Resolved {
             addr,
             stop,
-            handle: Some(handle),
+            workers,
             served,
+            send_errors,
+            truncated,
+            health,
             cs,
         })
     }
 
-    fn answer(cs: &Mutex<CachingServer>, upstream: &mut UdpUpstream, query: &Message) -> Message {
+    #[allow(clippy::too_many_arguments)]
+    fn worker_loop<U: Upstream>(
+        socket: UdpSocket,
+        mut upstream: U,
+        stop: &AtomicBool,
+        served: &AtomicU64,
+        send_errors: &AtomicU64,
+        truncated: &AtomicU64,
+        health: &Health,
+        cs: &Mutex<CachingServer>,
+    ) {
+        let mut buf = [0u8; wire::MAX_MESSAGE_LEN];
+        while !stop.load(Ordering::Relaxed) {
+            let (len, peer) = match socket.recv_from(&mut buf) {
+                Ok(x) => x,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => {
+                    // Fatal receive error: surface it and retire this
+                    // worker instead of dying without a trace.
+                    health.record("recv", &e);
+                    break;
+                }
+            };
+            let Ok(query) = wire::decode(&buf[..len]) else {
+                continue;
+            };
+            let response = Self::answer(cs, &mut upstream, &query);
+            let Some(bytes) = encode_or_truncate(&query, &response, truncated) else {
+                continue; // not even the header+question fits — drop
+            };
+            // Count `served` only when the reply actually left the socket.
+            match socket.send_to(&bytes, peer) {
+                Ok(_) => {
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    send_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn answer<U: Upstream>(
+        cs: &Mutex<CachingServer>,
+        upstream: &mut U,
+        query: &Message,
+    ) -> Message {
         let mut resp = Message::response_to(query);
         resp.header.recursion_available = true;
         let Some(question) = query.question().cloned() else {
@@ -115,19 +250,44 @@ impl Resolved {
         self.served.load(Ordering::Relaxed)
     }
 
+    /// Number of workers the pool started with.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// `false` once any worker has hit a fatal socket error.
+    pub fn healthy(&self) -> bool {
+        !self.health.failed.load(Ordering::Relaxed)
+    }
+
+    /// The first fatal error a worker recorded, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.health.last_error.lock().unwrap().clone()
+    }
+
+    /// Daemon-side counters (socket-level; resolver counters are in
+    /// [`Resolved::metrics`]).
+    pub fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            served: self.served.load(Ordering::Relaxed),
+            send_errors: self.send_errors.load(Ordering::Relaxed),
+            truncated_responses: self.truncated.load(Ordering::Relaxed),
+        }
+    }
+
     /// Snapshot of the resolver's counters.
     pub fn metrics(&self) -> dns_resolver::ResolverMetrics {
         *self.cs.lock().unwrap().metrics()
     }
 
-    /// Stops the daemon and joins its thread.
+    /// Stops the daemon and joins every worker thread.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.handle.take() {
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -141,6 +301,109 @@ impl Drop for Resolved {
 
 impl fmt::Display for Resolved {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "resolved on {} ({} served)", self.addr, self.served())
+        write!(
+            f,
+            "resolved on {} ({} workers, {} served{})",
+            self.addr,
+            self.worker_count(),
+            self.served(),
+            if self.healthy() { "" } else { ", UNHEALTHY" }
+        )
+    }
+}
+
+/// Encodes `response`; when it exceeds the wire limit (oversized answer
+/// sets), falls back to a TC-bit truncated reply carrying just the header
+/// and question, so the client learns to retry instead of timing out
+/// against silence. Returns `None` only when even the fallback cannot be
+/// encoded.
+fn encode_or_truncate(
+    query: &Message,
+    response: &Message,
+    truncated: &AtomicU64,
+) -> Option<Vec<u8>> {
+    if let Ok(bytes) = wire::encode(response) {
+        return Some(bytes);
+    }
+    truncated.fetch_add(1, Ordering::Relaxed);
+    let mut tc = Message::response_to(query);
+    tc.header.recursion_available = true;
+    tc.header.rcode = response.header.rcode;
+    tc.header.truncated = true;
+    wire::encode(&tc).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_core::{Question, RData, Record, RecordType, Ttl};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn oversized_response_degrades_to_truncated_reply() {
+        let query = Message::query(9, Question::new("big.test".parse().unwrap(), RecordType::A));
+        let mut response = Message::response_to(&query);
+        // Far beyond MAX_MESSAGE_LEN once encoded.
+        for i in 0..2_000u32 {
+            response.answers.push(Record::new(
+                "big.test".parse().unwrap(),
+                Ttl::from_hours(1),
+                RData::A(Ipv4Addr::from(i)),
+            ));
+        }
+        assert!(wire::encode(&response).is_err(), "fixture must overflow");
+
+        let counter = AtomicU64::new(0);
+        let bytes = encode_or_truncate(&query, &response, &counter).expect("fallback encodes");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        let decoded = wire::decode(&bytes).unwrap();
+        assert!(decoded.header.truncated);
+        assert_eq!(decoded.header.id, 9);
+        assert!(decoded.answers.is_empty());
+
+        // A well-sized response passes through untouched.
+        let small = Message::response_to(&query);
+        let bytes = encode_or_truncate(&query, &small, &counter).unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        assert!(!wire::decode(&bytes).unwrap().header.truncated);
+    }
+
+    #[test]
+    fn health_records_first_error() {
+        let health = Health::default();
+        assert!(!health.failed.load(Ordering::Relaxed));
+        health.record("recv", &io::Error::other("boom"));
+        assert!(health.failed.load(Ordering::Relaxed));
+        assert!(health
+            .last_error
+            .lock()
+            .unwrap()
+            .as_deref()
+            .unwrap()
+            .contains("boom"));
+    }
+
+    #[test]
+    fn empty_pool_is_rejected() {
+        struct Dead;
+        impl Upstream for Dead {
+            fn query(
+                &mut self,
+                _server: Ipv4Addr,
+                _query: &Message,
+                _now: dns_core::SimTime,
+            ) -> Option<Message> {
+                None
+            }
+        }
+        let cs = CachingServer::new(
+            dns_resolver::ResolverConfig::vanilla(),
+            dns_resolver::RootHints::new(vec![(
+                "a.root-servers.net".parse().unwrap(),
+                Ipv4Addr::new(198, 41, 0, 4),
+            )]),
+        );
+        let err = Resolved::spawn_pool(cs, Vec::<Dead>::new(), "127.0.0.1:0").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

@@ -70,9 +70,20 @@ impl Upstream for UdpUpstream {
         let bytes = wire::encode(query).ok()?;
         self.socket.send_to(&bytes, target).ok()?;
         let mut buf = [0u8; wire::MAX_MESSAGE_LEN];
-        // Bounded receive loop: ignore strays, stop at timeout.
+        // Bounded receive loop: ignore strays, stop at timeout. The socket
+        // read timeout is shrunk to the *remaining* budget on every
+        // iteration — re-entering `recv_from` with the full timeout after
+        // a stray packet would let one late datagram stretch the wait to
+        // ~2× the configured timeout.
         let deadline = std::time::Instant::now() + self.timeout;
-        while std::time::Instant::now() < deadline {
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self.socket.set_read_timeout(Some(deadline - now)).is_err() {
+                return None;
+            }
             let Ok((len, from)) = self.socket.recv_from(&mut buf) else {
                 return None; // timeout
             };
@@ -82,10 +93,115 @@ impl Upstream for UdpUpstream {
             let Ok(resp) = wire::decode(&buf[..len]) else {
                 continue;
             };
-            if resp.header.id == query.header.id && resp.header.response {
+            // Accept only when the ID *and* the echoed question match —
+            // ID-only matching is the classic off-path spoofing window.
+            if resp.header.response
+                && resp.header.id == query.header.id
+                && resp.question() == query.question()
+            {
                 return Some(resp);
             }
         }
-        None
+    }
+
+    /// Backoff waits on the live path are real sleeps.
+    fn wait(&mut self, millis: u64) {
+        std::thread::sleep(Duration::from_millis(millis));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_core::{Question, RecordType};
+    use std::time::Instant;
+
+    /// A fake server that replies to each query through `reply`, after an
+    /// optional delay.
+    fn fake_server(
+        delay: Duration,
+        reply: impl Fn(&Message) -> Option<Message> + Send + 'static,
+    ) -> SocketAddr {
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr = sock.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut buf = [0u8; wire::MAX_MESSAGE_LEN];
+            while let Ok((len, from)) = sock.recv_from(&mut buf) {
+                let Ok(query) = wire::decode(&buf[..len]) else {
+                    continue;
+                };
+                std::thread::sleep(delay);
+                if let Some(resp) = reply(&query) {
+                    let _ = sock.send_to(&wire::encode(&resp).unwrap(), from);
+                }
+            }
+        });
+        addr
+    }
+
+    fn upstream_to(addr: SocketAddr, timeout: Duration) -> UdpUpstream {
+        UdpUpstream::with_route(timeout, move |_| addr).unwrap()
+    }
+
+    fn a_query() -> Message {
+        Message::query(
+            77,
+            Question::new("www.test".parse().unwrap(), RecordType::A),
+        )
+    }
+
+    #[test]
+    fn stray_packet_does_not_extend_the_timeout() {
+        // The server answers with a *wrong-ID* response after 200 ms; the
+        // upstream's timeout is 300 ms. Before the remaining-deadline fix,
+        // the stray re-armed the full 300 ms read timeout and the call
+        // blocked for ~500 ms; now it must return close to the deadline.
+        let addr = fake_server(Duration::from_millis(200), |query| {
+            let mut resp = Message::response_to(query);
+            resp.header.id = resp.header.id.wrapping_add(1);
+            Some(resp)
+        });
+        let mut up = upstream_to(addr, Duration::from_millis(300));
+        let start = Instant::now();
+        let resp = up.query(Ipv4Addr::new(10, 0, 0, 1), &a_query(), SimTime::ZERO);
+        let elapsed = start.elapsed();
+        assert!(resp.is_none());
+        assert!(
+            elapsed < Duration::from_millis(450),
+            "stray packet extended the wait to {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn response_with_wrong_question_is_rejected() {
+        let addr = fake_server(Duration::ZERO, |query| {
+            let mut resp = Message::response_to(query);
+            resp.questions = vec![Question::new(
+                "spoofed.test".parse().unwrap(),
+                RecordType::A,
+            )];
+            Some(resp)
+        });
+        let mut up = upstream_to(addr, Duration::from_millis(200));
+        assert!(up
+            .query(Ipv4Addr::new(10, 0, 0, 1), &a_query(), SimTime::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn matching_response_is_accepted() {
+        let addr = fake_server(Duration::ZERO, |query| Some(Message::response_to(query)));
+        let mut up = upstream_to(addr, Duration::from_millis(500));
+        let resp = up.query(Ipv4Addr::new(10, 0, 0, 1), &a_query(), SimTime::ZERO);
+        assert_eq!(resp.unwrap().header.id, 77);
+    }
+
+    #[test]
+    fn wait_sleeps_for_the_requested_time() {
+        let addr = fake_server(Duration::ZERO, |_| None);
+        let mut up = upstream_to(addr, Duration::from_millis(50));
+        let start = Instant::now();
+        up.wait(60);
+        assert!(start.elapsed() >= Duration::from_millis(55));
     }
 }

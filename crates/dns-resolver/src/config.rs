@@ -1,6 +1,6 @@
 //! Resolver configuration: which resilience schemes are active.
 
-use crate::RenewalPolicy;
+use crate::{RenewalPolicy, RetryPolicy};
 use dns_core::{Name, SimDuration, Ttl};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -62,6 +62,15 @@ pub struct ResolverConfig {
     /// 7 days. `None` disables the recheck (the paper's evaluated
     /// configuration).
     pub parent_recheck: Option<SimDuration>,
+    /// Retry/backoff policy for upstream exchanges. The default
+    /// ([`RetryPolicy::none`]) keeps the historical single-pass behavior
+    /// the virtual-time experiments were published with; the live UDP
+    /// path opts into [`RetryPolicy::standard`].
+    pub retry: RetryPolicy,
+    /// Seed for the resolver's deterministic RNG (query-ID
+    /// randomization and backoff jitter). Same seed → same IDs and same
+    /// retry schedule.
+    pub seed: u64,
 }
 
 impl ResolverConfig {
@@ -73,12 +82,26 @@ impl ResolverConfig {
             ttl_cap: Ttl::from_days(7),
             negative_ttl_cap: Ttl::from_hours(1),
             parent_recheck: None,
+            retry: RetryPolicy::none(),
+            seed: 0x0DD5_EED5,
         }
     }
 
     /// Enables the §6 parent-recheck safeguard with the given bound.
     pub fn with_parent_recheck(mut self, every: SimDuration) -> Self {
         self.parent_recheck = Some(every);
+        self
+    }
+
+    /// Installs a retry/backoff policy for upstream exchanges.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the seed of the resolver's deterministic RNG.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -155,6 +178,18 @@ mod tests {
     #[test]
     fn ttl_cap_defaults_to_seven_days() {
         assert_eq!(ResolverConfig::vanilla().ttl_cap, Ttl::from_days(7));
+    }
+
+    #[test]
+    fn retry_and_seed_builders() {
+        let c = ResolverConfig::vanilla()
+            .with_retry(RetryPolicy::standard())
+            .with_seed(99);
+        assert_eq!(c.retry, RetryPolicy::standard());
+        assert_eq!(c.seed, 99);
+        // The default stays single-pass so virtual-time experiment counts
+        // are unchanged.
+        assert_eq!(ResolverConfig::vanilla().retry, RetryPolicy::none());
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod infra;
 mod metrics;
 mod policy;
 mod resolve;
+mod retry;
 mod upstream;
 
 pub use cache::{CacheEntry, Credibility, RecordCache};
@@ -62,4 +63,5 @@ pub use infra::{GapSample, InfraCache, InfraEntry, InfraSource};
 pub use metrics::{OccupancySample, ResolverMetrics};
 pub use policy::RenewalPolicy;
 pub use resolve::{CachingServer, Outcome};
+pub use retry::RetryPolicy;
 pub use upstream::Upstream;

@@ -31,6 +31,19 @@ pub struct ResolverMetrics {
     pub renewals_ok: u64,
     /// Negative answers (NXDOMAIN / NODATA) returned to clients.
     pub negative_answers: u64,
+    /// Retry rounds entered by the exchange loop (a retry re-walks the
+    /// whole server list after a backoff wait).
+    pub retries: u64,
+    /// Cumulative backoff requested between retry rounds, in
+    /// milliseconds (virtual for simulated upstreams, slept for real
+    /// ones).
+    pub backoff_wait_ms: u64,
+    /// Exchanges abandoned because the next backoff would exceed the
+    /// retry policy's per-exchange deadline budget.
+    pub deadline_exhausted: u64,
+    /// Responses discarded because they did not match the outstanding
+    /// query's (ID, question) pair — strays, spoofs or late answers.
+    pub mismatched_responses: u64,
 }
 
 impl ResolverMetrics {
@@ -75,6 +88,14 @@ impl Sub for ResolverMetrics {
             renewals_sent: self.renewals_sent.saturating_sub(rhs.renewals_sent),
             renewals_ok: self.renewals_ok.saturating_sub(rhs.renewals_ok),
             negative_answers: self.negative_answers.saturating_sub(rhs.negative_answers),
+            retries: self.retries.saturating_sub(rhs.retries),
+            backoff_wait_ms: self.backoff_wait_ms.saturating_sub(rhs.backoff_wait_ms),
+            deadline_exhausted: self
+                .deadline_exhausted
+                .saturating_sub(rhs.deadline_exhausted),
+            mismatched_responses: self
+                .mismatched_responses
+                .saturating_sub(rhs.mismatched_responses),
         }
     }
 }
@@ -83,14 +104,18 @@ impl fmt::Display for ResolverMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "in={}/{} failed, out={}/{} failed, hits={}, renewals={}/{}",
+            "in={}/{} failed, out={}/{} failed, hits={}, renewals={}/{}, \
+             retries={} ({}ms backoff, {} deadline-exhausted)",
             self.failed_in,
             self.queries_in,
             self.failed_out,
             self.queries_out,
             self.cache_hits,
             self.renewals_ok,
-            self.renewals_sent
+            self.renewals_sent,
+            self.retries,
+            self.backoff_wait_ms,
+            self.deadline_exhausted
         )
     }
 }

@@ -9,6 +9,7 @@ use dns_core::{
     Message, Name, Question, RData, Record, RecordType, ResponseKind, RrSet, SimDuration, SimTime,
     Ttl,
 };
+use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -111,7 +112,10 @@ pub struct CachingServer {
     cache: RecordCache,
     infra: InfraCache,
     metrics: ResolverMetrics,
-    next_id: u16,
+    /// Deterministic RNG seeded from [`ResolverConfig::seed`]; drives
+    /// query-ID randomization (the anti-spoofing fix — sequential IDs are
+    /// trivially predictable off-path) and retry-backoff jitter.
+    rng: StdRng,
 }
 
 impl CachingServer {
@@ -120,12 +124,13 @@ impl CachingServer {
     pub fn new(config: ResolverConfig, hints: RootHints) -> Self {
         let mut infra = InfraCache::new();
         infra.install_root_hints(hints.servers());
+        let rng = StdRng::seed_from_u64(config.seed);
         CachingServer {
             config,
             cache: RecordCache::new(),
             infra,
             metrics: ResolverMetrics::default(),
-            next_id: 1,
+            rng,
         }
     }
 
@@ -480,8 +485,17 @@ impl CachingServer {
         learned.into_iter().map(|(_, a)| a).collect()
     }
 
-    /// Sends `question` to each address in turn until one answers;
-    /// returns the response together with the responding server.
+    /// Sends `question` to each address in turn until one answers, then —
+    /// under the configured [`crate::RetryPolicy`] — re-walks the list
+    /// with exponential, jittered backoff between rounds, up to the
+    /// policy's wait budget. Returns the response together with the
+    /// responding server.
+    ///
+    /// Responses are accepted only when both the query ID *and* the echoed
+    /// question match the outstanding query: matching on the ID alone
+    /// leaves a 1-in-65536 off-path spoofing target, and matching the
+    /// question closes the remainder of the window for answers crossed
+    /// between concurrent resolutions.
     fn exchange<U: Upstream>(
         &mut self,
         addrs: &[Ipv4Addr],
@@ -489,12 +503,41 @@ impl CachingServer {
         now: SimTime,
         up: &mut U,
     ) -> Option<(Message, Ipv4Addr)> {
-        let query = Message::query(self.take_id(), question.clone());
-        for &addr in addrs {
-            self.metrics.queries_out += 1;
-            match up.query(addr, &query, now) {
-                Some(resp) if resp.header.id == query.header.id => return Some((resp, addr)),
-                Some(_) | None => self.metrics.failed_out += 1,
+        let policy = self.config.retry;
+        let mut waited_ms: u64 = 0;
+        for round in 0..policy.rounds() {
+            if round > 0 {
+                let base = policy.backoff_ms(round - 1);
+                let jitter = match policy.max_jitter_ms(base) {
+                    0 => 0,
+                    max => self.rng.random_range(0..=max),
+                };
+                let backoff = base + jitter;
+                if waited_ms.saturating_add(backoff) > policy.deadline_ms {
+                    self.metrics.deadline_exhausted += 1;
+                    break;
+                }
+                self.metrics.retries += 1;
+                self.metrics.backoff_wait_ms += backoff;
+                up.wait(backoff);
+                waited_ms += backoff;
+            }
+            // Fresh ID per round: a late answer to an earlier round's ID
+            // is treated as the stray it is.
+            let query = Message::query(self.take_id(), question.clone());
+            // The resolver is clock-free; surface the waited time to the
+            // upstream as an advanced virtual `now` (whole seconds).
+            let vnow = now + SimDuration::from_secs(waited_ms / 1_000);
+            for &addr in addrs {
+                self.metrics.queries_out += 1;
+                match up.query(addr, &query, vnow) {
+                    Some(resp) if response_matches(&query, &resp) => return Some((resp, addr)),
+                    Some(_) => {
+                        self.metrics.mismatched_responses += 1;
+                        self.metrics.failed_out += 1;
+                    }
+                    None => self.metrics.failed_out += 1,
+                }
             }
         }
         None
@@ -647,11 +690,16 @@ impl CachingServer {
         set.with_ttl(capped)
     }
 
+    /// A fresh, unpredictable query ID from the seeded RNG.
     fn take_id(&mut self) -> u16 {
-        let id = self.next_id;
-        self.next_id = self.next_id.wrapping_add(1).max(1);
-        id
+        self.rng.random::<u16>()
     }
+}
+
+/// Whether `resp` answers `query`: response bit set, IDs equal and the
+/// echoed question identical.
+fn response_matches(query: &Message, resp: &Message) -> bool {
+    resp.header.response && resp.header.id == query.header.id && resp.question() == query.question()
 }
 
 /// Groups loose records into RRsets by (name, type).
@@ -681,6 +729,154 @@ fn referral_child(resp: &Message, zone: &Name, qname: &Name) -> Option<Name> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{RetryPolicy, RootHints};
+
+    /// Upstream where every server is dead; records the query IDs and
+    /// backoff waits it sees.
+    #[derive(Default)]
+    struct DeadRecorder {
+        ids: Vec<u16>,
+        waits: Vec<u64>,
+    }
+
+    impl Upstream for DeadRecorder {
+        fn query(&mut self, _server: Ipv4Addr, query: &Message, _now: SimTime) -> Option<Message> {
+            self.ids.push(query.header.id);
+            None
+        }
+
+        fn wait(&mut self, millis: u64) {
+            self.waits.push(millis);
+        }
+    }
+
+    fn hints() -> RootHints {
+        RootHints::new(vec![(
+            "a.root-servers.net".parse().unwrap(),
+            Ipv4Addr::new(198, 41, 0, 4),
+        )])
+    }
+
+    fn ids_for_seed(seed: u64) -> Vec<u16> {
+        let mut cs = CachingServer::new(ResolverConfig::vanilla().with_seed(seed), hints());
+        let mut up = DeadRecorder::default();
+        for q in ["a.test", "b.test", "c.test", "d.test", "e.test"] {
+            let _ = cs.resolve_a(&q.parse().unwrap(), SimTime::ZERO, &mut up);
+        }
+        up.ids
+    }
+
+    #[test]
+    fn query_ids_are_randomized_and_seed_deterministic() {
+        let a = ids_for_seed(7);
+        assert_eq!(a.len(), 5);
+        // Not the old sequential 1, 2, 3, … pattern.
+        assert!(
+            a.windows(2).any(|w| w[1] != w[0].wrapping_add(1)),
+            "ids still sequential: {a:?}"
+        );
+        // Same seed → same stream; different seed → different stream.
+        assert_eq!(a, ids_for_seed(7));
+        assert_ne!(a, ids_for_seed(8));
+    }
+
+    #[test]
+    fn retry_policy_drives_backoff_and_metrics() {
+        let policy = RetryPolicy {
+            attempts: 3,
+            initial_backoff_ms: 100,
+            backoff_multiplier: 2,
+            max_backoff_ms: 1_000,
+            jitter_pct: 0,
+            deadline_ms: 10_000,
+        };
+        let config = ResolverConfig::vanilla().with_retry(policy);
+        let mut cs = CachingServer::new(config, hints());
+        let mut up = DeadRecorder::default();
+        let outcome = cs.resolve_a(&"www.test".parse().unwrap(), SimTime::ZERO, &mut up);
+        assert!(outcome.is_failure());
+        let m = cs.metrics();
+        assert_eq!(m.retries, 2);
+        assert_eq!(m.backoff_wait_ms, 300); // 100 + 200
+        assert_eq!(m.queries_out, 3); // one root server, three rounds
+        assert_eq!(m.failed_out, 3);
+        assert_eq!(m.deadline_exhausted, 0);
+        assert_eq!(up.waits, vec![100, 200]);
+        // Each round uses a fresh ID.
+        assert_eq!(up.ids.len(), 3);
+        assert!(up.ids[0] != up.ids[1] || up.ids[1] != up.ids[2]);
+    }
+
+    #[test]
+    fn deadline_budget_caps_cumulative_backoff() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            initial_backoff_ms: 100,
+            backoff_multiplier: 2,
+            max_backoff_ms: 10_000,
+            jitter_pct: 0,
+            deadline_ms: 150, // admits the first 100 ms wait, not 100+200
+        };
+        let config = ResolverConfig::vanilla().with_retry(policy);
+        let mut cs = CachingServer::new(config, hints());
+        let mut up = DeadRecorder::default();
+        let _ = cs.resolve_a(&"www.test".parse().unwrap(), SimTime::ZERO, &mut up);
+        let m = cs.metrics();
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.backoff_wait_ms, 100);
+        assert_eq!(m.deadline_exhausted, 1);
+        assert_eq!(up.waits, vec![100]);
+        assert_eq!(m.queries_out, 2);
+    }
+
+    #[test]
+    fn responses_must_match_id_and_question() {
+        let q = Message::query(7, Question::new("www.test".parse().unwrap(), RecordType::A));
+        let good = Message::response_to(&q);
+        assert!(response_matches(&q, &good));
+
+        let mut wrong_id = good.clone();
+        wrong_id.header.id = 8;
+        assert!(!response_matches(&q, &wrong_id));
+
+        let mut wrong_question = good.clone();
+        wrong_question.questions = vec![Question::new("evil.test".parse().unwrap(), RecordType::A)];
+        assert!(!response_matches(&q, &wrong_question));
+
+        let mut not_a_response = good.clone();
+        not_a_response.header.response = false;
+        assert!(!response_matches(&q, &not_a_response));
+    }
+
+    #[test]
+    fn mismatched_responses_are_counted_and_rejected() {
+        /// Answers every query with the right ID but a different question
+        /// (a crossed/spoofed answer).
+        struct WrongQuestion;
+        impl Upstream for WrongQuestion {
+            fn query(
+                &mut self,
+                _server: Ipv4Addr,
+                query: &Message,
+                _now: SimTime,
+            ) -> Option<Message> {
+                let mut resp = Message::response_to(query);
+                resp.questions = vec![Question::new(
+                    "spoofed.test".parse().unwrap(),
+                    RecordType::A,
+                )];
+                Some(resp)
+            }
+        }
+        let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
+        let outcome = cs.resolve_a(
+            &"www.test".parse().unwrap(),
+            SimTime::ZERO,
+            &mut WrongQuestion,
+        );
+        assert!(outcome.is_failure());
+        assert_eq!(cs.metrics().mismatched_responses, 1);
+    }
 
     #[test]
     fn outcome_predicates() {

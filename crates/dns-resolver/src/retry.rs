@@ -1,0 +1,185 @@
+//! Retry policy for outgoing queries: per-server attempts, exponential
+//! backoff with seeded jitter, and an overall wait budget.
+//!
+//! The policy is pure data — the [`crate::CachingServer`] interprets it
+//! inside `exchange`, and both the virtual-time simulator and the real
+//! UDP path run exactly the same code: waits are routed through
+//! [`crate::Upstream::wait`], which a socket-backed upstream implements
+//! as a real sleep and a virtual-time upstream leaves as a no-op.
+
+/// Retry/backoff configuration for one upstream exchange (one question
+/// sent to one zone's server set).
+///
+/// An *attempt* (round) walks the zone's whole server list once. Between
+/// rounds the resolver backs off exponentially:
+///
+/// ```text
+/// backoff(n) = min(initial_backoff_ms * multiplier^n, max_backoff_ms)
+///              + uniform(0 ..= backoff * jitter_pct / 100)
+/// ```
+///
+/// The jitter draw comes from the resolver's seeded RNG, so a fixed
+/// resolver seed reproduces the exact retry schedule. Cumulative backoff
+/// is capped by `deadline_ms` — when the next wait would exceed the
+/// remaining budget the exchange gives up and the resolver counts a
+/// deadline exhaustion (the resolver is clock-free, so the budget tracks
+/// the waits it *requests*, not wall time spent inside the transport).
+///
+/// [`RetryPolicy::none`] (the [`Default`]) is a single pass with no
+/// waiting — the historical behavior, and what every virtual-time
+/// experiment uses so published figure counts are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Rounds over the server list (≥ 1; 0 is treated as 1).
+    pub attempts: u32,
+    /// Base backoff before the first retry round, in milliseconds.
+    pub initial_backoff_ms: u64,
+    /// Multiplier applied to the backoff after every retry round.
+    pub backoff_multiplier: u32,
+    /// Upper bound on a single backoff wait, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Jitter added to each backoff, as a percentage of the base value
+    /// (50 means "up to +50%"), drawn from the resolver's seeded RNG.
+    pub jitter_pct: u32,
+    /// Budget for the *sum* of backoff waits in one exchange, in
+    /// milliseconds.
+    pub deadline_ms: u64,
+}
+
+impl RetryPolicy {
+    /// Single attempt, no backoff — the pre-retry behavior. Virtual-time
+    /// experiments use this so their query counts match the paper runs.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            initial_backoff_ms: 0,
+            backoff_multiplier: 1,
+            max_backoff_ms: 0,
+            jitter_pct: 0,
+            deadline_ms: 0,
+        }
+    }
+
+    /// A production-shaped default for the live UDP path: three rounds,
+    /// 100 ms initial backoff doubling to at most 2 s, up to +50% jitter,
+    /// 5 s total wait budget.
+    pub const fn standard() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            initial_backoff_ms: 100,
+            backoff_multiplier: 2,
+            max_backoff_ms: 2_000,
+            jitter_pct: 50,
+            deadline_ms: 5_000,
+        }
+    }
+
+    /// Effective number of rounds (guards against a zero config).
+    pub fn rounds(&self) -> u32 {
+        self.attempts.max(1)
+    }
+
+    /// Base (pre-jitter) backoff before retry round `retry` (0-based:
+    /// `retry = 0` is the wait between the first and second rounds).
+    pub fn backoff_ms(&self, retry: u32) -> u64 {
+        let mult = u64::from(self.backoff_multiplier.max(1));
+        let mut b = self.initial_backoff_ms;
+        for _ in 0..retry {
+            b = b.saturating_mul(mult);
+            if b >= self.max_backoff_ms {
+                return self.max_backoff_ms;
+            }
+        }
+        b.min(self.max_backoff_ms)
+    }
+
+    /// Largest jitter that may be added to a backoff of `base_ms`.
+    pub fn max_jitter_ms(&self, base_ms: u64) -> u64 {
+        base_ms.saturating_mul(u64::from(self.jitter_pct)) / 100
+    }
+
+    /// Whether this policy ever retries.
+    pub fn retries_enabled(&self) -> bool {
+        self.rounds() > 1
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl std::fmt::Display for RetryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.retries_enabled() {
+            return f.write_str("retry: none");
+        }
+        write!(
+            f,
+            "retry: {} rounds, backoff {}ms x{} (cap {}ms, jitter {}%), budget {}ms",
+            self.rounds(),
+            self.initial_backoff_ms,
+            self.backoff_multiplier,
+            self.max_backoff_ms,
+            self.jitter_pct,
+            self.deadline_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_single_pass() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.rounds(), 1);
+        assert!(!p.retries_enabled());
+        assert_eq!(p.backoff_ms(0), 0);
+        assert_eq!(RetryPolicy::default(), p);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            attempts: 6,
+            initial_backoff_ms: 100,
+            backoff_multiplier: 2,
+            max_backoff_ms: 500,
+            jitter_pct: 0,
+            deadline_ms: 10_000,
+        };
+        assert_eq!(p.backoff_ms(0), 100);
+        assert_eq!(p.backoff_ms(1), 200);
+        assert_eq!(p.backoff_ms(2), 400);
+        assert_eq!(p.backoff_ms(3), 500); // capped
+        assert_eq!(p.backoff_ms(30), 500); // no overflow
+    }
+
+    #[test]
+    fn zero_configs_are_tolerated() {
+        let p = RetryPolicy {
+            attempts: 0,
+            backoff_multiplier: 0,
+            ..RetryPolicy::standard()
+        };
+        assert_eq!(p.rounds(), 1);
+        // multiplier 0 behaves like 1 (constant backoff).
+        assert_eq!(p.backoff_ms(3), p.initial_backoff_ms);
+    }
+
+    #[test]
+    fn jitter_bound() {
+        let p = RetryPolicy::standard();
+        assert_eq!(p.max_jitter_ms(100), 50);
+        assert_eq!(p.max_jitter_ms(0), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RetryPolicy::none().to_string(), "retry: none");
+        assert!(RetryPolicy::standard().to_string().contains("3 rounds"));
+    }
+}

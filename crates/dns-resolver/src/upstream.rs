@@ -17,11 +17,25 @@ use std::net::Ipv4Addr;
 pub trait Upstream {
     /// Sends `query` to `server` at virtual time `now`; `None` on timeout.
     fn query(&mut self, server: Ipv4Addr, query: &Message, now: SimTime) -> Option<Message>;
+
+    /// Pauses for `millis` before the caller's next retry (backoff).
+    ///
+    /// The default does nothing, which is correct for virtual-time
+    /// implementations — the simulator owns the clock and a backoff has no
+    /// observable effect there. Real-socket implementations sleep, so the
+    /// retry policy actually paces traffic on the wire. Keeping the wait
+    /// inside the trait lets [`crate::CachingServer`] run one retry loop
+    /// for both worlds.
+    fn wait(&mut self, _millis: u64) {}
 }
 
 impl<U: Upstream + ?Sized> Upstream for &mut U {
     fn query(&mut self, server: Ipv4Addr, query: &Message, now: SimTime) -> Option<Message> {
         (**self).query(server, query, now)
+    }
+
+    fn wait(&mut self, millis: u64) {
+        (**self).wait(millis)
     }
 }
 

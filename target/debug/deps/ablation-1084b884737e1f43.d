@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-1084b884737e1f43.d: crates/dns-bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-1084b884737e1f43.rmeta: crates/dns-bench/src/bin/ablation.rs Cargo.toml
+
+crates/dns-bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

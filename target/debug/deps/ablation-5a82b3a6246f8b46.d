@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-5a82b3a6246f8b46.d: crates/dns-bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-5a82b3a6246f8b46: crates/dns-bench/src/bin/ablation.rs
+
+crates/dns-bench/src/bin/ablation.rs:

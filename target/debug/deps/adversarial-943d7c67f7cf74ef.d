@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversarial-943d7c67f7cf74ef.d: crates/dns-resolver/tests/adversarial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadversarial-943d7c67f7cf74ef.rmeta: crates/dns-resolver/tests/adversarial.rs Cargo.toml
+
+crates/dns-resolver/tests/adversarial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-ad80a7a56d2d8aa6.d: crates/dns-resolver/tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-ad80a7a56d2d8aa6: crates/dns-resolver/tests/adversarial.rs
+
+crates/dns-resolver/tests/adversarial.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-20013106c7723a3a.d: crates/dns-bench/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-20013106c7723a3a.rmeta: crates/dns-bench/src/bin/all_experiments.rs Cargo.toml
+
+crates/dns-bench/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-e96beb27388b0d99.d: crates/dns-bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-e96beb27388b0d99: crates/dns-bench/src/bin/all_experiments.rs
+
+crates/dns-bench/src/bin/all_experiments.rs:

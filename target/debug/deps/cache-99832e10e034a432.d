@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache-99832e10e034a432.d: crates/dns-bench/benches/cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache-99832e10e034a432.rmeta: crates/dns-bench/benches/cache.rs Cargo.toml
+
+crates/dns-bench/benches/cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discussion_latency-8b3c2d03d1df407a.d: crates/dns-bench/src/bin/discussion_latency.rs
+
+/root/repo/target/debug/deps/discussion_latency-8b3c2d03d1df407a: crates/dns-bench/src/bin/discussion_latency.rs
+
+crates/dns-bench/src/bin/discussion_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/discussion_latency-98444089a81cb702.d: crates/dns-bench/src/bin/discussion_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiscussion_latency-98444089a81cb702.rmeta: crates/dns-bench/src/bin/discussion_latency.rs Cargo.toml
+
+crates/dns-bench/src/bin/discussion_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

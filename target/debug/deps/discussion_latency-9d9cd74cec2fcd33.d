@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/discussion_latency-9d9cd74cec2fcd33.d: crates/dns-bench/src/bin/discussion_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiscussion_latency-9d9cd74cec2fcd33.rmeta: crates/dns-bench/src/bin/discussion_latency.rs Cargo.toml
+
+crates/dns-bench/src/bin/discussion_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

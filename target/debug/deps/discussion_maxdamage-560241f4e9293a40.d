@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/discussion_maxdamage-560241f4e9293a40.d: crates/dns-bench/src/bin/discussion_maxdamage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiscussion_maxdamage-560241f4e9293a40.rmeta: crates/dns-bench/src/bin/discussion_maxdamage.rs Cargo.toml
+
+crates/dns-bench/src/bin/discussion_maxdamage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

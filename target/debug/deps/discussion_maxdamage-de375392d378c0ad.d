@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discussion_maxdamage-de375392d378c0ad.d: crates/dns-bench/src/bin/discussion_maxdamage.rs
+
+/root/repo/target/debug/deps/discussion_maxdamage-de375392d378c0ad: crates/dns-bench/src/bin/discussion_maxdamage.rs
+
+crates/dns-bench/src/bin/discussion_maxdamage.rs:

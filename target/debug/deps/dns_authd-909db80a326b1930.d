@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_authd-909db80a326b1930.d: crates/dns-netd/src/bin/dns-authd.rs
+
+/root/repo/target/debug/deps/dns_authd-909db80a326b1930: crates/dns-netd/src/bin/dns-authd.rs
+
+crates/dns-netd/src/bin/dns-authd.rs:

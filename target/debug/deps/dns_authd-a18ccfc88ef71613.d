@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_authd-a18ccfc88ef71613.d: crates/dns-netd/src/bin/dns-authd.rs
+
+/root/repo/target/debug/deps/dns_authd-a18ccfc88ef71613: crates/dns-netd/src/bin/dns-authd.rs
+
+crates/dns-netd/src/bin/dns-authd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_authd-d1516bc0bc2c589c.d: crates/dns-netd/src/bin/dns-authd.rs
+
+/root/repo/target/debug/deps/dns_authd-d1516bc0bc2c589c: crates/dns-netd/src/bin/dns-authd.rs
+
+crates/dns-netd/src/bin/dns-authd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dns_authd-ff9ca1d9c344801c.d: crates/dns-netd/src/bin/dns-authd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_authd-ff9ca1d9c344801c.rmeta: crates/dns-netd/src/bin/dns-authd.rs Cargo.toml
+
+crates/dns-netd/src/bin/dns-authd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

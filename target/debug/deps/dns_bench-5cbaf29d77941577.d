@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dns_bench-5cbaf29d77941577.d: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_bench-5cbaf29d77941577.rmeta: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs Cargo.toml
+
+crates/dns-bench/src/lib.rs:
+crates/dns-bench/src/experiments/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dns_bench-e55dc9b17a5edd1b.d: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+/root/repo/target/debug/deps/libdns_bench-e55dc9b17a5edd1b.rlib: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+/root/repo/target/debug/deps/libdns_bench-e55dc9b17a5edd1b.rmeta: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+crates/dns-bench/src/lib.rs:
+crates/dns-bench/src/experiments/mod.rs:

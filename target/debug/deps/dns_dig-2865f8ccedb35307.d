@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_dig-2865f8ccedb35307.d: crates/dns-netd/src/bin/dns-dig.rs
+
+/root/repo/target/debug/deps/dns_dig-2865f8ccedb35307: crates/dns-netd/src/bin/dns-dig.rs
+
+crates/dns-netd/src/bin/dns-dig.rs:

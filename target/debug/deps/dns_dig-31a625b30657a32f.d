@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dns_dig-31a625b30657a32f.d: crates/dns-netd/src/bin/dns-dig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_dig-31a625b30657a32f.rmeta: crates/dns-netd/src/bin/dns-dig.rs Cargo.toml
+
+crates/dns-netd/src/bin/dns-dig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

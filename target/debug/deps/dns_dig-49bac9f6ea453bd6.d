@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_dig-49bac9f6ea453bd6.d: crates/dns-netd/src/bin/dns-dig.rs
+
+/root/repo/target/debug/deps/dns_dig-49bac9f6ea453bd6: crates/dns-netd/src/bin/dns-dig.rs
+
+crates/dns-netd/src/bin/dns-dig.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dns_dig-5a010429592ad026.d: crates/dns-netd/src/bin/dns-dig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_dig-5a010429592ad026.rmeta: crates/dns-netd/src/bin/dns-dig.rs Cargo.toml
+
+crates/dns-netd/src/bin/dns-dig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

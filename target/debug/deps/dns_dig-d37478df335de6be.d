@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_dig-d37478df335de6be.d: crates/dns-netd/src/bin/dns-dig.rs
+
+/root/repo/target/debug/deps/dns_dig-d37478df335de6be: crates/dns-netd/src/bin/dns-dig.rs
+
+crates/dns-netd/src/bin/dns-dig.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dns_netd-28e664ae21ee436e.d: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/fault.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs
+
+/root/repo/target/debug/deps/libdns_netd-28e664ae21ee436e.rlib: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/fault.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs
+
+/root/repo/target/debug/deps/libdns_netd-28e664ae21ee436e.rmeta: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/fault.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs
+
+crates/dns-netd/src/lib.rs:
+crates/dns-netd/src/authd.rs:
+crates/dns-netd/src/client.rs:
+crates/dns-netd/src/fault.rs:
+crates/dns-netd/src/playground.rs:
+crates/dns-netd/src/resolved.rs:
+crates/dns-netd/src/upstream.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dns_netd-50885a8452961d78.d: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/fault.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_netd-50885a8452961d78.rmeta: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/fault.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs Cargo.toml
+
+crates/dns-netd/src/lib.rs:
+crates/dns-netd/src/authd.rs:
+crates/dns-netd/src/client.rs:
+crates/dns-netd/src/fault.rs:
+crates/dns-netd/src/playground.rs:
+crates/dns-netd/src/resolved.rs:
+crates/dns-netd/src/upstream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dns_netd-73f397ae16e60568.d: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/fault.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs
+
+/root/repo/target/debug/deps/dns_netd-73f397ae16e60568: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/fault.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs
+
+crates/dns-netd/src/lib.rs:
+crates/dns-netd/src/authd.rs:
+crates/dns-netd/src/client.rs:
+crates/dns-netd/src/fault.rs:
+crates/dns-netd/src/playground.rs:
+crates/dns-netd/src/resolved.rs:
+crates/dns-netd/src/upstream.rs:

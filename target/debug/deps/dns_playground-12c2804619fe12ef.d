@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_playground-12c2804619fe12ef.d: crates/dns-netd/src/bin/dns-playground.rs
+
+/root/repo/target/debug/deps/dns_playground-12c2804619fe12ef: crates/dns-netd/src/bin/dns-playground.rs
+
+crates/dns-netd/src/bin/dns-playground.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dns_playground-43b01798ad0132fa.d: crates/dns-netd/src/bin/dns-playground.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_playground-43b01798ad0132fa.rmeta: crates/dns-netd/src/bin/dns-playground.rs Cargo.toml
+
+crates/dns-netd/src/bin/dns-playground.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_playground-90d0950047179283.d: crates/dns-netd/src/bin/dns-playground.rs
+
+/root/repo/target/debug/deps/dns_playground-90d0950047179283: crates/dns-netd/src/bin/dns-playground.rs
+
+crates/dns-netd/src/bin/dns-playground.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dns_playground-c44be4039517cdab.d: crates/dns-netd/src/bin/dns-playground.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_playground-c44be4039517cdab.rmeta: crates/dns-netd/src/bin/dns-playground.rs Cargo.toml
+
+crates/dns-netd/src/bin/dns-playground.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_playground-f19af867f6370cce.d: crates/dns-netd/src/bin/dns-playground.rs
+
+/root/repo/target/debug/deps/dns_playground-f19af867f6370cce: crates/dns-netd/src/bin/dns-playground.rs
+
+crates/dns-netd/src/bin/dns-playground.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dns_resilience-9ebd2178c5a5a803.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdns_resilience-9ebd2178c5a5a803.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdns_resilience-9ebd2178c5a5a803.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dns_resilience-9f5ab89b4c83f192.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_resilience-9f5ab89b4c83f192.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dns_resilience-d9d88b11276ff04a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdns_resilience-d9d88b11276ff04a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdns_resilience-d9d88b11276ff04a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dns_resilience-fa6a490026e14156.d: src/lib.rs
+
+/root/repo/target/debug/deps/dns_resilience-fa6a490026e14156: src/lib.rs
+
+src/lib.rs:

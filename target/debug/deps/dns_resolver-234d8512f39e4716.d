@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/dns_resolver-234d8512f39e4716.d: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/upstream.rs
+/root/repo/target/debug/deps/dns_resolver-234d8512f39e4716.d: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs
 
-/root/repo/target/debug/deps/dns_resolver-234d8512f39e4716: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/upstream.rs
+/root/repo/target/debug/deps/dns_resolver-234d8512f39e4716: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs
 
 crates/dns-resolver/src/lib.rs:
 crates/dns-resolver/src/cache.rs:
@@ -10,4 +10,5 @@ crates/dns-resolver/src/infra.rs:
 crates/dns-resolver/src/metrics.rs:
 crates/dns-resolver/src/policy.rs:
 crates/dns-resolver/src/resolve.rs:
+crates/dns-resolver/src/retry.rs:
 crates/dns-resolver/src/upstream.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/dns_resolver-2c1434004d717606.d: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/upstream.rs Cargo.toml
+/root/repo/target/debug/deps/dns_resolver-2c1434004d717606.d: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdns_resolver-2c1434004d717606.rmeta: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/upstream.rs Cargo.toml
+/root/repo/target/debug/deps/libdns_resolver-2c1434004d717606.rmeta: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs Cargo.toml
 
 crates/dns-resolver/src/lib.rs:
 crates/dns-resolver/src/cache.rs:
@@ -10,6 +10,7 @@ crates/dns-resolver/src/infra.rs:
 crates/dns-resolver/src/metrics.rs:
 crates/dns-resolver/src/policy.rs:
 crates/dns-resolver/src/resolve.rs:
+crates/dns-resolver/src/retry.rs:
 crates/dns-resolver/src/upstream.rs:
 Cargo.toml:
 

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dns_resolver-554b4e18825b1921.d: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs
+
+/root/repo/target/debug/deps/libdns_resolver-554b4e18825b1921.rlib: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs
+
+/root/repo/target/debug/deps/libdns_resolver-554b4e18825b1921.rmeta: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs
+
+crates/dns-resolver/src/lib.rs:
+crates/dns-resolver/src/cache.rs:
+crates/dns-resolver/src/config.rs:
+crates/dns-resolver/src/dnssec.rs:
+crates/dns-resolver/src/infra.rs:
+crates/dns-resolver/src/metrics.rs:
+crates/dns-resolver/src/policy.rs:
+crates/dns-resolver/src/resolve.rs:
+crates/dns-resolver/src/retry.rs:
+crates/dns-resolver/src/upstream.rs:

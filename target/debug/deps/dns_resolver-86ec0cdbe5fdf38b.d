@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dns_resolver-86ec0cdbe5fdf38b.d: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_resolver-86ec0cdbe5fdf38b.rmeta: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs Cargo.toml
+
+crates/dns-resolver/src/lib.rs:
+crates/dns-resolver/src/cache.rs:
+crates/dns-resolver/src/config.rs:
+crates/dns-resolver/src/dnssec.rs:
+crates/dns-resolver/src/infra.rs:
+crates/dns-resolver/src/metrics.rs:
+crates/dns-resolver/src/policy.rs:
+crates/dns-resolver/src/resolve.rs:
+crates/dns-resolver/src/retry.rs:
+crates/dns-resolver/src/upstream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

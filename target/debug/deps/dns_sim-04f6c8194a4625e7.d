@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dns_sim-04f6c8194a4625e7.d: crates/dns-sim/src/lib.rs crates/dns-sim/src/attack.rs crates/dns-sim/src/damage.rs crates/dns-sim/src/driver.rs crates/dns-sim/src/experiment.rs crates/dns-sim/src/farm.rs crates/dns-sim/src/gap.rs crates/dns-sim/src/network.rs crates/dns-sim/src/sweep.rs
+
+/root/repo/target/debug/deps/libdns_sim-04f6c8194a4625e7.rlib: crates/dns-sim/src/lib.rs crates/dns-sim/src/attack.rs crates/dns-sim/src/damage.rs crates/dns-sim/src/driver.rs crates/dns-sim/src/experiment.rs crates/dns-sim/src/farm.rs crates/dns-sim/src/gap.rs crates/dns-sim/src/network.rs crates/dns-sim/src/sweep.rs
+
+/root/repo/target/debug/deps/libdns_sim-04f6c8194a4625e7.rmeta: crates/dns-sim/src/lib.rs crates/dns-sim/src/attack.rs crates/dns-sim/src/damage.rs crates/dns-sim/src/driver.rs crates/dns-sim/src/experiment.rs crates/dns-sim/src/farm.rs crates/dns-sim/src/gap.rs crates/dns-sim/src/network.rs crates/dns-sim/src/sweep.rs
+
+crates/dns-sim/src/lib.rs:
+crates/dns-sim/src/attack.rs:
+crates/dns-sim/src/damage.rs:
+crates/dns-sim/src/driver.rs:
+crates/dns-sim/src/experiment.rs:
+crates/dns-sim/src/farm.rs:
+crates/dns-sim/src/gap.rs:
+crates/dns-sim/src/network.rs:
+crates/dns-sim/src/sweep.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dns_sim-6465aa037c0e85a1.d: crates/dns-sim/src/lib.rs crates/dns-sim/src/attack.rs crates/dns-sim/src/damage.rs crates/dns-sim/src/driver.rs crates/dns-sim/src/experiment.rs crates/dns-sim/src/farm.rs crates/dns-sim/src/gap.rs crates/dns-sim/src/network.rs crates/dns-sim/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_sim-6465aa037c0e85a1.rmeta: crates/dns-sim/src/lib.rs crates/dns-sim/src/attack.rs crates/dns-sim/src/damage.rs crates/dns-sim/src/driver.rs crates/dns-sim/src/experiment.rs crates/dns-sim/src/farm.rs crates/dns-sim/src/gap.rs crates/dns-sim/src/network.rs crates/dns-sim/src/sweep.rs Cargo.toml
+
+crates/dns-sim/src/lib.rs:
+crates/dns-sim/src/attack.rs:
+crates/dns-sim/src/damage.rs:
+crates/dns-sim/src/driver.rs:
+crates/dns-sim/src/experiment.rs:
+crates/dns-sim/src/farm.rs:
+crates/dns-sim/src/gap.rs:
+crates/dns-sim/src/network.rs:
+crates/dns-sim/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dns_sim-ff93708952b98815.d: crates/dns-sim/src/lib.rs crates/dns-sim/src/attack.rs crates/dns-sim/src/damage.rs crates/dns-sim/src/driver.rs crates/dns-sim/src/experiment.rs crates/dns-sim/src/farm.rs crates/dns-sim/src/gap.rs crates/dns-sim/src/network.rs crates/dns-sim/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_sim-ff93708952b98815.rmeta: crates/dns-sim/src/lib.rs crates/dns-sim/src/attack.rs crates/dns-sim/src/damage.rs crates/dns-sim/src/driver.rs crates/dns-sim/src/experiment.rs crates/dns-sim/src/farm.rs crates/dns-sim/src/gap.rs crates/dns-sim/src/network.rs crates/dns-sim/src/sweep.rs Cargo.toml
+
+crates/dns-sim/src/lib.rs:
+crates/dns-sim/src/attack.rs:
+crates/dns-sim/src/damage.rs:
+crates/dns-sim/src/driver.rs:
+crates/dns-sim/src/experiment.rs:
+crates/dns-sim/src/farm.rs:
+crates/dns-sim/src/gap.rs:
+crates/dns-sim/src/network.rs:
+crates/dns-sim/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

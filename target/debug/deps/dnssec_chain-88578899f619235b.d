@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dnssec_chain-88578899f619235b.d: crates/dns-resolver/tests/dnssec_chain.rs
+
+/root/repo/target/debug/deps/dnssec_chain-88578899f619235b: crates/dns-resolver/tests/dnssec_chain.rs
+
+crates/dns-resolver/tests/dnssec_chain.rs:

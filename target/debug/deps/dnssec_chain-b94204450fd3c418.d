@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dnssec_chain-b94204450fd3c418.d: crates/dns-resolver/tests/dnssec_chain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnssec_chain-b94204450fd3c418.rmeta: crates/dns-resolver/tests/dnssec_chain.rs Cargo.toml
+
+crates/dns-resolver/tests/dnssec_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

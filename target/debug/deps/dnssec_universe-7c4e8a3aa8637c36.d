@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dnssec_universe-7c4e8a3aa8637c36.d: tests/dnssec_universe.rs
+
+/root/repo/target/debug/deps/dnssec_universe-7c4e8a3aa8637c36: tests/dnssec_universe.rs
+
+tests/dnssec_universe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dnssec_universe-daef3c7f9cf21234.d: tests/dnssec_universe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnssec_universe-daef3c7f9cf21234.rmeta: tests/dnssec_universe.rs Cargo.toml
+
+tests/dnssec_universe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

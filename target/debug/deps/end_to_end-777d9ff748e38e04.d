@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-777d9ff748e38e04.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-777d9ff748e38e04: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-6c2f3e80cc1b5ba0.d: crates/dns-sim/tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-6c2f3e80cc1b5ba0.rmeta: crates/dns-sim/tests/failure_injection.rs Cargo.toml
+
+crates/dns-sim/tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

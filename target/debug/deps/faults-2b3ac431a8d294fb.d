@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-2b3ac431a8d294fb.d: crates/dns-netd/tests/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-2b3ac431a8d294fb.rmeta: crates/dns-netd/tests/faults.rs Cargo.toml
+
+crates/dns-netd/tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

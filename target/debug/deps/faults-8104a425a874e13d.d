@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-8104a425a874e13d.d: crates/dns-netd/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-8104a425a874e13d: crates/dns-netd/tests/faults.rs
+
+crates/dns-netd/tests/faults.rs:

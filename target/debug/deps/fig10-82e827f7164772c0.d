@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-82e827f7164772c0.d: crates/dns-bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-82e827f7164772c0: crates/dns-bench/src/bin/fig10.rs
+
+crates/dns-bench/src/bin/fig10.rs:

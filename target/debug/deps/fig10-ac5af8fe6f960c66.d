@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-ac5af8fe6f960c66.d: crates/dns-bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-ac5af8fe6f960c66.rmeta: crates/dns-bench/src/bin/fig10.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

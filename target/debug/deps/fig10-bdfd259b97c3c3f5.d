@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-bdfd259b97c3c3f5.d: crates/dns-bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-bdfd259b97c3c3f5.rmeta: crates/dns-bench/src/bin/fig10.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

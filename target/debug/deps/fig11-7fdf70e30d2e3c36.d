@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-7fdf70e30d2e3c36.d: crates/dns-bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-7fdf70e30d2e3c36: crates/dns-bench/src/bin/fig11.rs
+
+crates/dns-bench/src/bin/fig11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-fa8dedf5e532bd1b.d: crates/dns-bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-fa8dedf5e532bd1b.rmeta: crates/dns-bench/src/bin/fig11.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

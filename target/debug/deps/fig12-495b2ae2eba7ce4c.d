@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-495b2ae2eba7ce4c.d: crates/dns-bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-495b2ae2eba7ce4c.rmeta: crates/dns-bench/src/bin/fig12.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

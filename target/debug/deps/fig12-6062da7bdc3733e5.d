@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-6062da7bdc3733e5.d: crates/dns-bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-6062da7bdc3733e5: crates/dns-bench/src/bin/fig12.rs
+
+crates/dns-bench/src/bin/fig12.rs:

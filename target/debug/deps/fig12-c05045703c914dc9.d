@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-c05045703c914dc9.d: crates/dns-bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-c05045703c914dc9.rmeta: crates/dns-bench/src/bin/fig12.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

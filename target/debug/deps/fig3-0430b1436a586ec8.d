@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-0430b1436a586ec8.d: crates/dns-bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-0430b1436a586ec8: crates/dns-bench/src/bin/fig3.rs
+
+crates/dns-bench/src/bin/fig3.rs:

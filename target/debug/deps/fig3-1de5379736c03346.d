@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-1de5379736c03346.d: crates/dns-bench/src/bin/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-1de5379736c03346.rmeta: crates/dns-bench/src/bin/fig3.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

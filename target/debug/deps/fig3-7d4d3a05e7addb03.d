@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-7d4d3a05e7addb03.d: crates/dns-bench/src/bin/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-7d4d3a05e7addb03.rmeta: crates/dns-bench/src/bin/fig3.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

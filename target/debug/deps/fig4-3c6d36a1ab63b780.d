@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-3c6d36a1ab63b780.d: crates/dns-bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-3c6d36a1ab63b780: crates/dns-bench/src/bin/fig4.rs
+
+crates/dns-bench/src/bin/fig4.rs:

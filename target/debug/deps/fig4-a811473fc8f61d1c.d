@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-a811473fc8f61d1c.d: crates/dns-bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-a811473fc8f61d1c.rmeta: crates/dns-bench/src/bin/fig4.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

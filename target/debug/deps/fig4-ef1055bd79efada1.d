@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-ef1055bd79efada1.d: crates/dns-bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-ef1055bd79efada1.rmeta: crates/dns-bench/src/bin/fig4.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b7cc872ccb586b79.d: crates/dns-bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b7cc872ccb586b79: crates/dns-bench/src/bin/fig5.rs
+
+crates/dns-bench/src/bin/fig5.rs:

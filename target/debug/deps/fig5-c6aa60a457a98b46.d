@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-c6aa60a457a98b46.d: crates/dns-bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-c6aa60a457a98b46.rmeta: crates/dns-bench/src/bin/fig5.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-6876e7c47d7b8f0a.d: crates/dns-bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-6876e7c47d7b8f0a.rmeta: crates/dns-bench/src/bin/fig6.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

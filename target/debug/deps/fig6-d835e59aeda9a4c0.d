@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d835e59aeda9a4c0.d: crates/dns-bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d835e59aeda9a4c0: crates/dns-bench/src/bin/fig6.rs
+
+crates/dns-bench/src/bin/fig6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-0d86c1b6a53bb82e.d: crates/dns-bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-0d86c1b6a53bb82e.rmeta: crates/dns-bench/src/bin/fig7.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-425ddf73a142e798.d: crates/dns-bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-425ddf73a142e798.rmeta: crates/dns-bench/src/bin/fig7.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

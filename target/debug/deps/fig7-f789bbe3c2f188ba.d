@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-f789bbe3c2f188ba.d: crates/dns-bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-f789bbe3c2f188ba: crates/dns-bench/src/bin/fig7.rs
+
+crates/dns-bench/src/bin/fig7.rs:

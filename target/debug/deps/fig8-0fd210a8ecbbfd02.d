@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-0fd210a8ecbbfd02.d: crates/dns-bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-0fd210a8ecbbfd02.rmeta: crates/dns-bench/src/bin/fig8.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

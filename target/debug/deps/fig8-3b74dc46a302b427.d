@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-3b74dc46a302b427.d: crates/dns-bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-3b74dc46a302b427: crates/dns-bench/src/bin/fig8.rs
+
+crates/dns-bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-e0f44f9be97b4fb4.d: crates/dns-bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-e0f44f9be97b4fb4: crates/dns-bench/src/bin/fig9.rs
+
+crates/dns-bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-fa036187ebd6b8c3.d: crates/dns-bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-fa036187ebd6b8c3.rmeta: crates/dns-bench/src/bin/fig9.rs Cargo.toml
+
+crates/dns-bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/live-4c974a471fca3fc0.d: crates/dns-netd/tests/live.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive-4c974a471fca3fc0.rmeta: crates/dns-netd/tests/live.rs Cargo.toml
+
+crates/dns-netd/tests/live.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

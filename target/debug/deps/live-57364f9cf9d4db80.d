@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live-57364f9cf9d4db80.d: crates/dns-netd/tests/live.rs
+
+/root/repo/target/debug/deps/live-57364f9cf9d4db80: crates/dns-netd/tests/live.rs
+
+crates/dns-netd/tests/live.rs:

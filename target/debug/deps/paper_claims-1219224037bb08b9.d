@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-1219224037bb08b9.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-1219224037bb08b9: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy-fd280662e7f395d5.d: crates/dns-bench/benches/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy-fd280662e7f395d5.rmeta: crates/dns-bench/benches/policy.rs Cargo.toml
+
+crates/dns-bench/benches/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe_timing-111222dafcce529c.d: crates/dns-bench/src/bin/probe_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe_timing-111222dafcce529c.rmeta: crates/dns-bench/src/bin/probe_timing.rs Cargo.toml
+
+crates/dns-bench/src/bin/probe_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_timing-7285935bd27e9c1f.d: crates/dns-bench/src/bin/probe_timing.rs
+
+/root/repo/target/debug/deps/probe_timing-7285935bd27e9c1f: crates/dns-bench/src/bin/probe_timing.rs
+
+crates/dns-bench/src/bin/probe_timing.rs:

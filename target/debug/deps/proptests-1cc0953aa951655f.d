@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-1cc0953aa951655f.d: crates/dns-resolver/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-1cc0953aa951655f.rmeta: crates/dns-resolver/tests/proptests.rs Cargo.toml
+
+crates/dns-resolver/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-bd6db09cafa5f619.d: crates/dns-sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-bd6db09cafa5f619.rmeta: crates/dns-sim/tests/proptests.rs Cargo.toml
+
+crates/dns-sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

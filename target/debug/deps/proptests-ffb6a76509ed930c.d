@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ffb6a76509ed930c.d: crates/dns-resolver/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ffb6a76509ed930c: crates/dns-resolver/tests/proptests.rs
+
+crates/dns-resolver/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resolution-7cd4b3beb4753724.d: crates/dns-resolver/tests/resolution.rs
+
+/root/repo/target/debug/deps/resolution-7cd4b3beb4753724: crates/dns-resolver/tests/resolution.rs
+
+crates/dns-resolver/tests/resolution.rs:

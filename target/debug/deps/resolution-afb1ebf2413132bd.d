@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resolution-afb1ebf2413132bd.d: crates/dns-resolver/tests/resolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresolution-afb1ebf2413132bd.rmeta: crates/dns-resolver/tests/resolution.rs Cargo.toml
+
+crates/dns-resolver/tests/resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

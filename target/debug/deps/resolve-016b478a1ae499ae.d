@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resolve-016b478a1ae499ae.d: crates/dns-bench/benches/resolve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresolve-016b478a1ae499ae.rmeta: crates/dns-bench/benches/resolve.rs Cargo.toml
+
+crates/dns-bench/benches/resolve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation-a977ba406d08e9f8.d: crates/dns-bench/benches/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation-a977ba406d08e9f8.rmeta: crates/dns-bench/benches/simulation.rs Cargo.toml
+
+crates/dns-bench/benches/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-9211e124e3efb18e.d: crates/dns-bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-9211e124e3efb18e.rmeta: crates/dns-bench/src/bin/table1.rs Cargo.toml
+
+crates/dns-bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

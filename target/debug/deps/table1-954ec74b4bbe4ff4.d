@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-954ec74b4bbe4ff4.d: crates/dns-bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-954ec74b4bbe4ff4.rmeta: crates/dns-bench/src/bin/table1.rs Cargo.toml
+
+crates/dns-bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

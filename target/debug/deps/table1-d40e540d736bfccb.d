@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d40e540d736bfccb.d: crates/dns-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d40e540d736bfccb: crates/dns-bench/src/bin/table1.rs
+
+crates/dns-bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-1038dadd5dc5cba9.d: crates/dns-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-1038dadd5dc5cba9: crates/dns-bench/src/bin/table2.rs
+
+crates/dns-bench/src/bin/table2.rs:

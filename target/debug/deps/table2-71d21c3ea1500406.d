@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-71d21c3ea1500406.d: crates/dns-bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-71d21c3ea1500406.rmeta: crates/dns-bench/src/bin/table2.rs Cargo.toml
+
+crates/dns-bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

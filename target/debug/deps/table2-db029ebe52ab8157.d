@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-db029ebe52ab8157.d: crates/dns-bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-db029ebe52ab8157.rmeta: crates/dns-bench/src/bin/table2.rs Cargo.toml
+
+crates/dns-bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

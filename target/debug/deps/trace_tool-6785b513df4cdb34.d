@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-6785b513df4cdb34.d: crates/dns-bench/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/trace_tool-6785b513df4cdb34: crates/dns-bench/src/bin/trace_tool.rs
+
+crates/dns-bench/src/bin/trace_tool.rs:

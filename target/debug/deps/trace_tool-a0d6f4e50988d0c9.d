@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_tool-a0d6f4e50988d0c9.d: crates/dns-bench/src/bin/trace_tool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_tool-a0d6f4e50988d0c9.rmeta: crates/dns-bench/src/bin/trace_tool.rs Cargo.toml
+
+crates/dns-bench/src/bin/trace_tool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_tool-a36d763601a1ee8f.d: crates/dns-bench/src/bin/trace_tool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_tool-a36d763601a1ee8f.rmeta: crates/dns-bench/src/bin/trace_tool.rs Cargo.toml
+
+crates/dns-bench/src/bin/trace_tool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracegen-87e3cdf22029fa99.d: crates/dns-bench/benches/tracegen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracegen-87e3cdf22029fa99.rmeta: crates/dns-bench/benches/tracegen.rs Cargo.toml
+
+crates/dns-bench/benches/tracegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire-f2bcd087f958d532.d: crates/dns-bench/benches/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire-f2bcd087f958d532.rmeta: crates/dns-bench/benches/wire.rs Cargo.toml
+
+crates/dns-bench/benches/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zonefile_roundtrip-7996d7be466116c6.d: tests/zonefile_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzonefile_roundtrip-7996d7be466116c6.rmeta: tests/zonefile_roundtrip.rs Cargo.toml
+
+tests/zonefile_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zonefile_roundtrip-819c800becf2a89e.d: tests/zonefile_roundtrip.rs
+
+/root/repo/target/debug/deps/zonefile_roundtrip-819c800becf2a89e: tests/zonefile_roundtrip.rs
+
+tests/zonefile_roundtrip.rs:

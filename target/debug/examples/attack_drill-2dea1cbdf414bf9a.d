@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_drill-2dea1cbdf414bf9a.d: examples/attack_drill.rs
+
+/root/repo/target/debug/examples/attack_drill-2dea1cbdf414bf9a: examples/attack_drill.rs
+
+examples/attack_drill.rs:

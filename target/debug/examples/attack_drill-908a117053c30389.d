@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_drill-908a117053c30389.d: examples/attack_drill.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_drill-908a117053c30389.rmeta: examples/attack_drill.rs Cargo.toml
+
+examples/attack_drill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-816b957bfb45af22.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-816b957bfb45af22: examples/custom_workload.rs
+
+examples/custom_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c6a4e732c50eb80e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c6a4e732c50eb80e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilience_tuning-711f05f3ceaae46a.d: examples/resilience_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilience_tuning-711f05f3ceaae46a.rmeta: examples/resilience_tuning.rs Cargo.toml
+
+examples/resilience_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

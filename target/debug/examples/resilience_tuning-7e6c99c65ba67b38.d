@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilience_tuning-7e6c99c65ba67b38.d: examples/resilience_tuning.rs
+
+/root/repo/target/debug/examples/resilience_tuning-7e6c99c65ba67b38: examples/resilience_tuning.rs
+
+examples/resilience_tuning.rs:

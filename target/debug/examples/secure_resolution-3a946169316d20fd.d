@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_resolution-3a946169316d20fd.d: examples/secure_resolution.rs
+
+/root/repo/target/debug/examples/secure_resolution-3a946169316d20fd: examples/secure_resolution.rs
+
+examples/secure_resolution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_resolution-e4642c86bc5184b9.d: examples/secure_resolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_resolution-e4642c86bc5184b9.rmeta: examples/secure_resolution.rs Cargo.toml
+
+examples/secure_resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

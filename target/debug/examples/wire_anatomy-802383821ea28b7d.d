@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wire_anatomy-802383821ea28b7d.d: examples/wire_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwire_anatomy-802383821ea28b7d.rmeta: examples/wire_anatomy.rs Cargo.toml
+
+examples/wire_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wire_anatomy-89c0e0fd52912a99.d: examples/wire_anatomy.rs
+
+/root/repo/target/debug/examples/wire_anatomy-89c0e0fd52912a99: examples/wire_anatomy.rs
+
+examples/wire_anatomy.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dns_bench-45afe40b265c992e.d: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+/root/repo/target/release/deps/libdns_bench-45afe40b265c992e.rlib: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+/root/repo/target/release/deps/libdns_bench-45afe40b265c992e.rmeta: crates/dns-bench/src/lib.rs crates/dns-bench/src/experiments/mod.rs
+
+crates/dns-bench/src/lib.rs:
+crates/dns-bench/src/experiments/mod.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dns_netd-543076c5ef34e5aa.d: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/fault.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs
+
+/root/repo/target/release/deps/libdns_netd-543076c5ef34e5aa.rlib: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/fault.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs
+
+/root/repo/target/release/deps/libdns_netd-543076c5ef34e5aa.rmeta: crates/dns-netd/src/lib.rs crates/dns-netd/src/authd.rs crates/dns-netd/src/client.rs crates/dns-netd/src/fault.rs crates/dns-netd/src/playground.rs crates/dns-netd/src/resolved.rs crates/dns-netd/src/upstream.rs
+
+crates/dns-netd/src/lib.rs:
+crates/dns-netd/src/authd.rs:
+crates/dns-netd/src/client.rs:
+crates/dns-netd/src/fault.rs:
+crates/dns-netd/src/playground.rs:
+crates/dns-netd/src/resolved.rs:
+crates/dns-netd/src/upstream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dns_playground-57eb3f7d5584c42b.d: crates/dns-netd/src/bin/dns-playground.rs
+
+/root/repo/target/release/deps/dns_playground-57eb3f7d5584c42b: crates/dns-netd/src/bin/dns-playground.rs
+
+crates/dns-netd/src/bin/dns-playground.rs:

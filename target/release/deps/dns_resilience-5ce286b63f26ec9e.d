@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dns_resilience-5ce286b63f26ec9e.d: src/lib.rs
+
+/root/repo/target/release/deps/libdns_resilience-5ce286b63f26ec9e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdns_resilience-5ce286b63f26ec9e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dns_resolver-b881b350357e4601.d: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs
+
+/root/repo/target/release/deps/libdns_resolver-b881b350357e4601.rlib: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs
+
+/root/repo/target/release/deps/libdns_resolver-b881b350357e4601.rmeta: crates/dns-resolver/src/lib.rs crates/dns-resolver/src/cache.rs crates/dns-resolver/src/config.rs crates/dns-resolver/src/dnssec.rs crates/dns-resolver/src/infra.rs crates/dns-resolver/src/metrics.rs crates/dns-resolver/src/policy.rs crates/dns-resolver/src/resolve.rs crates/dns-resolver/src/retry.rs crates/dns-resolver/src/upstream.rs
+
+crates/dns-resolver/src/lib.rs:
+crates/dns-resolver/src/cache.rs:
+crates/dns-resolver/src/config.rs:
+crates/dns-resolver/src/dnssec.rs:
+crates/dns-resolver/src/infra.rs:
+crates/dns-resolver/src/metrics.rs:
+crates/dns-resolver/src/policy.rs:
+crates/dns-resolver/src/resolve.rs:
+crates/dns-resolver/src/retry.rs:
+crates/dns-resolver/src/upstream.rs:

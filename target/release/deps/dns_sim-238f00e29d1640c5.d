@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dns_sim-238f00e29d1640c5.d: crates/dns-sim/src/lib.rs crates/dns-sim/src/attack.rs crates/dns-sim/src/damage.rs crates/dns-sim/src/driver.rs crates/dns-sim/src/experiment.rs crates/dns-sim/src/farm.rs crates/dns-sim/src/gap.rs crates/dns-sim/src/network.rs crates/dns-sim/src/sweep.rs
+
+/root/repo/target/release/deps/libdns_sim-238f00e29d1640c5.rlib: crates/dns-sim/src/lib.rs crates/dns-sim/src/attack.rs crates/dns-sim/src/damage.rs crates/dns-sim/src/driver.rs crates/dns-sim/src/experiment.rs crates/dns-sim/src/farm.rs crates/dns-sim/src/gap.rs crates/dns-sim/src/network.rs crates/dns-sim/src/sweep.rs
+
+/root/repo/target/release/deps/libdns_sim-238f00e29d1640c5.rmeta: crates/dns-sim/src/lib.rs crates/dns-sim/src/attack.rs crates/dns-sim/src/damage.rs crates/dns-sim/src/driver.rs crates/dns-sim/src/experiment.rs crates/dns-sim/src/farm.rs crates/dns-sim/src/gap.rs crates/dns-sim/src/network.rs crates/dns-sim/src/sweep.rs
+
+crates/dns-sim/src/lib.rs:
+crates/dns-sim/src/attack.rs:
+crates/dns-sim/src/damage.rs:
+crates/dns-sim/src/driver.rs:
+crates/dns-sim/src/experiment.rs:
+crates/dns-sim/src/farm.rs:
+crates/dns-sim/src/gap.rs:
+crates/dns-sim/src/network.rs:
+crates/dns-sim/src/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-5cbe97f5c26f274f.d: crates/dns-bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-5cbe97f5c26f274f: crates/dns-bench/src/bin/fig4.rs
+
+crates/dns-bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-57dbf2e16b2691fd.d: crates/dns-bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-57dbf2e16b2691fd: crates/dns-bench/src/bin/fig6.rs
+
+crates/dns-bench/src/bin/fig6.rs:

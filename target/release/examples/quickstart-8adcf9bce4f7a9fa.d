@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8adcf9bce4f7a9fa.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8adcf9bce4f7a9fa: examples/quickstart.rs
+
+examples/quickstart.rs:
