@@ -16,6 +16,30 @@ smoke() {
     done
     rm -rf "$out"
 
+    echo "== smoke: bench_resolve on a tiny trace =="
+    # Replays a reduced seeded trace through the full simulation and checks
+    # that the emitted perf baseline is well-formed: every schema field
+    # present, qps positive, and the hot paths still allocation-free.
+    bench_out=$(mktemp -d)
+    DNS_BENCH_SCALE=0.05 DNS_BENCH_OUT="$bench_out/bench.json" \
+        cargo run --release -p dns-bench --bin bench_resolve --offline
+    test -s "$bench_out/bench.json" || { echo "missing bench.json" >&2; exit 1; }
+    for field in bench schema_version scheme trace scale queries wall_secs \
+        qps allocs_per_query bytes_per_query name_clone_parent_allocs_per_op \
+        warm_get_allocs_per_op peak_rss_kb; do
+        grep -q "\"$field\"" "$bench_out/bench.json" \
+            || { echo "bench.json missing field: $field" >&2; exit 1; }
+    done
+    awk -F': *' '/"qps"/ { qps = $2 + 0 }
+        END { if (qps <= 0) { print "bench.json: qps not positive" > "/dev/stderr"; exit 1 } }' \
+        "$bench_out/bench.json"
+    for probe in name_clone_parent_allocs_per_op warm_get_allocs_per_op; do
+        awk -F': *' -v probe="\"$probe\"" '$0 ~ probe { v = $2 + 0 }
+            END { if (v != 0) { print probe ": hot path allocates" > "/dev/stderr"; exit 1 } }' \
+            "$bench_out/bench.json"
+    done
+    rm -rf "$bench_out"
+
     echo "== smoke: netd playground under 10% injected loss =="
     # Boots the loopback internet, resolves through the retry policy with
     # deterministic 10% packet loss, then through a root/TLD blackout;

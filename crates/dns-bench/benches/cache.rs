@@ -1,10 +1,52 @@
-//! Micro-benchmarks for the record and infrastructure caches.
+//! Micro-benchmarks for the record and infrastructure caches, plus a hard
+//! zero-allocation guard on the hot lookup path: the bench binary runs under
+//! a counting allocator and aborts if a warm-cache `get` or a
+//! `Name::clone`/`parent` allocates at all.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dns_core::{Name, RData, Record, RrSet, SimTime, Ttl};
 use dns_resolver::{Credibility, InfraCache, InfraSource, RecordCache};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Delegates to the system allocator, counting every allocation so the
+/// guards below can assert a code path is allocation-free.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `iters` runs of `op` (after a warm-up pass).
+fn allocs_during(iters: u64, mut op: impl FnMut()) -> u64 {
+    for _ in 0..16 {
+        op();
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..iters {
+        op();
+    }
+    ALLOCS.load(Ordering::Relaxed) - before
+}
 
 fn name(s: &str) -> Name {
     s.parse().unwrap()
@@ -29,6 +71,27 @@ fn bench_record_cache(c: &mut Criterion) {
         );
     }
     let probe = name(&names[4242]);
+
+    // Hard guards, not timings: the hot path must not allocate. A warm GET
+    // probes with a borrowed `(&Name, RecordType)` view (no owned key), and
+    // `Name::clone`/`parent` are refcount bumps / suffix views on the shared
+    // label buffer.
+    let get_allocs = allocs_during(10_000, || {
+        black_box(warm.get(
+            black_box(&probe),
+            dns_core::RecordType::A,
+            SimTime::from_mins(1),
+        ));
+    });
+    assert_eq!(get_allocs, 0, "warm-cache get must be allocation-free");
+    let name_allocs = allocs_during(10_000, || {
+        let cloned = black_box(&probe).clone();
+        black_box(cloned.parent());
+    });
+    assert_eq!(
+        name_allocs, 0,
+        "Name::clone + parent must be allocation-free"
+    );
 
     c.bench_function("cache/record_insert", |b| {
         let set = a_set("www.example.com", Ttl::from_hours(4));

@@ -1,0 +1,165 @@
+//! End-to-end resolver throughput baseline: replays a fixed seeded trace
+//! through the full simulator (combined scheme: refresh + A-LFU renewal +
+//! 3-day long TTL, the paper's heaviest configuration) and writes
+//! `BENCH_resolve.json` — the tracked perf trajectory for the hot path.
+//!
+//! The binary installs a counting global allocator, so alongside
+//! queries/sec it reports allocations-per-query for the full replay and
+//! for two targeted micro-probes (`Name::clone`+`parent`, warm-cache
+//! `get`) that the zero-allocation work is measured against.
+//!
+//!   cargo run --release -p dns-bench --bin bench_resolve
+//!
+//! Environment:
+//! * `DNS_BENCH_SCALE` — trace scale factor (default 1.0),
+//! * `DNS_BENCH_OUT`   — output path (default `BENCH_resolve.json`).
+
+use dns_core::{Name, RData, Record, RecordType, SimTime, Ttl};
+use dns_resolver::{Credibility, RecordCache, RenewalPolicy};
+use dns_sim::experiment::Scheme;
+use dns_sim::Simulation;
+use dns_trace::{TraceSpec, UniverseSpec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+/// Allocation counters maintained by the global allocator below. Only
+/// bench builds pay for this bookkeeping; the library crates are
+/// untouched.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the counter updates are
+// side-effect-free atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn snapshot() -> (u64, u64) {
+    (ALLOCS.load(Relaxed), ALLOC_BYTES.load(Relaxed))
+}
+
+/// Allocations per iteration of `op`, measured over `iters` runs.
+fn allocs_per_op(iters: u64, mut op: impl FnMut()) -> f64 {
+    let (a0, _) = snapshot();
+    for _ in 0..iters {
+        op();
+    }
+    let (a1, _) = snapshot();
+    (a1 - a0) as f64 / iters as f64
+}
+
+/// `Name::clone` + `parent` probe: five labels deep, the `www.cs.ucla.edu`
+/// shape the paper's delegation walks hit constantly.
+fn probe_name_ops() -> f64 {
+    let name: Name = "www.cs.ucla.edu".parse().expect("static name");
+    allocs_per_op(100_000, || {
+        let c = black_box(&name).clone();
+        let p = c.parent().expect("not root");
+        black_box(p.label_count());
+    })
+}
+
+/// Warm-cache `get` probe: one fresh entry, repeated hits.
+fn probe_warm_get() -> f64 {
+    let mut cache = RecordCache::new();
+    let owner: Name = "www.ucla.edu".parse().expect("static name");
+    let rr = Record::new(
+        owner.clone(),
+        Ttl::from_hours(4),
+        RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+    );
+    let set = dns_core::RrSet::from_records(std::slice::from_ref(&rr)).expect("one record");
+    cache.insert(set, SimTime::ZERO, Credibility::AuthAnswer);
+    let at = SimTime::from_mins(1);
+    allocs_per_op(100_000, || {
+        black_box(cache.get(black_box(&owner), RecordType::A, at));
+    })
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`); 0
+/// where unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|v: &f64| v.is_finite() && *v > 0.0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = env_f64("DNS_BENCH_SCALE", 1.0);
+    let out_path = std::env::var("DNS_BENCH_OUT").unwrap_or_else(|_| "BENCH_resolve.json".into());
+
+    let name_op_allocs = probe_name_ops();
+    let warm_get_allocs = probe_warm_get();
+
+    let universe = UniverseSpec::small().build(7);
+    let trace = TraceSpec::demo().scaled(scale).generate(&universe, 42);
+    let queries = trace.queries.len() as u64;
+    let scheme = Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3));
+    let mut sim = Simulation::new(&universe, trace, scheme.sim_config());
+
+    let (a0, b0) = snapshot();
+    let start = Instant::now();
+    sim.run_to_end();
+    let wall = start.elapsed().as_secs_f64();
+    let (a1, b1) = snapshot();
+
+    let metrics = sim.metrics();
+    assert_eq!(metrics.queries_in, queries, "replay must consume the trace");
+    assert_eq!(metrics.failed_in, 0, "no attack: replay must not fail");
+
+    let qps = queries as f64 / wall;
+    let allocs_per_query = (a1 - a0) as f64 / queries as f64;
+    let bytes_per_query = (b1 - b0) as f64 / queries as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"resolve\",\n  \"schema_version\": 1,\n  \
+         \"scheme\": \"{}\",\n  \"trace\": \"DEMO\",\n  \"scale\": {scale},\n  \
+         \"queries\": {queries},\n  \"wall_secs\": {wall:.4},\n  \"qps\": {qps:.1},\n  \
+         \"allocs_per_query\": {allocs_per_query:.2},\n  \
+         \"bytes_per_query\": {bytes_per_query:.1},\n  \
+         \"name_clone_parent_allocs_per_op\": {name_op_allocs:.4},\n  \
+         \"warm_get_allocs_per_op\": {warm_get_allocs:.4},\n  \
+         \"peak_rss_kb\": {}\n}}\n",
+        scheme.label(),
+        peak_rss_kb(),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("{json}");
+    println!("[benchmark written to {out_path}]");
+}

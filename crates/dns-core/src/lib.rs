@@ -46,8 +46,10 @@ pub mod zonefile;
 pub use clock::{SimDuration, SimTime, Ttl, DAY, HOUR, MINUTE};
 pub use error::DnsError;
 pub use message::{Header, Message, Opcode, Question, Rcode, ResponseKind};
-pub use name::{Ancestors, Label, Name};
-pub use rr::{synthetic_key_digest, RData, Record, RecordClass, RecordType, RrKey, RrSet};
+pub use name::{Ancestors, Label, Labels, Name, NameBuilder};
+pub use rr::{
+    synthetic_key_digest, RData, Record, RecordClass, RecordType, RrKey, RrKeyView, RrSet,
+};
 pub use zone::{Delegation, Zone, ZoneBuilder};
 
 /// Crate-wide result alias.

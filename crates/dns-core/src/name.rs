@@ -1,8 +1,33 @@
 //! Domain names and label-wise hierarchy operations.
+//!
+//! # Representation
+//!
+//! A [`Name`] stores all its labels in **one contiguous buffer** of
+//! wire-style, length-prefixed, lowercase bytes (`3www4ucla3edu` for
+//! `www.ucla.edu`, without the terminating zero octet), shared behind an
+//! `Arc<[u8]>`, plus a start offset and label count. Consequences the
+//! resolver hot path relies on:
+//!
+//! * `clone()` is a reference-count bump — no heap allocation,
+//! * [`Name::parent`] and [`Name::ancestors`] return zero-copy suffix
+//!   *views* into the same buffer (`cs.ucla.edu` is `www.cs.ucla.edu`
+//!   starting four bytes in),
+//! * `Eq`/`Hash` are byte-wise over the suffix (the length-prefixed
+//!   encoding is unambiguous, and labels are lowercased on construction,
+//!   so byte equality is exactly case-insensitive name equality).
+//!
+//! `Ord` deliberately remains the *label-wise* lexicographic order of the
+//! previous `Vec<Label>` representation (most specific label first,
+//! labels compared as byte slices): the renewal scheduler keys a
+//! `BTreeSet` by `(SimTime, Name)` and the experiment transcripts are
+//! byte-for-byte reproducible only if that order never changes.
 
 use crate::DnsError;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
+use std::sync::{Arc, OnceLock};
 
 /// Maximum octets in a single label (RFC 1035 §2.3.4).
 pub const MAX_LABEL_LEN: usize = 63;
@@ -14,8 +39,21 @@ pub const MAX_NAME_LEN: usize = 255;
 ///
 /// Labels compare case-insensitively per RFC 1035 §2.3.3; we normalise to
 /// lowercase at construction so `Eq`/`Hash`/`Ord` are simply byte-wise.
+///
+/// `Label` is the *construction* unit ([`Name::child`],
+/// [`Name::from_labels`]); assembled names store label bytes inline and
+/// yield them as plain `&[u8]` slices from [`Name::labels`].
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Label(Box<[u8]>);
+
+/// Validates one label byte, returning its lowercase form.
+fn label_byte(b: u8) -> Result<u8, DnsError> {
+    match b {
+        b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' => Ok(b),
+        b'A'..=b'Z' => Ok(b.to_ascii_lowercase()),
+        other => Err(DnsError::InvalidLabelByte(other)),
+    }
+}
 
 impl Label {
     /// Creates a label from raw bytes, lowercasing ASCII letters.
@@ -34,11 +72,7 @@ impl Label {
         }
         let mut out = Vec::with_capacity(bytes.len());
         for &b in bytes {
-            match b {
-                b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' => out.push(b),
-                b'A'..=b'Z' => out.push(b.to_ascii_lowercase()),
-                other => return Err(DnsError::InvalidLabelByte(other)),
-            }
+            out.push(label_byte(b)?);
         }
         Ok(Label(out.into_boxed_slice()))
     }
@@ -67,12 +101,88 @@ impl fmt::Display for Label {
     }
 }
 
+/// The shared empty buffer every root view points at, so [`Name::root`]
+/// never allocates after first use.
+fn empty_buf() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(&[][..])).clone()
+}
+
+/// Incrementally assembles a [`Name`]'s contiguous buffer label by label,
+/// so `parse` and the wire decoder never materialise a `Vec<Label>`.
+#[derive(Debug, Default)]
+pub struct NameBuilder {
+    buf: Vec<u8>,
+    count: usize,
+}
+
+impl NameBuilder {
+    /// An empty builder (finishing it immediately yields the root).
+    pub fn new() -> Self {
+        NameBuilder::default()
+    }
+
+    /// Appends one label, validating and lowercasing its bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same per-label errors as [`Label::new`].
+    pub fn push(&mut self, raw: &[u8]) -> Result<(), DnsError> {
+        if raw.is_empty() {
+            return Err(DnsError::EmptyLabel);
+        }
+        if raw.len() > MAX_LABEL_LEN {
+            return Err(DnsError::LabelTooLong(raw.len()));
+        }
+        // Validate before touching the buffer so a failed push leaves the
+        // builder unchanged.
+        for &b in raw {
+            label_byte(b)?;
+        }
+        self.buf.push(raw.len() as u8);
+        self.buf.extend(raw.iter().map(u8::to_ascii_lowercase));
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Appends an already-validated lowercase label without re-checking.
+    fn push_validated(&mut self, label: &[u8]) {
+        debug_assert!(!label.is_empty() && label.len() <= MAX_LABEL_LEN);
+        self.buf.push(label.len() as u8);
+        self.buf.extend_from_slice(label);
+        self.count += 1;
+    }
+
+    /// Finishes the name, enforcing the total wire-length limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::NameTooLong`] if the wire form would exceed 255
+    /// octets.
+    pub fn finish(self) -> Result<Name, DnsError> {
+        let wire = 1 + self.buf.len();
+        if wire > MAX_NAME_LEN {
+            return Err(DnsError::NameTooLong(wire));
+        }
+        if self.count == 0 {
+            return Ok(Name::root());
+        }
+        Ok(Name {
+            buf: self.buf.into(),
+            start: 0,
+            count: self.count as u8,
+        })
+    }
+}
+
 /// A fully qualified domain name: an ordered list of labels, most specific
 /// first. The root is the empty list.
 ///
 /// `Name` is the unit the resolver reasons about when it navigates the
 /// delegation hierarchy: [`Name::parent`] climbs one step toward the root
-/// and [`Name::ancestors`] yields every enclosing zone cut candidate.
+/// and [`Name::ancestors`] yields every enclosing zone cut candidate —
+/// both as zero-copy views sharing this name's buffer (see the module
+/// docs for the representation).
 ///
 /// ```rust
 /// # fn main() -> Result<(), dns_core::DnsError> {
@@ -84,15 +194,33 @@ impl fmt::Display for Label {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Clone)]
 pub struct Name {
-    labels: Vec<Label>,
+    /// Length-prefixed lowercase label bytes of the most specific name
+    /// this buffer was built for, without the terminating zero octet.
+    buf: Arc<[u8]>,
+    /// Byte offset of this view's first label within `buf`.
+    start: u16,
+    /// Labels in the view; `buf[start..]` holds exactly this many.
+    count: u8,
 }
 
 impl Name {
     /// The root name (`.`).
     pub fn root() -> Self {
-        Name { labels: Vec::new() }
+        Name {
+            buf: empty_buf(),
+            start: 0,
+            count: 0,
+        }
+    }
+
+    /// The length-prefixed label bytes of this view (lowercase, no
+    /// terminating zero octet). This is the byte string `Eq`/`Hash` are
+    /// defined over, and exactly what the wire encoder emits for an
+    /// uncompressed name (minus the trailing zero).
+    pub fn as_suffix_bytes(&self) -> &[u8] {
+        &self.buf[self.start as usize..]
     }
 
     /// Builds a name from labels ordered most specific first.
@@ -102,12 +230,11 @@ impl Name {
     /// Returns [`DnsError::NameTooLong`] if the wire form would exceed 255
     /// octets.
     pub fn from_labels(labels: Vec<Label>) -> Result<Self, DnsError> {
-        let name = Name { labels };
-        let len = name.wire_len();
-        if len > MAX_NAME_LEN {
-            return Err(DnsError::NameTooLong(len));
+        let mut b = NameBuilder::new();
+        for label in &labels {
+            b.push_validated(label.as_bytes());
         }
-        Ok(name)
+        b.finish()
     }
 
     /// Parses dotted text (`"www.ucla.edu"` or `"www.ucla.edu."`; `"."` and
@@ -121,55 +248,61 @@ impl Name {
         if trimmed.is_empty() {
             return Ok(Name::root());
         }
-        let mut labels = Vec::new();
+        let mut b = NameBuilder::new();
         for part in trimmed.split('.') {
-            labels.push(Label::new(part.as_bytes()).map_err(|e| match e {
+            b.push(part.as_bytes()).map_err(|e| match e {
                 DnsError::EmptyLabel => DnsError::NameParse(s.to_string()),
                 other => other,
-            })?);
+            })?;
         }
-        Name::from_labels(labels)
+        b.finish()
     }
 
     /// Whether this is the root name.
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.count == 0
     }
 
     /// Number of labels (0 for the root).
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        self.count as usize
     }
 
-    /// The labels, most specific first.
-    pub fn labels(&self) -> &[Label] {
-        &self.labels
+    /// Iterator over the labels as byte slices, most specific first.
+    pub fn labels(&self) -> Labels<'_> {
+        Labels {
+            rest: self.as_suffix_bytes(),
+            remaining: self.count as usize,
+        }
     }
 
     /// Octets this name occupies on the wire (length bytes + label bytes +
     /// terminating zero), ignoring compression.
     pub fn wire_len(&self) -> usize {
-        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+        1 + self.as_suffix_bytes().len()
     }
 
     /// The name with the leftmost label removed; `None` for the root.
     ///
-    /// `www.ucla.edu` → `ucla.edu` → `edu` → `.` → `None`.
+    /// `www.ucla.edu` → `ucla.edu` → `edu` → `.` → `None`. The parent is a
+    /// view into the same buffer — no bytes are copied.
     pub fn parent(&self) -> Option<Name> {
-        if self.labels.is_empty() {
-            None
-        } else {
-            Some(Name {
-                labels: self.labels[1..].to_vec(),
-            })
+        if self.count == 0 {
+            return None;
         }
+        let first_len = self.buf[self.start as usize] as u16;
+        Some(Name {
+            buf: Arc::clone(&self.buf),
+            start: self.start + 1 + first_len,
+            count: self.count - 1,
+        })
     }
 
     /// Iterator over this name and every ancestor, ending at the root.
-    pub fn ancestors(&self) -> Ancestors<'_> {
+    /// Each item shares this name's buffer.
+    pub fn ancestors(&self) -> Ancestors {
         Ancestors {
-            name: self,
-            next_depth: Some(0),
+            next: Some(self.clone()),
         }
     }
 
@@ -177,16 +310,23 @@ impl Name {
     ///
     /// Every name is a subdomain of the root.
     pub fn is_subdomain_of(&self, other: &Name) -> bool {
-        if other.labels.len() > self.labels.len() {
+        if other.count > self.count {
             return false;
         }
-        let offset = self.labels.len() - other.labels.len();
-        self.labels[offset..] == other.labels[..]
+        // Walk label boundaries rather than comparing raw byte suffixes:
+        // a digit byte inside a label is indistinguishable from a length
+        // prefix, so `aucla.edu` must not match a trailing-bytes probe
+        // for `ucla.edu`.
+        let mut rest = self.as_suffix_bytes();
+        for _ in 0..self.count - other.count {
+            rest = &rest[1 + rest[0] as usize..];
+        }
+        rest == other.as_suffix_bytes()
     }
 
     /// Whether `self` is strictly below `other` (subdomain but not equal).
     pub fn is_proper_subdomain_of(&self, other: &Name) -> bool {
-        self.labels.len() > other.labels.len() && self.is_subdomain_of(other)
+        self.count > other.count && self.is_subdomain_of(other)
     }
 
     /// Creates the child name `label.self`.
@@ -196,10 +336,15 @@ impl Name {
     /// Returns [`DnsError::NameTooLong`] if the result would exceed the wire
     /// limit.
     pub fn child(&self, label: Label) -> Result<Name, DnsError> {
-        let mut labels = Vec::with_capacity(self.labels.len() + 1);
-        labels.push(label);
-        labels.extend(self.labels.iter().cloned());
-        Name::from_labels(labels)
+        let suffix = self.as_suffix_bytes();
+        let mut b = NameBuilder {
+            buf: Vec::with_capacity(1 + label.len() + suffix.len()),
+            count: 0,
+        };
+        b.push_validated(label.as_bytes());
+        b.buf.extend_from_slice(suffix);
+        b.count += self.count as usize;
+        b.finish()
     }
 
     /// Concatenates `self` (as the more specific part) onto `suffix`.
@@ -211,73 +356,152 @@ impl Name {
     /// Returns [`DnsError::NameTooLong`] if the result would exceed the wire
     /// limit.
     pub fn append(&self, suffix: &Name) -> Result<Name, DnsError> {
-        let mut labels = Vec::with_capacity(self.labels.len() + suffix.labels.len());
-        labels.extend(self.labels.iter().cloned());
-        labels.extend(suffix.labels.iter().cloned());
-        Name::from_labels(labels)
+        let (head, tail) = (self.as_suffix_bytes(), suffix.as_suffix_bytes());
+        let mut buf = Vec::with_capacity(head.len() + tail.len());
+        buf.extend_from_slice(head);
+        buf.extend_from_slice(tail);
+        NameBuilder {
+            buf,
+            count: self.count as usize + suffix.count as usize,
+        }
+        .finish()
+    }
+
+    /// The label `depth` steps above the most specific one (0 = leftmost).
+    fn label_at(&self, depth: usize) -> &[u8] {
+        let mut it = self.labels();
+        it.nth(depth).expect("depth < label_count")
     }
 
     /// The number of labels shared with `other`, counted from the root.
     ///
     /// `www.ucla.edu` and `cs.ucla.edu` share 2 (`ucla`, `edu`).
     pub fn common_suffix_len(&self, other: &Name) -> usize {
-        self.labels
-            .iter()
-            .rev()
-            .zip(other.labels.iter().rev())
-            .take_while(|(a, b)| a == b)
-            .count()
+        let max = self.label_count().min(other.label_count());
+        let mut shared = 0;
+        for i in 1..=max {
+            if self.label_at(self.label_count() - i) == other.label_at(other.label_count() - i) {
+                shared = i;
+            } else {
+                break;
+            }
+        }
+        shared
     }
 }
 
-/// Iterator returned by [`Name::ancestors`]: the name itself, then each
-/// parent, ending with the root.
-#[derive(Debug, Clone)]
-pub struct Ancestors<'a> {
-    name: &'a Name,
-    next_depth: Option<usize>,
+impl Default for Name {
+    fn default() -> Self {
+        Name::root()
+    }
 }
 
-impl Iterator for Ancestors<'_> {
-    type Item = Name;
+/// Byte-wise over the unambiguous length-prefixed lowercase encoding, so
+/// equality is exactly case-insensitive label-sequence equality.
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_suffix_bytes() == other.as_suffix_bytes()
+    }
+}
 
-    fn next(&mut self) -> Option<Name> {
-        let depth = self.next_depth?;
-        let total = self.name.labels.len();
-        if depth > total {
-            self.next_depth = None;
-            return None;
-        }
-        self.next_depth = if depth == total {
-            None
-        } else {
-            Some(depth + 1)
-        };
-        Some(Name {
-            labels: self.name.labels[depth..].to_vec(),
-        })
+impl Eq for Name {}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must stay identical to the `RrKeyView` hash in `rr.rs`, which
+        // enables borrowed-key cache lookups without building an `RrKey`.
+        self.as_suffix_bytes().hash(state);
+    }
+}
+
+/// Label-wise lexicographic order, most specific label first — the same
+/// total order the former `Vec<Label>` representation derived. The
+/// renewal scheduler's `BTreeSet<(SimTime, Name)>` pop order (and thus
+/// RNG consumption and every experiment transcript) depends on it, so it
+/// must never silently change to plain suffix-byte order.
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.labels().cmp(other.labels())
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
+    }
+}
+
+/// Iterator returned by [`Name::labels`]: each label's bytes, most
+/// specific first, read straight out of the shared buffer.
+#[derive(Debug, Clone)]
+pub struct Labels<'a> {
+    rest: &'a [u8],
+    remaining: usize,
+}
+
+impl<'a> Iterator for Labels<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let (&len, tail) = self.rest.split_first()?;
+        let (label, rest) = tail.split_at(len as usize);
+        self.rest = rest;
+        self.remaining -= 1;
+        Some(label)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = match self.next_depth {
-            Some(d) => self.name.labels.len() - d + 1,
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for Labels<'_> {}
+
+/// Iterator returned by [`Name::ancestors`]: the name itself, then each
+/// parent, ending with the root. Every item is a zero-copy view sharing
+/// the original buffer.
+#[derive(Debug, Clone)]
+pub struct Ancestors {
+    next: Option<Name>,
+}
+
+impl Iterator for Ancestors {
+    type Item = Name;
+
+    fn next(&mut self) -> Option<Name> {
+        let current = self.next.take()?;
+        self.next = current.parent();
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match &self.next {
+            Some(n) => n.label_count() + 1,
             None => 0,
         };
         (remaining, Some(remaining))
     }
 }
 
-impl ExactSizeIterator for Ancestors<'_> {}
+impl ExactSizeIterator for Ancestors {}
 
 impl fmt::Display for Name {
     /// Canonical presentation: absolute form with trailing dot; the root is
     /// a single dot.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.labels.is_empty() {
+        if self.is_root() {
             return f.write_str(".");
         }
-        for label in &self.labels {
-            write!(f, "{label}.")?;
+        for label in self.labels() {
+            // Labels are validated ASCII, so this cannot fail.
+            f.write_str(std::str::from_utf8(label).expect("labels are ASCII"))?;
+            f.write_str(".")?;
         }
         Ok(())
     }
@@ -350,6 +574,18 @@ mod tests {
     }
 
     #[test]
+    fn parent_and_ancestors_share_the_buffer() {
+        let name = n("www.cs.ucla.edu");
+        let parent = name.parent().unwrap();
+        assert!(Arc::ptr_eq(&name.buf, &parent.buf));
+        for ancestor in name.ancestors() {
+            assert!(Arc::ptr_eq(&name.buf, &ancestor.buf));
+        }
+        // Views from different buffers still compare equal.
+        assert_eq!(parent, n("cs.ucla.edu"));
+    }
+
+    #[test]
     fn ancestors_iterate_most_specific_first() {
         let got: Vec<String> = n("a.b.c").ancestors().map(|x| x.to_string()).collect();
         assert_eq!(got, vec!["a.b.c.", "b.c.", "c.", "."]);
@@ -366,6 +602,16 @@ mod tests {
     }
 
     #[test]
+    fn labels_iterate_with_exact_size() {
+        let name = n("www.ucla.edu");
+        let it = name.labels();
+        assert_eq!(it.len(), 3);
+        let got: Vec<&[u8]> = it.collect();
+        assert_eq!(got, vec![b"www".as_slice(), b"ucla", b"edu"]);
+        assert_eq!(Name::root().labels().len(), 0);
+    }
+
+    #[test]
     fn subdomain_relationships() {
         assert!(n("www.ucla.edu").is_subdomain_of(&n("ucla.edu")));
         assert!(n("www.ucla.edu").is_subdomain_of(&n("edu")));
@@ -378,6 +624,10 @@ mod tests {
         assert!(!n("ucla.edu").is_subdomain_of(&n("ucla.com")));
         // Suffix must fall on a label boundary.
         assert!(!n("aucla.edu").is_subdomain_of(&n("ucla.edu")));
+        // Digit-led labels whose bytes mimic a length prefix must not
+        // confuse the boundary walk (b'1' = 49, a plausible prefix).
+        assert!(!n("x1.12345.com").is_subdomain_of(&n("2345.com")));
+        assert!(n("a.12345.com").is_subdomain_of(&n("12345.com")));
     }
 
     #[test]
@@ -403,5 +653,42 @@ mod tests {
         // We only require a deterministic total order for use in BTreeMaps.
         assert_eq!(names.len(), 3);
         assert!(names.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ordering_matches_label_list_model() {
+        // The order the scheduler depends on: compare label-by-label from
+        // the most specific end, like the old Vec<Label> derive did.
+        let names = [
+            Name::root(),
+            n("com"),
+            n("a.com"),
+            n("b.com"),
+            n("a.b.com"),
+            n("aa.com"),
+            n("a.edu"),
+            n("edu"),
+        ];
+        for a in &names {
+            for b in &names {
+                let model_a: Vec<&[u8]> = a.labels().collect();
+                let model_b: Vec<&[u8]> = b.labels().collect();
+                assert_eq!(a.cmp(b), model_a.cmp(&model_b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn views_hash_like_owned_names() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(name: &Name) -> u64 {
+            let mut s = DefaultHasher::new();
+            name.hash(&mut s);
+            s.finish()
+        }
+        let deep = n("www.cs.ucla.edu");
+        let view = deep.parent().unwrap().parent().unwrap();
+        assert_eq!(view, n("ucla.edu"));
+        assert_eq!(h(&view), h(&n("ucla.edu")));
     }
 }

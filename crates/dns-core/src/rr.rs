@@ -1,7 +1,10 @@
 //! Resource records: types, classes, RDATA and RRsets.
 
 use crate::{Name, SimTime, Ttl};
+use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// DNS record type codes (RFC 1035 §3.2.2 and successors).
@@ -368,7 +371,7 @@ impl fmt::Display for Record {
 
 /// Identity of an RRset: owner name plus record type (class is implicitly
 /// `IN` throughout the experiments).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct RrKey {
     /// Owner name.
     pub name: Name,
@@ -380,6 +383,98 @@ impl RrKey {
     /// Creates a key.
     pub fn new(name: Name, rtype: RecordType) -> Self {
         RrKey { name, rtype }
+    }
+}
+
+/// Written out (rather than derived) so it provably matches the
+/// `dyn RrKeyView` hash below — the contract `Borrow`-based map probing
+/// relies on.
+impl Hash for RrKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+        self.rtype.hash(state);
+    }
+}
+
+/// Borrowed view of an RRset key, so caches can probe
+/// `HashMap<RrKey, _>` / `BTreeMap<RrKey, _>` by `(&Name, RecordType)`
+/// without cloning the name into a throwaway [`RrKey`]:
+///
+/// ```rust
+/// # fn main() -> Result<(), dns_core::DnsError> {
+/// use dns_core::{Name, RecordType, RrKey, RrKeyView};
+/// use std::collections::HashMap;
+///
+/// let name: Name = "www.ucla.edu".parse()?;
+/// let mut map = HashMap::new();
+/// map.insert(RrKey::new(name.clone(), RecordType::A), 7u32);
+/// // Lookup without constructing an RrKey:
+/// let hit = map.get(&(&name, RecordType::A) as &dyn RrKeyView);
+/// assert_eq!(hit, Some(&7));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// `Hash`/`Eq`/`Ord` on `dyn RrKeyView` are defined on `(name, rtype)` in
+/// that order, identical to `RrKey`'s own implementations, which makes the
+/// `Borrow<dyn RrKeyView> for RrKey` impl lawful.
+pub trait RrKeyView {
+    /// Owner name.
+    fn name(&self) -> &Name;
+    /// Record type.
+    fn rtype(&self) -> RecordType;
+}
+
+impl RrKeyView for RrKey {
+    fn name(&self) -> &Name {
+        &self.name
+    }
+    fn rtype(&self) -> RecordType {
+        self.rtype
+    }
+}
+
+impl RrKeyView for (&Name, RecordType) {
+    fn name(&self) -> &Name {
+        self.0
+    }
+    fn rtype(&self) -> RecordType {
+        self.1
+    }
+}
+
+impl Hash for dyn RrKeyView + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name().hash(state);
+        self.rtype().hash(state);
+    }
+}
+
+impl PartialEq for dyn RrKeyView + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.rtype() == other.rtype() && self.name() == other.name()
+    }
+}
+
+impl Eq for dyn RrKeyView + '_ {}
+
+impl PartialOrd for dyn RrKeyView + '_ {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for dyn RrKeyView + '_ {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.name()
+            .cmp(other.name())
+            .then_with(|| self.rtype().cmp(&other.rtype()))
+    }
+}
+
+impl<'a> Borrow<dyn RrKeyView + 'a> for RrKey {
+    fn borrow(&self) -> &(dyn RrKeyView + 'a) {
+        self
     }
 }
 

@@ -18,8 +18,8 @@
 //! ```
 
 use crate::{
-    DnsError, Header, Label, Message, Name, Opcode, Question, RData, Rcode, Record, RecordClass,
-    RecordType, Ttl,
+    DnsError, Header, Message, Name, NameBuilder, Opcode, Question, RData, Rcode, Record,
+    RecordClass, RecordType, Ttl,
 };
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, Ipv6Addr};
@@ -114,8 +114,9 @@ impl PutExt for Vec<u8> {
 
 struct Encoder {
     buf: Vec<u8>,
-    /// Canonical text of a name suffix → offset of its first encoding.
-    compress: HashMap<String, u16>,
+    /// Name suffix view → offset of its first encoding. Keys are cheap
+    /// `Name` clones (refcount bumps) hashed over their suffix bytes.
+    compress: HashMap<Name, u16>,
 }
 
 impl Encoder {
@@ -237,25 +238,28 @@ impl Encoder {
         Ok(())
     }
 
-    /// Writes a (possibly compressed) domain name.
+    /// Writes a (possibly compressed) domain name by walking its ancestor
+    /// views — no intermediate label list or text keys are built.
     fn name(&mut self, name: &Name) -> Result<(), DnsError> {
-        let labels = name.labels();
-        for depth in 0..labels.len() {
-            let suffix_key: String = labels[depth..].iter().map(|l| format!("{l}.")).collect();
-            if let Some(&offset) = self.compress.get(&suffix_key) {
+        let mut current = name.clone();
+        loop {
+            if current.is_root() {
+                self.buf.put_u8(0);
+                return Ok(());
+            }
+            if let Some(&offset) = self.compress.get(&current) {
                 self.buf.put_u16(0xC000 | offset);
                 return Ok(());
             }
             // Pointers can only address the first 0x3FFF octets.
             if self.buf.len() <= 0x3FFF {
-                self.compress.insert(suffix_key, self.buf.len() as u16);
+                self.compress.insert(current.clone(), self.buf.len() as u16);
             }
-            let label = &labels[depth];
+            let label = current.labels().next().expect("non-root name has a label");
             self.buf.put_u8(label.len() as u8);
-            self.buf.put_slice(label.as_bytes());
+            self.buf.put_slice(label);
+            current = current.parent().expect("non-root name has a parent");
         }
-        self.buf.put_u8(0);
-        Ok(())
     }
 }
 
@@ -414,9 +418,10 @@ impl<'a> Decoder<'a> {
         }
     }
 
-    /// Reads a possibly compressed name starting at the cursor.
+    /// Reads a possibly compressed name starting at the cursor, assembling
+    /// the compact buffer directly via [`NameBuilder`].
     fn name(&mut self) -> Result<Name, DnsError> {
-        let mut labels = Vec::new();
+        let mut builder = NameBuilder::new();
         let mut pos = self.pos;
         // Position to restore after the name (set at the first pointer).
         let mut resume: Option<usize> = None;
@@ -438,7 +443,7 @@ impl<'a> Decoder<'a> {
                         .bytes
                         .get(start..end)
                         .ok_or(DnsError::UnexpectedEof { context: "label" })?;
-                    labels.push(Label::new(raw)?);
+                    builder.push(raw)?;
                     pos = end;
                 }
                 l if l & 0xC0 == 0xC0 => {
@@ -465,7 +470,7 @@ impl<'a> Decoder<'a> {
             }
         }
         self.pos = resume.unwrap_or(pos);
-        Name::from_labels(labels)
+        builder.finish()
     }
 }
 

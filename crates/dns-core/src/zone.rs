@@ -1,6 +1,6 @@
 //! Authoritative zone data: apex records, in-zone data and delegations.
 
-use crate::{DnsError, Name, RData, Record, RecordType, RrKey, RrSet, Ttl};
+use crate::{DnsError, Name, RData, Record, RecordType, RrKey, RrKeyView, RrSet, Ttl};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -116,9 +116,9 @@ impl Zone {
         }
     }
 
-    /// Looks up an authoritative RRset.
+    /// Looks up an authoritative RRset without constructing a probe key.
     pub fn lookup(&self, name: &Name, rtype: RecordType) -> Option<&RrSet> {
-        self.records.get(&RrKey::new(name.clone(), rtype))
+        self.records.get(&(name, rtype) as &dyn RrKeyView)
     }
 
     /// Whether any RRset exists at `name`.

@@ -1,10 +1,41 @@
 //! Property-based tests for the core data model and wire codec.
 
 use dns_core::{
-    wire, Header, Label, Message, Name, Opcode, Question, RData, Rcode, Record, RecordType, Ttl,
+    wire, Header, Label, Message, Name, NameBuilder, Opcode, Question, RData, Rcode, Record,
+    RecordType, Ttl,
 };
 use proptest::prelude::*;
 use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Raw label bytes, independent of any `Name` machinery: the naive model a
+/// `Name` must agree with. Most-specific label first, matching `labels()`.
+fn arb_raw_labels() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            prop_oneof![
+                prop::char::range('a', 'z').prop_map(|c| c as u8),
+                prop::char::range('0', '9').prop_map(|c| c as u8),
+                Just(b'-'),
+                Just(b'_'),
+            ],
+            1..=12,
+        ),
+        0..=6,
+    )
+}
+
+fn name_from_raw(raw: &[Vec<u8>]) -> Name {
+    let labels = raw
+        .iter()
+        .map(|l| Label::new(l).expect("alphabet is valid"))
+        .collect();
+    Name::from_labels(labels).expect("short names fit")
+}
+
+/// Label-wise suffix test on the naive model ("a.b ends with b").
+fn model_is_subdomain(a: &[Vec<u8>], b: &[Vec<u8>]) -> bool {
+    a.len() >= b.len() && a[a.len() - b.len()..] == *b
+}
 
 fn arb_label() -> impl Strategy<Value = Label> {
     proptest::collection::vec(
@@ -191,6 +222,122 @@ proptest! {
             let cut = cut.min(bytes.len());
             let _ = wire::decode(&bytes[..bytes.len() - cut]);
         }
+    }
+
+    /// Every construction route — `from_labels`, `parse` of the display
+    /// form, and an incremental `NameBuilder` — produces the same name,
+    /// and `labels()` reads the raw model back out unchanged.
+    #[test]
+    fn construction_routes_agree(raw in arb_raw_labels()) {
+        let via_labels = name_from_raw(&raw);
+
+        let text = raw
+            .iter()
+            .map(|l| String::from_utf8(l.clone()).unwrap())
+            .collect::<Vec<_>>()
+            .join(".");
+        let via_parse = Name::parse(&text).unwrap();
+
+        let mut builder = NameBuilder::new();
+        for label in &raw {
+            builder.push(label).unwrap();
+        }
+        let via_builder = builder.finish().unwrap();
+
+        prop_assert_eq!(&via_labels, &via_parse);
+        prop_assert_eq!(&via_labels, &via_builder);
+        let read_back: Vec<Vec<u8>> = via_labels.labels().map(|l| l.to_vec()).collect();
+        prop_assert_eq!(read_back, raw);
+    }
+
+    /// `is_subdomain_of` on arbitrary pairs matches a label-wise suffix
+    /// check on the raw model. (Byte-wise suffix comparison would be wrong:
+    /// digit bytes overlap the length-prefix range, so "2345.com" must not
+    /// claim "12345.com" as a subdomain.)
+    #[test]
+    fn subdomain_matches_suffix_model(a in arb_raw_labels(), b in arb_raw_labels()) {
+        let na = name_from_raw(&a);
+        let nb = name_from_raw(&b);
+        prop_assert_eq!(na.is_subdomain_of(&nb), model_is_subdomain(&a, &b));
+        prop_assert_eq!(nb.is_subdomain_of(&na), model_is_subdomain(&b, &a));
+        // Derived suffixes of `a` are always subdomains, whatever `b` was.
+        for anc in na.ancestors() {
+            prop_assert!(na.is_subdomain_of(&anc));
+        }
+    }
+
+    /// `Ord` on names matches lexicographic order over the raw label model
+    /// (most-specific label first). The infrastructure cache's renewal
+    /// schedule is a `BTreeSet` keyed on names, so this order is
+    /// load-bearing for experiment determinism.
+    #[test]
+    fn ordering_matches_label_model(a in arb_raw_labels(), b in arb_raw_labels()) {
+        let na = name_from_raw(&a);
+        let nb = name_from_raw(&b);
+        prop_assert_eq!(na.cmp(&nb), a.cmp(&b));
+        // Equality and hashing stay consistent with the model too.
+        prop_assert_eq!(na == nb, a == b);
+    }
+
+    /// `append` concatenates the label models; `child` is the single-label
+    /// special case.
+    #[test]
+    fn append_matches_model(a in arb_raw_labels(), b in arb_raw_labels()) {
+        let na = name_from_raw(&a);
+        let nb = name_from_raw(&b);
+        // Both inputs are ≤ 6 labels of ≤ 12 bytes, so the result always
+        // fits in MAX_NAME_LEN.
+        let joined = na.append(&nb).unwrap();
+        let mut model = a.clone();
+        model.extend(b.iter().cloned());
+        let read_back: Vec<Vec<u8>> = joined.labels().map(|l| l.to_vec()).collect();
+        prop_assert_eq!(read_back, model);
+
+        if let Some(first) = b.first() {
+            let child = nb.parent().unwrap().child(Label::new(first).unwrap());
+            prop_assert_eq!(child.unwrap(), nb);
+        }
+    }
+
+    /// `common_suffix_len` counts matching labels from the root, per the
+    /// naive model.
+    #[test]
+    fn common_suffix_len_matches_model(a in arb_raw_labels(), b in arb_raw_labels()) {
+        let na = name_from_raw(&a);
+        let nb = name_from_raw(&b);
+        let model = a
+            .iter()
+            .rev()
+            .zip(b.iter().rev())
+            .take_while(|(x, y)| x == y)
+            .count();
+        prop_assert_eq!(na.common_suffix_len(&nb), model);
+        prop_assert_eq!(nb.common_suffix_len(&na), model);
+    }
+
+    /// A name survives the wire codec (including compression against other
+    /// names sharing its suffixes) unchanged.
+    #[test]
+    fn name_wire_roundtrip(raw in arb_raw_labels()) {
+        let name = name_from_raw(&raw);
+        let mut msg = Message::query(7, Question::new(name.clone(), RecordType::A));
+        // Force compression pointers: the answer owner repeats the question
+        // name, and an NS target shares every proper suffix.
+        msg.answers.push(Record::new(
+            name.clone(),
+            Ttl::from_secs(60),
+            RData::A(Ipv4Addr::new(192, 0, 2, 7)),
+        ));
+        for anc in name.ancestors() {
+            msg.authorities.push(Record::new(
+                anc.clone(),
+                Ttl::from_secs(60),
+                RData::Ns(anc),
+            ));
+        }
+        let bytes = wire::encode(&msg).unwrap();
+        let back = wire::decode(&bytes).unwrap();
+        prop_assert_eq!(msg, back);
     }
 
     /// TTL expiry is monotone in the TTL value.

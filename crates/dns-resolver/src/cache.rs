@@ -4,8 +4,9 @@
 //! infrastructure records live in [`crate::InfraCache`], which the
 //! resilience policies operate on.
 
-use dns_core::{Name, RecordType, RrKey, RrSet, SimTime, Ttl};
-use std::collections::HashMap;
+use dns_core::{Name, RecordType, RrKey, RrKeyView, RrSet, SimTime, Ttl};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 /// Trustworthiness ranking of cached data (RFC 2181 §5.4.1, condensed).
@@ -76,6 +77,15 @@ pub enum NegativeKind {
 pub struct RecordCache {
     entries: HashMap<RrKey, CacheEntry>,
     negatives: HashMap<RrKey, (SimTime, NegativeKind)>,
+    /// Expiry min-heap over `entries`, lazy-deleted: a pair whose entry
+    /// was since re-inserted with a different expiry no longer matches
+    /// the map and is skipped on pop.
+    expiry: BinaryHeap<Reverse<(SimTime, RrKey)>>,
+    /// Expiry min-heap over `negatives`, same discipline.
+    neg_expiry: BinaryHeap<Reverse<(SimTime, RrKey)>>,
+    /// Individual records across stored positive entries, maintained on
+    /// insert/evict so occupancy sampling never scans the table.
+    record_total: usize,
 }
 
 impl RecordCache {
@@ -96,22 +106,61 @@ impl RecordCache {
             }
         }
         let expires_at = set.ttl().expires_at(now);
-        self.entries.insert(
-            key,
+        let added = set.len();
+        if let Some(old) = self.entries.insert(
+            key.clone(),
             CacheEntry {
                 set,
                 expires_at,
                 credibility,
             },
-        );
+        ) {
+            self.record_total -= old.set.len();
+        }
+        self.record_total += added;
+        self.expiry.push(Reverse((expires_at, key)));
         true
     }
 
+    /// Evicts every entry that expired at or before `now`, in O(log n)
+    /// per expired entry rather than a full-table scan. Returns how many
+    /// entries (positive + negative) were evicted.
+    fn advance(&mut self, now: SimTime) -> usize {
+        let mut evicted = 0;
+        while self
+            .expiry
+            .peek()
+            .is_some_and(|Reverse((at, _))| *at <= now)
+        {
+            let Reverse((at, key)) = self.expiry.pop().expect("peeked");
+            // Skip lazily-deleted pairs: the entry was re-inserted with a
+            // different expiry after this pair was pushed.
+            if self.entries.get(&key).is_some_and(|e| e.expires_at == at) {
+                let old = self.entries.remove(&key).expect("just probed");
+                self.record_total -= old.set.len();
+                evicted += 1;
+            }
+        }
+        while self
+            .neg_expiry
+            .peek()
+            .is_some_and(|Reverse((at, _))| *at <= now)
+        {
+            let Reverse((at, key)) = self.neg_expiry.pop().expect("peeked");
+            if self.negatives.get(&key).is_some_and(|&(exp, _)| exp == at) {
+                self.negatives.remove(&key);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
     /// Fresh lookup; expired entries are treated as absent (and are
-    /// evicted lazily).
+    /// evicted lazily). The probe borrows `name` — no key is built and no
+    /// allocation or refcount traffic occurs.
     pub fn get(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<&CacheEntry> {
         self.entries
-            .get(&RrKey::new(name.clone(), rtype))
+            .get(&(name, rtype) as &dyn RrKeyView)
             .filter(|e| e.is_fresh(now))
     }
 
@@ -124,8 +173,10 @@ impl RecordCache {
         ttl: Ttl,
         now: SimTime,
     ) {
-        self.negatives
-            .insert(RrKey::new(name, rtype), (ttl.expires_at(now), kind));
+        let key = RrKey::new(name, rtype);
+        let expires_at = ttl.expires_at(now);
+        self.negatives.insert(key.clone(), (expires_at, kind));
+        self.neg_expiry.push(Reverse((expires_at, key)));
     }
 
     /// Fresh negative lookup.
@@ -136,22 +187,21 @@ impl RecordCache {
         now: SimTime,
     ) -> Option<NegativeKind> {
         self.negatives
-            .get(&RrKey::new(name.clone(), rtype))
+            .get(&(name, rtype) as &dyn RrKeyView)
             .filter(|(exp, _)| now < *exp)
             .map(|&(_, kind)| kind)
     }
 
     /// Removes entries that expired at or before `now`; returns how many
-    /// were evicted. The resolver calls this periodically so occupancy
-    /// metrics reflect live content.
+    /// were evicted since the cache last advanced. The resolver calls this
+    /// periodically so occupancy metrics reflect live content. Amortized:
+    /// cost scales with the number of expired entries, not cache size.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
-        let before = self.entries.len() + self.negatives.len();
-        self.entries.retain(|_, e| e.is_fresh(now));
-        self.negatives.retain(|_, (exp, _)| now < *exp);
-        before - (self.entries.len() + self.negatives.len())
+        self.advance(now)
     }
 
-    /// Number of positive entries currently stored (fresh or not).
+    /// Number of positive entries currently stored (entries expired before
+    /// the last advance are already evicted).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -161,18 +211,18 @@ impl RecordCache {
         self.entries.is_empty() && self.negatives.is_empty()
     }
 
-    /// Number of positive entries fresh at `now`.
-    pub fn fresh_len(&self, now: SimTime) -> usize {
-        self.entries.values().filter(|e| e.is_fresh(now)).count()
+    /// Number of positive entries fresh at `now` (O(expired) via the
+    /// expiry heap, not a scan; `now` must not move backwards).
+    pub fn fresh_len(&mut self, now: SimTime) -> usize {
+        self.advance(now);
+        self.entries.len()
     }
 
-    /// Total individual records across fresh positive entries at `now`.
-    pub fn fresh_record_count(&self, now: SimTime) -> usize {
-        self.entries
-            .values()
-            .filter(|e| e.is_fresh(now))
-            .map(|e| e.set.len())
-            .sum()
+    /// Total individual records across fresh positive entries at `now`
+    /// (maintained counter; `now` must not move backwards).
+    pub fn fresh_record_count(&mut self, now: SimTime) -> usize {
+        self.advance(now);
+        self.record_total
     }
 }
 
@@ -334,6 +384,29 @@ mod tests {
         );
         assert_eq!(c.fresh_len(SimTime::from_hours(1)), 1);
         assert_eq!(c.fresh_record_count(SimTime::from_hours(1)), 1);
-        assert_eq!(c.len(), 2); // lazily retained
+        assert_eq!(c.len(), 1); // sampling advanced the heap and evicted a.x.com
+    }
+
+    #[test]
+    fn reinsert_leaves_stale_heap_pair_behind_harmlessly() {
+        let mut c = RecordCache::new();
+        c.insert(
+            a_set("a.x.com", 1, Ttl::from_mins(5)),
+            SimTime::ZERO,
+            Credibility::AuthAnswer,
+        );
+        // Re-insert with a longer TTL: the 5-minute heap pair goes stale.
+        c.insert(
+            a_set("a.x.com", 2, Ttl::from_hours(2)),
+            SimTime::from_mins(1),
+            Credibility::AuthAnswer,
+        );
+        // Popping the stale pair must not evict the refreshed entry...
+        assert_eq!(c.purge_expired(SimTime::from_mins(10)), 0);
+        assert_eq!(c.fresh_len(SimTime::from_mins(10)), 1);
+        assert_eq!(c.fresh_record_count(SimTime::from_mins(10)), 1);
+        // ...and the refreshed entry still expires on its own schedule.
+        assert_eq!(c.purge_expired(SimTime::from_hours(3)), 1);
+        assert_eq!(c.fresh_record_count(SimTime::from_hours(3)), 0);
     }
 }

@@ -9,7 +9,8 @@
 
 use crate::RenewalPolicy;
 use dns_core::{Name, SimDuration, SimTime, Ttl};
-use std::collections::{BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -55,6 +56,9 @@ pub struct InfraEntry {
     pub last_parent_contact: SimTime,
     /// Whether the expiry tombstone has already produced a gap sample.
     gap_recorded: bool,
+    /// Whether this entry is currently included in the cache's maintained
+    /// fresh-occupancy counters (cleared by the expiry heap when due).
+    counted: bool,
 }
 
 impl InfraEntry {
@@ -95,6 +99,16 @@ pub struct InfraCache {
     /// pairs (entry refreshed since scheduling) are skipped on pop.
     schedule: BTreeSet<(SimTime, Name)>,
     gap_samples: Vec<GapSample>,
+    /// Occupancy expiry min-heap, lazy-deleted like the renewal schedule:
+    /// a popped pair only uncounts the entry if it still expires at that
+    /// instant. Unlike eviction in `RecordCache`, expired entries stay in
+    /// the map as tombstones (Figure 3 needs them) — only their
+    /// contribution to the fresh counters is retired.
+    expiry: BinaryHeap<Reverse<(SimTime, Name)>>,
+    /// Zones counted fresh as of the last advance.
+    fresh_zones: usize,
+    /// Infrastructure records (NS + address) across counted zones.
+    fresh_records: usize,
 }
 
 impl InfraCache {
@@ -116,8 +130,18 @@ impl InfraCache {
             ds: Vec::new(),
             last_parent_contact: SimTime::MAX,
             gap_recorded: true,
+            counted: true,
         };
-        self.entries.insert(Name::root(), entry);
+        // Hints never expire, so they are counted once and never pushed
+        // onto the expiry heap.
+        self.fresh_zones += 1;
+        self.fresh_records += entry.record_count();
+        if let Some(old) = self.entries.insert(Name::root(), entry) {
+            if old.counted {
+                self.fresh_zones -= 1;
+                self.fresh_records -= old.record_count();
+            }
+        }
     }
 
     /// Looks up the entry for an exact zone (fresh or tombstoned).
@@ -274,22 +298,56 @@ impl InfraCache {
         }
         let expires_at = ttl.expires_at(now);
         self.schedule.insert((expires_at, zone.clone()));
-        self.entries.insert(
-            zone.clone(),
-            InfraEntry {
-                zone,
-                ns_names,
-                addrs,
-                ttl,
-                expires_at,
-                source,
-                credit,
-                ds,
-                last_parent_contact,
-                gap_recorded: false,
-            },
-        );
+        let counted = now < expires_at;
+        if counted {
+            self.expiry.push(Reverse((expires_at, zone.clone())));
+        }
+        let entry = InfraEntry {
+            zone: zone.clone(),
+            ns_names,
+            addrs,
+            ttl,
+            expires_at,
+            source,
+            credit,
+            ds,
+            last_parent_contact,
+            gap_recorded: false,
+            counted,
+        };
+        if counted {
+            self.fresh_zones += 1;
+            self.fresh_records += entry.record_count();
+        }
+        if let Some(old) = self.entries.insert(zone, entry) {
+            if old.counted {
+                self.fresh_zones -= 1;
+                self.fresh_records -= old.record_count();
+            }
+        }
         true
+    }
+
+    /// Retires the counter contribution of every entry whose expiry is at
+    /// or before `now`. Entries themselves stay in the map as tombstones;
+    /// cost is O(log n) per expired entry rather than a full scan.
+    fn advance_expiry(&mut self, now: SimTime) {
+        while self
+            .expiry
+            .peek()
+            .is_some_and(|Reverse((at, _))| *at <= now)
+        {
+            let Reverse((at, zone)) = self.expiry.pop().expect("peeked");
+            if let Some(entry) = self.entries.get_mut(&zone) {
+                // A refreshed entry has a different expiry: the stale pair
+                // is skipped and its newer pair governs the uncount.
+                if entry.counted && entry.expires_at == at {
+                    entry.counted = false;
+                    self.fresh_zones -= 1;
+                    self.fresh_records -= entry.record_count();
+                }
+            }
+        }
     }
 
     /// Notes a demand use of `zone` at `now`: records a pending gap sample
@@ -416,23 +474,26 @@ impl InfraCache {
             for (ns, addr) in pairs {
                 if entry.ns_names.contains(ns) && !entry.addrs.iter().any(|(n, _)| n == ns) {
                     entry.addrs.push((ns.clone(), *addr));
+                    if entry.counted {
+                        self.fresh_records += 1;
+                    }
                 }
             }
         }
     }
 
-    /// Number of zones with fresh entries at `now`.
-    pub fn fresh_zone_count(&self, now: SimTime) -> usize {
-        self.entries.values().filter(|e| e.is_fresh(now)).count()
+    /// Number of zones with fresh entries at `now` (maintained counter
+    /// behind the expiry heap; `now` must not move backwards).
+    pub fn fresh_zone_count(&mut self, now: SimTime) -> usize {
+        self.advance_expiry(now);
+        self.fresh_zones
     }
 
-    /// Total infrastructure records across fresh entries at `now`.
-    pub fn fresh_record_count(&self, now: SimTime) -> usize {
-        self.entries
-            .values()
-            .filter(|e| e.is_fresh(now))
-            .map(InfraEntry::record_count)
-            .sum()
+    /// Total infrastructure records across fresh entries at `now`
+    /// (maintained counter; `now` must not move backwards).
+    pub fn fresh_record_count(&mut self, now: SimTime) -> usize {
+        self.advance_expiry(now);
+        self.fresh_records
     }
 
     /// Total entries including tombstones.
@@ -448,6 +509,11 @@ impl InfraCache {
     /// Drops tombstones that expired more than `retention` before `now`
     /// and have already been sampled. Returns how many were dropped.
     pub fn purge_tombstones(&mut self, now: SimTime, retention: SimDuration) -> usize {
+        // Retire due counter contributions first so every entry this scan
+        // drops is already uncounted (dropped entries are stale by
+        // definition). Their leftover heap pairs pop onto missing map
+        // entries later and are skipped.
+        self.advance_expiry(now);
         let before = self.entries.len();
         self.entries
             .retain(|_, e| e.is_fresh(now) || !e.gap_recorded || now - e.expires_at <= retention);

@@ -56,7 +56,7 @@ mod resolve;
 mod retry;
 mod upstream;
 
-pub use cache::{CacheEntry, Credibility, RecordCache};
+pub use cache::{CacheEntry, Credibility, NegativeKind, RecordCache};
 pub use config::{ResolverConfig, RootHints};
 pub use dnssec::SecureStatus;
 pub use infra::{GapSample, InfraCache, InfraEntry, InfraSource};

@@ -220,8 +220,10 @@ impl CachingServer {
         attempted
     }
 
-    /// Point-in-time cache occupancy (Figure 12's series).
-    pub fn occupancy(&self, now: SimTime) -> OccupancySample {
+    /// Point-in-time cache occupancy (Figure 12's series). Takes `&mut`
+    /// because sampling advances the caches' expiry heaps; `now` must not
+    /// move backwards across calls.
+    pub fn occupancy(&mut self, now: SimTime) -> OccupancySample {
         OccupancySample {
             at: now,
             zones: self.infra.fresh_zone_count(now),

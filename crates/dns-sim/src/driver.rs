@@ -196,6 +196,12 @@ impl Simulation {
         &self.cs
     }
 
+    /// Mutable access to the caching server (occupancy sampling advances
+    /// cache expiry heaps, so it needs `&mut`).
+    pub fn cs_mut(&mut self) -> &mut CachingServer {
+        &mut self.cs
+    }
+
     /// The simulated network.
     pub fn net(&self) -> &SimNet {
         &self.net

@@ -485,7 +485,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             let warm_processed = warm.processed() as u64;
             let mut queries = warm_processed;
             let mut events = event_count(&warm.metrics());
-            let mut peak = warm.cs().occupancy(*start).total_records() as u64;
+            let mut peak = warm.cs_mut().occupancy(*start).total_records() as u64;
             for &duration in durations {
                 let mut sim = warm.fork();
                 sim.set_attack(AttackScenario::root_and_tlds(*start, duration).compile(universe));
@@ -495,7 +495,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
                 let window = sim.metrics() - before;
                 queries += sim.processed() as u64 - warm_processed;
                 events += event_count(&window);
-                peak = peak.max(sim.cs().occupancy(end).total_records() as u64);
+                peak = peak.max(sim.cs_mut().occupancy(end).total_records() as u64);
                 attacks.push(AttackOutcome {
                     scheme: unit.scheme.label(),
                     trace: unit.trace.name.clone(),
@@ -540,7 +540,8 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             );
             sim.run_to_end();
             let metrics = sim.metrics();
-            let peak = sim.cs().occupancy(sim.now()).total_records() as u64;
+            let now = sim.now();
+            let peak = sim.cs_mut().occupancy(now).total_records() as u64;
             let queries = sim.processed() as u64;
             gaps = Some(GapOutcome {
                 scheme: unit.scheme.label(),

@@ -333,7 +333,7 @@ impl Universe {
         // harmless (the experiments only check resolvability).
         let mut h: u32 = 0x811c_9dc5;
         for label in name.labels() {
-            for &b in label.as_bytes() {
+            for &b in label {
                 h ^= u32::from(b);
                 h = h.wrapping_mul(0x0100_0193);
             }

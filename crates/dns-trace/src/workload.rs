@@ -275,8 +275,8 @@ mod tests {
                 q.question
                     .name
                     .labels()
-                    .first()
-                    .is_some_and(|l| l.as_bytes().starts_with(b"nx"))
+                    .next()
+                    .is_some_and(|l| l.starts_with(b"nx"))
             })
             .count();
         assert!((600..=1_400).contains(&mx), "mx {mx}");
