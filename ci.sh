@@ -43,9 +43,18 @@ smoke() {
     echo "== smoke: netd playground under 10% injected loss =="
     # Boots the loopback internet, resolves through the retry policy with
     # deterministic 10% packet loss, then through a root/TLD blackout;
-    # the binary exits non-zero if any scripted resolution deviates.
+    # the binary exits non-zero if any scripted resolution deviates. The
+    # --trace flag exercises the per-query explain path, and the script
+    # ends by fetching the CHAOS TXT metrics snapshot over the wire.
     DNS_PLAYGROUND_LOSS=0.1 DNS_PLAYGROUND_SEED=7 \
-        cargo run --release -p dns-netd --bin dns-playground --offline
+        cargo run --release -p dns-netd --bin dns-playground --offline -- --trace
+
+    echo "== smoke: observability exposition =="
+    # The live exposition integration test: worker pool on loopback,
+    # queries including a blackout-induced SERVFAIL, the CHAOS TXT
+    # snapshot reconciled against the daemon's own counters, and the
+    # Prometheus text rendering validated by the dns-obs checker.
+    cargo test --release -q --offline -p dns-netd --test obs
 
     echo "smoke OK"
 }

@@ -137,6 +137,12 @@ impl Question {
             class: RecordClass::In,
         }
     }
+
+    /// Creates a question in an explicit class (e.g. `CHAOS` for the
+    /// `version.bind.`/`metrics.bind.` convention).
+    pub fn with_class(name: Name, rtype: RecordType, class: RecordClass) -> Self {
+        Question { name, rtype, class }
+    }
 }
 
 impl fmt::Display for Question {

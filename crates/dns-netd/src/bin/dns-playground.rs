@@ -15,9 +15,9 @@
 //! Exits non-zero when any of the scripted resolutions deviates from its
 //! expected outcome, so CI can gate on it.
 
-use dns_core::{Rcode, RecordType};
+use dns_core::{Question, Rcode, RecordClass, RecordType};
 use dns_netd::playground;
-use dns_netd::{client, FaultInjector, Resolved, UdpUpstream};
+use dns_netd::{client, FaultInjector, Resolved, UdpUpstream, CHAOS_METRICS_NAME};
 use dns_resolver::{CachingServer, ResolverConfig, RetryPolicy};
 use std::time::Duration;
 
@@ -38,6 +38,7 @@ fn env_u64(key: &str, default: u64) -> u64 {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let loss = env_f64("DNS_PLAYGROUND_LOSS", 0.0);
     let seed = env_u64("DNS_PLAYGROUND_SEED", 7);
+    let trace = std::env::args().any(|a| a == "--trace");
 
     println!("booting the playground internet…");
     let net = playground::boot()?;
@@ -57,6 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cs = CachingServer::new(config, net.hints.clone());
     let resolver = Resolved::spawn(cs, upstream, "127.0.0.1:0")?;
     println!("  resolver on {} ({})", resolver.addr(), config.retry);
+    if trace {
+        resolver.enable_trace();
+        println!("  per-query tracing ON (--trace)");
+    }
     println!();
 
     let mut failures = 0u32;
@@ -69,6 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if resp.header.rcode != expect {
                     println!(";; UNEXPECTED: wanted {expect}");
                     failures += 1;
+                }
+                if trace {
+                    if let Some(explain) = resolver.explain_last() {
+                        print!("{explain}");
+                    }
                 }
             }
             Err(e) => {
@@ -98,6 +108,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A name in a never-visited branch now fails (SERVFAIL) — after the
     // retry policy exhausts its budget against the blackout.
     dig("www.never-seen.com", RecordType::A, Rcode::ServFail);
+
+    // The daemon's self-reported metrics, over the wire: the CHAOS-class
+    // `TXT metrics.bind.` convention (as `dig CH TXT metrics.bind` would).
+    let chaos = Question::with_class(
+        CHAOS_METRICS_NAME.parse().expect("valid name"),
+        RecordType::Txt,
+        RecordClass::Ch,
+    );
+    match client::query_question(resolver.addr(), chaos, Duration::from_secs(5)) {
+        Ok(resp) => {
+            println!("$ dig @{} CH TXT {CHAOS_METRICS_NAME}", resolver.addr());
+            print!("{}", client::render(&resp));
+            if resp.answers.is_empty() {
+                println!(";; UNEXPECTED: empty metrics snapshot");
+                failures += 1;
+            }
+        }
+        Err(e) => {
+            println!("$ dig CH TXT {CHAOS_METRICS_NAME} → error: {e}");
+            failures += 1;
+        }
+    }
+    println!();
 
     println!("resolver metrics: {}", resolver.metrics());
     println!("daemon stats: {}", resolver.stats());

@@ -18,11 +18,26 @@ pub fn query(
     rtype: RecordType,
     timeout: Duration,
 ) -> io::Result<Message> {
+    query_question(server, Question::new(name.clone(), rtype), timeout)
+}
+
+/// Like [`query`], but takes a fully-formed [`Question`] so callers can
+/// set a non-IN class (e.g. `CHAOS TXT metrics.bind.` for a metrics
+/// snapshot).
+///
+/// # Errors
+///
+/// Same contract as [`query`].
+pub fn query_question(
+    server: SocketAddr,
+    question: Question,
+    timeout: Duration,
+) -> io::Result<Message> {
     let socket = UdpSocket::bind(("127.0.0.1", 0))?;
     socket.set_read_timeout(Some(timeout))?;
     // A process-unique id derived from the ephemeral port.
     let id = socket.local_addr()?.port();
-    let msg = Message::query(id, Question::new(name.clone(), rtype));
+    let msg = Message::query(id, question);
     let bytes = wire::encode(&msg).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     socket.send_to(&bytes, server)?;
 

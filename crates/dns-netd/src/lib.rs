@@ -59,7 +59,7 @@ mod upstream;
 
 pub use authd::Authd;
 pub use fault::{FaultHandle, FaultInjector, FaultStats};
-pub use resolved::{DaemonStats, Resolved};
+pub use resolved::{DaemonStats, Resolved, CHAOS_METRICS_NAME};
 pub use upstream::UdpUpstream;
 
 /// The wall clock mapped into the simulator's time vocabulary: seconds

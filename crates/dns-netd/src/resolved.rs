@@ -2,8 +2,9 @@
 //! socket, resolving through real upstream sockets in wall-clock time.
 
 use crate::wall_clock;
-use dns_core::{wire, Message, Rcode};
-use dns_resolver::{CachingServer, Outcome, Upstream};
+use dns_core::{wire, Message, RData, Rcode, Record, RecordClass, RecordType, Ttl};
+use dns_obs::{HistId, Registry};
+use dns_resolver::{CachingServer, Outcome, ResolverMetrics, Upstream};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
@@ -11,7 +12,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Owner name answered with a metrics snapshot for `CHAOS TXT` queries
+/// (the `version.bind.` convention, for metrics).
+pub const CHAOS_METRICS_NAME: &str = "metrics.bind";
 
 /// Daemon-side counters: what happened between the socket and the
 /// resolver (the resolver's own counters live in
@@ -53,6 +58,38 @@ impl Health {
     }
 }
 
+/// Daemon-side observability shared by the worker pool: wall-clock
+/// latency per resolution (the resolver's own histogram models
+/// *virtual* latency; this one measures real elapsed time including
+/// cache-lock contention).
+#[derive(Debug)]
+struct DaemonObs {
+    registry: Registry,
+    wall_latency: HistId,
+}
+
+impl DaemonObs {
+    fn new() -> Self {
+        let mut registry = Registry::new();
+        let wall_latency = registry.histogram(
+            "wall_latency_ms",
+            "Wall-clock resolution latency per client query in milliseconds",
+        );
+        DaemonObs {
+            registry,
+            wall_latency,
+        }
+    }
+
+    fn observe_wall(&mut self, ms: u64) {
+        self.registry.observe(self.wall_latency, ms);
+    }
+
+    fn wall_histogram(&self) -> &dns_obs::LogHistogram {
+        self.registry.hist(self.wall_latency)
+    }
+}
+
 /// A running recursive resolver daemon.
 ///
 /// Clients send standard DNS queries; the daemon resolves them through
@@ -79,6 +116,7 @@ pub struct Resolved {
     truncated: Arc<AtomicU64>,
     health: Arc<Health>,
     cs: Arc<Mutex<CachingServer>>,
+    obs: Arc<Mutex<DaemonObs>>,
 }
 
 impl Resolved {
@@ -130,6 +168,7 @@ impl Resolved {
         let truncated = Arc::new(AtomicU64::new(0));
         let health = Arc::new(Health::default());
         let cs = Arc::new(Mutex::new(cs));
+        let obs = Arc::new(Mutex::new(DaemonObs::new()));
 
         let mut workers = Vec::with_capacity(upstreams.len());
         for (i, upstream) in upstreams.into_iter().enumerate() {
@@ -140,6 +179,7 @@ impl Resolved {
             let truncated = Arc::clone(&truncated);
             let health = Arc::clone(&health);
             let cs = Arc::clone(&cs);
+            let obs = Arc::clone(&obs);
             let handle = std::thread::Builder::new()
                 .name(format!("resolved-{addr}-w{i}"))
                 .spawn(move || {
@@ -152,6 +192,7 @@ impl Resolved {
                         &truncated,
                         &health,
                         &cs,
+                        &obs,
                     )
                 })
                 .expect("spawn resolved worker");
@@ -166,6 +207,7 @@ impl Resolved {
             truncated,
             health,
             cs,
+            obs,
         })
     }
 
@@ -179,6 +221,7 @@ impl Resolved {
         truncated: &AtomicU64,
         health: &Health,
         cs: &Mutex<CachingServer>,
+        obs: &Mutex<DaemonObs>,
     ) {
         let mut buf = [0u8; wire::MAX_MESSAGE_LEN];
         while !stop.load(Ordering::Relaxed) {
@@ -200,7 +243,12 @@ impl Resolved {
             let Ok(query) = wire::decode(&buf[..len]) else {
                 continue;
             };
-            let response = Self::answer(cs, &mut upstream, &query);
+            let stats = DaemonStats {
+                served: served.load(Ordering::Relaxed),
+                send_errors: send_errors.load(Ordering::Relaxed),
+                truncated_responses: truncated.load(Ordering::Relaxed),
+            };
+            let response = Self::answer(cs, &mut upstream, obs, stats, &query);
             let Some(bytes) = encode_or_truncate(&query, &response, truncated) else {
                 continue; // not even the header+question fits — drop
             };
@@ -219,6 +267,8 @@ impl Resolved {
     fn answer<U: Upstream>(
         cs: &Mutex<CachingServer>,
         upstream: &mut U,
+        obs: &Mutex<DaemonObs>,
+        stats: DaemonStats,
         query: &Message,
     ) -> Message {
         let mut resp = Message::response_to(query);
@@ -227,8 +277,14 @@ impl Resolved {
             resp.header.rcode = Rcode::FormErr;
             return resp;
         };
+        if question.class == RecordClass::Ch {
+            return Self::answer_chaos(cs, obs, stats, resp, &question);
+        }
+        let start = Instant::now();
         let now = wall_clock();
         let outcome = cs.lock().unwrap().resolve(&question, now, upstream);
+        let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        obs.lock().unwrap().observe_wall(wall_ms);
         match outcome {
             Outcome::Answer { records, .. } => {
                 resp.answers = records;
@@ -236,6 +292,37 @@ impl Resolved {
             Outcome::NxDomain { .. } => resp.header.rcode = Rcode::NxDomain,
             Outcome::NoData { .. } => {}
             Outcome::Fail => resp.header.rcode = Rcode::ServFail,
+        }
+        resp
+    }
+
+    /// Answers `CHAOS`-class queries: `TXT metrics.bind.` dumps the
+    /// daemon's metrics snapshot (one TXT string per metric line, the
+    /// `version.bind.` convention); everything else is REFUSED.
+    fn answer_chaos(
+        cs: &Mutex<CachingServer>,
+        obs: &Mutex<DaemonObs>,
+        stats: DaemonStats,
+        mut resp: Message,
+        question: &dns_core::Question,
+    ) -> Message {
+        let metrics_name: dns_core::Name = CHAOS_METRICS_NAME.parse().expect("static name");
+        if question.rtype != RecordType::Txt || question.name != metrics_name {
+            resp.header.rcode = Rcode::Refused;
+            return resp;
+        }
+        let snapshot = {
+            let cs = cs.lock().unwrap();
+            let obs = obs.lock().unwrap();
+            metrics_registry(stats, cs.metrics(), cs.latency_histogram(), &obs)
+        };
+        for line in snapshot.render_compact() {
+            resp.answers.push(Record::with_class(
+                question.name.clone(),
+                RecordClass::Ch,
+                Ttl::ZERO,
+                RData::Txt(line),
+            ));
         }
         resp
     }
@@ -280,6 +367,33 @@ impl Resolved {
         *self.cs.lock().unwrap().metrics()
     }
 
+    /// Prometheus-text snapshot of every daemon and resolver metric —
+    /// the same registry the `CHAOS TXT metrics.bind.` answer renders in
+    /// compact form.
+    pub fn prometheus(&self) -> String {
+        let stats = self.stats();
+        let cs = self.cs.lock().unwrap();
+        let obs = self.obs.lock().unwrap();
+        metrics_registry(stats, cs.metrics(), cs.latency_histogram(), &obs).render_prometheus()
+    }
+
+    /// Turns on per-query tracing in the resolver; the most recent
+    /// query's trace is readable via [`Resolved::explain_last`].
+    pub fn enable_trace(&self) {
+        self.cs.lock().unwrap().obs_mut().enable_trace();
+    }
+
+    /// Renders the most recent resolution's trace, when tracing is on
+    /// and at least one query has been resolved.
+    pub fn explain_last(&self) -> Option<String> {
+        let cs = self.cs.lock().unwrap();
+        let trace = cs.obs().trace()?;
+        if trace.is_empty() {
+            return None;
+        }
+        Some(trace.explain())
+    }
+
     /// Stops the daemon and joins every worker thread.
     pub fn stop(mut self) {
         self.shutdown();
@@ -310,6 +424,116 @@ impl fmt::Display for Resolved {
             if self.healthy() { "" } else { ", UNHEALTHY" }
         )
     }
+}
+
+/// Builds a one-shot [`Registry`] holding the daemon's full metric
+/// surface: socket-level counters, every resolver counter, the modelled
+/// (virtual-ms) resolve-latency histogram and the measured wall-clock
+/// latency histogram. Rendered compact for `CHAOS TXT` answers and as
+/// Prometheus text for [`Resolved::prometheus`].
+fn metrics_registry(
+    stats: DaemonStats,
+    metrics: &ResolverMetrics,
+    resolve_latency: &dns_obs::LogHistogram,
+    obs: &DaemonObs,
+) -> Registry {
+    let mut reg = Registry::new();
+    let mut set = |name: &'static str, help: &'static str, value: u64| {
+        let id = reg.counter(name, help);
+        reg.set(id, value);
+    };
+    set(
+        "daemon_served",
+        "Responses sent back to clients",
+        stats.served,
+    );
+    set(
+        "daemon_send_errors",
+        "Responses lost to socket send errors",
+        stats.send_errors,
+    );
+    set(
+        "daemon_truncated_responses",
+        "Oversized responses downgraded to TC-bit replies",
+        stats.truncated_responses,
+    );
+    set(
+        "resolver_queries_in",
+        "Client queries resolved",
+        metrics.queries_in,
+    );
+    set(
+        "resolver_failed_in",
+        "Client queries that ended in failure",
+        metrics.failed_in,
+    );
+    set(
+        "resolver_cache_hits",
+        "Queries answered from cache",
+        metrics.cache_hits,
+    );
+    set(
+        "resolver_queries_out",
+        "Upstream queries sent",
+        metrics.queries_out,
+    );
+    set(
+        "resolver_failed_out",
+        "Upstream queries that got no usable response",
+        metrics.failed_out,
+    );
+    set("resolver_referrals", "Referrals chased", metrics.referrals);
+    set(
+        "resolver_refreshes",
+        "Proactive cache refreshes",
+        metrics.refreshes,
+    );
+    set(
+        "resolver_renewals_sent",
+        "Renewal probes sent",
+        metrics.renewals_sent,
+    );
+    set(
+        "resolver_renewals_ok",
+        "Renewal probes that succeeded",
+        metrics.renewals_ok,
+    );
+    set(
+        "resolver_negative_answers",
+        "NXDOMAIN/NODATA answers",
+        metrics.negative_answers,
+    );
+    set(
+        "resolver_retries",
+        "Upstream retransmissions",
+        metrics.retries,
+    );
+    set(
+        "resolver_backoff_wait_ms",
+        "Total virtual milliseconds spent in retry backoff",
+        metrics.backoff_wait_ms,
+    );
+    set(
+        "resolver_deadline_exhausted",
+        "Exchanges abandoned after the retry deadline",
+        metrics.deadline_exhausted,
+    );
+    set(
+        "resolver_mismatched_responses",
+        "Responses dropped for ID/question mismatch",
+        metrics.mismatched_responses,
+    );
+    let resolve_id = reg.histogram(
+        "resolve_latency_ms",
+        "Modelled resolution latency per query in virtual milliseconds",
+    );
+    reg.hist_mut(resolve_id).merge(resolve_latency);
+    let wall_id = reg.histogram(
+        "wall_latency_ms",
+        "Wall-clock resolution latency per client query in milliseconds",
+    );
+    reg.hist_mut(wall_id).merge(obs.wall_histogram());
+    reg
 }
 
 /// Encodes `response`; when it exceeds the wire limit (oversized answer

@@ -1,0 +1,193 @@
+//! Observability exposition tests: the `CHAOS TXT metrics.bind.`
+//! snapshot served over real UDP must reconcile with the daemon's own
+//! in-process counters, and the Prometheus rendering must be valid
+//! exposition text.
+
+use dns_core::{Question, Rcode, RecordClass, RecordType, ResponseKind};
+use dns_netd::{client, playground, FaultInjector, Resolved, UdpUpstream, CHAOS_METRICS_NAME};
+use dns_resolver::{CachingServer, ResolverConfig, RetryPolicy};
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn client_timeout() -> Duration {
+    Duration::from_secs(5)
+}
+
+/// Small backoffs so the blackout-induced SERVFAIL arrives quickly.
+fn test_retry() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 3,
+        initial_backoff_ms: 10,
+        backoff_multiplier: 2,
+        max_backoff_ms: 80,
+        jitter_pct: 50,
+        deadline_ms: 500,
+    }
+}
+
+/// Parses the compact `name=value` / `name count=.. sum=.. p50=..`
+/// TXT lines into per-metric key→value maps.
+fn parse_snapshot(lines: &[String]) -> HashMap<String, HashMap<String, u64>> {
+    let mut out = HashMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once('=') {
+            if !name.contains(' ') {
+                // Counter: `name=value`.
+                let mut fields = HashMap::new();
+                fields.insert("value".to_string(), value.parse().unwrap());
+                out.insert(name.to_string(), fields);
+                continue;
+            }
+        }
+        // Histogram: `name count=N sum=S p50=A p90=B p99=C`.
+        let mut parts = line.split_whitespace();
+        let name = parts.next().unwrap().to_string();
+        let fields = parts
+            .map(|kv| {
+                let (k, v) = kv.split_once('=').unwrap();
+                (k.to_string(), v.parse().unwrap())
+            })
+            .collect();
+        out.insert(name, fields);
+    }
+    out
+}
+
+#[test]
+fn chaos_snapshot_reconciles_with_daemon_and_resolver_counters() {
+    let net = playground::boot().unwrap();
+    let mut handles = Vec::new();
+    let upstreams: Vec<_> = (0..2)
+        .map(|_| {
+            let udp = UdpUpstream::with_route(Duration::from_millis(300), net.route_fn()).unwrap();
+            let (upstream, handle) = FaultInjector::new(udp, 11);
+            handles.push(handle);
+            upstream
+        })
+        .collect();
+    let config = ResolverConfig::with_refresh()
+        .with_retry(test_retry())
+        .with_seed(3);
+    let cs = CachingServer::new(config, net.hints.clone());
+    let resolver = Resolved::spawn_pool(cs, upstreams, "127.0.0.1:0").unwrap();
+    resolver.enable_trace();
+
+    // A full recursive resolution, a negative answer, then a
+    // blackout-induced SERVFAIL — three resolutions with three distinct
+    // outcomes feeding the metric surface.
+    let resp = client::query(
+        resolver.addr(),
+        &"www.ucla.edu".parse().unwrap(),
+        RecordType::A,
+        client_timeout(),
+    )
+    .unwrap();
+    assert_eq!(resp.kind(), ResponseKind::Answer);
+
+    let resp = client::query(
+        resolver.addr(),
+        &"nowhere.ucla.edu".parse().unwrap(),
+        RecordType::A,
+        client_timeout(),
+    )
+    .unwrap();
+    assert_eq!(resp.header.rcode, Rcode::NxDomain);
+
+    for handle in &handles {
+        handle.blackout(&net.top_level_ips(), Duration::from_secs(3600));
+    }
+    let resp = client::query(
+        resolver.addr(),
+        &"www.never-seen.com".parse().unwrap(),
+        RecordType::A,
+        client_timeout(),
+    )
+    .unwrap();
+    assert_eq!(resp.header.rcode, Rcode::ServFail, "blackout must SERVFAIL");
+
+    // Tracing was on: the last resolution must be explainable and end in
+    // the failure outcome the client saw.
+    let explain = resolver.explain_last().expect("trace for last query");
+    assert!(explain.contains("query www.never-seen.com. A"), "{explain}");
+    assert!(explain.contains("outcome Fail"), "{explain}");
+
+    // Fetch the CHAOS TXT snapshot over the wire.
+    let chaos = Question::with_class(
+        CHAOS_METRICS_NAME.parse().unwrap(),
+        RecordType::Txt,
+        RecordClass::Ch,
+    );
+    let resp = client::query_question(resolver.addr(), chaos, client_timeout()).unwrap();
+    assert_eq!(resp.header.rcode, Rcode::NoError);
+    let lines: Vec<String> = resp
+        .answers
+        .iter()
+        .map(|r| {
+            assert_eq!(r.class(), RecordClass::Ch);
+            match r.rdata() {
+                dns_core::RData::Txt(s) => s.clone(),
+                other => panic!("expected TXT, got {other:?}"),
+            }
+        })
+        .collect();
+    let snapshot = parse_snapshot(&lines);
+
+    // Reconcile with the daemon's in-process view. The snapshot was
+    // taken before the CHAOS response itself was sent, so it covers
+    // exactly the three IN resolutions; the daemon counts the CHAOS
+    // reply only after its send completes (poll briefly — the client can
+    // see the reply before the worker's post-send increment lands).
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while resolver.stats().served < 4 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = resolver.stats();
+    let metrics = resolver.metrics();
+    assert_eq!(snapshot["daemon_served"]["value"], 3);
+    assert_eq!(stats.served, 4);
+    assert_eq!(snapshot["daemon_send_errors"]["value"], stats.send_errors);
+    assert_eq!(snapshot["resolver_queries_in"]["value"], metrics.queries_in);
+    assert_eq!(snapshot["resolver_failed_in"]["value"], metrics.failed_in);
+    assert_eq!(snapshot["resolver_retries"]["value"], metrics.retries);
+    assert!(
+        metrics.retries >= 1,
+        "blackout retries must be visible: {metrics}"
+    );
+
+    // Both latency histograms saw exactly one observation per
+    // resolution; CHAOS queries themselves are not counted.
+    assert_eq!(snapshot["resolve_latency_ms"]["count"], metrics.queries_in);
+    assert_eq!(snapshot["wall_latency_ms"]["count"], metrics.queries_in);
+    // The SERVFAIL burned the whole retry deadline in wall time, so the
+    // wall p99 cannot be below the virtual cache-hit floor.
+    assert!(snapshot["resolve_latency_ms"]["p99"] >= snapshot["resolve_latency_ms"]["p50"]);
+
+    // Non-TXT and unknown CHAOS names are refused, not resolved.
+    for question in [
+        Question::with_class(
+            CHAOS_METRICS_NAME.parse().unwrap(),
+            RecordType::A,
+            RecordClass::Ch,
+        ),
+        Question::with_class(
+            "version.bind".parse().unwrap(),
+            RecordType::Txt,
+            RecordClass::Ch,
+        ),
+    ] {
+        let resp = client::query_question(resolver.addr(), question, client_timeout()).unwrap();
+        assert_eq!(resp.header.rcode, Rcode::Refused);
+        assert!(resp.answers.is_empty());
+    }
+
+    // The Prometheus rendering of the same registry is valid exposition
+    // text covering every counter plus both histograms.
+    let body = resolver.prometheus();
+    let series = dns_obs::validate_prometheus_text(&body).expect("valid exposition text");
+    assert!(series >= 17, "expected full metric surface, got {series}");
+    assert!(body.contains("resolver_queries_in"));
+    assert!(body.contains("wall_latency_ms_bucket"));
+
+    resolver.stop();
+    net.stop();
+}

@@ -1,0 +1,350 @@
+//! A fixed-bucket log-scale histogram for latency and occupancy samples.
+//!
+//! The bucket layout is HDR-style: values `0..8` get one exact bucket
+//! each, and every further power-of-two octave is split into 8 linear
+//! sub-buckets, so the relative bucket width never exceeds 12.5% while
+//! the whole `u64` range stays covered by a fixed 496-slot array. The
+//! array lives inline — recording, merging and quantile queries never
+//! allocate, which keeps the histogram safe to embed in the resolver's
+//! hot path (the PR-3 zero-allocation guarantees extend to it).
+
+use std::fmt;
+
+/// Linear sub-buckets per octave, as a power of two.
+const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per octave (8).
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: 8 exact buckets for `0..8`, then 8 sub-buckets
+/// for each of the 61 octaves `2^3..=2^63`.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB; // 496
+
+/// A log-scale histogram over `u64` samples with a fixed inline bucket
+/// array; see the module docs for the layout.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    /// Saturating sum of all recorded samples.
+    sum: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// The bucket index covering `v`.
+fn index_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = octave - SUB_BITS;
+    let sub = (v >> shift) as usize - SUB;
+    SUB + (octave - SUB_BITS) as usize * SUB + sub
+}
+
+/// The smallest value mapping to bucket `i`.
+fn lower_bound(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let k = i - SUB;
+    let octave = (k / SUB) as u32 + SUB_BITS;
+    let sub = (k % SUB) as u64;
+    (SUB as u64 + sub) << (octave - SUB_BITS)
+}
+
+/// The largest value mapping to bucket `i`.
+fn upper_bound(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let k = i - SUB;
+    let octave = (k / SUB) as u32 + SUB_BITS;
+    let width = 1u64 << (octave - SUB_BITS);
+    lower_bound(i) + (width - 1)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample. Allocation-free.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[index_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The bucket index a value falls into (exposed for tests and the
+    /// property suite's error-bound checks).
+    pub fn bucket_index(v: u64) -> usize {
+        index_of(v)
+    }
+
+    /// `[low, high]` value range of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= LogHistogram::bucket_count()`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        assert!(i < BUCKETS, "bucket index out of range");
+        (lower_bound(i), upper_bound(i))
+    }
+
+    /// Number of buckets in the fixed layout.
+    pub const fn bucket_count() -> usize {
+        BUCKETS
+    }
+
+    /// Nearest-rank quantile, `p` in `[0, 100]`: the upper bound of the
+    /// bucket holding the rank-`⌈p/100·n⌉` sample (the same rank rule as
+    /// `dns_stats::Summary::percentile`, quantised to one bucket).
+    /// Allocation-free. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(upper_bound(i));
+            }
+        }
+        unreachable!("cumulative count reaches self.count");
+    }
+
+    /// p50 shorthand; 0 when empty.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0).unwrap_or(0)
+    }
+
+    /// p90 shorthand; 0 when empty.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0).unwrap_or(0)
+    }
+
+    /// p99 shorthand; 0 when empty.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0).unwrap_or(0)
+    }
+
+    /// Largest recorded sample, quantised to its bucket's upper bound;
+    /// `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.buckets.iter().rposition(|&c| c > 0).map(upper_bound)
+    }
+
+    /// Adds every bucket of `other` into `self`. Merging is associative
+    /// and commutative, so per-thread histograms can be combined in any
+    /// order with identical results. Allocation-free.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Per-bucket saturating difference `self - earlier`: the samples
+    /// recorded in a window, given snapshots at its ends. Mirrors the
+    /// saturating semantics of `ResolverMetrics` subtraction, so a
+    /// counter reset between snapshots yields zeros, not wrap-around.
+    pub fn diff(&self, earlier: &LogHistogram) -> LogHistogram {
+        let mut out = LogHistogram::new();
+        for (o, (a, b)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
+    /// `(low, high, count)` for every non-empty bucket, in value order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (lower_bound(i), upper_bound(i), c))
+    }
+}
+
+impl fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("p50", &self.p50())
+            .field("p90", &self.p90())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} max={}",
+            self.count,
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max().unwrap_or(0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        for v in 0..8u64 {
+            assert_eq!(index_of(v), v as usize);
+            assert_eq!(LogHistogram::bucket_range(v as usize), (v, v));
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 28);
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every bucket's upper bound + 1 is the next bucket's lower bound.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(
+                upper_bound(i) + 1,
+                lower_bound(i + 1),
+                "gap between buckets {i} and {}",
+                i + 1
+            );
+        }
+        // Round trip: a bucket's bounds map back to the bucket.
+        for i in 0..BUCKETS {
+            assert_eq!(index_of(lower_bound(i)), i);
+            assert_eq!(index_of(upper_bound(i)), i);
+        }
+        assert_eq!(index_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_width_bounded() {
+        for i in SUB..BUCKETS {
+            let (lo, hi) = LogHistogram::bucket_range(i);
+            let width = (hi - lo) as f64 + 1.0;
+            assert!(
+                width / lo as f64 <= 1.0 / SUB as f64 + 1e-12,
+                "bucket {i} too wide: [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_quantise_to_buckets() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 3, 100, 1_000, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.percentile(50.0), Some(3));
+        let p99 = h.percentile(99.0).unwrap();
+        let (lo, hi) = LogHistogram::bucket_range(index_of(10_000));
+        assert!(p99 >= lo && p99 <= hi);
+        assert_eq!(h.max(), Some(hi));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_diff_roundtrip() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in [5u64, 17, 900] {
+            a.record(v);
+        }
+        for v in [6u64, 17, 123_456] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 6);
+        assert_eq!(merged.diff(&b), a);
+        assert_eq!(merged.diff(&a), b);
+        // Diff against a *later* snapshot saturates to empty.
+        assert_eq!(a.diff(&merged).count(), 0);
+    }
+
+    #[test]
+    fn display_and_debug_are_compact() {
+        let mut h = LogHistogram::new();
+        h.record(40);
+        let dbg = format!("{h:?}");
+        assert!(dbg.contains("count: 1"), "{dbg}");
+        assert!(!dbg.contains("buckets"), "{dbg}");
+        assert!(format!("{h}").starts_with("n=1 "));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn out_of_range_percentile_panics() {
+        LogHistogram::new().percentile(101.0);
+    }
+}

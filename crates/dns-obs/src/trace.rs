@@ -1,0 +1,339 @@
+//! Structured per-query traces.
+//!
+//! A [`QueryTrace`] is a bounded ring buffer of typed [`TraceEvent`]s
+//! covering one resolution: cache probes, infrastructure lookups,
+//! upstream sends/retries/backoffs, referral chasing, renewals and the
+//! final outcome. The buffer is pre-allocated at construction; pushing
+//! events re-uses slots (`Name` values are refcounted, so cloning one
+//! into an event is a pointer bump, not an allocation — except the
+//! first time a slot is written). [`QueryTrace::explain`] renders the
+//! sequence as a numbered, human-readable transcript for debugging a
+//! single resolution.
+
+use dns_core::{Name, RecordType, ResponseKind, SimTime};
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// How a traced resolution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// A positive answer (possibly via a CNAME chain).
+    Answer,
+    /// Authenticated denial: the name does not exist.
+    NxDomain,
+    /// The name exists but holds no records of the queried type.
+    NoData,
+    /// Resolution failed (no usable infrastructure, all retries lost,
+    /// or upstream error).
+    Fail,
+}
+
+/// One step of a resolution, as recorded by the resolver's hooks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Resolution started for `qname`/`rtype` at virtual time `at`.
+    Query {
+        /// The queried name.
+        qname: Name,
+        /// The queried record type.
+        rtype: RecordType,
+        /// Virtual time the query arrived.
+        at: SimTime,
+    },
+    /// The positive cache answered directly.
+    CacheHit,
+    /// The negative cache answered (cached NXDOMAIN/NoData).
+    NegativeCacheHit,
+    /// Neither cache had the answer; a fetch begins.
+    CacheMiss,
+    /// Infrastructure lookup chose `zone` as the deepest usable ancestor.
+    InfraStart {
+        /// The zone whose servers will be asked first.
+        zone: Name,
+    },
+    /// No usable infrastructure records — resolution cannot proceed.
+    NoInfra,
+    /// A query datagram was sent to `server`.
+    UpstreamSend {
+        /// Target server address.
+        server: Ipv4Addr,
+    },
+    /// `server` did not answer within the per-try timeout.
+    UpstreamTimeout {
+        /// Target server address.
+        server: Ipv4Addr,
+    },
+    /// `server` answered, but the ID or question did not match.
+    UpstreamMismatch {
+        /// Target server address.
+        server: Ipv4Addr,
+    },
+    /// `server` answered usefully.
+    UpstreamResponse {
+        /// Responding server address.
+        server: Ipv4Addr,
+        /// How the resolver classified the response.
+        kind: ResponseKind,
+    },
+    /// All servers failed in retry round `round`; backing off.
+    Backoff {
+        /// Zero-based retry round that just failed.
+        round: u32,
+        /// Virtual milliseconds waited before the next round.
+        wait_ms: u64,
+    },
+    /// The retry budget ran out before any server answered.
+    DeadlineExhausted,
+    /// A referral moved the chase down to `child`.
+    Referral {
+        /// The child zone delegated to.
+        child: Name,
+    },
+    /// A background renewal for `zone`'s infrastructure completed.
+    Renewal {
+        /// The zone being renewed.
+        zone: Name,
+        /// Whether the renewal produced fresh records.
+        ok: bool,
+    },
+    /// The resolution finished.
+    Outcome {
+        /// Final classification.
+        outcome: TraceOutcome,
+        /// Whether the answer came straight from cache.
+        from_cache: bool,
+        /// Virtual milliseconds the resolution took.
+        latency_ms: u64,
+    },
+}
+
+impl TraceEvent {
+    fn render(&self, out: &mut String) {
+        match self {
+            TraceEvent::Query { qname, rtype, at } => {
+                let _ = write!(out, "query {qname} {rtype:?} at {at}");
+            }
+            TraceEvent::CacheHit => out.push_str("cache hit"),
+            TraceEvent::NegativeCacheHit => out.push_str("negative cache hit"),
+            TraceEvent::CacheMiss => out.push_str("cache miss"),
+            TraceEvent::InfraStart { zone } => {
+                let _ = write!(out, "infra: deepest usable ancestor {zone}");
+            }
+            TraceEvent::NoInfra => out.push_str("infra: no usable servers"),
+            TraceEvent::UpstreamSend { server } => {
+                let _ = write!(out, "send -> {server}");
+            }
+            TraceEvent::UpstreamTimeout { server } => {
+                let _ = write!(out, "timeout <- {server}");
+            }
+            TraceEvent::UpstreamMismatch { server } => {
+                let _ = write!(out, "mismatch <- {server}");
+            }
+            TraceEvent::UpstreamResponse { server, kind } => {
+                let _ = write!(out, "response <- {server}: {kind:?}");
+            }
+            TraceEvent::Backoff { round, wait_ms } => {
+                let _ = write!(out, "backoff after round {round}: wait {wait_ms}ms");
+            }
+            TraceEvent::DeadlineExhausted => out.push_str("deadline exhausted"),
+            TraceEvent::Referral { child } => {
+                let _ = write!(out, "referral -> {child}");
+            }
+            TraceEvent::Renewal { zone, ok } => {
+                let _ = write!(
+                    out,
+                    "renewal {zone}: {}",
+                    if *ok { "refreshed" } else { "failed" }
+                );
+            }
+            TraceEvent::Outcome {
+                outcome,
+                from_cache,
+                latency_ms,
+            } => {
+                let _ = write!(
+                    out,
+                    "outcome {outcome:?} ({}) in {latency_ms}ms",
+                    if *from_cache { "cache" } else { "fetched" }
+                );
+            }
+        }
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s for one resolution.
+///
+/// Capacity is fixed at construction; when it overflows, the *oldest*
+/// events are dropped and counted, so the tail of a pathological
+/// referral chase stays visible. [`QueryTrace::begin`] resets the
+/// buffer without releasing its storage, so a long-lived trace attached
+/// to a resolver re-uses the same allocation across queries.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    events: Vec<TraceEvent>,
+    start: usize,
+    dropped: u64,
+}
+
+/// Default event capacity: enough for a full-depth referral chase with
+/// retries at every level.
+pub const DEFAULT_TRACE_CAPACITY: usize = 128;
+
+impl Default for QueryTrace {
+    fn default() -> Self {
+        QueryTrace::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl QueryTrace {
+    /// A trace holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        QueryTrace {
+            events: Vec::with_capacity(capacity.max(1)),
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Clears the trace for a new resolution, retaining its storage.
+    pub fn begin(&mut self) {
+        self.events.clear();
+        self.start = 0;
+        self.dropped = 0;
+    }
+
+    /// Appends an event, evicting the oldest if the buffer is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.events.capacity() {
+            self.events.push(event);
+        } else {
+            self.events[self.start] = event;
+            self.start = (self.start + 1) % self.events.len();
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded since the last `begin`.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by ring overflow since the last `begin`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events in arrival order (oldest surviving first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = self.events.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+
+    /// Renders the trace as a numbered human-readable transcript:
+    ///
+    /// ```text
+    /// -- query trace (7 events) --
+    ///  1. query www.example. A at 0d00:00:00
+    ///  2. cache miss
+    ///  ...
+    /// ```
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "-- query trace ({} events) --", self.events.len());
+        if self.dropped > 0 {
+            let _ = writeln!(out, " ({} earlier events dropped)", self.dropped);
+        }
+        for (i, ev) in self.events().enumerate() {
+            let _ = write!(out, "{:2}. ", i + 1);
+            ev.render(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn explain_renders_in_order() {
+        let mut t = QueryTrace::with_capacity(8);
+        t.push(TraceEvent::Query {
+            qname: name("www.example"),
+            rtype: RecordType::A,
+            at: SimTime::ZERO,
+        });
+        t.push(TraceEvent::CacheMiss);
+        t.push(TraceEvent::InfraStart {
+            zone: name("example"),
+        });
+        t.push(TraceEvent::UpstreamSend {
+            server: Ipv4Addr::new(192, 0, 2, 1),
+        });
+        t.push(TraceEvent::UpstreamResponse {
+            server: Ipv4Addr::new(192, 0, 2, 1),
+            kind: ResponseKind::Answer,
+        });
+        t.push(TraceEvent::Outcome {
+            outcome: TraceOutcome::Answer,
+            from_cache: false,
+            latency_ms: 40,
+        });
+        let text = t.explain();
+        assert!(text.starts_with("-- query trace (6 events) --\n"), "{text}");
+        assert!(
+            text.contains(" 1. query www.example. A at 0d00:00:00"),
+            "{text}"
+        );
+        assert!(text.contains(" 4. send -> 192.0.2.1"), "{text}");
+        assert!(
+            text.contains(" 6. outcome Answer (fetched) in 40ms"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = QueryTrace::with_capacity(3);
+        for round in 0..5u32 {
+            t.push(TraceEvent::Backoff {
+                round,
+                wait_ms: 100,
+            });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let rounds: Vec<u32> = t
+            .events()
+            .map(|e| match e {
+                TraceEvent::Backoff { round, .. } => *round,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rounds, vec![2, 3, 4]);
+        assert!(t.explain().contains("(2 earlier events dropped)"));
+    }
+
+    #[test]
+    fn begin_resets_without_shrinking() {
+        let mut t = QueryTrace::with_capacity(4);
+        for _ in 0..6 {
+            t.push(TraceEvent::CacheHit);
+        }
+        let cap = t.events.capacity();
+        t.begin();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.events.capacity(), cap);
+    }
+}

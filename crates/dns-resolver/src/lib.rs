@@ -51,6 +51,7 @@ mod config;
 pub mod dnssec;
 mod infra;
 mod metrics;
+mod obs;
 mod policy;
 mod resolve;
 mod retry;
@@ -61,6 +62,7 @@ pub use config::{ResolverConfig, RootHints};
 pub use dnssec::SecureStatus;
 pub use infra::{GapSample, InfraCache, InfraEntry, InfraSource};
 pub use metrics::{OccupancySample, ResolverMetrics};
+pub use obs::{LatencyModel, ResolverObs};
 pub use policy::RenewalPolicy;
 pub use resolve::{CachingServer, Outcome};
 pub use retry::RetryPolicy;

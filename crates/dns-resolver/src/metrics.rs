@@ -200,6 +200,41 @@ mod tests {
     }
 
     #[test]
+    fn window_subtraction_saturates_across_reset() {
+        // A snapshot taken before a counter reset is *larger* than one
+        // taken after; the window delta must clamp to zero, not wrap to
+        // ~u64::MAX and poison downstream ratios.
+        let before_reset = ResolverMetrics {
+            queries_in: 100,
+            failed_in: 10,
+            queries_out: 250,
+            failed_out: 40,
+            retries: 7,
+            backoff_wait_ms: 12_000,
+            ..ResolverMetrics::default()
+        };
+        let after_reset = ResolverMetrics {
+            queries_in: 3,
+            queries_out: 5,
+            ..ResolverMetrics::default()
+        };
+        let window = after_reset - before_reset;
+        assert_eq!(window, ResolverMetrics::default());
+        assert_eq!(window.failed_in_ratio(), 0.0);
+
+        // Mixed regression: fields that did advance still subtract.
+        let partial = ResolverMetrics {
+            queries_in: 120,
+            failed_in: 2, // regressed
+            ..before_reset
+        };
+        let window = partial - before_reset;
+        assert_eq!(window.queries_in, 20);
+        assert_eq!(window.failed_in, 0);
+        assert_eq!(window.retries, 0);
+    }
+
+    #[test]
     fn occupancy_total() {
         let s = OccupancySample {
             at: SimTime::ZERO,

@@ -1,0 +1,167 @@
+//! Resolver-side observability: a latency histogram behind a
+//! [`Registry`] and an optional per-query [`QueryTrace`].
+//!
+//! The resolver is clock-free, so resolution latency is *modelled* in
+//! virtual milliseconds from the work a resolution performed: every
+//! answered upstream query costs one round trip, every unanswered one a
+//! full per-try timeout, and backoff waits count at face value (they
+//! are already in milliseconds). The model runs on counter deltas the
+//! resolver maintains anyway, so it is deterministic — the same trace
+//! replayed on any thread count yields bit-identical histograms — and
+//! allocation-free, preserving the hot-path guarantees from PR 3.
+//!
+//! Tracing is off by default; when off, the hooks in
+//! [`crate::CachingServer`] reduce to a branch on an `Option`.
+
+use dns_obs::{HistId, LogHistogram, QueryTrace, Registry};
+
+/// Cost model translating resolution work into virtual milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Round-trip time charged per answered upstream query.
+    pub rtt_ms: u64,
+    /// Timeout charged per unanswered (or mismatched) upstream query.
+    pub timeout_ms: u64,
+}
+
+impl Default for LatencyModel {
+    /// 40 ms per round trip (typical resolver→authority RTT), 1000 ms
+    /// per timeout (a stub-resolver per-try timeout).
+    fn default() -> Self {
+        LatencyModel {
+            rtt_ms: 40,
+            timeout_ms: 1_000,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Virtual milliseconds for a resolution that sent `sent` upstream
+    /// queries of which `lost` went unanswered, and waited `waited_ms`
+    /// in retry backoff. A pure cache hit (all zeros) costs 0.
+    pub fn latency_ms(&self, sent: u64, lost: u64, waited_ms: u64) -> u64 {
+        let answered = sent.saturating_sub(lost);
+        answered
+            .saturating_mul(self.rtt_ms)
+            .saturating_add(lost.saturating_mul(self.timeout_ms))
+            .saturating_add(waited_ms)
+    }
+}
+
+/// Observability state embedded in every [`crate::CachingServer`].
+///
+/// Clones with the server (the simulator forks servers at attack-window
+/// boundaries), so per-window latency distributions fall out of
+/// [`LogHistogram::diff`] exactly like counter windows fall out of
+/// `ResolverMetrics` subtraction.
+#[derive(Debug, Clone)]
+pub struct ResolverObs {
+    registry: Registry,
+    resolve_latency: HistId,
+    model: LatencyModel,
+    trace: Option<QueryTrace>,
+}
+
+impl Default for ResolverObs {
+    fn default() -> Self {
+        ResolverObs::new()
+    }
+}
+
+impl ResolverObs {
+    /// Fresh observability state with tracing disabled.
+    pub fn new() -> Self {
+        let mut registry = Registry::new();
+        let resolve_latency = registry.histogram(
+            "resolve_latency_ms",
+            "Modelled resolution latency in virtual milliseconds",
+        );
+        ResolverObs {
+            registry,
+            resolve_latency,
+            model: LatencyModel::default(),
+            trace: None,
+        }
+    }
+
+    /// The active latency cost model.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.model
+    }
+
+    /// Replaces the latency cost model (before running experiments).
+    pub fn set_latency_model(&mut self, model: LatencyModel) {
+        self.model = model;
+    }
+
+    /// Records one resolution's modelled latency. Allocation-free.
+    #[inline]
+    pub fn record_latency(&mut self, ms: u64) {
+        self.registry.observe(self.resolve_latency, ms);
+    }
+
+    /// The resolution-latency histogram accumulated so far.
+    pub fn latency_histogram(&self) -> &LogHistogram {
+        self.registry.hist(self.resolve_latency)
+    }
+
+    /// The underlying metric registry (for exposition).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Enables per-query tracing; each `resolve` call resets the trace,
+    /// so after a resolution the trace describes that query.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(QueryTrace::default());
+        }
+    }
+
+    /// Disables tracing and drops the trace buffer.
+    pub fn disable_trace(&mut self) {
+        self.trace = None;
+    }
+
+    /// The trace of the most recent resolution, if tracing is enabled.
+    pub fn trace(&self) -> Option<&QueryTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Mutable trace access for the resolver's event hooks.
+    #[inline]
+    pub(crate) fn trace_mut(&mut self) -> Option<&mut QueryTrace> {
+        self.trace.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_model_charges_work() {
+        let m = LatencyModel::default();
+        assert_eq!(m.latency_ms(0, 0, 0), 0); // cache hit
+        assert_eq!(m.latency_ms(2, 0, 0), 80); // two clean round trips
+        assert_eq!(m.latency_ms(3, 2, 300), 40 + 2_000 + 300);
+        // Deltas can never make `lost > sent` negative.
+        assert_eq!(m.latency_ms(1, 5, 0), 5_000);
+    }
+
+    #[test]
+    fn trace_toggles_and_latency_accumulates() {
+        let mut obs = ResolverObs::new();
+        assert!(obs.trace().is_none());
+        obs.enable_trace();
+        assert!(obs.trace().is_some());
+        obs.disable_trace();
+        assert!(obs.trace().is_none());
+
+        obs.record_latency(40);
+        obs.record_latency(2_340);
+        let h = obs.latency_histogram();
+        assert_eq!(h.count(), 2);
+        assert!(h.p99() >= 2_340);
+    }
+}

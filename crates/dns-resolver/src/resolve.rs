@@ -3,12 +3,13 @@
 use crate::cache::NegativeKind;
 use crate::{
     Credibility, InfraCache, InfraSource, OccupancySample, RecordCache, ResolverConfig,
-    ResolverMetrics, RootHints, Upstream,
+    ResolverMetrics, ResolverObs, RootHints, Upstream,
 };
 use dns_core::{
     Message, Name, Question, RData, Record, RecordType, ResponseKind, RrSet, SimDuration, SimTime,
     Ttl,
 };
+use dns_obs::{LogHistogram, TraceEvent, TraceOutcome};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::collections::HashMap;
 use std::fmt;
@@ -116,6 +117,10 @@ pub struct CachingServer {
     /// query-ID randomization (the anti-spoofing fix — sequential IDs are
     /// trivially predictable off-path) and retry-backoff jitter.
     rng: StdRng,
+    /// Latency histogram + optional per-query trace. Never touches
+    /// `rng` and never changes resolution behaviour, so enabling it
+    /// cannot perturb deterministic experiments.
+    obs: ResolverObs,
 }
 
 impl CachingServer {
@@ -131,6 +136,7 @@ impl CachingServer {
             infra,
             metrics: ResolverMetrics::default(),
             rng,
+            obs: ResolverObs::new(),
         }
     }
 
@@ -159,6 +165,32 @@ impl CachingServer {
         self.infra.take_gap_samples()
     }
 
+    /// Observability state: latency histogram and optional trace.
+    pub fn obs(&self) -> &ResolverObs {
+        &self.obs
+    }
+
+    /// Mutable observability state (enable tracing, swap the latency
+    /// model).
+    pub fn obs_mut(&mut self) -> &mut ResolverObs {
+        &mut self.obs
+    }
+
+    /// Modelled resolution-latency histogram (virtual milliseconds),
+    /// one sample per [`CachingServer::resolve`] call.
+    pub fn latency_histogram(&self) -> &LogHistogram {
+        self.obs.latency_histogram()
+    }
+
+    /// Records a trace event if tracing is enabled; the closure runs
+    /// only in that case, so disabled tracing costs a branch.
+    #[inline]
+    fn trace_push(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.obs.trace_mut() {
+            t.push(event());
+        }
+    }
+
     /// Resolves one client query at virtual time `now`.
     ///
     /// This is the entry point the simulator drives with stub-resolver
@@ -171,6 +203,19 @@ impl CachingServer {
         up: &mut U,
     ) -> Outcome {
         self.metrics.queries_in += 1;
+        if let Some(t) = self.obs.trace_mut() {
+            t.begin();
+            t.push(TraceEvent::Query {
+                qname: question.name.clone(),
+                rtype: question.rtype,
+                at: now,
+            });
+        }
+        let before = (
+            self.metrics.queries_out,
+            self.metrics.failed_out,
+            self.metrics.backoff_wait_ms,
+        );
         let outcome = self.lookup_or_fetch(question, now, up, 0);
         if outcome.is_failure() {
             self.metrics.failed_in += 1;
@@ -180,6 +225,24 @@ impl CachingServer {
         if matches!(outcome, Outcome::NxDomain { .. } | Outcome::NoData { .. }) {
             self.metrics.negative_answers += 1;
         }
+        // Model this resolution's latency from the upstream work it did
+        // (see `LatencyModel`); pure cache hits cost 0 ms.
+        let latency_ms = self.obs.latency_model().latency_ms(
+            self.metrics.queries_out - before.0,
+            self.metrics.failed_out - before.1,
+            self.metrics.backoff_wait_ms - before.2,
+        );
+        self.obs.record_latency(latency_ms);
+        self.trace_push(|| TraceEvent::Outcome {
+            outcome: match outcome {
+                Outcome::Answer { .. } => TraceOutcome::Answer,
+                Outcome::NxDomain { .. } => TraceOutcome::NxDomain,
+                Outcome::NoData { .. } => TraceOutcome::NoData,
+                Outcome::Fail => TraceOutcome::Fail,
+            },
+            from_cache: outcome.from_cache(),
+            latency_ms,
+        });
         outcome
     }
 
@@ -210,12 +273,21 @@ impl CachingServer {
             self.metrics.renewals_sent += 1;
             let addrs: Vec<Ipv4Addr> = entry.server_addrs().collect();
             let question = Question::new(zone.clone(), RecordType::Ns);
-            if let Some((resp, _)) = self.exchange(&addrs, &question, due, up) {
-                self.harvest_response(&resp, &zone, due, false);
-                if resp.kind() == ResponseKind::Answer {
-                    self.metrics.renewals_ok += 1;
+            let renewed = match self.exchange(&addrs, &question, due, up) {
+                Some((resp, _)) => {
+                    self.harvest_response(&resp, &zone, due, false);
+                    let ok = resp.kind() == ResponseKind::Answer;
+                    if ok {
+                        self.metrics.renewals_ok += 1;
+                    }
+                    ok
                 }
-            }
+                None => false,
+            };
+            self.trace_push(|| TraceEvent::Renewal {
+                zone: zone.clone(),
+                ok: renewed,
+            });
         }
         attempted
     }
@@ -256,6 +328,7 @@ impl CachingServer {
 
         // Negative cache.
         if let Some(kind) = self.cache.get_negative(&question.name, question.rtype, now) {
+            self.trace_push(|| TraceEvent::NegativeCacheHit);
             return match kind {
                 NegativeKind::NxDomain => Outcome::NxDomain { from_cache: true },
                 NegativeKind::NoData => Outcome::NoData { from_cache: true },
@@ -269,6 +342,7 @@ impl CachingServer {
             if let Some(entry) = self.cache.get(&qname, question.rtype, now) {
                 let mut records = chain;
                 records.extend(entry.set.to_records());
+                self.trace_push(|| TraceEvent::CacheHit);
                 return Outcome::Answer {
                     records,
                     from_cache: true,
@@ -290,6 +364,7 @@ impl CachingServer {
 
         // Cache cannot answer: walk the hierarchy for `qname` (the end of
         // any cached alias chain).
+        self.trace_push(|| TraceEvent::CacheMiss);
         let outcome = self.fetch(&Question::new(qname, question.rtype), now, up, depth);
         match outcome {
             Outcome::Answer { records, .. } if !chain.is_empty() => {
@@ -317,8 +392,12 @@ impl CachingServer {
             .deepest_usable_ancestor(&question.name, now, self.config.parent_recheck)
             .map(|e| e.zone.clone())
         else {
+            self.trace_push(|| TraceEvent::NoInfra);
             return Outcome::Fail;
         };
+        self.trace_push(|| TraceEvent::InfraStart {
+            zone: start.clone(),
+        });
 
         let mut zone = start;
         for _ in 0..MAX_REFERRAL_STEPS {
@@ -343,6 +422,9 @@ impl CachingServer {
                     let Some(child) = referral_child(&resp, &zone, &question.name) else {
                         return Outcome::Fail; // lame or sideways referral
                     };
+                    self.trace_push(|| TraceEvent::Referral {
+                        child: child.clone(),
+                    });
                     zone = child;
                 }
                 ResponseKind::NxDomain => {
@@ -517,10 +599,15 @@ impl CachingServer {
                 let backoff = base + jitter;
                 if waited_ms.saturating_add(backoff) > policy.deadline_ms {
                     self.metrics.deadline_exhausted += 1;
+                    self.trace_push(|| TraceEvent::DeadlineExhausted);
                     break;
                 }
                 self.metrics.retries += 1;
                 self.metrics.backoff_wait_ms += backoff;
+                self.trace_push(|| TraceEvent::Backoff {
+                    round: round - 1,
+                    wait_ms: backoff,
+                });
                 up.wait(backoff);
                 waited_ms += backoff;
             }
@@ -532,13 +619,24 @@ impl CachingServer {
             let vnow = now + SimDuration::from_secs(waited_ms / 1_000);
             for &addr in addrs {
                 self.metrics.queries_out += 1;
+                self.trace_push(|| TraceEvent::UpstreamSend { server: addr });
                 match up.query(addr, &query, vnow) {
-                    Some(resp) if response_matches(&query, &resp) => return Some((resp, addr)),
+                    Some(resp) if response_matches(&query, &resp) => {
+                        self.trace_push(|| TraceEvent::UpstreamResponse {
+                            server: addr,
+                            kind: resp.kind(),
+                        });
+                        return Some((resp, addr));
+                    }
                     Some(_) => {
                         self.metrics.mismatched_responses += 1;
                         self.metrics.failed_out += 1;
+                        self.trace_push(|| TraceEvent::UpstreamMismatch { server: addr });
                     }
-                    None => self.metrics.failed_out += 1,
+                    None => {
+                        self.metrics.failed_out += 1;
+                        self.trace_push(|| TraceEvent::UpstreamTimeout { server: addr });
+                    }
                 }
             }
         }

@@ -10,6 +10,7 @@
 use crate::sweep::ExperimentSpec;
 use crate::SimConfig;
 use dns_core::{SimDuration, SimTime, Ttl};
+use dns_obs::LogHistogram;
 use dns_resolver::{OccupancySample, RenewalPolicy, ResolverConfig, ResolverMetrics};
 use dns_trace::{Trace, Universe};
 use std::fmt;
@@ -104,6 +105,9 @@ pub struct AttackOutcome {
     pub cs_failed_pct: f64,
     /// Raw counters accumulated inside the window.
     pub window: ResolverMetrics,
+    /// Modelled resolution-latency distribution inside the window
+    /// (virtual ms; the Fig. 12-style CDF input).
+    pub latency: LogHistogram,
 }
 
 impl fmt::Display for AttackOutcome {
@@ -195,6 +199,9 @@ pub struct OverheadOutcome {
     pub metrics: ResolverMetrics,
     /// Occupancy series (hourly unless overridden).
     pub occupancy: Vec<OccupancySample>,
+    /// Modelled resolution-latency distribution over the whole run
+    /// (virtual ms).
+    pub latency: LogHistogram,
 }
 
 impl OverheadOutcome {

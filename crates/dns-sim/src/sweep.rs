@@ -39,6 +39,7 @@
 use crate::experiment::{AttackOutcome, OverheadOutcome, Scheme};
 use crate::{AttackScenario, ServerFarm, Simulation};
 use dns_core::{SimDuration, SimTime, Ttl};
+use dns_obs::LogHistogram;
 use dns_resolver::GapSample;
 use dns_stats::{manifest_table, ManifestRow, Table};
 use dns_trace::{Trace, Universe};
@@ -369,6 +370,9 @@ impl RunManifest {
                 peak_records: u.peak_records,
                 worker: u.worker,
                 seed: u.seed,
+                lat_p50_ms: u.latency.p50(),
+                lat_p90_ms: u.latency.p90(),
+                lat_p99_ms: u.latency.p99(),
             })
             .collect()
     }
@@ -426,6 +430,13 @@ pub struct UnitRecord {
     pub worker: usize,
     /// Seed recorded for the unit.
     pub seed: u64,
+    /// Modelled resolution-latency distribution over the unit's
+    /// measured windows (virtual ms; attack units merge their
+    /// per-duration windows, full-trace units cover the whole replay).
+    pub latency: LogHistogram,
+    /// Distribution of total cached-record counts over the unit's
+    /// occupancy samples.
+    pub occupancy: LogHistogram,
 }
 
 enum UnitKind {
@@ -473,6 +484,8 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
     let mut attacks = Vec::new();
     let mut overhead = None;
     let mut gaps = None;
+    let mut latency = LogHistogram::new();
+    let mut occupancy_hist = LogHistogram::new();
     let (runs, queries, events, peak_records) = match &unit.kind {
         UnitKind::Attack { start, durations } => {
             let mut warm = Simulation::shared(
@@ -483,9 +496,12 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             );
             warm.run_until(*start);
             let warm_processed = warm.processed() as u64;
+            let warm_latency = warm.cs().latency_histogram().clone();
             let mut queries = warm_processed;
             let mut events = event_count(&warm.metrics());
-            let mut peak = warm.cs_mut().occupancy(*start).total_records() as u64;
+            let warm_records = warm.cs_mut().occupancy(*start).total_records() as u64;
+            occupancy_hist.record(warm_records);
+            let mut peak = warm_records;
             for &duration in durations {
                 let mut sim = warm.fork();
                 sim.set_attack(AttackScenario::root_and_tlds(*start, duration).compile(universe));
@@ -493,9 +509,15 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
                 let end = *start + duration;
                 sim.run_until(end);
                 let window = sim.metrics() - before;
+                // Latency samples accumulated inside this window: the
+                // forked histogram minus the shared warm-up prefix.
+                let window_latency = sim.cs().latency_histogram().diff(&warm_latency);
+                latency.merge(&window_latency);
                 queries += sim.processed() as u64 - warm_processed;
                 events += event_count(&window);
-                peak = peak.max(sim.cs_mut().occupancy(end).total_records() as u64);
+                let end_records = sim.cs_mut().occupancy(end).total_records() as u64;
+                occupancy_hist.record(end_records);
+                peak = peak.max(end_records);
                 attacks.push(AttackOutcome {
                     scheme: unit.scheme.label(),
                     trace: unit.trace.name.clone(),
@@ -503,6 +525,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
                     sr_failed_pct: window.failed_in_ratio() * 100.0,
                     cs_failed_pct: window.failed_out_ratio() * 100.0,
                     window,
+                    latency: window_latency,
                 });
             }
             (durations.len(), queries, events, peak)
@@ -522,12 +545,17 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
                 .map(|o| o.total_records() as u64)
                 .max()
                 .unwrap_or(0);
+            for o in sim.occupancy() {
+                occupancy_hist.record(o.total_records() as u64);
+            }
+            latency.merge(sim.cs().latency_histogram());
             let queries = sim.processed() as u64;
             overhead = Some(OverheadOutcome {
                 scheme: unit.scheme.label(),
                 trace: unit.trace.name.clone(),
                 metrics,
                 occupancy: sim.occupancy().to_vec(),
+                latency: latency.clone(),
             });
             (1, queries, event_count(&metrics), peak)
         }
@@ -542,6 +570,8 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             let metrics = sim.metrics();
             let now = sim.now();
             let peak = sim.cs_mut().occupancy(now).total_records() as u64;
+            occupancy_hist.record(peak);
+            latency.merge(sim.cs().latency_histogram());
             let queries = sim.processed() as u64;
             gaps = Some(GapOutcome {
                 scheme: unit.scheme.label(),
@@ -567,6 +597,8 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             peak_records,
             worker,
             seed,
+            latency,
+            occupancy: occupancy_hist,
         },
     }
 }

@@ -33,10 +33,17 @@ pub struct ManifestRow {
     pub worker: usize,
     /// RNG seed the unit ran with.
     pub seed: u64,
+    /// Median modelled resolution latency over the unit's measured
+    /// windows, in virtual milliseconds.
+    pub lat_p50_ms: u64,
+    /// 90th-percentile modelled resolution latency, virtual ms.
+    pub lat_p90_ms: u64,
+    /// 99th-percentile modelled resolution latency, virtual ms.
+    pub lat_p99_ms: u64,
 }
 
 /// Column headers of the manifest table, shared with its CSV form.
-pub const MANIFEST_HEADERS: [&str; 11] = [
+pub const MANIFEST_HEADERS: [&str; 14] = [
     "unit",
     "kind",
     "trace",
@@ -48,6 +55,9 @@ pub const MANIFEST_HEADERS: [&str; 11] = [
     "peak_records",
     "worker",
     "seed",
+    "lat_p50_ms",
+    "lat_p90_ms",
+    "lat_p99_ms",
 ];
 
 /// Builds the manifest summary table (also used for `run_manifest.csv`).
@@ -67,6 +77,9 @@ pub fn manifest_table(rows: &[ManifestRow]) -> Table {
             r.peak_records.to_string(),
             r.worker.to_string(),
             r.seed.to_string(),
+            r.lat_p50_ms.to_string(),
+            r.lat_p90_ms.to_string(),
+            r.lat_p99_ms.to_string(),
         ]);
     }
     table
@@ -89,6 +102,9 @@ mod tests {
             peak_records: 900,
             worker: 0,
             seed: 42,
+            lat_p50_ms: 40,
+            lat_p90_ms: 1_087,
+            lat_p99_ms: 2_047,
         }
     }
 

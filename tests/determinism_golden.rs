@@ -41,7 +41,7 @@ fn f4_to_f11_schemes() -> Vec<Scheme> {
     ]
 }
 
-fn sweep() -> SweepOutcome {
+fn sweep_with(threads: usize) -> SweepOutcome {
     let universe = UniverseSpec::small().build(7);
     let trace = TraceSpec::demo().scaled(0.1).generate(&universe, 42);
     ExperimentSpec::new(&universe)
@@ -52,8 +52,12 @@ fn sweep() -> SweepOutcome {
             &[SimDuration::from_hours(3), SimDuration::from_hours(12)],
         )
         .overhead(SimDuration::from_days(1))
-        .threads(2)
+        .threads(threads)
         .run()
+}
+
+fn sweep() -> SweepOutcome {
+    sweep_with(2)
 }
 
 /// Every field that reaches a CSV or figure, in spec order, with full
@@ -125,4 +129,52 @@ fn sweep_transcript_is_reproducible_in_process() {
     let a = transcript(&sweep());
     let b = transcript(&sweep());
     assert_eq!(a, b);
+}
+
+/// The latency histograms the observability layer records (virtual-time
+/// distributions, merged into every attack window and overhead run) in
+/// the same canonical line format as `transcript`. `{:?}` on a
+/// `LogHistogram` prints count, sum and the p50/p90/p99 bounds.
+fn latency_transcript(outcome: &SweepOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for a in &outcome.attacks {
+        writeln!(
+            out,
+            "latency|attack|{}|{}|{}|{:?}",
+            a.scheme,
+            a.trace,
+            a.duration.as_secs(),
+            a.latency,
+        )
+        .unwrap();
+    }
+    for o in &outcome.overheads {
+        writeln!(
+            out,
+            "latency|overhead|{}|{}|{:?}",
+            o.scheme, o.trace, o.latency
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Latency distributions are part of the determinism contract: the same
+/// spec run single-threaded and on a wide worker pool must record
+/// byte-identical histograms (work-stealing order must never leak into
+/// what the resolver observes).
+#[test]
+fn latency_histograms_are_identical_across_thread_counts() {
+    let narrow = latency_transcript(&sweep_with(1));
+    let wide = latency_transcript(&sweep_with(8));
+    assert!(
+        narrow.lines().count() >= GOLDEN_ATTACK_CELLS + GOLDEN_OVERHEAD_RUNS,
+        "latency transcript unexpectedly empty:\n{narrow}"
+    );
+    assert!(
+        narrow.contains("count:"),
+        "histograms recorded nothing:\n{narrow}"
+    );
+    assert_eq!(narrow, wide);
 }

@@ -1,0 +1,95 @@
+//! Golden transcript for the query-trace subsystem: one seeded
+//! cold-cache resolution through the simulated network, with exactly one
+//! packet lost to deterministic loss (forcing one retry), must render
+//! the same `explain()` text byte-for-byte forever.
+//!
+//! Everything in the trace is virtual: time is [`SimTime`], loss is the
+//! xorshift coin in [`dns_sim::SimNet`], and retry jitter comes from the
+//! resolver's own seeded RNG — so this transcript is a contract, not a
+//! flaky snapshot. When a change *intentionally* alters resolution
+//! behaviour, re-capture with
+//! `cargo test -q --test trace_golden -- --nocapture` and explain the
+//! change in the PR description.
+
+use dns_resilience::prelude::*;
+use dns_resilience::resolver::Outcome;
+
+/// Loss seed chosen so the scripted resolution loses exactly one packet
+/// (see `find_seed` below for the scan that picked it).
+const LOSS_SEED: u64 = 6;
+const LOSS_RATE: f64 = 0.2;
+
+fn scripted_resolution(loss_seed: u64) -> (CachingServer, Outcome) {
+    let universe = UniverseSpec::small().build(7);
+    let farm = ServerFarm::build(&universe, None);
+    let mut net = SimNet::new(farm);
+    net.set_loss(LOSS_RATE, loss_seed);
+
+    let config = ResolverConfig::vanilla()
+        .with_retry(RetryPolicy::standard())
+        .with_seed(1);
+    let hints = RootHints::new(universe.root_servers().to_vec());
+    let mut cs = CachingServer::new(config, hints);
+    cs.obs_mut().enable_trace();
+
+    // The most popular name in the generated universe — deep enough to
+    // need a referral chase from a cold cache.
+    let (qname, _) = universe.query_targets().into_iter().next().unwrap();
+    let question = Question::new(qname, RecordType::A);
+    let outcome = cs.resolve(&question, SimTime::ZERO, &mut net);
+    (cs, outcome)
+}
+
+#[test]
+fn cold_cache_resolution_trace_is_byte_identical() {
+    let (cs, outcome) = scripted_resolution(LOSS_SEED);
+    assert!(
+        matches!(outcome, Outcome::Answer { .. }),
+        "scripted resolution must answer: {outcome:?}"
+    );
+    let metrics = cs.metrics();
+    assert_eq!(
+        metrics.retries, 1,
+        "scripted resolution must retry exactly once: {metrics}"
+    );
+    let explain = cs.obs().trace().unwrap().explain();
+    println!("{explain}");
+    assert_eq!(explain, GOLDEN_EXPLAIN);
+}
+
+const GOLDEN_EXPLAIN: &str = "\
+-- query trace (17 events) --
+ 1. query www.z00000.t025. A at 0d00:00:00
+ 2. cache miss
+ 3. infra: deepest usable ancestor .
+ 4. send -> 10.0.0.1
+ 5. response <- 10.0.0.1: Referral
+ 6. referral -> t025.
+ 7. send -> 10.0.0.65
+ 8. response <- 10.0.0.65: Referral
+ 9. referral -> z00000.t025.
+10. send -> 10.0.0.102
+11. timeout <- 10.0.0.102
+12. send -> 10.0.0.103
+13. timeout <- 10.0.0.103
+14. backoff after round 0: wait 138ms
+15. send -> 10.0.0.102
+16. response <- 10.0.0.102: Answer
+17. outcome Answer (fetched) in 2258ms
+";
+
+/// Scans loss seeds for one producing exactly one retry (run manually
+/// with `--ignored --nocapture` when re-capturing the golden above).
+#[test]
+#[ignore]
+fn find_seed() {
+    for seed in 0..64 {
+        let (cs, outcome) = scripted_resolution(seed);
+        let m = cs.metrics();
+        println!(
+            "seed {seed}: retries={} answered={}",
+            m.retries,
+            matches!(outcome, Outcome::Answer { .. })
+        );
+    }
+}
