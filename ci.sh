@@ -26,13 +26,21 @@ smoke() {
     test -s "$bench_out/bench.json" || { echo "missing bench.json" >&2; exit 1; }
     for field in bench schema_version scheme trace scale queries wall_secs \
         qps allocs_per_query bytes_per_query name_clone_parent_allocs_per_op \
-        warm_get_allocs_per_op peak_rss_kb; do
+        warm_get_allocs_per_op peak_rss_kb \
+        mt_qps_1 mt_qps_2 mt_qps_4 mt_qps_8 \
+        mt_allocs_per_query_1 mt_allocs_per_query_2 \
+        mt_allocs_per_query_4 mt_allocs_per_query_8; do
         grep -q "\"$field\"" "$bench_out/bench.json" \
             || { echo "bench.json missing field: $field" >&2; exit 1; }
     done
     awk -F': *' '/"qps"/ { qps = $2 + 0 }
         END { if (qps <= 0) { print "bench.json: qps not positive" > "/dev/stderr"; exit 1 } }' \
         "$bench_out/bench.json"
+    for mt in mt_qps_1 mt_qps_2 mt_qps_4 mt_qps_8; do
+        awk -F': *' -v f="\"$mt\"" '$0 ~ f { v = $2 + 0 }
+            END { if (v <= 0) { print f ": not positive" > "/dev/stderr"; exit 1 } }' \
+            "$bench_out/bench.json"
+    done
     for probe in name_clone_parent_allocs_per_op warm_get_allocs_per_op; do
         awk -F': *' -v probe="\"$probe\"" '$0 ~ probe { v = $2 + 0 }
             END { if (v != 0) { print probe ": hot path allocates" > "/dev/stderr"; exit 1 } }' \
@@ -48,6 +56,12 @@ smoke() {
     # ends by fetching the CHAOS TXT metrics snapshot over the wire.
     DNS_PLAYGROUND_LOSS=0.1 DNS_PLAYGROUND_SEED=7 \
         cargo run --release -p dns-netd --bin dns-playground --offline -- --trace
+
+    echo "== smoke: netd playground, sharded worker pool =="
+    # The same scripted tour resolved by 4 workers over one 4-shard
+    # cache with single-flight coalescing — the concurrent resolver
+    # core on real sockets.
+    cargo run --release -p dns-netd --bin dns-playground --offline -- --shards 4
 
     echo "== smoke: observability exposition =="
     # The live exposition integration test: worker pool on loopback,
@@ -69,6 +83,14 @@ cargo fmt --check
 
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== clippy lock hygiene (resolver concurrency core) =="
+# The shard/inflight code must never hold a lock across an await-like
+# suspension or wrap lock-free-able state in a mutex; gate the resolver
+# crate on clippy's lock-hygiene lints specifically.
+cargo clippy -p dns-resolver --all-targets --offline -- -D warnings \
+    -D clippy::await_holding_lock \
+    -D clippy::mutex_atomic
 
 echo "== cargo test =="
 cargo test -q --offline

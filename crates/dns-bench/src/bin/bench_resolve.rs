@@ -14,15 +14,18 @@
 //! * `DNS_BENCH_SCALE` — trace scale factor (default 1.0),
 //! * `DNS_BENCH_OUT`   — output path (default `BENCH_resolve.json`).
 
-use dns_core::{Name, RData, Record, RecordType, SimTime, Ttl};
-use dns_resolver::{Credibility, RecordCache, RenewalPolicy};
+use dns_core::{Name, Question, RData, Record, RecordType, SimTime, Ttl};
+use dns_resolver::{
+    CachingServer, Credibility, RecordCache, RenewalPolicy, ResolverConfig, RootHints, ShardedCache,
+};
 use dns_sim::experiment::Scheme;
-use dns_sim::Simulation;
+use dns_sim::{ServerFarm, SimNet, Simulation};
 use dns_trace::{TraceSpec, UniverseSpec};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Allocation counters maintained by the global allocator below. Only
@@ -112,6 +115,48 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
+/// Multi-threaded shared-cache replay: `threads` workers, each owning a
+/// [`CachingServer`] over ONE shared [`ShardedCache`] (8 shards,
+/// single-flight coalescing on), resolve an interleaved slice of
+/// `questions` at a fixed warm instant against a shared farm. Returns
+/// aggregate `(queries/sec, allocations/query)` for the whole replay.
+fn mt_replay(
+    farm: &Arc<ServerFarm>,
+    hints: &RootHints,
+    questions: &Arc<Vec<Question>>,
+    threads: usize,
+) -> (f64, f64) {
+    let backend = ShardedCache::new(8);
+    let total = questions.len();
+    let now = SimTime::from_days(1);
+    let (a0, _) = snapshot();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let backend = backend.clone();
+            let farm = Arc::clone(farm);
+            let questions = Arc::clone(questions);
+            let hints = hints.clone();
+            scope.spawn(move || {
+                let config = ResolverConfig::vanilla()
+                    .to_builder()
+                    .shards(8)
+                    .coalesce(true)
+                    .seed(42 + t as u64)
+                    .build();
+                let mut cs = CachingServer::with_backend(config, hints, backend);
+                let mut net = SimNet::with_shared(farm);
+                for q in questions.iter().skip(t).step_by(threads) {
+                    black_box(cs.resolve(q, now, &mut net));
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let (a1, _) = snapshot();
+    (total as f64 / wall, (a1 - a0) as f64 / total as f64)
+}
+
 fn env_f64(key: &str, default: f64) -> f64 {
     std::env::var(key)
         .ok()
@@ -130,6 +175,8 @@ fn main() {
     let universe = UniverseSpec::small().build(7);
     let trace = TraceSpec::demo().scaled(scale).generate(&universe, 42);
     let queries = trace.queries.len() as u64;
+    let questions: Arc<Vec<Question>> =
+        Arc::new(trace.queries.iter().map(|e| e.question.clone()).collect());
     let scheme = Scheme::combined(RenewalPolicy::adaptive_lfu(3), Ttl::from_days(3));
     let mut sim = Simulation::new(&universe, trace, scheme.sim_config());
 
@@ -147,6 +194,20 @@ fn main() {
     let allocs_per_query = (a1 - a0) as f64 / queries as f64;
     let bytes_per_query = (b1 - b0) as f64 / queries as f64;
 
+    // Multi-threaded shared-cache mode: the same query stream replayed by
+    // 1/2/4/8 workers over one ShardedCache (8 shards, coalescing on).
+    let farm = Arc::new(ServerFarm::build(&universe, None));
+    let hints = RootHints::new(universe.root_servers().to_vec());
+    let mut mt_fields = String::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (mt_qps, mt_allocs) = mt_replay(&farm, &hints, &questions, threads);
+        println!("mt replay: {threads} thread(s) → {mt_qps:.0} qps, {mt_allocs:.2} allocs/query");
+        mt_fields.push_str(&format!(
+            "  \"mt_qps_{threads}\": {mt_qps:.1},\n  \
+             \"mt_allocs_per_query_{threads}\": {mt_allocs:.2},\n",
+        ));
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"resolve\",\n  \"schema_version\": 1,\n  \
          \"scheme\": \"{}\",\n  \"trace\": \"DEMO\",\n  \"scale\": {scale},\n  \
@@ -154,7 +215,7 @@ fn main() {
          \"allocs_per_query\": {allocs_per_query:.2},\n  \
          \"bytes_per_query\": {bytes_per_query:.1},\n  \
          \"name_clone_parent_allocs_per_op\": {name_op_allocs:.4},\n  \
-         \"warm_get_allocs_per_op\": {warm_get_allocs:.4},\n  \
+         \"warm_get_allocs_per_op\": {warm_get_allocs:.4},\n{mt_fields}  \
          \"peak_rss_kb\": {}\n}}\n",
         scheme.label(),
         peak_rss_kb(),

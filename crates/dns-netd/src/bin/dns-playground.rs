@@ -10,6 +10,9 @@
 //! # with injected loss (used by ci.sh as the netd smoke test):
 //! DNS_PLAYGROUND_LOSS=0.1 DNS_PLAYGROUND_SEED=7 \
 //!     cargo run --release -p dns-netd --bin dns-playground
+//! # sharded worker pool: 4 workers over one 4-shard cache with
+//! # single-flight coalescing (the concurrent resolver core, live):
+//! cargo run --release -p dns-netd --bin dns-playground -- --shards 4
 //! ```
 //!
 //! Exits non-zero when any of the scripted resolutions deviates from its
@@ -17,8 +20,8 @@
 
 use dns_core::{Question, Rcode, RecordClass, RecordType};
 use dns_netd::playground;
-use dns_netd::{client, FaultInjector, Resolved, UdpUpstream, CHAOS_METRICS_NAME};
-use dns_resolver::{CachingServer, ResolverConfig, RetryPolicy};
+use dns_netd::{client, FaultHandle, FaultInjector, Resolved, UdpUpstream, CHAOS_METRICS_NAME};
+use dns_resolver::{CacheBackend, CachingServer, ResolverConfig, RetryPolicy};
 use std::time::Duration;
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -35,10 +38,25 @@ fn env_u64(key: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// `--shards N` from argv (0 = classic single-resolver mode).
+fn arg_shards() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--shards takes a positive integer");
+        }
+    }
+    0
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let loss = env_f64("DNS_PLAYGROUND_LOSS", 0.0);
     let seed = env_u64("DNS_PLAYGROUND_SEED", 7);
     let trace = std::env::args().any(|a| a == "--trace");
+    let shards = arg_shards();
 
     println!("booting the playground internet…");
     let net = playground::boot()?;
@@ -46,18 +64,76 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {d}");
     }
 
-    let udp = UdpUpstream::with_route(Duration::from_millis(300), net.route_fn())?;
-    let (upstream, faults) = FaultInjector::new(udp, seed);
-    if loss > 0.0 {
-        faults.set_loss(loss);
-        println!("  injecting {:.0}% packet loss (seed {seed})", loss * 100.0);
-    }
     let config = ResolverConfig::with_refresh()
-        .with_retry(RetryPolicy::standard())
-        .with_seed(seed);
-    let cs = CachingServer::new(config, net.hints.clone());
-    let resolver = Resolved::spawn(cs, upstream, "127.0.0.1:0")?;
-    println!("  resolver on {} ({})", resolver.addr(), config.retry);
+        .to_builder()
+        .retry(RetryPolicy::standard())
+        .seed(seed)
+        .shards(shards.max(1))
+        .coalesce(shards > 0)
+        .build();
+
+    if shards > 0 {
+        // Sharded mode: one worker per shard, each with its own upstream
+        // transport and fault injector, all over one shared cache.
+        let mut upstreams = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for w in 0..shards {
+            let udp = UdpUpstream::with_route(Duration::from_millis(300), net.route_fn())?;
+            let (upstream, faults) = FaultInjector::new(udp, seed + w as u64);
+            upstreams.push(upstream);
+            handles.push(faults);
+        }
+        if loss > 0.0 {
+            for h in &handles {
+                h.set_loss(loss);
+            }
+            println!("  injecting {:.0}% packet loss (seed {seed})", loss * 100.0);
+        }
+        let resolver =
+            Resolved::spawn_sharded(config, net.hints.clone(), upstreams, "127.0.0.1:0")?;
+        println!(
+            "  resolver on {} ({}; {} workers over {} cache shards, coalescing on)",
+            resolver.addr(),
+            config.retry,
+            resolver.worker_count(),
+            shards
+        );
+        let backend = resolver.sharded_backend();
+        let outcome = run_script(&net, &resolver, &handles, trace);
+        println!(
+            "singleflight: {} flights led, {} coalesced",
+            backend.flights_led(),
+            backend.flights_shared()
+        );
+        resolver.stop();
+        net.stop();
+        outcome
+    } else {
+        let udp = UdpUpstream::with_route(Duration::from_millis(300), net.route_fn())?;
+        let (upstream, faults) = FaultInjector::new(udp, seed);
+        if loss > 0.0 {
+            faults.set_loss(loss);
+            println!("  injecting {:.0}% packet loss (seed {seed})", loss * 100.0);
+        }
+        let cs = CachingServer::new(config, net.hints.clone());
+        let resolver = Resolved::spawn(cs, upstream, "127.0.0.1:0")?;
+        println!("  resolver on {} ({})", resolver.addr(), config.retry);
+        let outcome = run_script(&net, &resolver, &[faults], trace);
+        resolver.stop();
+        net.stop();
+        outcome
+    }
+}
+
+/// The scripted resolution tour, generic over the resolver's cache
+/// backend: the same dig script runs against the classic single-server
+/// daemon and the sharded pool.
+fn run_script<B: CacheBackend + Send + 'static>(
+    net: &playground::Playground,
+    resolver: &Resolved<B>,
+    faults: &[FaultHandle],
+    trace: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
     if trace {
         resolver.enable_trace();
         println!("  per-query tracing ON (--trace)");
@@ -97,7 +173,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- blacking out the root and TLD daemons (live DDoS, 100% loss) ---");
     let targets = net.top_level_ips();
-    faults.blackout(&targets, Duration::from_secs(3600));
+    for h in faults {
+        h.blackout(&targets, Duration::from_secs(3600));
+    }
     println!(
         "injected blackout over {} top-level servers; daemons stay up, their packets vanish.\n",
         targets.len()
@@ -134,9 +212,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("resolver metrics: {}", resolver.metrics());
     println!("daemon stats: {}", resolver.stats());
-    println!("fault stats: {}", faults.stats());
-    resolver.stop();
-    net.stop();
+    for (i, h) in faults.iter().enumerate() {
+        if faults.len() == 1 {
+            println!("fault stats: {}", h.stats());
+        } else {
+            println!("fault stats[w{i}]: {}", h.stats());
+        }
+    }
 
     if failures > 0 {
         return Err(format!("{failures} resolution(s) deviated from the script").into());

@@ -3,8 +3,11 @@
 
 use crate::wall_clock;
 use dns_core::{wire, Message, RData, Rcode, Record, RecordClass, RecordType, Ttl};
-use dns_obs::{HistId, Registry};
-use dns_resolver::{CachingServer, Outcome, ResolverMetrics, Upstream};
+use dns_obs::{HistId, LogHistogram, Registry};
+use dns_resolver::{
+    CacheBackend, CachingServer, LocalBackend, Outcome, ResolverConfig, ResolverMetrics, RootHints,
+    ShardedCache, Upstream,
+};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
@@ -101,13 +104,18 @@ impl DaemonObs {
 /// The daemon runs a small worker pool ([`Resolved::spawn_pool`]): every
 /// worker blocks on a clone of the same UDP socket (the kernel delivers
 /// each datagram to exactly one) and owns its own upstream transport, so
-/// decoding, encoding and socket I/O overlap across workers while the
-/// shared cache stays behind one lock. A worker that hits a fatal socket
-/// error records it ([`Resolved::last_error`]) and drops out, flipping
-/// [`Resolved::healthy`] — the daemon degrades visibly instead of dying
-/// silently.
+/// decoding, encoding and socket I/O overlap across workers. In the
+/// default mode one [`CachingServer`] sits behind one mutex and workers
+/// serialize whole resolutions through it; in sharded mode
+/// ([`Resolved::spawn_sharded`]) every worker owns its *own* resolver
+/// over one shared [`ShardedCache`], so resolutions proceed concurrently
+/// and contend only per cache shard, with single-flight coalescing
+/// deduplicating identical in-flight fetches across the pool. A worker
+/// that hits a fatal socket error records it ([`Resolved::last_error`])
+/// and drops out, flipping [`Resolved::healthy`] — the daemon degrades
+/// visibly instead of dying silently.
 #[derive(Debug)]
-pub struct Resolved {
+pub struct Resolved<B: CacheBackend = LocalBackend> {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
@@ -115,7 +123,10 @@ pub struct Resolved {
     send_errors: Arc<AtomicU64>,
     truncated: Arc<AtomicU64>,
     health: Arc<Health>,
-    cs: Arc<Mutex<CachingServer>>,
+    /// The pool's resolvers: a single shared entry in default mode, one
+    /// per worker in sharded mode (worker `i` resolves through
+    /// `servers[i % len]`).
+    servers: Arc<Vec<Arc<Mutex<CachingServer<B>>>>>,
     obs: Arc<Mutex<DaemonObs>>,
 }
 
@@ -139,7 +150,7 @@ impl Resolved {
 
     /// Binds `bind` and starts one worker per upstream in `upstreams`
     /// (each worker owns its transport; the caller decides the pool
-    /// size).
+    /// size). All workers share `cs` behind one lock.
     ///
     /// # Errors
     ///
@@ -150,6 +161,59 @@ impl Resolved {
         upstreams: Vec<U>,
         bind: impl ToSocketAddrs,
     ) -> io::Result<Resolved>
+    where
+        U: Upstream + Send + 'static,
+    {
+        Resolved::spawn_servers(vec![cs], upstreams, bind)
+    }
+}
+
+impl Resolved<ShardedCache> {
+    /// Binds `bind` and starts one worker per upstream, every worker
+    /// owning its own [`CachingServer`] over one shared [`ShardedCache`]
+    /// built from `config` (`config.shards` shards, coalescing per
+    /// `config.coalesce`). Worker seeds are derived from `config.seed`
+    /// (`seed + worker index`) so query-ID streams stay per-worker
+    /// deterministic yet distinct.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-level errors from binding/cloning, and
+    /// `InvalidInput` when `upstreams` is empty.
+    pub fn spawn_sharded<U>(
+        config: ResolverConfig,
+        hints: RootHints,
+        upstreams: Vec<U>,
+        bind: impl ToSocketAddrs,
+    ) -> io::Result<Resolved<ShardedCache>>
+    where
+        U: Upstream + Send + 'static,
+    {
+        let backend = ShardedCache::new(config.shards);
+        let servers = (0..upstreams.len().max(1))
+            .map(|i| {
+                let config = config.to_builder().seed(config.seed + i as u64).build();
+                CachingServer::with_backend(config, hints.clone(), backend.clone())
+            })
+            .collect();
+        Resolved::spawn_servers(servers, upstreams, bind)
+    }
+
+    /// The shared sharded backend (coalescing counters, shard registry).
+    pub fn sharded_backend(&self) -> ShardedCache {
+        self.servers[0].lock().unwrap().backend().clone()
+    }
+}
+
+impl<B: CacheBackend + Send + 'static> Resolved<B> {
+    /// The common pool bring-up: `servers` is either a single resolver
+    /// shared by every worker (default mode) or one per upstream
+    /// (sharded mode).
+    fn spawn_servers<U>(
+        servers: Vec<CachingServer<B>>,
+        upstreams: Vec<U>,
+        bind: impl ToSocketAddrs,
+    ) -> io::Result<Resolved<B>>
     where
         U: Upstream + Send + 'static,
     {
@@ -167,7 +231,12 @@ impl Resolved {
         let send_errors = Arc::new(AtomicU64::new(0));
         let truncated = Arc::new(AtomicU64::new(0));
         let health = Arc::new(Health::default());
-        let cs = Arc::new(Mutex::new(cs));
+        let servers: Arc<Vec<Arc<Mutex<CachingServer<B>>>>> = Arc::new(
+            servers
+                .into_iter()
+                .map(|cs| Arc::new(Mutex::new(cs)))
+                .collect(),
+        );
         let obs = Arc::new(Mutex::new(DaemonObs::new()));
 
         let mut workers = Vec::with_capacity(upstreams.len());
@@ -178,7 +247,7 @@ impl Resolved {
             let send_errors = Arc::clone(&send_errors);
             let truncated = Arc::clone(&truncated);
             let health = Arc::clone(&health);
-            let cs = Arc::clone(&cs);
+            let servers = Arc::clone(&servers);
             let obs = Arc::clone(&obs);
             let handle = std::thread::Builder::new()
                 .name(format!("resolved-{addr}-w{i}"))
@@ -191,7 +260,8 @@ impl Resolved {
                         &send_errors,
                         &truncated,
                         &health,
-                        &cs,
+                        &servers,
+                        i,
                         &obs,
                     )
                 })
@@ -206,7 +276,7 @@ impl Resolved {
             send_errors,
             truncated,
             health,
-            cs,
+            servers,
             obs,
         })
     }
@@ -220,7 +290,8 @@ impl Resolved {
         send_errors: &AtomicU64,
         truncated: &AtomicU64,
         health: &Health,
-        cs: &Mutex<CachingServer>,
+        servers: &[Arc<Mutex<CachingServer<B>>>],
+        index: usize,
         obs: &Mutex<DaemonObs>,
     ) {
         let mut buf = [0u8; wire::MAX_MESSAGE_LEN];
@@ -248,7 +319,7 @@ impl Resolved {
                 send_errors: send_errors.load(Ordering::Relaxed),
                 truncated_responses: truncated.load(Ordering::Relaxed),
             };
-            let response = Self::answer(cs, &mut upstream, obs, stats, &query);
+            let response = Self::answer(servers, index, &mut upstream, obs, stats, &query);
             let Some(bytes) = encode_or_truncate(&query, &response, truncated) else {
                 continue; // not even the header+question fits — drop
             };
@@ -265,7 +336,8 @@ impl Resolved {
     }
 
     fn answer<U: Upstream>(
-        cs: &Mutex<CachingServer>,
+        servers: &[Arc<Mutex<CachingServer<B>>>],
+        index: usize,
         upstream: &mut U,
         obs: &Mutex<DaemonObs>,
         stats: DaemonStats,
@@ -278,10 +350,11 @@ impl Resolved {
             return resp;
         };
         if question.class == RecordClass::Ch {
-            return Self::answer_chaos(cs, obs, stats, resp, &question);
+            return Self::answer_chaos(servers, obs, stats, resp, &question);
         }
         let start = Instant::now();
         let now = wall_clock();
+        let cs = &servers[index % servers.len()];
         let outcome = cs.lock().unwrap().resolve(&question, now, upstream);
         let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
         obs.lock().unwrap().observe_wall(wall_ms);
@@ -298,9 +371,13 @@ impl Resolved {
 
     /// Answers `CHAOS`-class queries: `TXT metrics.bind.` dumps the
     /// daemon's metrics snapshot (one TXT string per metric line, the
-    /// `version.bind.` convention); everything else is REFUSED.
+    /// `version.bind.` convention); everything else is REFUSED. With
+    /// multiple resolvers (sharded mode) counters are summed and
+    /// latency histograms merged across the pool, and the shared
+    /// backend's own registry (shard counters, coalescing totals) is
+    /// appended.
     fn answer_chaos(
-        cs: &Mutex<CachingServer>,
+        servers: &[Arc<Mutex<CachingServer<B>>>],
         obs: &Mutex<DaemonObs>,
         stats: DaemonStats,
         mut resp: Message,
@@ -311,22 +388,32 @@ impl Resolved {
             resp.header.rcode = Rcode::Refused;
             return resp;
         }
+        let (metrics, latency, backend_reg) = pool_snapshot(servers);
         let snapshot = {
-            let cs = cs.lock().unwrap();
             let obs = obs.lock().unwrap();
-            metrics_registry(stats, cs.metrics(), cs.latency_histogram(), &obs)
+            metrics_registry(stats, &metrics, &latency, &obs)
         };
-        for line in snapshot.render_compact() {
+        let mut push_txt = |line: String| {
             resp.answers.push(Record::with_class(
                 question.name.clone(),
                 RecordClass::Ch,
                 Ttl::ZERO,
                 RData::Txt(line),
             ));
+        };
+        for line in snapshot.render_compact() {
+            push_txt(line);
+        }
+        if let Some(reg) = backend_reg {
+            for line in reg.render_compact() {
+                push_txt(line);
+            }
         }
         resp
     }
+}
 
+impl<B: CacheBackend> Resolved<B> {
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -362,36 +449,54 @@ impl Resolved {
         }
     }
 
-    /// Snapshot of the resolver's counters.
+    /// Snapshot of the resolver's counters, summed over every resolver
+    /// in the pool (a single resolver in default mode).
     pub fn metrics(&self) -> dns_resolver::ResolverMetrics {
-        *self.cs.lock().unwrap().metrics()
+        self.servers
+            .iter()
+            .map(|s| *s.lock().unwrap().metrics())
+            .fold(ResolverMetrics::default(), |acc, m| acc + m)
     }
 
     /// Prometheus-text snapshot of every daemon and resolver metric —
     /// the same registry the `CHAOS TXT metrics.bind.` answer renders in
-    /// compact form.
+    /// compact form. In sharded mode the pool's counters are summed,
+    /// latency histograms merged, and the shared backend's registry
+    /// (shard counters, coalescing totals) appended.
     pub fn prometheus(&self) -> String {
         let stats = self.stats();
-        let cs = self.cs.lock().unwrap();
+        let (metrics, latency, backend_reg) = pool_snapshot(&self.servers);
         let obs = self.obs.lock().unwrap();
-        metrics_registry(stats, cs.metrics(), cs.latency_histogram(), &obs).render_prometheus()
+        let mut out = metrics_registry(stats, &metrics, &latency, &obs).render_prometheus();
+        drop(obs);
+        if let Some(reg) = backend_reg {
+            out.push_str(&reg.render_prometheus());
+        }
+        out
     }
 
-    /// Turns on per-query tracing in the resolver; the most recent
-    /// query's trace is readable via [`Resolved::explain_last`].
+    /// Turns on per-query tracing in every resolver of the pool; the
+    /// most recent query's trace is readable via
+    /// [`Resolved::explain_last`].
     pub fn enable_trace(&self) {
-        self.cs.lock().unwrap().obs_mut().enable_trace();
+        for s in self.servers.iter() {
+            s.lock().unwrap().obs_mut().enable_trace();
+        }
     }
 
     /// Renders the most recent resolution's trace, when tracing is on
-    /// and at least one query has been resolved.
+    /// and at least one query has been resolved. With a worker pool the
+    /// first worker holding a non-empty trace wins.
     pub fn explain_last(&self) -> Option<String> {
-        let cs = self.cs.lock().unwrap();
-        let trace = cs.obs().trace()?;
-        if trace.is_empty() {
-            return None;
+        for s in self.servers.iter() {
+            let cs = s.lock().unwrap();
+            if let Some(trace) = cs.obs().trace() {
+                if !trace.is_empty() {
+                    return Some(trace.explain());
+                }
+            }
         }
-        Some(trace.explain())
+        None
     }
 
     /// Stops the daemon and joins every worker thread.
@@ -407,13 +512,13 @@ impl Resolved {
     }
 }
 
-impl Drop for Resolved {
+impl<B: CacheBackend> Drop for Resolved<B> {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-impl fmt::Display for Resolved {
+impl<B: CacheBackend> fmt::Display for Resolved<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -424,6 +529,26 @@ impl fmt::Display for Resolved {
             if self.healthy() { "" } else { ", UNHEALTHY" }
         )
     }
+}
+
+/// Aggregates a worker pool's resolver state: summed counters, merged
+/// modelled-latency histogram, and (when the backend exposes one, i.e.
+/// sharded mode) the shared backend's own registry.
+fn pool_snapshot<B: CacheBackend>(
+    servers: &[Arc<Mutex<CachingServer<B>>>],
+) -> (ResolverMetrics, LogHistogram, Option<Registry>) {
+    let mut metrics = ResolverMetrics::default();
+    let mut latency = LogHistogram::default();
+    let mut backend_reg = None;
+    for (i, s) in servers.iter().enumerate() {
+        let cs = s.lock().unwrap();
+        metrics = metrics + *cs.metrics();
+        latency.merge(cs.latency_histogram());
+        if i == 0 {
+            backend_reg = cs.backend().obs_registry();
+        }
+    }
+    (metrics, latency, backend_reg)
 }
 
 /// Builds a one-shot [`Registry`] holding the daemon's full metric

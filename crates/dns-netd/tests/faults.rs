@@ -31,8 +31,10 @@ fn retry_policy_recovers_through_injected_loss() {
     let (upstream, faults) = FaultInjector::new(udp, 42);
     faults.set_loss(0.25);
     let config = ResolverConfig::with_refresh()
-        .with_retry(test_retry())
-        .with_seed(1);
+        .to_builder()
+        .retry(test_retry())
+        .seed(1)
+        .build();
     let cs = CachingServer::new(config, net.hints.clone());
     let resolver = Resolved::spawn(cs, upstream, "127.0.0.1:0").unwrap();
 
@@ -72,8 +74,10 @@ fn blackout_of_root_and_tlds_still_answers_cached_zones() {
     let udp = UdpUpstream::with_route(Duration::from_millis(250), net.route_fn()).unwrap();
     let (upstream, faults) = FaultInjector::new(udp, 7);
     let config = ResolverConfig::with_refresh()
-        .with_retry(test_retry())
-        .with_seed(2);
+        .to_builder()
+        .retry(test_retry())
+        .seed(2)
+        .build();
     let cs = CachingServer::new(config, net.hints.clone());
     let resolver = Resolved::spawn(cs, upstream, "127.0.0.1:0").unwrap();
 
@@ -140,8 +144,10 @@ fn fault_injection_replays_deterministically_per_seed() {
         let (mut upstream, faults) = FaultInjector::new(udp, seed);
         faults.set_loss(0.3);
         let config = ResolverConfig::with_refresh()
-            .with_retry(test_retry())
-            .with_seed(seed);
+            .to_builder()
+            .retry(test_retry())
+            .seed(seed)
+            .build();
         let mut cs = CachingServer::new(config, net.hints.clone());
         for qname in [
             "www.ucla.edu",
@@ -182,7 +188,10 @@ fn worker_pool_serves_and_shuts_down_without_leaking() {
             FaultInjector::new(udp, 5).0
         })
         .collect();
-    let config = ResolverConfig::with_refresh().with_retry(test_retry());
+    let config = ResolverConfig::with_refresh()
+        .to_builder()
+        .retry(test_retry())
+        .build();
     let cs = CachingServer::new(config, net.hints.clone());
     let resolver = Resolved::spawn_pool(cs, upstreams, "127.0.0.1:0").unwrap();
     assert_eq!(resolver.worker_count(), 3);

@@ -66,8 +66,10 @@ fn chaos_snapshot_reconciles_with_daemon_and_resolver_counters() {
         })
         .collect();
     let config = ResolverConfig::with_refresh()
-        .with_retry(test_retry())
-        .with_seed(3);
+        .to_builder()
+        .retry(test_retry())
+        .seed(3)
+        .build();
     let cs = CachingServer::new(config, net.hints.clone());
     let resolver = Resolved::spawn_pool(cs, upstreams, "127.0.0.1:0").unwrap();
     resolver.enable_trace();

@@ -1,0 +1,325 @@
+//! The cache-backend abstraction the resolver core is generic over.
+//!
+//! [`crate::CachingServer`] owns no caches directly; every record-cache,
+//! negative-cache and infrastructure-cache access goes through a
+//! [`CacheBackend`]. Two implementations ship:
+//!
+//! * [`LocalBackend`] — the historical single-threaded pair of
+//!   [`RecordCache`] + [`InfraCache`], private to one server. This is the
+//!   default type parameter, so existing code (and the deterministic
+//!   experiment transcripts) are untouched.
+//! * [`crate::ShardedCache`] — a clonable handle over lock-sharded caches
+//!   shared by many servers/threads, with single-flight coalescing.
+//!
+//! Reads hand the caller a borrow *inside a closure* (`with_record`,
+//! `with_infra`) rather than returning a reference: a sharded backend must
+//! release its shard lock when the read ends, which a returned borrow
+//! cannot express. The closure style keeps the borrowed-key
+//! `(&Name, RecordType)` probe from PR 3 — no key allocation on the hot
+//! path for either backend.
+
+use crate::cache::{CacheEntry, Credibility, NegativeKind, RecordCache};
+use crate::inflight::{Flight, FlightToken};
+use crate::infra::{GapSample, InfraCache, InfraEntry, InfraSource};
+use crate::RenewalPolicy;
+use dns_core::{Name, RecordType, RrSet, SimDuration, SimTime, Ttl};
+use std::net::Ipv4Addr;
+
+/// Storage backend for a [`crate::CachingServer`]: the record cache, the
+/// negative cache and the infrastructure cache behind one API.
+///
+/// All methods take `&mut self` — a shared backend handles its own
+/// locking internally and hands out short-lived borrows through the
+/// `with_*` closures. Implementations must keep the *semantics* of
+/// [`RecordCache`] / [`InfraCache`] exactly: the deterministic experiment
+/// transcripts are pinned against them.
+pub trait CacheBackend {
+    // --- record + negative cache --------------------------------------
+
+    /// Looks up the fresh entry for `(name, rtype)` at `now` and passes it
+    /// to `f`. The borrow ends when `f` returns.
+    fn with_record<R>(
+        &mut self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+        f: impl FnOnce(Option<&CacheEntry>) -> R,
+    ) -> R;
+
+    /// Inserts an RRset under [`RecordCache::insert`]'s credibility rules.
+    fn insert_record(&mut self, set: RrSet, now: SimTime, credibility: Credibility) -> bool;
+
+    /// Fresh negative-cache lookup.
+    fn negative(&mut self, name: &Name, rtype: RecordType, now: SimTime) -> Option<NegativeKind>;
+
+    /// Stores a negative answer for `ttl`.
+    fn insert_negative(
+        &mut self,
+        name: Name,
+        rtype: RecordType,
+        kind: NegativeKind,
+        ttl: Ttl,
+        now: SimTime,
+    );
+
+    /// Evicts expired data entries; returns how many were evicted.
+    fn purge_data(&mut self, now: SimTime) -> usize;
+
+    /// Fresh positive RRsets at `now` (`now` must not move backwards).
+    fn data_fresh_rrsets(&mut self, now: SimTime) -> usize;
+
+    /// Individual records across fresh positive RRsets at `now`.
+    fn data_fresh_records(&mut self, now: SimTime) -> usize;
+
+    // --- infrastructure cache -----------------------------------------
+
+    /// Seeds the root zone's entry from hard-coded hints.
+    fn install_root_hints(&mut self, servers: &[(Name, Ipv4Addr)]);
+
+    /// Looks up `zone`'s infrastructure entry (fresh or not) and passes it
+    /// to `f`.
+    fn with_infra<R>(&mut self, zone: &Name, f: impl FnOnce(Option<&InfraEntry>) -> R) -> R;
+
+    /// The deepest ancestor zone of `name` that is fresh, has addresses
+    /// and passes the parent-recheck bound — where iterative resolution
+    /// starts.
+    fn deepest_usable_zone(
+        &mut self,
+        name: &Name,
+        now: SimTime,
+        max_parent_age: Option<SimDuration>,
+    ) -> Option<Name>;
+
+    /// Installs or updates a zone's infrastructure records (see
+    /// [`InfraCache::install`]).
+    #[allow(clippy::too_many_arguments)]
+    fn install_infra(
+        &mut self,
+        zone: Name,
+        ns_names: Vec<Name>,
+        addrs: Vec<(Name, Ipv4Addr)>,
+        ttl: Ttl,
+        now: SimTime,
+        source: InfraSource,
+        refresh: bool,
+    ) -> bool;
+
+    /// Notes demand-driven use of `zone` (renewal credit accounting).
+    fn record_zone_use(&mut self, zone: &Name, now: SimTime, policy: Option<&RenewalPolicy>);
+
+    /// Consumes one unit of `zone`'s renewal credit, returning a snapshot
+    /// of the entry when credit was available.
+    fn consume_renewal_credit(&mut self, zone: &Name) -> Option<InfraEntry>;
+
+    /// Pops the next renewal due at or before `upto`.
+    fn next_renewal_due(&mut self, upto: SimTime) -> Option<(SimTime, Name)>;
+
+    /// Earliest pending renewal instant, if any.
+    fn peek_renewal_due(&mut self) -> Option<SimTime>;
+
+    /// Drains the Figure-3 gap samples collected so far.
+    fn take_gap_samples(&mut self) -> Vec<GapSample>;
+
+    /// Attaches DS records to `zone`'s entry.
+    fn set_zone_ds(&mut self, zone: &Name, ds: Vec<(u16, u32)>);
+
+    /// Moves `addr` to the front of `zone`'s server list.
+    fn promote_zone_address(&mut self, zone: &Name, addr: Ipv4Addr);
+
+    /// Adds learned `(server name, address)` pairs to `zone`'s entry.
+    fn add_zone_addresses(&mut self, zone: &Name, pairs: &[(Name, Ipv4Addr)]);
+
+    /// Drops consumed gap tombstones older than `retention`.
+    fn purge_infra_tombstones(&mut self, now: SimTime, retention: SimDuration) -> usize;
+
+    /// Zones with fresh infrastructure entries at `now`.
+    fn infra_fresh_zones(&mut self, now: SimTime) -> usize;
+
+    /// Individual infrastructure records across fresh zones at `now`.
+    fn infra_fresh_records(&mut self, now: SimTime) -> usize;
+
+    // --- single flight -------------------------------------------------
+
+    /// Claims or joins the in-flight fetch for `(name, rtype)`.
+    ///
+    /// A backend without coalescing always returns
+    /// `Flight::Lead(FlightToken::solo())`.
+    fn begin_flight(&mut self, name: &Name, rtype: RecordType) -> Flight {
+        let _ = (name, rtype);
+        Flight::Lead(FlightToken::solo())
+    }
+
+    /// A snapshot of the backend's own observability registry (shard
+    /// counters, coalescing counters), if it keeps one.
+    fn obs_registry(&self) -> Option<dns_obs::Registry> {
+        None
+    }
+}
+
+/// The single-threaded backend: one [`RecordCache`] + one [`InfraCache`],
+/// owned by exactly one [`crate::CachingServer`]. This is the default
+/// backend and preserves the historical behaviour bit-for-bit.
+#[derive(Debug, Clone, Default)]
+pub struct LocalBackend {
+    cache: RecordCache,
+    infra: InfraCache,
+}
+
+impl LocalBackend {
+    /// An empty backend.
+    pub fn new() -> Self {
+        LocalBackend::default()
+    }
+
+    /// Read access to the record cache (tests, metrics).
+    pub fn record_cache(&self) -> &RecordCache {
+        &self.cache
+    }
+
+    /// Read access to the infrastructure cache.
+    pub fn infra_cache(&self) -> &InfraCache {
+        &self.infra
+    }
+}
+
+impl CacheBackend for LocalBackend {
+    #[inline]
+    fn with_record<R>(
+        &mut self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+        f: impl FnOnce(Option<&CacheEntry>) -> R,
+    ) -> R {
+        f(self.cache.get(name, rtype, now))
+    }
+
+    #[inline]
+    fn insert_record(&mut self, set: RrSet, now: SimTime, credibility: Credibility) -> bool {
+        self.cache.insert(set, now, credibility)
+    }
+
+    #[inline]
+    fn negative(&mut self, name: &Name, rtype: RecordType, now: SimTime) -> Option<NegativeKind> {
+        self.cache.get_negative(name, rtype, now)
+    }
+
+    #[inline]
+    fn insert_negative(
+        &mut self,
+        name: Name,
+        rtype: RecordType,
+        kind: NegativeKind,
+        ttl: Ttl,
+        now: SimTime,
+    ) {
+        self.cache.insert_negative(name, rtype, kind, ttl, now);
+    }
+
+    #[inline]
+    fn purge_data(&mut self, now: SimTime) -> usize {
+        self.cache.purge_expired(now)
+    }
+
+    #[inline]
+    fn data_fresh_rrsets(&mut self, now: SimTime) -> usize {
+        self.cache.fresh_len(now)
+    }
+
+    #[inline]
+    fn data_fresh_records(&mut self, now: SimTime) -> usize {
+        self.cache.fresh_record_count(now)
+    }
+
+    #[inline]
+    fn install_root_hints(&mut self, servers: &[(Name, Ipv4Addr)]) {
+        self.infra.install_root_hints(servers);
+    }
+
+    #[inline]
+    fn with_infra<R>(&mut self, zone: &Name, f: impl FnOnce(Option<&InfraEntry>) -> R) -> R {
+        f(self.infra.get(zone))
+    }
+
+    #[inline]
+    fn deepest_usable_zone(
+        &mut self,
+        name: &Name,
+        now: SimTime,
+        max_parent_age: Option<SimDuration>,
+    ) -> Option<Name> {
+        self.infra
+            .deepest_usable_ancestor(name, now, max_parent_age)
+            .map(|e| e.zone.clone())
+    }
+
+    #[inline]
+    fn install_infra(
+        &mut self,
+        zone: Name,
+        ns_names: Vec<Name>,
+        addrs: Vec<(Name, Ipv4Addr)>,
+        ttl: Ttl,
+        now: SimTime,
+        source: InfraSource,
+        refresh: bool,
+    ) -> bool {
+        self.infra
+            .install(zone, ns_names, addrs, ttl, now, source, refresh)
+    }
+
+    #[inline]
+    fn record_zone_use(&mut self, zone: &Name, now: SimTime, policy: Option<&RenewalPolicy>) {
+        self.infra.record_use(zone, now, policy);
+    }
+
+    #[inline]
+    fn consume_renewal_credit(&mut self, zone: &Name) -> Option<InfraEntry> {
+        self.infra.consume_renewal_credit(zone)
+    }
+
+    #[inline]
+    fn next_renewal_due(&mut self, upto: SimTime) -> Option<(SimTime, Name)> {
+        self.infra.next_renewal_due(upto)
+    }
+
+    #[inline]
+    fn peek_renewal_due(&mut self) -> Option<SimTime> {
+        self.infra.peek_renewal_due()
+    }
+
+    #[inline]
+    fn take_gap_samples(&mut self) -> Vec<GapSample> {
+        self.infra.take_gap_samples()
+    }
+
+    #[inline]
+    fn set_zone_ds(&mut self, zone: &Name, ds: Vec<(u16, u32)>) {
+        self.infra.set_ds(zone, ds);
+    }
+
+    #[inline]
+    fn promote_zone_address(&mut self, zone: &Name, addr: Ipv4Addr) {
+        self.infra.promote_address(zone, addr);
+    }
+
+    #[inline]
+    fn add_zone_addresses(&mut self, zone: &Name, pairs: &[(Name, Ipv4Addr)]) {
+        self.infra.add_addresses(zone, pairs);
+    }
+
+    #[inline]
+    fn purge_infra_tombstones(&mut self, now: SimTime, retention: SimDuration) -> usize {
+        self.infra.purge_tombstones(now, retention)
+    }
+
+    #[inline]
+    fn infra_fresh_zones(&mut self, now: SimTime) -> usize {
+        self.infra.fresh_zone_count(now)
+    }
+
+    #[inline]
+    fn infra_fresh_records(&mut self, now: SimTime) -> usize {
+        self.infra.fresh_record_count(now)
+    }
+}

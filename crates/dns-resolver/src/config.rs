@@ -71,6 +71,16 @@ pub struct ResolverConfig {
     /// randomization and backoff jitter). Same seed → same IDs and same
     /// retry schedule.
     pub seed: u64,
+    /// Number of data-cache shards a [`crate::ShardedCache`] built for
+    /// this configuration should use. The default [`crate::LocalBackend`]
+    /// ignores it.
+    pub shards: usize,
+    /// Single-flight coalescing: top-level cache misses go through the
+    /// backend's in-flight table so concurrent identical queries share one
+    /// upstream fetch. Off by default — the deterministic experiment
+    /// transcripts were captured without the extra cache re-probe a
+    /// leader performs.
+    pub coalesce: bool,
 }
 
 impl ResolverConfig {
@@ -84,22 +94,52 @@ impl ResolverConfig {
             parent_recheck: None,
             retry: RetryPolicy::none(),
             seed: 0x0DD5_EED5,
+            shards: 1,
+            coalesce: false,
         }
     }
 
+    /// A fluent builder starting from [`ResolverConfig::vanilla`].
+    pub fn builder() -> ResolverConfigBuilder {
+        ResolverConfigBuilder {
+            config: ResolverConfig::vanilla(),
+        }
+    }
+
+    /// A builder starting from this configuration — the canonical way to
+    /// adjust a preset (`ResolverConfig::with_refresh().to_builder()…`).
+    pub fn to_builder(self) -> ResolverConfigBuilder {
+        ResolverConfigBuilder { config: self }
+    }
+
     /// Enables the §6 parent-recheck safeguard with the given bound.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use ResolverConfig::builder()/.to_builder() \
+                                          with .parent_recheck(..) instead"
+    )]
     pub fn with_parent_recheck(mut self, every: SimDuration) -> Self {
         self.parent_recheck = Some(every);
         self
     }
 
     /// Installs a retry/backoff policy for upstream exchanges.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use ResolverConfig::builder()/.to_builder() \
+                                          with .retry(..) instead"
+    )]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
     }
 
     /// Sets the seed of the resolver's deterministic RNG.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use ResolverConfig::builder()/.to_builder() \
+                                          with .seed(..) instead"
+    )]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -137,6 +177,90 @@ impl ResolverConfig {
 impl Default for ResolverConfig {
     fn default() -> Self {
         ResolverConfig::vanilla()
+    }
+}
+
+/// Fluent constructor for [`ResolverConfig`]: every knob — scheme flags,
+/// TTL policy, retry, RNG seed and the concurrency options — in one
+/// chain, replacing the scattered `with_*` setters.
+///
+/// ```rust
+/// use dns_resolver::{ResolverConfig, RetryPolicy};
+///
+/// let config = ResolverConfig::builder()
+///     .refresh(true)
+///     .retry(RetryPolicy::standard())
+///     .seed(42)
+///     .shards(8)
+///     .coalesce(true)
+///     .build();
+/// assert!(config.refresh && config.coalesce);
+/// assert_eq!(config.shards, 8);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ResolverConfigBuilder {
+    config: ResolverConfig,
+}
+
+impl ResolverConfigBuilder {
+    /// Enables or disables the TTL-refresh scheme.
+    pub fn refresh(mut self, on: bool) -> Self {
+        self.config.refresh = on;
+        self
+    }
+
+    /// Enables TTL renewal under `policy` (implies the paper's pairing
+    /// with refresh only if you also set [`refresh`](Self::refresh)).
+    pub fn renewal(mut self, policy: RenewalPolicy) -> Self {
+        self.config.renewal = Some(policy);
+        self
+    }
+
+    /// Upper bound on any accepted TTL.
+    pub fn ttl_cap(mut self, cap: Ttl) -> Self {
+        self.config.ttl_cap = cap;
+        self
+    }
+
+    /// Upper bound on negative-caching TTLs.
+    pub fn negative_ttl_cap(mut self, cap: Ttl) -> Self {
+        self.config.negative_ttl_cap = cap;
+        self
+    }
+
+    /// Enables the §6 parent-recheck safeguard with the given bound.
+    pub fn parent_recheck(mut self, every: SimDuration) -> Self {
+        self.config.parent_recheck = Some(every);
+        self
+    }
+
+    /// Retry/backoff policy for upstream exchanges.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Seed for the resolver's deterministic RNG.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Number of data-cache shards for a shared [`crate::ShardedCache`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards.max(1);
+        self
+    }
+
+    /// Enables single-flight coalescing of top-level cache misses.
+    pub fn coalesce(mut self, on: bool) -> Self {
+        self.config.coalesce = on;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> ResolverConfig {
+        self.config
     }
 }
 
@@ -181,15 +305,53 @@ mod tests {
     }
 
     #[test]
-    fn retry_and_seed_builders() {
-        let c = ResolverConfig::vanilla()
-            .with_retry(RetryPolicy::standard())
-            .with_seed(99);
+    fn builder_covers_every_knob() {
+        let c = ResolverConfig::builder()
+            .refresh(true)
+            .renewal(RenewalPolicy::lru(3))
+            .ttl_cap(Ttl::from_days(3))
+            .negative_ttl_cap(Ttl::from_mins(10))
+            .parent_recheck(SimDuration::from_days(7))
+            .retry(RetryPolicy::standard())
+            .seed(99)
+            .shards(8)
+            .coalesce(true)
+            .build();
+        assert!(c.refresh);
+        assert_eq!(c.renewal, Some(RenewalPolicy::lru(3)));
+        assert_eq!(c.ttl_cap, Ttl::from_days(3));
+        assert_eq!(c.negative_ttl_cap, Ttl::from_mins(10));
+        assert_eq!(c.parent_recheck, Some(SimDuration::from_days(7)));
         assert_eq!(c.retry, RetryPolicy::standard());
         assert_eq!(c.seed, 99);
+        assert_eq!(c.shards, 8);
+        assert!(c.coalesce);
         // The default stays single-pass so virtual-time experiment counts
         // are unchanged.
         assert_eq!(ResolverConfig::vanilla().retry, RetryPolicy::none());
+    }
+
+    #[test]
+    fn builder_defaults_match_vanilla_and_presets_convert() {
+        assert_eq!(ResolverConfig::builder().build(), ResolverConfig::vanilla());
+        let c = ResolverConfig::with_refresh().to_builder().seed(7).build();
+        assert!(c.refresh);
+        assert_eq!(c.seed, 7);
+        // Shard counts floor at one.
+        assert_eq!(ResolverConfig::builder().shards(0).build().shards, 1);
+    }
+
+    /// The deprecated setters keep working until removal.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_apply() {
+        let c = ResolverConfig::vanilla()
+            .with_retry(RetryPolicy::standard())
+            .with_seed(99)
+            .with_parent_recheck(SimDuration::from_days(7));
+        assert_eq!(c.retry, RetryPolicy::standard());
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.parent_recheck, Some(SimDuration::from_days(7)));
     }
 
     #[test]

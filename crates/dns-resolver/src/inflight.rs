@@ -1,0 +1,187 @@
+//! Single-flight coalescing: concurrent identical queries share one
+//! upstream fetch.
+//!
+//! The first thread to miss the cache for a `(name, type)` becomes the
+//! *leader* and carries a [`FlightToken`]; every thread that arrives while
+//! the flight is open blocks on the flight's condvar and receives the
+//! leader's published [`Outcome`] verbatim. The table entry is removed
+//! before the outcome is published, so a thread arriving after publication
+//! starts a fresh flight (and typically hits the now-warm cache instead of
+//! fetching).
+//!
+//! The token publishes [`Outcome::Fail`] on drop: a leader that panics or
+//! bails early can never strand its followers on the condvar.
+
+use crate::Outcome;
+use dns_core::{Name, RecordType, RrKey};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Completion slot one flight's followers block on.
+#[derive(Debug, Default)]
+struct FlightSlot {
+    outcome: Mutex<Option<Outcome>>,
+    cv: Condvar,
+}
+
+impl FlightSlot {
+    fn complete(&self, outcome: Outcome) {
+        let mut guard = self.outcome.lock().unwrap();
+        if guard.is_none() {
+            *guard = Some(outcome);
+        }
+        drop(guard);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Outcome {
+        let mut guard = self.outcome.lock().unwrap();
+        loop {
+            match guard.as_ref() {
+                Some(outcome) => return outcome.clone(),
+                None => guard = self.cv.wait(guard).unwrap(),
+            }
+        }
+    }
+}
+
+/// The in-flight query table shared by every handle of a
+/// [`crate::ShardedCache`].
+#[derive(Debug, Default)]
+pub(crate) struct InflightTable {
+    slots: Mutex<HashMap<RrKey, Arc<FlightSlot>>>,
+}
+
+impl InflightTable {
+    /// Joins the open flight for `(name, rtype)` — blocking until its
+    /// leader publishes — or opens a new one and returns its token.
+    pub(crate) fn join_or_lead(
+        self: &Arc<Self>,
+        name: &Name,
+        rtype: RecordType,
+    ) -> Result<FlightToken, Outcome> {
+        let mut slots = self.slots.lock().unwrap();
+        if let Some(slot) = slots.get(&(name, rtype) as &dyn dns_core::RrKeyView) {
+            let slot = Arc::clone(slot);
+            drop(slots);
+            return Err(slot.wait());
+        }
+        let key = RrKey::new(name.clone(), rtype);
+        let slot = Arc::new(FlightSlot::default());
+        slots.insert(key.clone(), Arc::clone(&slot));
+        drop(slots);
+        Ok(FlightToken {
+            flight: Some((key, slot, Arc::clone(self))),
+        })
+    }
+
+    fn finish(&self, key: &RrKey, slot: &FlightSlot, outcome: Outcome) {
+        // Remove before publishing: a thread arriving after publication
+        // must open a fresh flight, never observe a completed slot.
+        self.slots.lock().unwrap().remove(key);
+        slot.complete(outcome);
+    }
+}
+
+/// Whether this resolution leads its flight or shares a leader's answer.
+#[derive(Debug)]
+pub enum Flight {
+    /// This thread is the leader: perform the fetch, then
+    /// [`FlightToken::publish`] the outcome for any followers.
+    Lead(FlightToken),
+    /// Another thread's flight was already open; its published outcome.
+    Shared(Outcome),
+}
+
+/// Leadership of one in-flight query (see [`Flight::Lead`]).
+///
+/// Dropping the token without [`FlightToken::publish`] releases followers
+/// with [`Outcome::Fail`].
+#[derive(Debug)]
+pub struct FlightToken {
+    flight: Option<(RrKey, Arc<FlightSlot>, Arc<InflightTable>)>,
+}
+
+impl FlightToken {
+    /// A token with no followers, for backends that never coalesce
+    /// ([`crate::LocalBackend`]). Publish and drop are no-ops.
+    pub fn solo() -> Self {
+        FlightToken { flight: None }
+    }
+
+    /// Publishes the leader's outcome, waking every follower.
+    pub fn publish(mut self, outcome: &Outcome) {
+        if let Some((key, slot, table)) = self.flight.take() {
+            table.finish(&key, &slot, outcome.clone());
+        }
+    }
+}
+
+impl Drop for FlightToken {
+    fn drop(&mut self) {
+        if let Some((key, slot, table)) = self.flight.take() {
+            table.finish(&key, &slot, Outcome::Fail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn leader_publishes_to_followers() {
+        let table = Arc::new(InflightTable::default());
+        let token = match table.join_or_lead(&name("www.x.com"), RecordType::A) {
+            Ok(t) => t,
+            Err(_) => panic!("first arrival must lead"),
+        };
+        let follower = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || table.join_or_lead(&name("www.x.com"), RecordType::A))
+        };
+        // Give the follower a chance to block on the slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        token.publish(&Outcome::NxDomain { from_cache: false });
+        match follower.join().unwrap() {
+            Err(Outcome::NxDomain { from_cache: false }) => {}
+            other => panic!("follower saw {other:?}"),
+        }
+        // The table entry is gone: the next arrival leads a fresh flight.
+        assert!(table
+            .join_or_lead(&name("www.x.com"), RecordType::A)
+            .is_ok());
+    }
+
+    #[test]
+    fn dropped_token_fails_followers() {
+        let table = Arc::new(InflightTable::default());
+        let token = table.join_or_lead(&name("a.x"), RecordType::A).unwrap();
+        let follower = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || table.join_or_lead(&name("a.x"), RecordType::A))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(token);
+        assert!(matches!(follower.join().unwrap(), Err(Outcome::Fail)));
+    }
+
+    #[test]
+    fn distinct_questions_do_not_coalesce() {
+        let table = Arc::new(InflightTable::default());
+        let _a = table.join_or_lead(&name("a.x"), RecordType::A).unwrap();
+        assert!(table.join_or_lead(&name("b.x"), RecordType::A).is_ok());
+        assert!(table.join_or_lead(&name("a.x"), RecordType::Ns).is_ok());
+    }
+
+    #[test]
+    fn solo_token_is_inert() {
+        let t = FlightToken::solo();
+        t.publish(&Outcome::Fail);
+        drop(FlightToken::solo());
+    }
+}

@@ -46,24 +46,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod cache;
 mod config;
 pub mod dnssec;
+mod inflight;
 mod infra;
 mod metrics;
 mod obs;
 mod policy;
 mod resolve;
 mod retry;
+mod shard;
 mod upstream;
 
+pub use backend::{CacheBackend, LocalBackend};
 pub use cache::{CacheEntry, Credibility, NegativeKind, RecordCache};
-pub use config::{ResolverConfig, RootHints};
+pub use config::{ResolverConfig, ResolverConfigBuilder, RootHints};
 pub use dnssec::SecureStatus;
+pub use inflight::{Flight, FlightToken};
 pub use infra::{GapSample, InfraCache, InfraEntry, InfraSource};
 pub use metrics::{OccupancySample, ResolverMetrics};
 pub use obs::{LatencyModel, ResolverObs};
 pub use policy::RenewalPolicy;
 pub use resolve::{CachingServer, Outcome};
 pub use retry::RetryPolicy;
+pub use shard::ShardedCache;
 pub use upstream::Upstream;

@@ -2,7 +2,7 @@
 
 use dns_core::SimTime;
 use std::fmt;
-use std::ops::Sub;
+use std::ops::{Add, Sub};
 
 /// Monotone counters maintained by a [`crate::CachingServer`].
 ///
@@ -96,6 +96,35 @@ impl Sub for ResolverMetrics {
             mismatched_responses: self
                 .mismatched_responses
                 .saturating_sub(rhs.mismatched_responses),
+        }
+    }
+}
+
+impl Add for ResolverMetrics {
+    type Output = ResolverMetrics;
+
+    /// Pairwise saturating sum — aggregates the counters of several
+    /// workers sharing one cache backend into fleet-wide totals.
+    fn add(self, rhs: ResolverMetrics) -> ResolverMetrics {
+        ResolverMetrics {
+            queries_in: self.queries_in.saturating_add(rhs.queries_in),
+            failed_in: self.failed_in.saturating_add(rhs.failed_in),
+            cache_hits: self.cache_hits.saturating_add(rhs.cache_hits),
+            queries_out: self.queries_out.saturating_add(rhs.queries_out),
+            failed_out: self.failed_out.saturating_add(rhs.failed_out),
+            referrals: self.referrals.saturating_add(rhs.referrals),
+            refreshes: self.refreshes.saturating_add(rhs.refreshes),
+            renewals_sent: self.renewals_sent.saturating_add(rhs.renewals_sent),
+            renewals_ok: self.renewals_ok.saturating_add(rhs.renewals_ok),
+            negative_answers: self.negative_answers.saturating_add(rhs.negative_answers),
+            retries: self.retries.saturating_add(rhs.retries),
+            backoff_wait_ms: self.backoff_wait_ms.saturating_add(rhs.backoff_wait_ms),
+            deadline_exhausted: self
+                .deadline_exhausted
+                .saturating_add(rhs.deadline_exhausted),
+            mismatched_responses: self
+                .mismatched_responses
+                .saturating_add(rhs.mismatched_responses),
         }
     }
 }

@@ -1,9 +1,11 @@
 //! The caching server: iterative resolution plus the resilience schemes.
 
+use crate::backend::{CacheBackend, LocalBackend};
 use crate::cache::NegativeKind;
+use crate::inflight::Flight;
 use crate::{
-    Credibility, InfraCache, InfraSource, OccupancySample, RecordCache, ResolverConfig,
-    ResolverMetrics, ResolverObs, RootHints, Upstream,
+    Credibility, InfraSource, OccupancySample, ResolverConfig, ResolverMetrics, ResolverObs,
+    RootHints, Upstream,
 };
 use dns_core::{
     Message, Name, Question, RData, Record, RecordType, ResponseKind, RrSet, SimDuration, SimTime,
@@ -105,13 +107,18 @@ fn cache_tag(from_cache: bool) -> &'static str {
 /// A caching DNS server (the paper's *CS*): iterative resolver, record
 /// cache, infrastructure cache and the configured resilience schemes.
 ///
+/// The server is generic over its [`CacheBackend`]: the default
+/// [`LocalBackend`] owns a private cache pair (the historical,
+/// deterministic configuration), while [`crate::ShardedCache`] lets many
+/// servers on different threads share one sharded cache with
+/// single-flight coalescing.
+///
 /// See the crate-level documentation for an example and the scheme
 /// descriptions.
 #[derive(Debug, Clone)]
-pub struct CachingServer {
+pub struct CachingServer<B: CacheBackend = LocalBackend> {
     config: ResolverConfig,
-    cache: RecordCache,
-    infra: InfraCache,
+    backend: B,
     metrics: ResolverMetrics,
     /// Deterministic RNG seeded from [`ResolverConfig::seed`]; drives
     /// query-ID randomization (the anti-spoofing fix — sequential IDs are
@@ -125,15 +132,31 @@ pub struct CachingServer {
 
 impl CachingServer {
     /// Creates a caching server with the given configuration and root
-    /// hints.
+    /// hints, backed by a private [`LocalBackend`].
     pub fn new(config: ResolverConfig, hints: RootHints) -> Self {
-        let mut infra = InfraCache::new();
-        infra.install_root_hints(hints.servers());
+        CachingServer::with_backend(config, hints, LocalBackend::new())
+    }
+
+    /// The infrastructure cache (read access, e.g. for tests and metrics).
+    pub fn infra(&self) -> &crate::InfraCache {
+        self.backend.infra_cache()
+    }
+
+    /// The record cache (read access).
+    pub fn cache(&self) -> &crate::RecordCache {
+        self.backend.record_cache()
+    }
+}
+
+impl<B: CacheBackend> CachingServer<B> {
+    /// Creates a caching server over an explicit backend (possibly shared
+    /// with other servers) and installs the root hints into it.
+    pub fn with_backend(config: ResolverConfig, hints: RootHints, mut backend: B) -> Self {
+        backend.install_root_hints(hints.servers());
         let rng = StdRng::seed_from_u64(config.seed);
         CachingServer {
             config,
-            cache: RecordCache::new(),
-            infra,
+            backend,
             metrics: ResolverMetrics::default(),
             rng,
             obs: ResolverObs::new(),
@@ -150,19 +173,15 @@ impl CachingServer {
         &self.metrics
     }
 
-    /// The infrastructure cache (read access, e.g. for tests and metrics).
-    pub fn infra(&self) -> &InfraCache {
-        &self.infra
-    }
-
-    /// The record cache (read access).
-    pub fn cache(&self) -> &RecordCache {
-        &self.cache
+    /// The cache backend (read access, e.g. for a shared backend's
+    /// observability registry).
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// Drains the Figure-3 gap samples collected so far.
     pub fn take_gap_samples(&mut self) -> Vec<crate::infra::GapSample> {
-        self.infra.take_gap_samples()
+        self.backend.take_gap_samples()
     }
 
     /// Observability state: latency histogram and optional trace.
@@ -255,7 +274,7 @@ impl CachingServer {
     /// and any cached zone holds credit.
     pub fn next_renewal_due(&mut self) -> Option<SimTime> {
         self.config.renewal?;
-        self.infra.peek_renewal_due()
+        self.backend.peek_renewal_due()
     }
 
     /// Executes every renewal due at or before `upto`, each at its own due
@@ -265,8 +284,8 @@ impl CachingServer {
             return 0;
         }
         let mut attempted = 0;
-        while let Some((due, zone)) = self.infra.next_renewal_due(upto) {
-            let Some(entry) = self.infra.consume_renewal_credit(&zone) else {
+        while let Some((due, zone)) = self.backend.next_renewal_due(upto) {
+            let Some(entry) = self.backend.consume_renewal_credit(&zone) else {
                 continue;
             };
             attempted += 1;
@@ -298,17 +317,18 @@ impl CachingServer {
     pub fn occupancy(&mut self, now: SimTime) -> OccupancySample {
         OccupancySample {
             at: now,
-            zones: self.infra.fresh_zone_count(now),
-            infra_records: self.infra.fresh_record_count(now),
-            data_rrsets: self.cache.fresh_len(now),
-            data_records: self.cache.fresh_record_count(now),
+            zones: self.backend.infra_fresh_zones(now),
+            infra_records: self.backend.infra_fresh_records(now),
+            data_rrsets: self.backend.data_fresh_rrsets(now),
+            data_records: self.backend.data_fresh_records(now),
         }
     }
 
     /// Evicts expired cache entries and aged-out tombstones.
     pub fn purge(&mut self, now: SimTime) {
-        self.cache.purge_expired(now);
-        self.infra.purge_tombstones(now, TOMBSTONE_RETENTION);
+        self.backend.purge_data(now);
+        self.backend
+            .purge_infra_tombstones(now, TOMBSTONE_RETENTION);
     }
 
     // ------------------------------------------------------------------
@@ -327,7 +347,7 @@ impl CachingServer {
         }
 
         // Negative cache.
-        if let Some(kind) = self.cache.get_negative(&question.name, question.rtype, now) {
+        if let Some(kind) = self.backend.negative(&question.name, question.rtype, now) {
             self.trace_push(|| TraceEvent::NegativeCacheHit);
             return match kind {
                 NegativeKind::NxDomain => Outcome::NxDomain { from_cache: true },
@@ -339,9 +359,12 @@ impl CachingServer {
         let mut chain: Vec<Record> = Vec::new();
         let mut qname = question.name.clone();
         for _ in 0..MAX_CNAME_CHAIN {
-            if let Some(entry) = self.cache.get(&qname, question.rtype, now) {
+            let hit = self.backend.with_record(&qname, question.rtype, now, |e| {
+                e.map(|e| e.set.to_records())
+            });
+            if let Some(recs) = hit {
                 let mut records = chain;
-                records.extend(entry.set.to_records());
+                records.extend(recs);
                 self.trace_push(|| TraceEvent::CacheHit);
                 return Outcome::Answer {
                     records,
@@ -351,21 +374,33 @@ impl CachingServer {
             if question.rtype == RecordType::Cname {
                 break;
             }
-            let Some(cname_entry) = self.cache.get(&qname, RecordType::Cname, now) else {
+            let link = self
+                .backend
+                .with_record(&qname, RecordType::Cname, now, |e| {
+                    e.and_then(|entry| match entry.set.rdatas().first() {
+                        Some(RData::Cname(t)) => Some((entry.set.to_records(), t.clone())),
+                        _ => None,
+                    })
+                });
+            let Some((link_records, target)) = link else {
                 break;
             };
-            let target = match cname_entry.set.rdatas().first() {
-                Some(RData::Cname(t)) => t.clone(),
-                _ => break,
-            };
-            chain.extend(cname_entry.set.to_records());
+            chain.extend(link_records);
             qname = target;
         }
 
         // Cache cannot answer: walk the hierarchy for `qname` (the end of
-        // any cached alias chain).
+        // any cached alias chain). Top-level misses go through the
+        // backend's single-flight gate when coalescing is enabled; nested
+        // resolutions never wait on a flight (a leader blocking on another
+        // leader could deadlock).
         self.trace_push(|| TraceEvent::CacheMiss);
-        let outcome = self.fetch(&Question::new(qname, question.rtype), now, up, depth);
+        let tail = Question::new(qname, question.rtype);
+        let outcome = if depth == 0 && self.config.coalesce {
+            self.coalesced_fetch(&tail, now, up)
+        } else {
+            self.fetch(&tail, now, up, depth)
+        };
         match outcome {
             Outcome::Answer { records, .. } if !chain.is_empty() => {
                 chain.extend(records);
@@ -378,6 +413,50 @@ impl CachingServer {
         }
     }
 
+    /// Fetches under the backend's single-flight gate: either this
+    /// resolution leads (performs the fetch and publishes the outcome for
+    /// followers) or it shares an already-open flight's outcome.
+    ///
+    /// A leader re-probes both caches before going upstream: between this
+    /// thread's cache miss and winning the lead, the *previous* leader may
+    /// have published and populated the caches, and fetching again would
+    /// defeat the coalescing the herd is counting on.
+    fn coalesced_fetch<U: Upstream>(
+        &mut self,
+        question: &Question,
+        now: SimTime,
+        up: &mut U,
+    ) -> Outcome {
+        let token = match self.backend.begin_flight(&question.name, question.rtype) {
+            Flight::Shared(outcome) => return outcome,
+            Flight::Lead(token) => token,
+        };
+        if let Some(kind) = self.backend.negative(&question.name, question.rtype, now) {
+            let outcome = match kind {
+                NegativeKind::NxDomain => Outcome::NxDomain { from_cache: true },
+                NegativeKind::NoData => Outcome::NoData { from_cache: true },
+            };
+            token.publish(&outcome);
+            return outcome;
+        }
+        let cached = self
+            .backend
+            .with_record(&question.name, question.rtype, now, |e| {
+                e.map(|e| e.set.to_records())
+            });
+        if let Some(records) = cached {
+            let outcome = Outcome::Answer {
+                records,
+                from_cache: true,
+            };
+            token.publish(&outcome);
+            return outcome;
+        }
+        let outcome = self.fetch(question, now, up, 0);
+        token.publish(&outcome);
+        outcome
+    }
+
     /// Iterative resolution over the network, starting from the deepest
     /// fresh infrastructure entry.
     fn fetch<U: Upstream>(
@@ -387,10 +466,9 @@ impl CachingServer {
         up: &mut U,
         depth: usize,
     ) -> Outcome {
-        let Some(start) = self
-            .infra
-            .deepest_usable_ancestor(&question.name, now, self.config.parent_recheck)
-            .map(|e| e.zone.clone())
+        let Some(start) =
+            self.backend
+                .deepest_usable_zone(&question.name, now, self.config.parent_recheck)
         else {
             self.trace_push(|| TraceEvent::NoInfra);
             return Outcome::Fail;
@@ -411,7 +489,7 @@ impl CachingServer {
             // Prefer the responsive server next time instead of re-paying
             // timeouts on dead ones ahead of it in the list.
             if Some(responder) != addrs.first().copied() {
-                self.infra.promote_address(&zone, responder);
+                self.backend.promote_zone_address(&zone, responder);
             }
             self.harvest_response(&resp, &zone, now, true);
 
@@ -429,7 +507,7 @@ impl CachingServer {
                 }
                 ResponseKind::NxDomain => {
                     let ttl = self.negative_ttl(&resp);
-                    self.cache.insert_negative(
+                    self.backend.insert_negative(
                         question.name.clone(),
                         question.rtype,
                         NegativeKind::NxDomain,
@@ -440,7 +518,7 @@ impl CachingServer {
                 }
                 ResponseKind::NoData => {
                     let ttl = self.negative_ttl(&resp);
-                    self.cache.insert_negative(
+                    self.backend.insert_negative(
                         question.name.clone(),
                         question.rtype,
                         NegativeKind::NoData,
@@ -528,22 +606,40 @@ impl CachingServer {
         up: &mut U,
         depth: usize,
     ) -> Vec<Ipv4Addr> {
-        let Some(entry) = self.infra.get(zone) else {
-            return Vec::new();
-        };
-        if !entry.addrs.is_empty() {
-            return entry.server_addrs().collect();
+        /// What the infra entry offers for contacting a zone, extracted
+        /// under the backend's borrow.
+        enum ZoneServers {
+            Unknown,
+            Ready(Vec<Ipv4Addr>),
+            NeedGlue(Vec<Name>),
         }
-        let ns_names: Vec<Name> = entry.ns_names.clone();
+        let servers = self.backend.with_infra(zone, |entry| match entry {
+            None => ZoneServers::Unknown,
+            Some(e) if !e.addrs.is_empty() => ZoneServers::Ready(e.server_addrs().collect()),
+            Some(e) => ZoneServers::NeedGlue(e.ns_names.clone()),
+        });
+        let ns_names = match servers {
+            ZoneServers::Unknown => return Vec::new(),
+            ZoneServers::Ready(addrs) => return addrs,
+            ZoneServers::NeedGlue(ns_names) => ns_names,
+        };
         let mut learned: Vec<(Name, Ipv4Addr)> = Vec::new();
         for ns in &ns_names {
             // Cached address?
-            if let Some(e) = self.cache.get(ns, RecordType::A, now) {
-                for rd in e.set.rdatas() {
-                    if let RData::A(a) = rd {
-                        learned.push((ns.clone(), *a));
-                    }
-                }
+            let cached = self.backend.with_record(ns, RecordType::A, now, |e| {
+                e.map(|e| {
+                    e.set
+                        .rdatas()
+                        .iter()
+                        .filter_map(|rd| match rd {
+                            RData::A(a) => Some((ns.clone(), *a)),
+                            _ => None,
+                        })
+                        .collect::<Vec<_>>()
+                })
+            });
+            if let Some(pairs) = cached {
+                learned.extend(pairs);
                 continue;
             }
             // Out-of-bailiwick server: resolve its address recursively.
@@ -565,7 +661,7 @@ impl CachingServer {
                 break; // one reachable server is enough to proceed
             }
         }
-        self.infra.add_addresses(zone, &learned);
+        self.backend.add_zone_addresses(zone, &learned);
         learned.into_iter().map(|(_, a)| a).collect()
     }
 
@@ -657,7 +753,8 @@ impl CachingServer {
     ) {
         if demand {
             let policy = self.config.renewal;
-            self.infra.record_use(zone_queried, now, policy.as_ref());
+            self.backend
+                .record_zone_use(zone_queried, now, policy.as_ref());
         }
 
         // Answer section → record cache (authoritative data only).
@@ -670,7 +767,8 @@ impl CachingServer {
                     continue; // handled via the infra cache below
                 }
                 let set = self.cap_ttl(set);
-                self.cache.insert(set, now, Credibility::AuthAnswer);
+                self.backend
+                    .insert_record(set, now, Credibility::AuthAnswer);
             }
         }
 
@@ -681,7 +779,8 @@ impl CachingServer {
             }
             if matches!(set.rtype(), RecordType::A | RecordType::Aaaa) {
                 let set = self.cap_ttl(set);
-                self.cache.insert(set, now, Credibility::Additional);
+                self.backend
+                    .insert_record(set, now, Credibility::Additional);
             }
         }
 
@@ -727,21 +826,22 @@ impl CachingServer {
                 }
                 // Fill gaps from the record cache.
                 if !addrs.iter().any(|(n, _)| n == ns) {
-                    if let Some(e) = self.cache.get(ns, RecordType::A, now) {
-                        for rd in e.set.rdatas() {
-                            if let RData::A(a) = rd {
-                                addrs.push((ns.clone(), *a));
+                    self.backend.with_record(ns, RecordType::A, now, |e| {
+                        if let Some(e) = e {
+                            for rd in e.set.rdatas() {
+                                if let RData::A(a) = rd {
+                                    addrs.push((ns.clone(), *a));
+                                }
                             }
                         }
-                    }
+                    });
                 }
             }
             let ttl = set.ttl().min(self.config.ttl_cap);
-            let was_fresh_child = self
-                .infra
-                .get(&owner)
-                .is_some_and(|e| e.is_fresh(now) && e.source == InfraSource::Child);
-            let installed = self.infra.install(
+            let was_fresh_child = self.backend.with_infra(&owner, |e| {
+                e.is_some_and(|e| e.is_fresh(now) && e.source == InfraSource::Child)
+            });
+            let installed = self.backend.install_infra(
                 owner,
                 ns_names,
                 addrs,
@@ -770,7 +870,7 @@ impl CachingServer {
             }
         }
         for (owner, ds) in ds_by_owner {
-            self.infra.set_ds(&owner, ds);
+            self.backend.set_zone_ds(&owner, ds);
         }
     }
 
@@ -858,7 +958,7 @@ mod tests {
     }
 
     fn ids_for_seed(seed: u64) -> Vec<u16> {
-        let mut cs = CachingServer::new(ResolverConfig::vanilla().with_seed(seed), hints());
+        let mut cs = CachingServer::new(ResolverConfig::builder().seed(seed).build(), hints());
         let mut up = DeadRecorder::default();
         for q in ["a.test", "b.test", "c.test", "d.test", "e.test"] {
             let _ = cs.resolve_a(&q.parse().unwrap(), SimTime::ZERO, &mut up);
@@ -890,7 +990,7 @@ mod tests {
             jitter_pct: 0,
             deadline_ms: 10_000,
         };
-        let config = ResolverConfig::vanilla().with_retry(policy);
+        let config = ResolverConfig::builder().retry(policy).build();
         let mut cs = CachingServer::new(config, hints());
         let mut up = DeadRecorder::default();
         let outcome = cs.resolve_a(&"www.test".parse().unwrap(), SimTime::ZERO, &mut up);
@@ -917,7 +1017,7 @@ mod tests {
             jitter_pct: 0,
             deadline_ms: 150, // admits the first 100 ms wait, not 100+200
         };
-        let config = ResolverConfig::vanilla().with_retry(policy);
+        let config = ResolverConfig::builder().retry(policy).build();
         let mut cs = CachingServer::new(config, hints());
         let mut up = DeadRecorder::default();
         let _ = cs.resolve_a(&"www.test".parse().unwrap(), SimTime::ZERO, &mut up);

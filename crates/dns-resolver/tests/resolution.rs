@@ -550,8 +550,10 @@ fn without_recheck_a_refreshing_resolver_never_sees_new_owners() {
 #[test]
 fn parent_recheck_bounds_delegation_staleness() {
     let (mut net, hints) = build_net();
-    let config =
-        ResolverConfig::with_refresh().with_parent_recheck(dns_core::SimDuration::from_days(7));
+    let config = ResolverConfig::with_refresh()
+        .to_builder()
+        .parent_recheck(dns_core::SimDuration::from_days(7))
+        .build();
     let mut cs = CachingServer::new(config, hints);
     cs.resolve_a(&name("www.ucla.edu"), SimTime::ZERO, &mut net);
 

@@ -4,7 +4,8 @@
 use crate::{CompiledAttack, ServerFarm, SimNet};
 use dns_core::{SimDuration, SimTime, Ttl};
 use dns_resolver::{
-    CachingServer, GapSample, OccupancySample, ResolverConfig, ResolverMetrics, RootHints,
+    CacheBackend, CachingServer, GapSample, LocalBackend, OccupancySample, ResolverConfig,
+    ResolverMetrics, RootHints,
 };
 use dns_trace::{Trace, Universe};
 use std::fmt;
@@ -101,9 +102,9 @@ impl fmt::Display for SimReport {
 /// and forked ([`Simulation::fork`]); the attack-duration sweeps share a
 /// single warmed-up simulation this way.
 #[derive(Debug, Clone)]
-pub struct Simulation {
+pub struct Simulation<B: CacheBackend = LocalBackend> {
     config: SimConfig,
-    cs: CachingServer,
+    cs: CachingServer<B>,
     net: SimNet,
     trace: Arc<Trace>,
     pos: usize,
@@ -149,8 +150,24 @@ impl Simulation {
         trace: Arc<Trace>,
         config: SimConfig,
     ) -> Self {
+        Simulation::shared_with_backend(farm, universe, trace, config, LocalBackend::new())
+    }
+}
+
+impl<B: CacheBackend> Simulation<B> {
+    /// Like [`Simulation::shared`], over an explicit cache backend — the
+    /// entry point for replaying a trace against a shared
+    /// [`ShardedCache`](dns_resolver::ShardedCache), e.g. from several
+    /// threads replaying disjoint trace slices against one cache.
+    pub fn shared_with_backend(
+        farm: Arc<ServerFarm>,
+        universe: &Universe,
+        trace: Arc<Trace>,
+        config: SimConfig,
+        backend: B,
+    ) -> Self {
         let hints = RootHints::new(universe.root_servers().to_vec());
-        let cs = CachingServer::new(config.resolver, hints);
+        let cs = CachingServer::with_backend(config.resolver, hints, backend);
         let next_occupancy = config.occupancy_interval.map(|_| SimTime::ZERO);
         let next_purge = SimTime::ZERO + config.purge_interval;
         Simulation {
@@ -192,13 +209,13 @@ impl Simulation {
     }
 
     /// The caching server under test.
-    pub fn cs(&self) -> &CachingServer {
+    pub fn cs(&self) -> &CachingServer<B> {
         &self.cs
     }
 
     /// Mutable access to the caching server (occupancy sampling advances
     /// cache expiry heaps, so it needs `&mut`).
-    pub fn cs_mut(&mut self) -> &mut CachingServer {
+    pub fn cs_mut(&mut self) -> &mut CachingServer<B> {
         &mut self.cs
     }
 
@@ -229,7 +246,10 @@ impl Simulation {
 
     /// An independent copy sharing the (immutable) trace — used to sweep
     /// attack durations from one warmed-up state.
-    pub fn fork(&self) -> Simulation {
+    pub fn fork(&self) -> Simulation<B>
+    where
+        B: Clone,
+    {
         self.clone()
     }
 
@@ -299,7 +319,7 @@ impl Simulation {
     }
 }
 
-impl fmt::Display for Simulation {
+impl<B: CacheBackend> fmt::Display for Simulation<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,

@@ -3,18 +3,13 @@
 //! Sweeps themselves run through the [`crate::sweep::ExperimentSpec`]
 //! engine: warm a simulation over the first six days of a trace, fork it
 //! per attack duration, and measure failure ratios inside the attack
-//! window — exactly the paper's §5.1 methodology. The free functions
-//! kept here ([`attack_sweep`], [`overhead_run`] and their `_with_farm`
-//! variants) are deprecated single-unit wrappers over that engine.
+//! window — exactly the paper's §5.1 methodology.
 
-use crate::sweep::ExperimentSpec;
 use crate::SimConfig;
-use dns_core::{SimDuration, SimTime, Ttl};
+use dns_core::{SimDuration, Ttl};
 use dns_obs::LogHistogram;
 use dns_resolver::{OccupancySample, RenewalPolicy, ResolverConfig, ResolverMetrics};
-use dns_trace::{Trace, Universe};
 use std::fmt;
-use std::sync::Arc;
 
 /// A complete scheme under evaluation: the caching-server configuration
 /// plus the operator-side long-TTL override.
@@ -124,53 +119,6 @@ impl fmt::Display for AttackOutcome {
     }
 }
 
-/// The paper's §5.1 experiment as a single-unit sweep: warm the cache
-/// for `attack_start` worth of trace, then black out the root + all TLDs
-/// for each duration in turn, measuring the failure percentages inside
-/// each attack window.
-#[deprecated(
-    since = "0.2.0",
-    note = "use sweep::ExperimentSpec::new(universe).trace(..).scheme(..).attack(..).run()"
-)]
-pub fn attack_sweep(
-    universe: &Universe,
-    trace: &Trace,
-    scheme: Scheme,
-    attack_start: SimTime,
-    durations: &[SimDuration],
-) -> Vec<AttackOutcome> {
-    ExperimentSpec::new(universe)
-        .trace(trace.clone())
-        .scheme(scheme)
-        .attack(attack_start, durations)
-        .threads(1)
-        .run()
-        .attacks
-}
-
-/// [`attack_sweep`] with a pre-built farm (must match `scheme.long_ttl`).
-#[deprecated(
-    since = "0.2.0",
-    note = "use sweep::ExperimentSpec::new(universe).farm(..).trace(..).scheme(..).attack(..).run()"
-)]
-pub fn attack_sweep_with_farm(
-    farm: crate::ServerFarm,
-    universe: &Universe,
-    trace: &Trace,
-    scheme: Scheme,
-    attack_start: SimTime,
-    durations: &[SimDuration],
-) -> Vec<AttackOutcome> {
-    ExperimentSpec::new(universe)
-        .farm(scheme.long_ttl, Arc::new(farm))
-        .trace(trace.clone())
-        .scheme(scheme)
-        .attack(attack_start, durations)
-        .threads(1)
-        .run()
-        .attacks
-}
-
 /// The attack durations evaluated in Figures 4–5 (3, 6, 12, 24 hours).
 pub fn paper_durations() -> [SimDuration; 4] {
     [
@@ -259,55 +207,12 @@ fn safe_ratio(a: f64, b: f64) -> f64 {
     }
 }
 
-/// Runs a scheme over the whole trace with no attack, sampling occupancy
-/// every `sample_every`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use sweep::ExperimentSpec::new(universe).trace(..).scheme(..).overhead(..).run()"
-)]
-pub fn overhead_run(
-    universe: &Universe,
-    trace: &Trace,
-    scheme: Scheme,
-    sample_every: SimDuration,
-) -> OverheadOutcome {
-    ExperimentSpec::new(universe)
-        .trace(trace.clone())
-        .scheme(scheme)
-        .overhead(sample_every)
-        .threads(1)
-        .run()
-        .overheads
-        .remove(0)
-}
-
-/// [`overhead_run`] with a pre-built farm (must match `scheme.long_ttl`).
-#[deprecated(
-    since = "0.2.0",
-    note = "use sweep::ExperimentSpec::new(universe).farm(..).trace(..).scheme(..).overhead(..).run()"
-)]
-pub fn overhead_run_with_farm(
-    farm: crate::ServerFarm,
-    universe: &Universe,
-    trace: &Trace,
-    scheme: Scheme,
-    sample_every: SimDuration,
-) -> OverheadOutcome {
-    ExperimentSpec::new(universe)
-        .farm(scheme.long_ttl, Arc::new(farm))
-        .trace(trace.clone())
-        .scheme(scheme)
-        .overhead(sample_every)
-        .threads(1)
-        .run()
-        .overheads
-        .remove(0)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dns_trace::{TraceSpec, UniverseSpec};
+    use crate::sweep::ExperimentSpec;
+    use dns_core::SimTime;
+    use dns_trace::{Trace, TraceSpec, Universe, UniverseSpec};
 
     fn setup() -> (Universe, Trace) {
         let u = UniverseSpec::small().build(7);

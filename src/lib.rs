@@ -45,7 +45,10 @@ pub use dns_trace as trace;
 /// ```
 pub mod prelude {
     pub use dns_core::{Name, Question, RecordType, SimDuration, SimTime, Ttl};
-    pub use dns_resolver::{CachingServer, RenewalPolicy, ResolverConfig, RetryPolicy, RootHints};
+    pub use dns_resolver::{
+        CacheBackend, CachingServer, InfraCache, LocalBackend, RecordCache, RenewalPolicy,
+        ResolverConfig, ResolverConfigBuilder, RetryPolicy, RootHints, ShardedCache,
+    };
     pub use dns_sim::experiment::{paper_durations, Scheme, ATTACK_START_DAY};
     pub use dns_sim::{
         AttackScenario, ExperimentSpec, RunManifest, ServerFarm, SimConfig, SimNet, Simulation,

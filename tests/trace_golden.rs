@@ -25,9 +25,10 @@ fn scripted_resolution(loss_seed: u64) -> (CachingServer, Outcome) {
     let mut net = SimNet::new(farm);
     net.set_loss(LOSS_RATE, loss_seed);
 
-    let config = ResolverConfig::vanilla()
-        .with_retry(RetryPolicy::standard())
-        .with_seed(1);
+    let config = ResolverConfig::builder()
+        .retry(RetryPolicy::standard())
+        .seed(1)
+        .build();
     let hints = RootHints::new(universe.root_servers().to_vec());
     let mut cs = CachingServer::new(config, hints);
     cs.obs_mut().enable_trace();
