@@ -26,7 +26,7 @@ smoke() {
     test -s "$bench_out/bench.json" || { echo "missing bench.json" >&2; exit 1; }
     for field in bench schema_version scheme trace scale queries wall_secs \
         qps allocs_per_query bytes_per_query name_clone_parent_allocs_per_op \
-        warm_get_allocs_per_op peak_rss_kb \
+        warm_get_allocs_per_op wire_qps wire_allocs_per_query peak_rss_kb \
         mt_qps_1 mt_qps_2 mt_qps_4 mt_qps_8 \
         mt_allocs_per_query_1 mt_allocs_per_query_2 \
         mt_allocs_per_query_4 mt_allocs_per_query_8; do
@@ -36,12 +36,15 @@ smoke() {
     awk -F': *' '/"qps"/ { qps = $2 + 0 }
         END { if (qps <= 0) { print "bench.json: qps not positive" > "/dev/stderr"; exit 1 } }' \
         "$bench_out/bench.json"
-    for mt in mt_qps_1 mt_qps_2 mt_qps_4 mt_qps_8; do
+    for mt in wire_qps mt_qps_1 mt_qps_2 mt_qps_4 mt_qps_8; do
         awk -F': *' -v f="\"$mt\"" '$0 ~ f { v = $2 + 0 }
             END { if (v <= 0) { print f ": not positive" > "/dev/stderr"; exit 1 } }' \
             "$bench_out/bench.json"
     done
-    for probe in name_clone_parent_allocs_per_op warm_get_allocs_per_op; do
+    # wire_allocs_per_query gates the fast lane: a wire-cache hit must be
+    # served with zero allocations end to end (parse, key, patch, copy).
+    for probe in name_clone_parent_allocs_per_op warm_get_allocs_per_op \
+        wire_allocs_per_query; do
         awk -F': *' -v probe="\"$probe\"" '$0 ~ probe { v = $2 + 0 }
             END { if (v != 0) { print probe ": hot path allocates" > "/dev/stderr"; exit 1 } }' \
             "$bench_out/bench.json"
@@ -51,7 +54,9 @@ smoke() {
     echo "== smoke: netd playground under 10% injected loss =="
     # Boots the loopback internet, resolves through the retry policy with
     # deterministic 10% packet loss, then through a root/TLD blackout;
-    # the binary exits non-zero if any scripted resolution deviates. The
+    # the binary exits non-zero if any scripted resolution deviates. All
+    # traffic rides the batched PacketIo worker loop, and the script
+    # asserts a repeat hot query is served by the wire fast lane. The
     # --trace flag exercises the per-query explain path, and the script
     # ends by fetching the CHAOS TXT metrics snapshot over the wire.
     DNS_PLAYGROUND_LOSS=0.1 DNS_PLAYGROUND_SEED=7 \
@@ -69,6 +74,13 @@ smoke() {
     # snapshot reconciled against the daemon's own counters, and the
     # Prometheus text rendering validated by the dns-obs checker.
     cargo test --release -q --offline -p dns-netd --test obs
+
+    echo "== smoke: wire fast lane (0x20 echo, EDNS0, batched loopback) =="
+    # The fast-lane integration suite: casing echo + wire-cache hits over
+    # real UDP, OPT-bearing queries answered with the OPT stripped, and
+    # the batched worker loop driven through LoopbackHub under fault
+    # injection (blackout answered from compiled bytes).
+    cargo test --release -q --offline -p dns-netd --test wire_fast_lane
 
     echo "smoke OK"
 }

@@ -101,6 +101,55 @@ fn probe_warm_get() -> f64 {
     })
 }
 
+/// Wire fast-lane probe: the daemon's batched hit path — shallow-parse
+/// the query, build the lowercase probe key in reused scratch, serve the
+/// pre-serialized response into a fixed buffer with ID/RD/casing/TTLs
+/// patched in place. Returns `(serves/sec, allocations/serve)`; the
+/// whole loop must allocate nothing (the `wire_allocs_per_query` gate in
+/// ci.sh holds it at zero).
+fn probe_wire_lane() -> (f64, f64) {
+    use dns_netd::{fast_query, lowercase_key, WireCache};
+
+    let owner: Name = "www.ucla.edu".parse().expect("static name");
+    let query = dns_core::Message::query(0x2020, Question::new(owner.clone(), RecordType::A));
+    let qbytes = dns_core::wire::encode(&query).expect("encode query");
+    let mut resp = dns_core::Message::response_to(&query);
+    resp.header.recursion_available = true;
+    resp.answers.push(Record::new(
+        owner.clone(),
+        Ttl::from_hours(4),
+        RData::A(Ipv4Addr::new(192, 0, 2, 80)),
+    ));
+    let (bytes, offsets) = dns_core::wire::encode_with_ttl_offsets(&resp).expect("encode response");
+    let mut cache = WireCache::new(64);
+    assert!(cache.insert(
+        &owner,
+        RecordType::A,
+        &bytes,
+        &offsets,
+        SimTime::ZERO,
+        SimTime::from_hours(4),
+    ));
+
+    let mut key = Vec::with_capacity(64);
+    let mut out = [0u8; dns_core::wire::MAX_MESSAGE_LEN];
+    let now = SimTime::from_mins(5);
+    let iters = 200_000u64;
+    let (a0, _) = snapshot();
+    let start = Instant::now();
+    for _ in 0..iters {
+        let fq = fast_query(black_box(&qbytes)).expect("plain query");
+        lowercase_key(fq.raw_name, &mut key);
+        let n = cache
+            .serve(&key, fq.rtype, &qbytes, now, &mut out)
+            .expect("hot entry serves");
+        black_box(&out[..n]);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let (a1, _) = snapshot();
+    (iters as f64 / wall, (a1 - a0) as f64 / iters as f64)
+}
+
 /// Peak resident set size in kB from `/proc/self/status` (`VmHWM`); 0
 /// where unavailable (non-Linux).
 fn peak_rss_kb() -> u64 {
@@ -171,6 +220,8 @@ fn main() {
 
     let name_op_allocs = probe_name_ops();
     let warm_get_allocs = probe_warm_get();
+    let (wire_qps, wire_allocs_per_query) = probe_wire_lane();
+    println!("wire fast lane: {wire_qps:.0} serves/sec, {wire_allocs_per_query:.4} allocs/serve");
 
     let universe = UniverseSpec::small().build(7);
     let trace = TraceSpec::demo().scaled(scale).generate(&universe, 42);
@@ -215,7 +266,9 @@ fn main() {
          \"allocs_per_query\": {allocs_per_query:.2},\n  \
          \"bytes_per_query\": {bytes_per_query:.1},\n  \
          \"name_clone_parent_allocs_per_op\": {name_op_allocs:.4},\n  \
-         \"warm_get_allocs_per_op\": {warm_get_allocs:.4},\n{mt_fields}  \
+         \"warm_get_allocs_per_op\": {warm_get_allocs:.4},\n  \
+         \"wire_qps\": {wire_qps:.1},\n  \
+         \"wire_allocs_per_query\": {wire_allocs_per_query:.4},\n{mt_fields}  \
          \"peak_rss_kb\": {}\n}}\n",
         scheme.label(),
         peak_rss_kb(),

@@ -46,7 +46,7 @@ pub mod zonefile;
 pub use clock::{SimDuration, SimTime, Ttl, DAY, HOUR, MINUTE};
 pub use error::DnsError;
 pub use message::{Header, Message, Opcode, Question, Rcode, ResponseKind};
-pub use name::{Ancestors, Label, Labels, Name, NameBuilder};
+pub use name::{Ancestors, Label, Labels, Name, NameBuilder, MAX_LABEL_LEN, MAX_NAME_LEN};
 pub use rr::{
     synthetic_key_digest, RData, Record, RecordClass, RecordType, RrKey, RrKeyView, RrSet,
 };

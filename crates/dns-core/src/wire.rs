@@ -19,7 +19,7 @@
 
 use crate::{
     DnsError, Header, Message, Name, NameBuilder, Opcode, Question, RData, Rcode, Record,
-    RecordClass, RecordType, Ttl,
+    RecordClass, RecordType, Ttl, MAX_LABEL_LEN,
 };
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, Ipv6Addr};
@@ -32,6 +32,12 @@ pub const MAX_MESSAGE_LEN: usize = 4096;
 /// and a longer chain indicates a malicious or corrupt message.
 const MAX_POINTER_HOPS: usize = 64;
 
+/// The EDNS0 OPT pseudo-record type code (RFC 6891). OPT is negotiation
+/// metadata, not zone data: the decoder strips it so plain-DNS handling of
+/// the rest of the message continues (we answer without an OPT of our
+/// own, i.e. classic DNS semantics).
+pub const OPT_TYPE_CODE: u16 = 41;
+
 /// Encodes a message to wire bytes.
 ///
 /// # Errors
@@ -39,6 +45,22 @@ const MAX_POINTER_HOPS: usize = 64;
 /// Returns [`DnsError::MessageTooLong`] if the encoded form exceeds
 /// [`MAX_MESSAGE_LEN`].
 pub fn encode(msg: &Message) -> Result<Vec<u8>, DnsError> {
+    Ok(encode_with_ttl_offsets(msg)?.0)
+}
+
+/// Like [`encode`], but also reports the byte offset of each record's
+/// 32-bit big-endian TTL field, in section order (answers, authorities,
+/// additionals).
+///
+/// This is the handle a pre-serialized response cache needs: store the
+/// compiled bytes once, then serve hot queries by patching the ID and
+/// decrementing the TTLs in place at these offsets, skipping message
+/// assembly and re-encoding entirely.
+///
+/// # Errors
+///
+/// Same contract as [`encode`].
+pub fn encode_with_ttl_offsets(msg: &Message) -> Result<(Vec<u8>, Vec<u32>), DnsError> {
     let mut enc = Encoder::new();
     enc.header(msg)?;
     for q in &msg.questions {
@@ -57,7 +79,7 @@ pub fn encode(msg: &Message) -> Result<Vec<u8>, DnsError> {
     if out.len() > MAX_MESSAGE_LEN {
         return Err(DnsError::MessageTooLong(out.len()));
     }
-    Ok(out)
+    Ok((out, enc.ttl_offsets))
 }
 
 /// Decodes a message from wire bytes.
@@ -78,15 +100,61 @@ pub fn decode(bytes: &[u8]) -> Result<Message, DnsError> {
         msg.questions.push(dec.question()?);
     }
     for _ in 0..counts.1 {
-        msg.answers.push(dec.record("answer")?);
+        if let Some(r) = dec.record("answer")? {
+            msg.answers.push(r);
+        }
     }
     for _ in 0..counts.2 {
-        msg.authorities.push(dec.record("authority")?);
+        if let Some(r) = dec.record("authority")? {
+            msg.authorities.push(r);
+        }
     }
     for _ in 0..counts.3 {
-        msg.additionals.push(dec.record("additional")?);
+        if let Some(r) = dec.record("additional")? {
+            msg.additionals.push(r);
+        }
     }
     Ok(msg)
+}
+
+/// Rewrites the first question's name in the encoded response `resp` with
+/// the exact bytes the client sent in `query`, so replies echo the
+/// client's original casing. [`Name`] lowercases labels on construction,
+/// so a re-encoded question comes back lowercase without this — and
+/// 0x20-randomizing clients reject case-mangled echoes.
+///
+/// Both messages must carry the question uncompressed at offset 12 with
+/// the same label structure (ASCII-case-insensitively equal). On any
+/// mismatch — compression pointers in the query, different shapes,
+/// truncated buffers — `resp` is left untouched and `false` is returned.
+pub fn patch_question_case(resp: &mut [u8], query: &[u8]) -> bool {
+    const HDR: usize = 12;
+    let mut pos = HDR;
+    loop {
+        let (q, r) = match (query.get(pos), resp.get(pos)) {
+            (Some(&q), Some(&r)) => (q as usize, r as usize),
+            _ => return false,
+        };
+        if q != r {
+            return false;
+        }
+        if q == 0 {
+            break; // both names end at the same root octet
+        }
+        if q > MAX_LABEL_LEN {
+            return false; // compression pointer or junk length byte
+        }
+        let (start, end) = (pos + 1, pos + 1 + q);
+        match (query.get(start..end), resp.get(start..end)) {
+            (Some(ql), Some(rl)) if ql.eq_ignore_ascii_case(rl) => {}
+            _ => return false,
+        }
+        pos = end;
+    }
+    // Same name modulo case: copy the client's exact spelling over the
+    // response's (label lengths are identical, so offsets line up).
+    resp[HDR..=pos].copy_from_slice(&query[HDR..=pos]);
+    true
 }
 
 /// Big-endian append helpers over the plain `Vec<u8>` output buffer.
@@ -117,6 +185,9 @@ struct Encoder {
     /// Name suffix view → offset of its first encoding. Keys are cheap
     /// `Name` clones (refcount bumps) hashed over their suffix bytes.
     compress: HashMap<Name, u16>,
+    /// Byte offset of every record's TTL field, in section order (the
+    /// [`encode_with_ttl_offsets`] contract).
+    ttl_offsets: Vec<u32>,
 }
 
 impl Encoder {
@@ -124,6 +195,7 @@ impl Encoder {
         Encoder {
             buf: Vec::with_capacity(512),
             compress: HashMap::new(),
+            ttl_offsets: Vec::new(),
         }
     }
 
@@ -173,6 +245,7 @@ impl Encoder {
         self.name(r.name())?;
         self.buf.put_u16(r.rtype().code());
         self.buf.put_u16(r.class().code());
+        self.ttl_offsets.push(self.buf.len() as u32);
         self.buf.put_u32(r.ttl().as_secs());
         // Reserve the RDLENGTH slot and patch it after writing RDATA.
         let len_at = self.buf.len();
@@ -338,9 +411,21 @@ impl<'a> Decoder<'a> {
         RecordClass::from_code(code).ok_or(DnsError::UnknownClass(code))
     }
 
-    fn record(&mut self, _section: &'static str) -> Result<Record, DnsError> {
+    fn record(&mut self, _section: &'static str) -> Result<Option<Record>, DnsError> {
         let name = self.name()?;
-        let rtype = self.rtype()?;
+        let code = self.u16("record type")?;
+        if code == OPT_TYPE_CODE {
+            // EDNS0 OPT pseudo-record (RFC 6891): the class field carries
+            // the sender's UDP payload size and the TTL field extended
+            // flags, neither of which is zone data. Consume and drop it so
+            // OPT-bearing queries are answered instead of rejected.
+            let _udp_size = self.u16("opt class")?;
+            let _ext_flags = self.u32("opt ttl")?;
+            let rdlen = self.u16("opt rdlength")? as usize;
+            self.take(rdlen, "opt rdata")?;
+            return Ok(None);
+        }
+        let rtype = RecordType::from_code(code).ok_or(DnsError::UnknownRecordType(code))?;
         let class = self.class()?;
         let ttl = Ttl::from_secs(self.u32("ttl")?);
         let rdlen = self.u16("rdlength")? as usize;
@@ -355,7 +440,7 @@ impl<'a> Decoder<'a> {
                 detail: "rdata length does not match rdlength",
             });
         }
-        Ok(Record::with_class(name, class, ttl, rdata))
+        Ok(Some(Record::with_class(name, class, ttl, rdata)))
     }
 
     fn rdata(&mut self, rtype: RecordType, rdlen: usize) -> Result<RData, DnsError> {
@@ -655,5 +740,129 @@ mod tests {
         let q = Message::query(3, Question::new(Name::root(), RecordType::Ns));
         let bytes = encode(&q).unwrap();
         assert_eq!(decode(&bytes).unwrap(), q);
+    }
+
+    /// Appends an EDNS0 OPT pseudo-record (root owner, UDP size 4096, no
+    /// options) and bumps the wire arcount.
+    fn append_opt(bytes: &mut Vec<u8>) {
+        let ar = u16::from_be_bytes([bytes[10], bytes[11]]) + 1;
+        bytes[10..12].copy_from_slice(&ar.to_be_bytes());
+        bytes.push(0); // root owner name
+        bytes.extend_from_slice(&OPT_TYPE_CODE.to_be_bytes());
+        bytes.extend_from_slice(&4096u16.to_be_bytes()); // requestor UDP size
+        bytes.extend_from_slice(&0u32.to_be_bytes()); // extended RCODE+flags
+        bytes.extend_from_slice(&0u16.to_be_bytes()); // empty RDATA
+    }
+
+    #[test]
+    fn opt_pseudo_record_is_stripped_on_decode() {
+        let q = Message::query(5, Question::new(name("www.ucla.edu"), RecordType::A));
+        let mut bytes = encode(&q).unwrap();
+        append_opt(&mut bytes);
+        let decoded = decode(&bytes).unwrap();
+        // The OPT never surfaces as a record; the rest decodes as if the
+        // query were plain DNS.
+        assert_eq!(decoded, q);
+        assert!(decoded.additionals.is_empty());
+    }
+
+    #[test]
+    fn opt_with_rdata_options_is_skipped_whole() {
+        let q = Message::query(6, Question::new(name("x.y"), RecordType::A));
+        let mut bytes = encode(&q).unwrap();
+        let ar = 1u16;
+        bytes[10..12].copy_from_slice(&ar.to_be_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&OPT_TYPE_CODE.to_be_bytes());
+        bytes.extend_from_slice(&1232u16.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        // One EDNS option: code 10 (COOKIE), 8 octets of payload.
+        bytes.extend_from_slice(&12u16.to_be_bytes());
+        bytes.extend_from_slice(&10u16.to_be_bytes());
+        bytes.extend_from_slice(&8u16.to_be_bytes());
+        bytes.extend_from_slice(&[0xAB; 8]);
+        assert_eq!(decode(&bytes).unwrap(), q);
+        // A truncated OPT RDATA still errors instead of panicking.
+        bytes.truncate(bytes.len() - 4);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn ttl_offsets_address_every_record_ttl_in_section_order() {
+        let m = referral();
+        let (bytes, offsets) = encode_with_ttl_offsets(&m).unwrap();
+        let ttls: Vec<u32> = m
+            .answers
+            .iter()
+            .chain(&m.authorities)
+            .chain(&m.additionals)
+            .map(|r| r.ttl().as_secs())
+            .collect();
+        assert_eq!(offsets.len(), ttls.len());
+        for (off, expect) in offsets.iter().zip(&ttls) {
+            let at = *off as usize;
+            let got = u32::from_be_bytes(bytes[at..at + 4].try_into().unwrap());
+            assert_eq!(got, *expect, "ttl field at offset {at}");
+        }
+        // Patching at the reported offsets survives a decode round-trip.
+        let mut patched = bytes.clone();
+        for off in &offsets {
+            let at = *off as usize;
+            patched[at..at + 4].copy_from_slice(&7u32.to_be_bytes());
+        }
+        let back = decode(&patched).unwrap();
+        for r in back
+            .answers
+            .iter()
+            .chain(&back.authorities)
+            .chain(&back.additionals)
+        {
+            assert_eq!(r.ttl().as_secs(), 7);
+        }
+    }
+
+    #[test]
+    fn question_case_patch_restores_client_spelling() {
+        // The client sends a 0x20-randomized spelling; decode lowercases.
+        let query_bytes = {
+            let q = Message::query(77, Question::new(name("www.ucla.edu"), RecordType::A));
+            let mut b = encode(&q).unwrap();
+            b[13..16].copy_from_slice(b"wWw");
+            b[17..21].copy_from_slice(b"UCLA");
+            b
+        };
+        let decoded = decode(&query_bytes).unwrap();
+        let mut resp_bytes = encode(&Message::response_to(&decoded)).unwrap();
+        assert!(patch_question_case(&mut resp_bytes, &query_bytes));
+        assert_eq!(&resp_bytes[12..26], &query_bytes[12..26]);
+        // The patched bytes still decode to the same (case-folded) name.
+        let back = decode(&resp_bytes).unwrap();
+        assert_eq!(back.question().unwrap().name, name("www.ucla.edu"));
+    }
+
+    #[test]
+    fn question_case_patch_refuses_mismatched_shapes() {
+        let q = Message::query(1, Question::new(name("www.ucla.edu"), RecordType::A));
+        let qb = encode(&q).unwrap();
+        let other = Message::query(1, Question::new(name("web.ucla.edu"), RecordType::A));
+        let mut rb = encode(&other).unwrap();
+        let before = rb.clone();
+        assert!(!patch_question_case(&mut rb, &qb), "different labels");
+        assert_eq!(rb, before, "refused patch must not touch the buffer");
+
+        let shorter = Message::query(1, Question::new(name("ucla.edu"), RecordType::A));
+        let mut rb = encode(&shorter).unwrap();
+        assert!(!patch_question_case(&mut rb, &qb), "different label count");
+
+        // A query whose question name starts with a compression pointer
+        // (malformed for a first name, but seen in the wild) is refused.
+        let mut ptr_query = vec![0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0];
+        ptr_query.extend_from_slice(&[0xC0, 12, 0, 1, 0, 1]);
+        let mut rb = encode(&q).unwrap();
+        assert!(!patch_question_case(&mut rb, &ptr_query));
+
+        // Truncated buffers are refused rather than panicking.
+        let mut rb = encode(&q).unwrap();
+        assert!(!patch_question_case(&mut rb, &qb[..13]));
     }
 }

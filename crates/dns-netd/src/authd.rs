@@ -61,7 +61,11 @@ impl Authd {
                     // Count before sending so observers that received the
                     // response always see the increment.
                     thread_served.fetch_add(1, Ordering::Relaxed);
-                    if let Ok(bytes) = wire::encode(&response) {
+                    if let Ok(mut bytes) = wire::encode(&response) {
+                        // Echo the client's exact question spelling:
+                        // decoding lowercased the name, and 0x20-style
+                        // clients reject a re-cased question.
+                        wire::patch_question_case(&mut bytes, &buf[..len]);
                         let _ = socket.send_to(&bytes, peer);
                     }
                 }

@@ -1,9 +1,10 @@
 //! Boots a miniature internet on loopback — six authoritative daemons and
 //! one recursive resolver — then resolves names through it over real UDP,
 //! and demonstrates the live robustness layer: the retry policy resolving
-//! through injected packet loss, and the TTL-refresh scheme surviving a
-//! 100%-loss blackout window over every root and TLD daemon (the paper's
-//! headline attack, on real sockets).
+//! through injected packet loss, the batched wire fast lane answering a
+//! repeated hot query from pre-serialized bytes, and the TTL-refresh
+//! scheme surviving a 100%-loss blackout window over every root and TLD
+//! daemon (the paper's headline attack, on real sockets).
 //!
 //! ```sh
 //! cargo run --release -p dns-netd --bin dns-playground
@@ -171,6 +172,28 @@ fn run_script<B: CacheBackend + Send + 'static>(
     dig("www.example.com", RecordType::A, Rcode::NoError); // other branch
     dig("nowhere.ucla.edu", RecordType::A, Rcode::NxDomain); // NXDOMAIN
 
+    // Repeat the hot query: the first dig compiled its response into the
+    // pre-serialized wire cache, so this one must be served by the
+    // batched fast lane without touching the resolver.
+    println!("--- repeating the hot query (wire fast lane) ---");
+    let hits_before = resolver.stats().wire_hits;
+    dig("www.ucla.edu", RecordType::A, Rcode::NoError);
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while resolver.stats().wire_hits <= hits_before && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = resolver.stats();
+    let wire_lane_missed = stats.wire_hits <= hits_before;
+    if wire_lane_missed {
+        println!(";; UNEXPECTED: repeat query missed the wire cache ({stats})\n");
+    } else {
+        println!(
+            "wire fast lane HIT ({} cached response(s); {})\n",
+            resolver.wire_cache_len(),
+            stats
+        );
+    }
+
     println!("--- blacking out the root and TLD daemons (live DDoS, 100% loss) ---");
     let targets = net.top_level_ips();
     for h in faults {
@@ -220,6 +243,9 @@ fn run_script<B: CacheBackend + Send + 'static>(
         }
     }
 
+    if wire_lane_missed {
+        failures += 1;
+    }
     if failures > 0 {
         return Err(format!("{failures} resolution(s) deviated from the script").into());
     }

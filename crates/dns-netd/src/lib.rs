@@ -53,14 +53,20 @@
 mod authd;
 pub mod client;
 mod fault;
+mod packetio;
 pub mod playground;
 mod resolved;
 mod upstream;
+mod wirecache;
 
 pub use authd::Authd;
 pub use fault::{FaultHandle, FaultInjector, FaultStats};
+pub use packetio::{
+    ChannelPacketIo, LoopbackHub, Packet, PacketBatch, PacketIo, UdpPacketIo, MAX_BATCH,
+};
 pub use resolved::{DaemonStats, Resolved, CHAOS_METRICS_NAME};
 pub use upstream::UdpUpstream;
+pub use wirecache::{fast_query, lowercase_key, FastQuery, WireCache, DEFAULT_WIRE_CACHE_CAP};
 
 /// The wall clock mapped into the simulator's time vocabulary: seconds
 /// since the UNIX epoch.

@@ -1,8 +1,17 @@
 //! The recursive resolver daemon: a [`CachingServer`] behind a UDP
 //! socket, resolving through real upstream sockets in wall-clock time.
+//!
+//! Since PR 7 the datagram path is *batched* and has a *fast lane*:
+//! workers move packets through the [`PacketIo`] trait in batches of up
+//! to [`crate::MAX_BATCH`], and a shared [`WireCache`] of pre-serialized
+//! responses answers repeat queries by patching the cached bytes in
+//! place (ID, RD bit, question casing, decremented TTLs) — no message
+//! decode, no resolver lock, no allocation.
 
+use crate::packetio::{Packet, PacketBatch, PacketIo, UdpPacketIo};
 use crate::wall_clock;
-use dns_core::{wire, Message, RData, Rcode, Record, RecordClass, RecordType, Ttl};
+use crate::wirecache::{self, WireCache};
+use dns_core::{wire, Message, RData, Rcode, Record, RecordClass, RecordType, SimTime, Ttl};
 use dns_obs::{HistId, LogHistogram, Registry};
 use dns_resolver::{
     CacheBackend, CachingServer, LocalBackend, Outcome, ResolverConfig, ResolverMetrics, RootHints,
@@ -33,14 +42,28 @@ pub struct DaemonStats {
     /// Responses too large for the wire that were downgraded to a
     /// TC-bit truncated reply instead of being silently dropped.
     pub truncated_responses: u64,
+    /// Queries answered from the pre-serialized wire cache (fast lane).
+    pub wire_hits: u64,
+    /// Fast-lane-eligible queries that missed the wire cache and took
+    /// the full decode/resolve path.
+    pub wire_misses: u64,
+    /// Packets ineligible for the fast lane (CHAOS class, EDNS0/OPT
+    /// additionals, compressed question names, non-query opcodes, …)
+    /// routed straight to the slow path.
+    pub wire_bypass: u64,
 }
 
 impl fmt::Display for DaemonStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} served, {} send errors, {} truncated",
-            self.served, self.send_errors, self.truncated_responses
+            "{} served, {} send errors, {} truncated, wire {}h/{}m/{}b",
+            self.served,
+            self.send_errors,
+            self.truncated_responses,
+            self.wire_hits,
+            self.wire_misses,
+            self.wire_bypass
         )
     }
 }
@@ -93,6 +116,56 @@ impl DaemonObs {
     }
 }
 
+/// The wire fast lane, shared by every worker: the pre-serialized
+/// response cache plus its hit/miss/bypass counter trio.
+#[derive(Debug)]
+struct WireLane {
+    cache: Mutex<WireCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypass: AtomicU64,
+}
+
+impl Default for WireLane {
+    fn default() -> Self {
+        WireLane {
+            cache: Mutex::new(WireCache::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypass: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Everything a worker thread shares with its pool and the daemon handle.
+#[derive(Debug)]
+struct Shared<B: CacheBackend> {
+    stop: AtomicBool,
+    served: AtomicU64,
+    send_errors: AtomicU64,
+    truncated: AtomicU64,
+    health: Health,
+    /// The pool's resolvers: a single shared entry in default mode, one
+    /// per worker in sharded mode (worker `i` resolves through
+    /// `servers[i % len]`).
+    servers: Vec<Arc<Mutex<CachingServer<B>>>>,
+    obs: Mutex<DaemonObs>,
+    lane: WireLane,
+}
+
+impl<B: CacheBackend> Shared<B> {
+    fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            served: self.served.load(Ordering::Relaxed),
+            send_errors: self.send_errors.load(Ordering::Relaxed),
+            truncated_responses: self.truncated.load(Ordering::Relaxed),
+            wire_hits: self.lane.hits.load(Ordering::Relaxed),
+            wire_misses: self.lane.misses.load(Ordering::Relaxed),
+            wire_bypass: self.lane.bypass.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A running recursive resolver daemon.
 ///
 /// Clients send standard DNS queries; the daemon resolves them through
@@ -102,11 +175,14 @@ impl DaemonObs {
 /// failure as SERVFAIL.
 ///
 /// The daemon runs a small worker pool ([`Resolved::spawn_pool`]): every
-/// worker blocks on a clone of the same UDP socket (the kernel delivers
-/// each datagram to exactly one) and owns its own upstream transport, so
-/// decoding, encoding and socket I/O overlap across workers. In the
-/// default mode one [`CachingServer`] sits behind one mutex and workers
-/// serialize whole resolutions through it; in sharded mode
+/// worker drains the shared UDP socket in batches through [`PacketIo`]
+/// (the kernel delivers each datagram to exactly one worker) and owns its
+/// own upstream transport, so decoding, encoding and socket I/O overlap
+/// across workers. Repeat queries for hot names are answered from a
+/// shared [`WireCache`] of compiled responses without touching the
+/// resolver at all; everything else takes the slow path. In the default
+/// mode one [`CachingServer`] sits behind one mutex and workers serialize
+/// whole resolutions through it; in sharded mode
 /// ([`Resolved::spawn_sharded`]) every worker owns its *own* resolver
 /// over one shared [`ShardedCache`], so resolutions proceed concurrently
 /// and contend only per cache shard, with single-flight coalescing
@@ -117,17 +193,8 @@ impl DaemonObs {
 #[derive(Debug)]
 pub struct Resolved<B: CacheBackend = LocalBackend> {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
-    served: Arc<AtomicU64>,
-    send_errors: Arc<AtomicU64>,
-    truncated: Arc<AtomicU64>,
-    health: Arc<Health>,
-    /// The pool's resolvers: a single shared entry in default mode, one
-    /// per worker in sharded mode (worker `i` resolves through
-    /// `servers[i % len]`).
-    servers: Arc<Vec<Arc<Mutex<CachingServer<B>>>>>,
-    obs: Arc<Mutex<DaemonObs>>,
+    shared: Arc<Shared<B>>,
 }
 
 impl Resolved {
@@ -201,7 +268,7 @@ impl Resolved<ShardedCache> {
 
     /// The shared sharded backend (coalescing counters, shard registry).
     pub fn sharded_backend(&self) -> ShardedCache {
-        self.servers[0].lock().unwrap().backend().clone()
+        self.shared.servers[0].lock().unwrap().backend().clone()
     }
 }
 
@@ -226,138 +293,237 @@ impl<B: CacheBackend + Send + 'static> Resolved<B> {
         let socket = UdpSocket::bind(bind)?;
         socket.set_read_timeout(Some(Duration::from_millis(50)))?;
         let addr = socket.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let served = Arc::new(AtomicU64::new(0));
-        let send_errors = Arc::new(AtomicU64::new(0));
-        let truncated = Arc::new(AtomicU64::new(0));
-        let health = Arc::new(Health::default());
-        let servers: Arc<Vec<Arc<Mutex<CachingServer<B>>>>> = Arc::new(
-            servers
+        let ios = (0..upstreams.len())
+            .map(|_| socket.try_clone().map(UdpPacketIo::new))
+            .collect::<io::Result<Vec<_>>>()?;
+        Self::spawn_with_io(servers, upstreams, ios, addr)
+    }
+
+    /// Starts the pool over caller-supplied packet transports instead of
+    /// a bound UDP socket — the sim/loopback mode: drive the daemon's
+    /// *exact* batched worker loop through [`crate::LoopbackHub`] (or any
+    /// other [`PacketIo`]) without opening sockets, e.g. under a
+    /// [`crate::FaultInjector`]ed upstream. One worker is started per
+    /// `(upstream, io)` pair; [`Resolved::addr`] reports a placeholder.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when `upstreams` is empty or the three vectors
+    /// disagree on pool size (`servers` may also be a single entry shared
+    /// by every worker).
+    pub fn spawn_io<U, P>(
+        servers: Vec<CachingServer<B>>,
+        upstreams: Vec<U>,
+        ios: Vec<P>,
+    ) -> io::Result<Resolved<B>>
+    where
+        U: Upstream + Send + 'static,
+        P: PacketIo + 'static,
+    {
+        if upstreams.is_empty() || upstreams.len() != ios.len() || servers.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "spawn_io needs matching non-empty upstream/io pools and at least one server",
+            ));
+        }
+        let addr: SocketAddr = "127.0.0.1:0".parse().expect("static addr");
+        Self::spawn_with_io(servers, upstreams, ios, addr)
+    }
+
+    fn spawn_with_io<U, P>(
+        servers: Vec<CachingServer<B>>,
+        upstreams: Vec<U>,
+        ios: Vec<P>,
+        addr: SocketAddr,
+    ) -> io::Result<Resolved<B>>
+    where
+        U: Upstream + Send + 'static,
+        P: PacketIo + 'static,
+    {
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            send_errors: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+            health: Health::default(),
+            servers: servers
                 .into_iter()
                 .map(|cs| Arc::new(Mutex::new(cs)))
                 .collect(),
-        );
-        let obs = Arc::new(Mutex::new(DaemonObs::new()));
+            obs: Mutex::new(DaemonObs::new()),
+            lane: WireLane::default(),
+        });
 
         let mut workers = Vec::with_capacity(upstreams.len());
-        for (i, upstream) in upstreams.into_iter().enumerate() {
-            let socket = socket.try_clone()?;
-            let stop = Arc::clone(&stop);
-            let served = Arc::clone(&served);
-            let send_errors = Arc::clone(&send_errors);
-            let truncated = Arc::clone(&truncated);
-            let health = Arc::clone(&health);
-            let servers = Arc::clone(&servers);
-            let obs = Arc::clone(&obs);
+        for (i, (upstream, io)) in upstreams.into_iter().zip(ios).enumerate() {
+            let shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("resolved-{addr}-w{i}"))
-                .spawn(move || {
-                    Self::worker_loop(
-                        socket,
-                        upstream,
-                        &stop,
-                        &served,
-                        &send_errors,
-                        &truncated,
-                        &health,
-                        &servers,
-                        i,
-                        &obs,
-                    )
-                })
+                .spawn(move || Self::worker_loop(io, upstream, &shared, i))
                 .expect("spawn resolved worker");
             workers.push(handle);
         }
         Ok(Resolved {
             addr,
-            stop,
             workers,
-            served,
-            send_errors,
-            truncated,
-            health,
-            servers,
-            obs,
+            shared,
         })
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn worker_loop<U: Upstream>(
-        socket: UdpSocket,
+    /// One worker: drain a batch, serve every packet (fast lane first,
+    /// slow path otherwise), send the whole batch back.
+    fn worker_loop<U: Upstream, P: PacketIo>(
+        mut io: P,
         mut upstream: U,
-        stop: &AtomicBool,
-        served: &AtomicU64,
-        send_errors: &AtomicU64,
-        truncated: &AtomicU64,
-        health: &Health,
-        servers: &[Arc<Mutex<CachingServer<B>>>],
+        shared: &Shared<B>,
         index: usize,
-        obs: &Mutex<DaemonObs>,
     ) {
-        let mut buf = [0u8; wire::MAX_MESSAGE_LEN];
-        while !stop.load(Ordering::Relaxed) {
-            let (len, peer) = match socket.recv_from(&mut buf) {
-                Ok(x) => x,
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    continue
-                }
+        let mut rx = PacketBatch::new();
+        let mut tx = PacketBatch::new();
+        let mut key = Vec::with_capacity(dns_core::MAX_NAME_LEN);
+        while !shared.stop.load(Ordering::Relaxed) {
+            let n = match io.recv_batch(&mut rx) {
+                Ok(0) => continue, // timeout tick: re-check the stop flag
+                Ok(n) => n,
                 Err(e) => {
                     // Fatal receive error: surface it and retire this
                     // worker instead of dying without a trace.
-                    health.record("recv", &e);
+                    shared.health.record("recv", &e);
                     break;
                 }
             };
-            let Ok(query) = wire::decode(&buf[..len]) else {
+            tx.clear();
+            let now = wall_clock();
+            for i in 0..n {
+                Self::serve_packet(
+                    shared,
+                    index,
+                    &mut upstream,
+                    now,
+                    rx.get(i),
+                    &mut key,
+                    &mut tx,
+                );
+            }
+            if tx.is_empty() {
                 continue;
-            };
-            let stats = DaemonStats {
-                served: served.load(Ordering::Relaxed),
-                send_errors: send_errors.load(Ordering::Relaxed),
-                truncated_responses: truncated.load(Ordering::Relaxed),
-            };
-            let response = Self::answer(servers, index, &mut upstream, obs, stats, &query);
-            let Some(bytes) = encode_or_truncate(&query, &response, truncated) else {
-                continue; // not even the header+question fits — drop
-            };
-            // Count `served` only when the reply actually left the socket.
-            match socket.send_to(&bytes, peer) {
-                Ok(_) => {
-                    served.fetch_add(1, Ordering::Relaxed);
+            }
+            // Count `served` only for replies the transport accepted.
+            match io.send_batch(&tx) {
+                Ok(sent) => {
+                    shared.served.fetch_add(sent as u64, Ordering::Relaxed);
+                    shared
+                        .send_errors
+                        .fetch_add((tx.len() - sent) as u64, Ordering::Relaxed);
                 }
-                Err(_) => {
-                    send_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e) => {
+                    shared.health.record("send", &e);
+                    break;
                 }
             }
         }
     }
 
-    fn answer<U: Upstream>(
-        servers: &[Arc<Mutex<CachingServer<B>>>],
+    /// Serves one datagram into `tx` (or drops it: undecodable queries
+    /// and unencodable replies get no response, as before).
+    fn serve_packet<U: Upstream>(
+        shared: &Shared<B>,
         index: usize,
         upstream: &mut U,
-        obs: &Mutex<DaemonObs>,
+        now: SimTime,
+        packet: &Packet,
+        key: &mut Vec<u8>,
+        tx: &mut PacketBatch,
+    ) {
+        let raw = packet.bytes();
+        let peer = packet.peer();
+
+        // Fast lane: a plain IN query answered straight from compiled
+        // bytes — no decode, no resolver, no allocation.
+        match wirecache::fast_query(raw) {
+            Some(fq) if fq.class == RecordClass::In.code() => {
+                wirecache::lowercase_key(fq.raw_name, key);
+                let mut cache = shared.lane.cache.lock().unwrap();
+                let hit = tx.push_with(peer, |buf| cache.serve(key, fq.rtype, raw, now, buf));
+                drop(cache);
+                if hit {
+                    shared.lane.hits.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                shared.lane.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                shared.lane.bypass.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Slow path: full decode → resolve → encode.
+        let Ok(query) = wire::decode(raw) else {
+            return;
+        };
+        let stats = shared.stats();
+        let (response, expiry) = Self::answer(shared, index, upstream, stats, &query, now);
+        let Some((mut bytes, offsets, was_truncated)) =
+            encode_or_truncate(&query, &response, &shared.truncated)
+        else {
+            return; // not even the header+question fits — drop
+        };
+        // Compile cacheable answers into the wire cache *before* the
+        // casing patch, so the stored bytes stay canonical (lowercase):
+        // positive IN answers whose record-cache expiry is known.
+        if !was_truncated && response.header.rcode == Rcode::NoError && !response.answers.is_empty()
+        {
+            if let (Some(exp), Some(q)) = (expiry, query.question()) {
+                if q.class == RecordClass::In && now < exp {
+                    shared
+                        .lane
+                        .cache
+                        .lock()
+                        .unwrap()
+                        .insert(&q.name, q.rtype, &bytes, &offsets, now, exp);
+                }
+            }
+        }
+        // Echo the client's exact question spelling (0x20 randomization):
+        // decoding lowercased the name, so patch it back from the raw
+        // datagram. Also covers TC-bit fallback replies.
+        wire::patch_question_case(&mut bytes, raw);
+        tx.push_copy(&bytes, peer);
+    }
+
+    fn answer<U: Upstream>(
+        shared: &Shared<B>,
+        index: usize,
+        upstream: &mut U,
         stats: DaemonStats,
         query: &Message,
-    ) -> Message {
+        now: SimTime,
+    ) -> (Message, Option<SimTime>) {
         let mut resp = Message::response_to(query);
         resp.header.recursion_available = true;
         let Some(question) = query.question().cloned() else {
             resp.header.rcode = Rcode::FormErr;
-            return resp;
+            return (resp, None);
         };
         if question.class == RecordClass::Ch {
-            return Self::answer_chaos(servers, obs, stats, resp, &question);
+            let resp = Self::answer_chaos(&shared.servers, &shared.obs, stats, resp, &question);
+            return (resp, None);
         }
         let start = Instant::now();
-        let now = wall_clock();
-        let cs = &servers[index % servers.len()];
-        let outcome = cs.lock().unwrap().resolve(&question, now, upstream);
+        let (outcome, expiry) = {
+            let cs = &shared.servers[index % shared.servers.len()];
+            let mut cs = cs.lock().unwrap();
+            let outcome = cs.resolve(&question, now, upstream);
+            // While still holding the resolver: the record-cache expiry
+            // bounding this answer, which caps the wire-cache entry.
+            let expiry = match &outcome {
+                Outcome::Answer { .. } => cs.answer_expiry(&question, now),
+                _ => None,
+            };
+            (outcome, expiry)
+        };
         let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
-        obs.lock().unwrap().observe_wall(wall_ms);
+        shared.obs.lock().unwrap().observe_wall(wall_ms);
         match outcome {
             Outcome::Answer { records, .. } => {
                 resp.answers = records;
@@ -366,7 +532,7 @@ impl<B: CacheBackend + Send + 'static> Resolved<B> {
             Outcome::NoData { .. } => {}
             Outcome::Fail => resp.header.rcode = Rcode::ServFail,
         }
-        resp
+        (resp, expiry)
     }
 
     /// Answers `CHAOS`-class queries: `TXT metrics.bind.` dumps the
@@ -421,7 +587,7 @@ impl<B: CacheBackend> Resolved<B> {
 
     /// Client queries served so far.
     pub fn served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        self.shared.served.load(Ordering::Relaxed)
     }
 
     /// Number of workers the pool started with.
@@ -431,28 +597,30 @@ impl<B: CacheBackend> Resolved<B> {
 
     /// `false` once any worker has hit a fatal socket error.
     pub fn healthy(&self) -> bool {
-        !self.health.failed.load(Ordering::Relaxed)
+        !self.shared.health.failed.load(Ordering::Relaxed)
     }
 
     /// The first fatal error a worker recorded, if any.
     pub fn last_error(&self) -> Option<String> {
-        self.health.last_error.lock().unwrap().clone()
+        self.shared.health.last_error.lock().unwrap().clone()
     }
 
     /// Daemon-side counters (socket-level; resolver counters are in
     /// [`Resolved::metrics`]).
     pub fn stats(&self) -> DaemonStats {
-        DaemonStats {
-            served: self.served.load(Ordering::Relaxed),
-            send_errors: self.send_errors.load(Ordering::Relaxed),
-            truncated_responses: self.truncated.load(Ordering::Relaxed),
-        }
+        self.shared.stats()
+    }
+
+    /// Entries currently in the wire fast-lane cache.
+    pub fn wire_cache_len(&self) -> usize {
+        self.shared.lane.cache.lock().unwrap().len()
     }
 
     /// Snapshot of the resolver's counters, summed over every resolver
     /// in the pool (a single resolver in default mode).
     pub fn metrics(&self) -> dns_resolver::ResolverMetrics {
-        self.servers
+        self.shared
+            .servers
             .iter()
             .map(|s| *s.lock().unwrap().metrics())
             .fold(ResolverMetrics::default(), |acc, m| acc + m)
@@ -465,8 +633,8 @@ impl<B: CacheBackend> Resolved<B> {
     /// (shard counters, coalescing totals) appended.
     pub fn prometheus(&self) -> String {
         let stats = self.stats();
-        let (metrics, latency, backend_reg) = pool_snapshot(&self.servers);
-        let obs = self.obs.lock().unwrap();
+        let (metrics, latency, backend_reg) = pool_snapshot(&self.shared.servers);
+        let obs = self.shared.obs.lock().unwrap();
         let mut out = metrics_registry(stats, &metrics, &latency, &obs).render_prometheus();
         drop(obs);
         if let Some(reg) = backend_reg {
@@ -479,7 +647,7 @@ impl<B: CacheBackend> Resolved<B> {
     /// most recent query's trace is readable via
     /// [`Resolved::explain_last`].
     pub fn enable_trace(&self) {
-        for s in self.servers.iter() {
+        for s in self.shared.servers.iter() {
             s.lock().unwrap().obs_mut().enable_trace();
         }
     }
@@ -488,7 +656,7 @@ impl<B: CacheBackend> Resolved<B> {
     /// and at least one query has been resolved. With a worker pool the
     /// first worker holding a non-empty trace wins.
     pub fn explain_last(&self) -> Option<String> {
-        for s in self.servers.iter() {
+        for s in self.shared.servers.iter() {
             let cs = s.lock().unwrap();
             if let Some(trace) = cs.obs().trace() {
                 if !trace.is_empty() {
@@ -505,7 +673,7 @@ impl<B: CacheBackend> Resolved<B> {
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Relaxed);
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -552,10 +720,11 @@ fn pool_snapshot<B: CacheBackend>(
 }
 
 /// Builds a one-shot [`Registry`] holding the daemon's full metric
-/// surface: socket-level counters, every resolver counter, the modelled
-/// (virtual-ms) resolve-latency histogram and the measured wall-clock
-/// latency histogram. Rendered compact for `CHAOS TXT` answers and as
-/// Prometheus text for [`Resolved::prometheus`].
+/// surface: socket-level counters, the wire fast-lane trio, every
+/// resolver counter, the modelled (virtual-ms) resolve-latency histogram
+/// and the measured wall-clock latency histogram. Rendered compact for
+/// `CHAOS TXT` answers and as Prometheus text for
+/// [`Resolved::prometheus`].
 fn metrics_registry(
     stats: DaemonStats,
     metrics: &ResolverMetrics,
@@ -581,6 +750,21 @@ fn metrics_registry(
         "daemon_truncated_responses",
         "Oversized responses downgraded to TC-bit replies",
         stats.truncated_responses,
+    );
+    set(
+        "daemon_wire_hits",
+        "Queries answered from the pre-serialized wire cache",
+        stats.wire_hits,
+    );
+    set(
+        "daemon_wire_misses",
+        "Fast-lane-eligible queries that missed the wire cache",
+        stats.wire_misses,
+    );
+    set(
+        "daemon_wire_bypass",
+        "Packets ineligible for the wire fast lane",
+        stats.wire_bypass,
     );
     set(
         "resolver_queries_in",
@@ -661,25 +845,29 @@ fn metrics_registry(
     reg
 }
 
-/// Encodes `response`; when it exceeds the wire limit (oversized answer
-/// sets), falls back to a TC-bit truncated reply carrying just the header
-/// and question, so the client learns to retry instead of timing out
-/// against silence. Returns `None` only when even the fallback cannot be
-/// encoded.
+/// Encodes `response`, also returning the byte offset of every record's
+/// TTL field (for wire-cache compilation); when the message exceeds the
+/// wire limit (oversized answer sets), falls back to a TC-bit truncated
+/// reply carrying the header *and the question section*, so the client
+/// learns to retry instead of timing out against silence. The `bool` is
+/// `true` for the truncated fallback. Returns `None` only when even the
+/// fallback cannot be encoded.
 fn encode_or_truncate(
     query: &Message,
     response: &Message,
     truncated: &AtomicU64,
-) -> Option<Vec<u8>> {
-    if let Ok(bytes) = wire::encode(response) {
-        return Some(bytes);
+) -> Option<(Vec<u8>, Vec<u32>, bool)> {
+    if let Ok((bytes, offsets)) = wire::encode_with_ttl_offsets(response) {
+        return Some((bytes, offsets, false));
     }
     truncated.fetch_add(1, Ordering::Relaxed);
     let mut tc = Message::response_to(query);
     tc.header.recursion_available = true;
     tc.header.rcode = response.header.rcode;
     tc.header.truncated = true;
-    wire::encode(&tc).ok()
+    wire::encode_with_ttl_offsets(&tc)
+        .ok()
+        .map(|(bytes, offsets)| (bytes, offsets, true))
 }
 
 #[cfg(test)]
@@ -703,17 +891,34 @@ mod tests {
         assert!(wire::encode(&response).is_err(), "fixture must overflow");
 
         let counter = AtomicU64::new(0);
-        let bytes = encode_or_truncate(&query, &response, &counter).expect("fallback encodes");
+        let (bytes, offsets, was_truncated) =
+            encode_or_truncate(&query, &response, &counter).expect("fallback encodes");
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+        assert!(was_truncated);
+        assert!(offsets.is_empty(), "TC fallback carries no records");
         let decoded = wire::decode(&bytes).unwrap();
         assert!(decoded.header.truncated);
         assert_eq!(decoded.header.id, 9);
         assert!(decoded.answers.is_empty());
+        // The TC reply must still carry the question section: a retrying
+        // client matches on it, and 0x20-style clients verify it.
+        assert_eq!(
+            decoded.question().expect("question survives truncation"),
+            query.question().unwrap()
+        );
 
-        // A well-sized response passes through untouched.
-        let small = Message::response_to(&query);
-        let bytes = encode_or_truncate(&query, &small, &counter).unwrap();
+        // A well-sized response passes through untouched, with one TTL
+        // offset per record.
+        let mut small = Message::response_to(&query);
+        small.answers.push(Record::new(
+            "big.test".parse().unwrap(),
+            Ttl::from_hours(1),
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        let (bytes, offsets, was_truncated) = encode_or_truncate(&query, &small, &counter).unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+        assert!(!was_truncated);
+        assert_eq!(offsets.len(), 1);
         assert!(!wire::decode(&bytes).unwrap().header.truncated);
     }
 
@@ -753,6 +958,21 @@ mod tests {
             )]),
         );
         let err = Resolved::spawn_pool(cs, Vec::<Dead>::new(), "127.0.0.1:0").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        let cs = CachingServer::new(
+            dns_resolver::ResolverConfig::vanilla(),
+            dns_resolver::RootHints::new(vec![(
+                "a.root-servers.net".parse().unwrap(),
+                Ipv4Addr::new(198, 41, 0, 4),
+            )]),
+        );
+        let err = Resolved::spawn_io(
+            vec![cs],
+            vec![Dead],
+            Vec::<crate::packetio::ChannelPacketIo>::new(),
+        )
+        .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

@@ -46,6 +46,18 @@ pub trait CacheBackend {
         f: impl FnOnce(Option<&CacheEntry>) -> R,
     ) -> R;
 
+    /// Absolute expiry of the fresh entry for `(name, rtype)` at `now`,
+    /// if one exists. Provided in terms of [`CacheBackend::with_record`];
+    /// backends need not override it.
+    ///
+    /// This is the invalidation hook for byte-level response caches
+    /// layered above the resolver (the daemon's wire fast lane): a
+    /// pre-serialized answer must never outlive the record-cache entries
+    /// it was compiled from.
+    fn record_expiry(&mut self, name: &Name, rtype: RecordType, now: SimTime) -> Option<SimTime> {
+        self.with_record(name, rtype, now, |e| e.map(|e| e.expires_at))
+    }
+
     /// Inserts an RRset under [`RecordCache::insert`]'s credibility rules.
     fn insert_record(&mut self, set: RrSet, now: SimTime, credibility: Credibility) -> bool;
 

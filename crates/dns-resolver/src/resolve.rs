@@ -270,6 +270,39 @@ impl<B: CacheBackend> CachingServer<B> {
         self.resolve(&Question::new(name.clone(), RecordType::A), now, up)
     }
 
+    /// Earliest absolute expiry among the cache entries that currently
+    /// answer `question` from cache, following cached CNAME links exactly
+    /// like resolution does. `None` when the cache cannot (fully) answer.
+    ///
+    /// This bounds the lifetime of any response *compiled* from those
+    /// entries — the daemon's pre-serialized wire cache keys its
+    /// invalidation on it, so patched-TTL replays never outlive the
+    /// records they were built from.
+    pub fn answer_expiry(&mut self, question: &Question, now: SimTime) -> Option<SimTime> {
+        let mut qname = question.name.clone();
+        let mut chain_min: Option<SimTime> = None;
+        for _ in 0..MAX_CNAME_CHAIN {
+            if let Some(expiry) = self.backend.record_expiry(&qname, question.rtype, now) {
+                return Some(chain_min.map_or(expiry, |m| m.min(expiry)));
+            }
+            if question.rtype == RecordType::Cname {
+                return None;
+            }
+            let link = self
+                .backend
+                .with_record(&qname, RecordType::Cname, now, |e| {
+                    e.and_then(|entry| match entry.set.rdatas().first() {
+                        Some(RData::Cname(t)) => Some((entry.expires_at, t.clone())),
+                        _ => None,
+                    })
+                });
+            let (expiry, target) = link?;
+            chain_min = Some(chain_min.map_or(expiry, |m| m.min(expiry)));
+            qname = target;
+        }
+        None
+    }
+
     /// Earliest pending renewal instant, if the renewal scheme is active
     /// and any cached zone holds credit.
     pub fn next_renewal_due(&mut self) -> Option<SimTime> {
@@ -1076,6 +1109,51 @@ mod tests {
         );
         assert!(outcome.is_failure());
         assert_eq!(cs.metrics().mismatched_responses, 1);
+    }
+
+    #[test]
+    fn answer_expiry_tracks_cache_entries_and_cname_chains() {
+        let mut cs = CachingServer::new(ResolverConfig::vanilla(), hints());
+        let q = Question::new("www.test".parse().unwrap(), RecordType::A);
+        assert_eq!(cs.answer_expiry(&q, SimTime::ZERO), None, "cold cache");
+
+        let a = Record::new(
+            "www.test".parse().unwrap(),
+            Ttl::from_hours(1),
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        );
+        let set = RrSet::from_records(std::slice::from_ref(&a)).unwrap();
+        cs.backend
+            .insert_record(set, SimTime::ZERO, Credibility::AuthAnswer);
+        let direct = cs
+            .backend
+            .record_expiry(&q.name, RecordType::A, SimTime::ZERO)
+            .expect("entry just inserted");
+        assert_eq!(cs.answer_expiry(&q, SimTime::ZERO), Some(direct));
+
+        // An alias chain reports the minimum expiry across its links: the
+        // compiled response dies with its shortest-lived ingredient.
+        let cname = Record::new(
+            "alias.test".parse().unwrap(),
+            Ttl::from_mins(30),
+            RData::Cname("www.test".parse().unwrap()),
+        );
+        let set = RrSet::from_records(std::slice::from_ref(&cname)).unwrap();
+        cs.backend
+            .insert_record(set, SimTime::ZERO, Credibility::AuthAnswer);
+        let alias_q = Question::new("alias.test".parse().unwrap(), RecordType::A);
+        let link = cs
+            .backend
+            .record_expiry(&alias_q.name, RecordType::Cname, SimTime::ZERO)
+            .expect("cname link inserted");
+        assert_eq!(
+            cs.answer_expiry(&alias_q, SimTime::ZERO),
+            Some(direct.min(link))
+        );
+
+        // At the expiry instant the entry is gone (exclusive expiry), so
+        // the hook reports absence — never a stale bound.
+        assert_eq!(cs.answer_expiry(&q, direct), None);
     }
 
     #[test]
