@@ -7,6 +7,55 @@
 set -eu
 
 smoke() {
+    echo "== tracked BENCH files present and gated =="
+    # The perf trajectory is tracked in-repo; a missing file means a bench
+    # was added without committing its baseline (or one was deleted).
+    for f in BENCH_resolve.json BENCH_scale.json; do
+        test -s "$f" || { echo "tracked bench file missing: $f" >&2; exit 1; }
+    done
+    # Scale-axis gates on the tracked full run: every schema field
+    # present, replay memory bounded at 100k zones, and RSS flat when the
+    # query count grows 10x at 1M zones (the trace is never materialized).
+    for field in bench schema_version queries_per_scale \
+        zones_10k zones_100k zones_1m \
+        arena_bytes_10k arena_bytes_100k arena_bytes_1m \
+        interned_names_1m heap_bytes_1m build_secs_1m \
+        gen_qps_10k gen_qps_100k gen_qps_1m \
+        gen_allocs_per_query_1m \
+        peak_rss_kb_10k peak_rss_kb_100k peak_rss_kb_1m \
+        rss_growth_kb_10x_queries sweep_queries sweep_wall_secs \
+        sweep_peak_rss_kb; do
+        grep -q "\"$field\"" BENCH_scale.json \
+            || { echo "BENCH_scale.json missing field: $field" >&2; exit 1; }
+    done
+    awk -F': *' '/"peak_rss_kb_100k"/ { v = $2 + 0 }
+        END { if (v <= 0 || v >= 120000) {
+            print "BENCH_scale.json: peak_rss_kb_100k out of budget (" v " KiB, budget 120000)" > "/dev/stderr"; exit 1 } }' \
+        BENCH_scale.json
+    awk -F': *' '/"rss_growth_kb_10x_queries"/ { v = $2 + 0 }
+        END { if (v >= 20000) {
+            print "BENCH_scale.json: streaming 10x queries grew RSS by " v " KiB (gate 20000)" > "/dev/stderr"; exit 1 } }' \
+        BENCH_scale.json
+
+    echo "== smoke: bench_scale --smoke (streamed scale sweep) =="
+    # Reduced zone counts (1k/10k/50k), same code path: interned
+    # namespace build, streamed generation, the 10x-queries RSS probe and
+    # an end-to-end streamed attack sweep.
+    scale_out=$(mktemp -d)
+    DNS_BENCH_OUT="$scale_out/scale.json" \
+        cargo run --release -p dns-bench --bin bench_scale --offline -- --smoke
+    test -s "$scale_out/scale.json" || { echo "missing scale.json" >&2; exit 1; }
+    for field in zones_1k zones_10k zones_50k gen_qps_50k \
+        peak_rss_kb_50k rss_growth_kb_10x_queries sweep_queries \
+        sweep_peak_rss_kb; do
+        grep -q "\"$field\"" "$scale_out/scale.json" \
+            || { echo "scale.json missing field: $field" >&2; exit 1; }
+    done
+    awk -F': *' '/"gen_qps_50k"/ { v = $2 + 0 }
+        END { if (v <= 0) { print "scale.json: gen_qps_50k not positive" > "/dev/stderr"; exit 1 } }' \
+        "$scale_out/scale.json"
+    rm -rf "$scale_out"
+
     echo "== smoke: fig4 on a tiny trace =="
     out=$(mktemp -d)
     DNS_REPRO_SCALE=0.05 DNS_REPRO_OUT="$out" \

@@ -19,7 +19,7 @@ use dns_resolver::{
     CachingServer, Credibility, RecordCache, RenewalPolicy, ResolverConfig, RootHints, ShardedCache,
 };
 use dns_sim::experiment::Scheme;
-use dns_sim::{ServerFarm, SimNet, Simulation};
+use dns_sim::{peak_rss_kb, ServerFarm, SimNet, Simulation};
 use dns_trace::{TraceSpec, UniverseSpec};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -121,7 +121,7 @@ fn probe_wire_lane() -> (f64, f64) {
         RData::A(Ipv4Addr::new(192, 0, 2, 80)),
     ));
     let (bytes, offsets) = dns_core::wire::encode_with_ttl_offsets(&resp).expect("encode response");
-    let mut cache = WireCache::new(64);
+    let mut cache = WireCache::new(64 * 1024);
     assert!(cache.insert(
         &owner,
         RecordType::A,
@@ -148,20 +148,6 @@ fn probe_wire_lane() -> (f64, f64) {
     let wall = start.elapsed().as_secs_f64();
     let (a1, _) = snapshot();
     (iters as f64 / wall, (a1 - a0) as f64 / iters as f64)
-}
-
-/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`); 0
-/// where unavailable (non-Linux).
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("VmHWM:"))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|kb| kb.parse().ok())
-        })
-        .unwrap_or(0)
 }
 
 /// Multi-threaded shared-cache replay: `threads` workers, each owning a

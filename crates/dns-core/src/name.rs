@@ -167,9 +167,11 @@ impl NameBuilder {
         if self.count == 0 {
             return Ok(Name::root());
         }
+        let len = self.buf.len() as u16;
         Ok(Name {
             buf: self.buf.into(),
             start: 0,
+            len,
             count: self.count as u8,
         })
     }
@@ -196,12 +198,17 @@ impl NameBuilder {
 /// ```
 #[derive(Clone)]
 pub struct Name {
-    /// Length-prefixed lowercase label bytes of the most specific name
-    /// this buffer was built for, without the terminating zero octet.
+    /// Length-prefixed lowercase label bytes. For owned names this holds
+    /// exactly the name; for views (parents, interned-arena names) it may
+    /// be a much larger shared buffer the view points into.
     buf: Arc<[u8]>,
-    /// Byte offset of this view's first label within `buf`.
-    start: u16,
-    /// Labels in the view; `buf[start..]` holds exactly this many.
+    /// Byte offset of this view's first label within `buf`. `u32` so a
+    /// view can point anywhere inside a multi-megabyte interned arena.
+    start: u32,
+    /// Byte length of the view; `buf[start..start + len]` holds exactly
+    /// `count` length-prefixed labels.
+    len: u16,
+    /// Labels in the view.
     count: u8,
 }
 
@@ -211,6 +218,7 @@ impl Name {
         Name {
             buf: empty_buf(),
             start: 0,
+            len: 0,
             count: 0,
         }
     }
@@ -220,7 +228,68 @@ impl Name {
     /// defined over, and exactly what the wire encoder emits for an
     /// uncompressed name (minus the trailing zero).
     pub fn as_suffix_bytes(&self) -> &[u8] {
-        &self.buf[self.start as usize..]
+        &self.buf[self.start as usize..self.start as usize + self.len as usize]
+    }
+
+    /// A zero-copy view of `count` length-prefixed labels starting at
+    /// byte `start` of `buf` — the constructor behind interned name
+    /// arenas (`dns-trace`), where one shared buffer holds many names
+    /// and each is just an `(offset, count)` pair. No bytes are copied;
+    /// the view bumps `buf`'s reference count.
+    ///
+    /// The bytes are validated: each label must be 1–63 octets of
+    /// already-lowercase `[a-z0-9_-]`, and the whole view must satisfy
+    /// the wire-length limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::NameParse`] when the view runs past the end of
+    /// `buf`, [`DnsError::NameTooLong`] past the wire limit, and the
+    /// usual per-label errors for malformed or non-lowercase bytes.
+    pub fn view(buf: &Arc<[u8]>, start: usize, count: usize) -> Result<Name, DnsError> {
+        if count == 0 {
+            return Ok(Name::root());
+        }
+        if count > MAX_NAME_LEN / 2 {
+            // More labels than can fit any legal name.
+            return Err(DnsError::NameTooLong(count * 2 + 1));
+        }
+        let mut at = start;
+        for _ in 0..count {
+            let oob = || DnsError::NameParse(format!("arena view at {start} out of bounds"));
+            let label_len = *buf.get(at).ok_or_else(oob)? as usize;
+            if label_len == 0 {
+                return Err(DnsError::EmptyLabel);
+            }
+            if label_len > MAX_LABEL_LEN {
+                return Err(DnsError::LabelTooLong(label_len));
+            }
+            let label = buf.get(at + 1..at + 1 + label_len).ok_or_else(oob)?;
+            for &b in label {
+                // Arena bytes must already be canonical (lowercase):
+                // views skip normalisation, so accepting uppercase here
+                // would break byte-wise `Eq`/`Hash`.
+                if label_byte(b)? != b {
+                    return Err(DnsError::InvalidLabelByte(b));
+                }
+            }
+            at += 1 + label_len;
+        }
+        let len = at - start;
+        if 1 + len > MAX_NAME_LEN {
+            return Err(DnsError::NameTooLong(1 + len));
+        }
+        if start > u32::MAX as usize {
+            return Err(DnsError::NameParse(format!(
+                "arena offset {start} too large"
+            )));
+        }
+        Ok(Name {
+            buf: Arc::clone(buf),
+            start: start as u32,
+            len: len as u16,
+            count: count as u8,
+        })
     }
 
     /// Builds a name from labels ordered most specific first.
@@ -290,10 +359,11 @@ impl Name {
         if self.count == 0 {
             return None;
         }
-        let first_len = self.buf[self.start as usize] as u16;
+        let skip = 1 + u16::from(self.buf[self.start as usize]);
         Some(Name {
             buf: Arc::clone(&self.buf),
-            start: self.start + 1 + first_len,
+            start: self.start + u32::from(skip),
+            len: self.len - skip,
             count: self.count - 1,
         })
     }
@@ -676,6 +746,56 @@ mod tests {
                 assert_eq!(a.cmp(b), model_a.cmp(&model_b), "{a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn arena_views_share_bytes_and_compare_equal() {
+        // One arena holding two names back to back:
+        // 3www4ucla3edu | 1a3com
+        let arena: Arc<[u8]> = Arc::from(&b"\x03www\x04ucla\x03edu\x01a\x03com"[..]);
+        let www = Name::view(&arena, 0, 3).unwrap();
+        let a_com = Name::view(&arena, 13, 2).unwrap();
+        assert_eq!(www, n("www.ucla.edu"));
+        assert_eq!(a_com, n("a.com"));
+        assert!(Arc::ptr_eq(&www.buf, &arena));
+        // Mid-arena parents stop at the view's end, not the buffer's.
+        assert_eq!(www.parent().unwrap(), n("ucla.edu"));
+        assert_eq!(www.parent().unwrap().as_suffix_bytes(), b"\x04ucla\x03edu");
+        // Interior offsets give suffix views for free.
+        assert_eq!(Name::view(&arena, 4, 2).unwrap(), n("ucla.edu"));
+        // Zero labels is the root.
+        assert_eq!(Name::view(&arena, 0, 0).unwrap(), Name::root());
+    }
+
+    #[test]
+    fn arena_views_hash_like_owned_names() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(name: &Name) -> u64 {
+            let mut s = DefaultHasher::new();
+            name.hash(&mut s);
+            s.finish()
+        }
+        let arena: Arc<[u8]> = Arc::from(&b"\x02xx\x03www\x04ucla\x03edu"[..]);
+        let view = Name::view(&arena, 3, 3).unwrap();
+        assert_eq!(h(&view), h(&n("www.ucla.edu")));
+    }
+
+    #[test]
+    fn malformed_arena_views_rejected() {
+        let arena: Arc<[u8]> = Arc::from(&b"\x03www\x04ucla\x03edu"[..]);
+        // Runs past the end of the buffer.
+        assert!(Name::view(&arena, 0, 4).is_err());
+        assert!(Name::view(&arena, 10, 2).is_err());
+        // Offset lands mid-label: b'w' = 119 reads far out of bounds.
+        assert!(Name::view(&arena, 1, 1).is_err());
+        // Zero-length label.
+        let zeros: Arc<[u8]> = Arc::from(&b"\x00\x01a"[..]);
+        assert!(Name::view(&zeros, 0, 2).is_err());
+        // Uppercase bytes are not canonical arena content.
+        let upper: Arc<[u8]> = Arc::from(&b"\x03WWW"[..]);
+        assert!(Name::view(&upper, 0, 1).is_err());
+        // Too many labels for any legal name.
+        assert!(Name::view(&arena, 0, 200).is_err());
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use packetio::{
 };
 pub use resolved::{DaemonStats, Resolved, CHAOS_METRICS_NAME};
 pub use upstream::UdpUpstream;
-pub use wirecache::{fast_query, lowercase_key, FastQuery, WireCache, DEFAULT_WIRE_CACHE_CAP};
+pub use wirecache::{fast_query, lowercase_key, FastQuery, WireCache, DEFAULT_WIRE_CACHE_BYTES};
 
 /// The wall clock mapped into the simulator's time vocabulary: seconds
 /// since the UNIX epoch.

@@ -51,19 +51,23 @@ pub struct DaemonStats {
     /// additionals, compressed question names, non-query opcodes, …)
     /// routed straight to the slow path.
     pub wire_bypass: u64,
+    /// Compiled response bytes currently held by the wire cache (the
+    /// quantity its byte budget bounds).
+    pub wire_bytes: u64,
 }
 
 impl fmt::Display for DaemonStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} served, {} send errors, {} truncated, wire {}h/{}m/{}b",
+            "{} served, {} send errors, {} truncated, wire {}h/{}m/{}b holding {} bytes",
             self.served,
             self.send_errors,
             self.truncated_responses,
             self.wire_hits,
             self.wire_misses,
-            self.wire_bypass
+            self.wire_bypass,
+            self.wire_bytes
         )
     }
 }
@@ -85,34 +89,50 @@ impl Health {
 }
 
 /// Daemon-side observability shared by the worker pool: wall-clock
-/// latency per resolution (the resolver's own histogram models
-/// *virtual* latency; this one measures real elapsed time including
-/// cache-lock contention).
+/// latency split by lane (the resolver's own histogram models *virtual*
+/// latency; these measure real elapsed time including lock contention).
+/// The split makes the wire cache's latency win directly visible:
+/// fast-lane hits never decode, resolve or allocate, so their histogram
+/// sits at the clock floor while the slow path carries the real cost.
 #[derive(Debug)]
 struct DaemonObs {
     registry: Registry,
-    wall_latency: HistId,
+    wall_fast: HistId,
+    wall_slow: HistId,
 }
 
 impl DaemonObs {
     fn new() -> Self {
         let mut registry = Registry::new();
-        let wall_latency = registry.histogram(
-            "wall_latency_ms",
-            "Wall-clock resolution latency per client query in milliseconds",
+        let wall_fast = registry.histogram(
+            "wall_latency_fast_ms",
+            "Wall-clock latency per wire fast-lane hit in milliseconds",
+        );
+        let wall_slow = registry.histogram(
+            "wall_latency_slow_ms",
+            "Wall-clock latency per slow-path resolution in milliseconds",
         );
         DaemonObs {
             registry,
-            wall_latency,
+            wall_fast,
+            wall_slow,
         }
     }
 
-    fn observe_wall(&mut self, ms: u64) {
-        self.registry.observe(self.wall_latency, ms);
+    fn observe_fast(&mut self, ms: u64) {
+        self.registry.observe(self.wall_fast, ms);
     }
 
-    fn wall_histogram(&self) -> &dns_obs::LogHistogram {
-        self.registry.hist(self.wall_latency)
+    fn observe_slow(&mut self, ms: u64) {
+        self.registry.observe(self.wall_slow, ms);
+    }
+
+    fn fast_histogram(&self) -> &dns_obs::LogHistogram {
+        self.registry.hist(self.wall_fast)
+    }
+
+    fn slow_histogram(&self) -> &dns_obs::LogHistogram {
+        self.registry.hist(self.wall_slow)
     }
 }
 
@@ -162,6 +182,7 @@ impl<B: CacheBackend> Shared<B> {
             wire_hits: self.lane.hits.load(Ordering::Relaxed),
             wire_misses: self.lane.misses.load(Ordering::Relaxed),
             wire_bypass: self.lane.bypass.load(Ordering::Relaxed),
+            wire_bytes: self.lane.cache.lock().unwrap().bytes() as u64,
         }
     }
 }
@@ -442,11 +463,14 @@ impl<B: CacheBackend + Send + 'static> Resolved<B> {
         // bytes — no decode, no resolver, no allocation.
         match wirecache::fast_query(raw) {
             Some(fq) if fq.class == RecordClass::In.code() => {
+                let start = Instant::now();
                 wirecache::lowercase_key(fq.raw_name, key);
                 let mut cache = shared.lane.cache.lock().unwrap();
                 let hit = tx.push_with(peer, |buf| cache.serve(key, fq.rtype, raw, now, buf));
                 drop(cache);
                 if hit {
+                    let ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+                    shared.obs.lock().unwrap().observe_fast(ms);
                     shared.lane.hits.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
@@ -523,7 +547,7 @@ impl<B: CacheBackend + Send + 'static> Resolved<B> {
             (outcome, expiry)
         };
         let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
-        shared.obs.lock().unwrap().observe_wall(wall_ms);
+        shared.obs.lock().unwrap().observe_slow(wall_ms);
         match outcome {
             Outcome::Answer { records, .. } => {
                 resp.answers = records;
@@ -614,6 +638,11 @@ impl<B: CacheBackend> Resolved<B> {
     /// Entries currently in the wire fast-lane cache.
     pub fn wire_cache_len(&self) -> usize {
         self.shared.lane.cache.lock().unwrap().len()
+    }
+
+    /// Compiled response bytes currently in the wire fast-lane cache.
+    pub fn wire_cache_bytes(&self) -> usize {
+        self.shared.lane.cache.lock().unwrap().bytes()
     }
 
     /// Snapshot of the resolver's counters, summed over every resolver
@@ -767,6 +796,11 @@ fn metrics_registry(
         stats.wire_bypass,
     );
     set(
+        "daemon_wire_bytes",
+        "Compiled response bytes currently held by the wire cache",
+        stats.wire_bytes,
+    );
+    set(
         "resolver_queries_in",
         "Client queries resolved",
         metrics.queries_in,
@@ -837,11 +871,24 @@ fn metrics_registry(
         "Modelled resolution latency per query in virtual milliseconds",
     );
     reg.hist_mut(resolve_id).merge(resolve_latency);
+    let fast_id = reg.histogram(
+        "wall_latency_fast_ms",
+        "Wall-clock latency per wire fast-lane hit in milliseconds",
+    );
+    reg.hist_mut(fast_id).merge(obs.fast_histogram());
+    let slow_id = reg.histogram(
+        "wall_latency_slow_ms",
+        "Wall-clock latency per slow-path resolution in milliseconds",
+    );
+    reg.hist_mut(slow_id).merge(obs.slow_histogram());
+    // The pre-split series, kept as the union of both lanes so existing
+    // dashboards keep a total-latency view.
     let wall_id = reg.histogram(
         "wall_latency_ms",
-        "Wall-clock resolution latency per client query in milliseconds",
+        "Wall-clock resolution latency per client query in milliseconds (both lanes)",
     );
-    reg.hist_mut(wall_id).merge(obs.wall_histogram());
+    reg.hist_mut(wall_id).merge(obs.fast_histogram());
+    reg.hist_mut(wall_id).merge(obs.slow_histogram());
     reg
 }
 

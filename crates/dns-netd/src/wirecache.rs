@@ -25,8 +25,11 @@ use std::hash::{Hash, Hasher};
 /// DNS header length in bytes.
 const HDR: usize = 12;
 
-/// Default capacity (entries) for a daemon's wire cache.
-pub const DEFAULT_WIRE_CACHE_CAP: usize = 4096;
+/// Default byte budget for a daemon's wire cache: total compiled
+/// response bytes, not entries — entries vary from ~30 bytes (one A
+/// record) to [`wire::MAX_MESSAGE_LEN`], so an entry-count cap would
+/// leave worst-case memory 16× the typical case.
+pub const DEFAULT_WIRE_CACHE_BYTES: usize = 2 << 20;
 
 /// Owned cache key: lowercase length-prefixed question-name bytes (the
 /// wire encoding minus the trailing root zero — exactly
@@ -113,21 +116,27 @@ struct WireEntry {
 #[derive(Debug)]
 pub struct WireCache {
     map: HashMap<WireKey, WireEntry>,
-    cap: usize,
+    /// Byte budget over the compiled response bytes of every entry.
+    cap_bytes: usize,
+    /// Sum of `bytes.len()` over the live entries.
+    bytes: usize,
 }
 
 impl Default for WireCache {
     fn default() -> Self {
-        WireCache::new(DEFAULT_WIRE_CACHE_CAP)
+        WireCache::new(DEFAULT_WIRE_CACHE_BYTES)
     }
 }
 
 impl WireCache {
-    /// An empty cache holding at most `cap` entries (minimum 1).
-    pub fn new(cap: usize) -> WireCache {
+    /// An empty cache holding at most `cap_bytes` of compiled response
+    /// bytes (raised to [`wire::MAX_MESSAGE_LEN`] so at least one entry
+    /// of any size fits).
+    pub fn new(cap_bytes: usize) -> WireCache {
         WireCache {
             map: HashMap::new(),
-            cap: cap.max(1),
+            cap_bytes: cap_bytes.max(wire::MAX_MESSAGE_LEN),
+            bytes: 0,
         }
     }
 
@@ -139,6 +148,23 @@ impl WireCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Compiled response bytes currently stored across every entry.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The byte budget the cache evicts down to.
+    pub fn capacity_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
+    /// Removes the entry for `key`, keeping the byte ledger in step.
+    fn evict(&mut self, key: &(dyn WireKeyView + '_)) -> Option<WireEntry> {
+        let entry = self.map.remove(key)?;
+        self.bytes -= entry.bytes.len();
+        Some(entry)
     }
 
     /// Compiles `(bytes, ttl_offsets)` — as produced by
@@ -171,16 +197,20 @@ impl WireCache {
             qname: name.as_suffix_bytes().into(),
             rtype: rtype.code(),
         };
-        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
-            // At capacity: drop an arbitrary entry. Hot keys re-enter on
-            // their next slow-path answer, so precision doesn't pay here.
-            if let Some(victim) = self.map.keys().next().cloned() {
-                self.map.remove(&victim);
-            }
+        self.evict(&key);
+        // Over budget with the new entry: drop arbitrary entries until it
+        // fits. Hot keys re-enter on their next slow-path answer, so
+        // eviction precision doesn't pay here.
+        while self.bytes + bytes.len() > self.cap_bytes {
+            let Some(victim) = self.map.keys().next().cloned() else {
+                break;
+            };
+            self.evict(&victim);
         }
         let mut stored = bytes.to_vec();
         stored[0] = 0;
         stored[1] = 0;
+        self.bytes += stored.len();
         self.map.insert(
             key,
             WireEntry {
@@ -212,7 +242,7 @@ impl WireCache {
     ) -> Option<usize> {
         let view: &dyn WireKeyView = &(qname, rtype);
         if self.map.get(view).is_some_and(|e| now >= e.expires_at) {
-            self.map.remove(view);
+            self.evict(view);
             return None;
         }
         let entry = self.map.get(view)?;
@@ -238,13 +268,14 @@ impl WireCache {
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
         let before = self.map.len();
         self.map.retain(|_, e| now < e.expires_at);
+        self.bytes = self.map.values().map(|e| e.bytes.len()).sum();
         before - self.map.len()
     }
 
     /// Drops the entry for `(name, rtype)`, if present.
     pub fn invalidate(&mut self, name: &Name, rtype: RecordType) -> bool {
         let view: &dyn WireKeyView = &(name.as_suffix_bytes(), rtype.code());
-        self.map.remove(view).is_some()
+        self.evict(view).is_some()
     }
 }
 
@@ -477,26 +508,54 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_bounded() {
-        let mut cache = WireCache::new(4);
+    fn byte_budget_is_bounded() {
+        let compiled = |i: usize| {
+            let owner = name(&format!("h{i:02}.example.com"));
+            let q = Message::query(i as u16, Question::new(owner.clone(), RecordType::A));
+            let mut resp = Message::response_to(&q);
+            // Fat answer sets so four entries genuinely exceed the
+            // MAX_MESSAGE_LEN floor `new` clamps the budget up to.
+            for j in 0..40u8 {
+                resp.answers.push(Record::new(
+                    owner.clone(),
+                    Ttl::from_secs(300),
+                    RData::A(Ipv4Addr::new(10, 0, j, i as u8)),
+                ));
+            }
+            let (bytes, offsets) = wire::encode_with_ttl_offsets(&resp).unwrap();
+            (owner, bytes, offsets)
+        };
+        // Budget exactly four fixed-width entries; `new` clamps up to one
+        // max-size message, so probe the real capacity, not the argument.
+        let entry_len = compiled(0).1.len();
+        let mut cache = WireCache::new(4 * entry_len);
+        let cap = cache.capacity_bytes();
         let t0 = SimTime::ZERO;
         let horizon = SimTime::from_secs(600);
         for i in 0..20 {
-            let owner = name(&format!("h{i}.example.com"));
-            let q = Message::query(i as u16, Question::new(owner.clone(), RecordType::A));
-            let mut resp = Message::response_to(&q);
-            resp.answers.push(Record::new(
-                owner.clone(),
-                Ttl::from_secs(300),
-                RData::A(Ipv4Addr::new(10, 0, 0, i as u8)),
-            ));
-            let (bytes, offsets) = wire::encode_with_ttl_offsets(&resp).unwrap();
+            let (owner, bytes, offsets) = compiled(i);
             assert!(cache.insert(&owner, RecordType::A, &bytes, &offsets, t0, horizon));
-            assert!(cache.len() <= 4);
+            assert!(cache.bytes() <= cap, "byte ledger respects the budget");
+            assert_eq!(
+                cache.bytes(),
+                cache.len() * entry_len,
+                "ledger equals the sum of stored entries"
+            );
         }
-        assert_eq!(cache.len(), 4);
-        assert_eq!(cache.purge_expired(horizon), 4);
+        let full = cache.len();
+        assert!((1..20).contains(&full), "budget forces eviction");
+
+        // Re-inserting a present key replaces it without double counting.
+        let (owner, bytes, offsets) = compiled(19);
+        assert!(cache.insert(&owner, RecordType::A, &bytes, &offsets, t0, horizon));
+        assert_eq!(cache.len(), full);
+        assert_eq!(cache.bytes(), full * entry_len);
+
+        assert!(cache.invalidate(&owner, RecordType::A));
+        assert_eq!(cache.bytes(), (full - 1) * entry_len);
+        assert_eq!(cache.purge_expired(horizon), full - 1);
         assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
     }
 
     #[test]

@@ -156,10 +156,24 @@ fn chaos_snapshot_reconciles_with_daemon_and_resolver_counters() {
         "blackout retries must be visible: {metrics}"
     );
 
-    // Both latency histograms saw exactly one observation per
-    // resolution; CHAOS queries themselves are not counted.
+    // Three distinct names means every IN resolution took the slow path:
+    // the slow-lane wall histogram and the modelled histogram saw one
+    // observation per resolution, the fast-lane histogram exactly one
+    // per wire hit (none here), and the combined series their union.
     assert_eq!(snapshot["resolve_latency_ms"]["count"], metrics.queries_in);
-    assert_eq!(snapshot["wall_latency_ms"]["count"], metrics.queries_in);
+    assert_eq!(
+        snapshot["wall_latency_slow_ms"]["count"],
+        metrics.queries_in
+    );
+    assert_eq!(snapshot["wall_latency_fast_ms"]["count"], stats.wire_hits);
+    assert_eq!(
+        snapshot["wall_latency_ms"]["count"],
+        metrics.queries_in + stats.wire_hits
+    );
+    // The positive answer was compiled into the wire cache, and the
+    // snapshot exposes the byte total its budget bounds.
+    assert_eq!(snapshot["daemon_wire_bytes"]["value"], stats.wire_bytes);
+    assert!(stats.wire_bytes > 0, "compiled answer occupies bytes");
     // The SERVFAIL burned the whole retry deadline in wall time, so the
     // wall p99 cannot be below the virtual cache-hit floor.
     assert!(snapshot["resolve_latency_ms"]["p99"] >= snapshot["resolve_latency_ms"]["p50"]);
@@ -186,9 +200,12 @@ fn chaos_snapshot_reconciles_with_daemon_and_resolver_counters() {
     // text covering every counter plus both histograms.
     let body = resolver.prometheus();
     let series = dns_obs::validate_prometheus_text(&body).expect("valid exposition text");
-    assert!(series >= 17, "expected full metric surface, got {series}");
+    assert!(series >= 19, "expected full metric surface, got {series}");
     assert!(body.contains("resolver_queries_in"));
+    assert!(body.contains("daemon_wire_bytes"));
     assert!(body.contains("wall_latency_ms_bucket"));
+    assert!(body.contains("wall_latency_fast_ms_bucket"));
+    assert!(body.contains("wall_latency_slow_ms_bucket"));
 
     resolver.stop();
     net.stop();

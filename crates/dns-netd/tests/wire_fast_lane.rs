@@ -308,6 +308,29 @@ fn batched_loopback_path_serves_bursts_through_faults() {
         lines.iter().any(|l| l.starts_with("daemon_wire_hits=")),
         "snapshot must expose the wire trio: {lines:?}"
     );
+    let wire_bytes: u64 = lines
+        .iter()
+        .find_map(|l| l.strip_prefix("daemon_wire_bytes="))
+        .expect("snapshot exposes the wire cache byte total")
+        .parse()
+        .unwrap();
+    assert_eq!(
+        wire_bytes,
+        resolver.wire_cache_bytes() as u64,
+        "byte gauge reconciles with the cache ledger"
+    );
+    assert!(wire_bytes > 0, "hot entry occupies bytes");
+    // The lane split is visible: one fast-lane observation per wire hit.
+    let fast_count = lines
+        .iter()
+        .find(|l| l.starts_with("wall_latency_fast_ms "))
+        .expect("fast-lane histogram rendered")
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("count="))
+        .unwrap()
+        .parse::<u64>()
+        .unwrap();
+    assert_eq!(fast_count, resolver.stats().wire_hits);
 
     resolver.stop();
     net.stop();

@@ -7,7 +7,7 @@ use dns_resolver::{
     CacheBackend, CachingServer, GapSample, LocalBackend, OccupancySample, ResolverConfig,
     ResolverMetrics, RootHints,
 };
-use dns_trace::{Trace, Universe};
+use dns_trace::{QueryEvent, QueryStream, Trace, TraceCursor, Universe};
 use std::fmt;
 use std::sync::Arc;
 
@@ -94,6 +94,142 @@ impl fmt::Display for SimReport {
     }
 }
 
+/// Where replayed queries come from: a materialized [`Trace`] indexed in
+/// place, or a [`QueryStream`] pulled with a lookahead of exactly one
+/// event — `O(1)` replay memory at any trace length.
+#[derive(Debug)]
+enum Feed {
+    Trace { trace: Arc<Trace>, pos: usize },
+    Stream(StreamFeed),
+}
+
+struct StreamFeed {
+    stream: Box<dyn QueryStream>,
+    /// The next undelivered event (bounded lookahead of one).
+    next: Option<QueryEvent>,
+    /// Stream position *before* `next` — resuming from it regenerates
+    /// the buffered event first, so a paused simulation's cursor is
+    /// exact.
+    cursor: TraceCursor,
+    pulled: u64,
+}
+
+impl StreamFeed {
+    fn new(mut stream: Box<dyn QueryStream>) -> Self {
+        let cursor = stream.cursor();
+        // Count from the trace start, not the resume point, so a fork
+        // resumed mid-trace reports `processed()` like a materialized
+        // replay would.
+        let pulled = cursor.emitted();
+        let next = stream.next_event();
+        StreamFeed {
+            stream,
+            next,
+            cursor,
+            pulled,
+        }
+    }
+}
+
+impl fmt::Debug for StreamFeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamFeed")
+            .field("trace", &self.stream.trace_name())
+            .field("pulled", &self.pulled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Feed {
+    /// Timestamp of the next query, if any.
+    fn peek_at(&self) -> Option<SimTime> {
+        match self {
+            Feed::Trace { trace, pos } => trace.queries.get(*pos).map(|q| q.at),
+            Feed::Stream(s) => s.next.as_ref().map(|q| q.at),
+        }
+    }
+
+    /// Delivers the next query.
+    fn pop(&mut self) -> Option<QueryEvent> {
+        match self {
+            Feed::Trace { trace, pos } => {
+                let q = trace.queries.get(*pos)?.clone();
+                *pos += 1;
+                Some(q)
+            }
+            Feed::Stream(s) => {
+                let q = s.next.take()?;
+                s.cursor = s.stream.cursor();
+                s.next = s.stream.next_event();
+                s.pulled += 1;
+                Some(q)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            Feed::Trace { trace, .. } => &trace.name,
+            Feed::Stream(s) => s.stream.trace_name(),
+        }
+    }
+
+    fn days(&self) -> u64 {
+        match self {
+            Feed::Trace { trace, .. } => trace.days,
+            Feed::Stream(s) => s.stream.days(),
+        }
+    }
+
+    fn processed(&self) -> usize {
+        match self {
+            Feed::Trace { pos, .. } => *pos,
+            Feed::Stream(s) => s.pulled as usize,
+        }
+    }
+
+    fn total_queries(&self) -> u64 {
+        match self {
+            Feed::Trace { trace, .. } => trace.queries.len() as u64,
+            Feed::Stream(s) => s.stream.total_queries(),
+        }
+    }
+
+    /// The latest virtual time replay must reach to cover every query
+    /// and the full trace horizon. Streamed events never leave the
+    /// `days` horizon by construction (hour < days × 24, offset < 1 h).
+    fn end_horizon(&self) -> SimTime {
+        let horizon = SimTime::from_days(self.days());
+        match self {
+            Feed::Trace { trace, .. } => trace
+                .queries
+                .last()
+                .map(|q| q.at)
+                .unwrap_or(horizon)
+                .max(horizon),
+            Feed::Stream(_) => horizon,
+        }
+    }
+}
+
+impl Clone for Feed {
+    /// Materialized feeds clone for free (`Arc` bump); streaming feeds
+    /// cannot (`Box<dyn QueryStream>`) — fork a streaming simulation via
+    /// [`Simulation::fork_streaming`] with a resumed stream instead.
+    fn clone(&self) -> Feed {
+        match self {
+            Feed::Trace { trace, pos } => Feed::Trace {
+                trace: Arc::clone(trace),
+                pos: *pos,
+            },
+            Feed::Stream(_) => panic!(
+                "a streaming simulation cannot be cloned; resume a stream \
+                 from stream_cursor() and call fork_streaming()"
+            ),
+        }
+    }
+}
+
 /// A deterministic trace replay: one caching server resolving a trace's
 /// queries against the universe's server farm, with renewal timers firing
 /// between queries.
@@ -101,13 +237,17 @@ impl fmt::Display for SimReport {
 /// Replay can be paused at any virtual time ([`Simulation::run_until`])
 /// and forked ([`Simulation::fork`]); the attack-duration sweeps share a
 /// single warmed-up simulation this way.
+///
+/// The query source is either a materialized [`Trace`] or a boxed
+/// [`QueryStream`] ([`Simulation::shared_streaming`]) replayed with a
+/// lookahead of one event; streamed replay never holds the trace in
+/// memory.
 #[derive(Debug, Clone)]
 pub struct Simulation<B: CacheBackend = LocalBackend> {
     config: SimConfig,
     cs: CachingServer<B>,
     net: SimNet,
-    trace: Arc<Trace>,
-    pos: usize,
+    feed: Feed,
     now: SimTime,
     occupancy: Vec<OccupancySample>,
     next_occupancy: Option<SimTime>,
@@ -152,6 +292,39 @@ impl Simulation {
     ) -> Self {
         Simulation::shared_with_backend(farm, universe, trace, config, LocalBackend::new())
     }
+
+    /// Builds a streaming replay: queries are pulled from `stream` one
+    /// at a time instead of a materialized trace, so replay memory stays
+    /// `O(1)` in trace length (the sweep engine's path to month-long,
+    /// million-zone traces).
+    pub fn streaming(universe: &Universe, stream: Box<dyn QueryStream>, config: SimConfig) -> Self {
+        let farm = ServerFarm::build(universe, config.long_ttl);
+        Simulation::shared_streaming(Arc::new(farm), universe, stream, config)
+    }
+
+    /// Like [`Simulation::streaming`] over an already-built farm; the
+    /// farm must match `config.long_ttl` (see [`Simulation::with_farm`]).
+    pub fn shared_streaming(
+        farm: Arc<ServerFarm>,
+        universe: &Universe,
+        stream: Box<dyn QueryStream>,
+        config: SimConfig,
+    ) -> Self {
+        let hints = RootHints::new(universe.root_servers().to_vec());
+        let cs = CachingServer::with_backend(config.resolver, hints, LocalBackend::new());
+        let next_occupancy = config.occupancy_interval.map(|_| SimTime::ZERO);
+        let next_purge = SimTime::ZERO + config.purge_interval;
+        Simulation {
+            config,
+            cs,
+            net: SimNet::with_shared(farm),
+            feed: Feed::Stream(StreamFeed::new(stream)),
+            now: SimTime::ZERO,
+            occupancy: Vec::new(),
+            next_occupancy,
+            next_purge,
+        }
+    }
 }
 
 impl<B: CacheBackend> Simulation<B> {
@@ -174,8 +347,7 @@ impl<B: CacheBackend> Simulation<B> {
             config,
             cs,
             net: SimNet::with_shared(farm),
-            trace,
-            pos: 0,
+            feed: Feed::Trace { trace, pos: 0 },
             now: SimTime::ZERO,
             occupancy: Vec::new(),
             next_occupancy,
@@ -224,14 +396,29 @@ impl<B: CacheBackend> Simulation<B> {
         &self.net
     }
 
-    /// The trace being replayed.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    /// The materialized trace being replayed (`None` for streaming
+    /// replays, which never hold one).
+    pub fn trace(&self) -> Option<&Trace> {
+        match &self.feed {
+            Feed::Trace { trace, .. } => Some(trace),
+            Feed::Stream(_) => None,
+        }
+    }
+
+    /// For a streaming replay, the resumable position of the next
+    /// unprocessed query (`None` for materialized replays). Resuming a
+    /// stream from this cursor and [`Simulation::fork_streaming`]-ing
+    /// continues exactly where this simulation paused.
+    pub fn stream_cursor(&self) -> Option<TraceCursor> {
+        match &self.feed {
+            Feed::Trace { .. } => None,
+            Feed::Stream(s) => Some(s.cursor.clone()),
+        }
     }
 
     /// Queries processed so far.
     pub fn processed(&self) -> usize {
-        self.pos
+        self.feed.processed()
     }
 
     /// Occupancy samples collected so far.
@@ -246,6 +433,12 @@ impl<B: CacheBackend> Simulation<B> {
 
     /// An independent copy sharing the (immutable) trace — used to sweep
     /// attack durations from one warmed-up state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a streaming replay (the stream cannot be cloned); use
+    /// [`Simulation::fork_streaming`] with a stream resumed from
+    /// [`Simulation::stream_cursor`] instead.
     pub fn fork(&self) -> Simulation<B>
     where
         B: Clone,
@@ -253,20 +446,38 @@ impl<B: CacheBackend> Simulation<B> {
         self.clone()
     }
 
+    /// Forks a streaming replay: an independent copy of the warmed-up
+    /// state that continues from `stream` — normally one resumed from
+    /// [`Simulation::stream_cursor`] so the fork replays exactly the
+    /// queries this simulation has not yet processed.
+    pub fn fork_streaming(&self, stream: Box<dyn QueryStream>) -> Simulation<B>
+    where
+        B: Clone,
+    {
+        Simulation {
+            config: self.config.clone(),
+            cs: self.cs.clone(),
+            net: self.net.clone(),
+            feed: Feed::Stream(StreamFeed::new(stream)),
+            now: self.now,
+            occupancy: self.occupancy.clone(),
+            next_occupancy: self.next_occupancy,
+            next_purge: self.next_purge,
+        }
+    }
+
     /// Replays all queries with `at < until`, firing due renewal timers,
     /// occupancy samples and purges in timestamp order, then advances the
     /// clock to `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while self.pos < self.trace.queries.len() {
-            let at = self.trace.queries[self.pos].at;
+        while let Some(at) = self.feed.peek_at() {
             if at >= until {
                 break;
             }
             self.advance_background(at);
-            let question = self.trace.queries[self.pos].question.clone();
-            self.cs.resolve(&question, at, &mut self.net);
+            let event = self.feed.pop().expect("peeked event exists");
+            self.cs.resolve(&event.question, at, &mut self.net);
             self.now = at;
-            self.pos += 1;
         }
         self.advance_background(until);
         self.now = until;
@@ -274,16 +485,14 @@ impl<B: CacheBackend> Simulation<B> {
 
     /// Replays the remainder of the trace.
     pub fn run_to_end(&mut self) {
-        let horizon = SimTime::from_days(self.trace.days);
-        let last = self.trace.queries.last().map(|q| q.at).unwrap_or(horizon);
-        self.run_until(last.max(horizon) + SimDuration::from_secs(1));
+        self.run_until(self.feed.end_horizon() + SimDuration::from_secs(1));
     }
 
     /// Produces the run summary.
     pub fn report(&self) -> SimReport {
         SimReport {
             scheme: self.config.label(),
-            trace: self.trace.name.clone(),
+            trace: self.feed.name().to_string(),
             metrics: self.metrics(),
             occupancy: self.occupancy.clone(),
         }
@@ -325,10 +534,10 @@ impl<B: CacheBackend> fmt::Display for Simulation<B> {
             f,
             "simulation {} on {} at {} ({}/{} queries)",
             self.config.label(),
-            self.trace.name,
+            self.feed.name(),
             self.now,
-            self.pos,
-            self.trace.queries.len()
+            self.feed.processed(),
+            self.feed.total_queries()
         )
     }
 }
@@ -338,7 +547,7 @@ mod tests {
     use super::*;
     use crate::AttackScenario;
     use dns_resolver::RenewalPolicy;
-    use dns_trace::{TraceSpec, UniverseSpec};
+    use dns_trace::{TraceSpec, UniverseSpec, UniverseTargets};
 
     fn universe() -> Universe {
         UniverseSpec::small().build(7)
@@ -430,6 +639,60 @@ mod tests {
             combined < vanilla,
             "combined {combined} vs vanilla {vanilla}"
         );
+    }
+
+    #[test]
+    fn streaming_replay_matches_materialized() {
+        let u = universe();
+        let t = small_trace(&u);
+        let n = t.queries.len();
+        let mut mat = Simulation::new(&u, t, SimConfig::new(ResolverConfig::vanilla()));
+        mat.run_to_end();
+
+        let wb = TraceSpec::demo().scaled(0.1).workload();
+        let stream = Box::new(wb.stream(UniverseTargets::new(&u), 5));
+        let mut streamed =
+            Simulation::streaming(&u, stream, SimConfig::new(ResolverConfig::vanilla()));
+        assert!(streamed.trace().is_none());
+        streamed.run_to_end();
+
+        assert_eq!(streamed.processed(), n);
+        assert_eq!(mat.metrics(), streamed.metrics());
+    }
+
+    #[test]
+    fn fork_streaming_from_cursor_matches_materialized_fork() {
+        let u = universe();
+        let targets = UniverseTargets::new(&u);
+        let wb = TraceSpec::demo().scaled(0.1).workload();
+        let attack =
+            AttackScenario::root_and_tlds(SimTime::from_days(6), SimDuration::from_hours(24));
+
+        // Materialized reference: warm, fork, attack.
+        let mut warm = Simulation::new(
+            &u,
+            small_trace(&u),
+            SimConfig::new(ResolverConfig::vanilla()),
+        );
+        warm.run_until(SimTime::from_days(6));
+        let mut attacked = warm.fork();
+        attacked.set_attack(attack.compile(&u));
+        attacked.run_to_end();
+
+        // Streaming: warm, resume the stream at the paused cursor, fork.
+        let stream = Box::new(wb.stream(targets.clone(), 5));
+        let mut swarm =
+            Simulation::streaming(&u, stream, SimConfig::new(ResolverConfig::vanilla()));
+        swarm.run_until(SimTime::from_days(6));
+        assert_eq!(swarm.processed(), warm.processed());
+        let cursor = swarm.stream_cursor().expect("streaming feed has a cursor");
+        assert_eq!(cursor.emitted(), swarm.processed() as u64);
+        let mut sattacked = swarm.fork_streaming(Box::new(wb.resume(targets, 5, &cursor)));
+        sattacked.set_attack(attack.compile(&u));
+        sattacked.run_to_end();
+
+        assert_eq!(attacked.processed(), sattacked.processed());
+        assert_eq!(attacked.metrics(), sattacked.metrics());
     }
 
     #[test]

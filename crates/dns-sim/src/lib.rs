@@ -50,10 +50,12 @@ pub mod experiment;
 mod farm;
 pub mod gap;
 mod network;
+mod rss;
 pub mod sweep;
 
 pub use attack::{AttackScenario, Blackout, CompiledAttack};
 pub use driver::{scheme_label, SimConfig, SimReport, Simulation};
 pub use farm::ServerFarm;
 pub use network::{NetworkStats, SimNet};
-pub use sweep::{ExperimentSpec, GapOutcome, RunManifest, SweepOutcome, UnitRecord};
+pub use rss::peak_rss_kb;
+pub use sweep::{ExperimentSpec, GapOutcome, RunManifest, StreamSource, SweepOutcome, UnitRecord};

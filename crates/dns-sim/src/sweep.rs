@@ -42,7 +42,7 @@ use dns_core::{SimDuration, SimTime, Ttl};
 use dns_obs::LogHistogram;
 use dns_resolver::GapSample;
 use dns_stats::{manifest_table, ManifestRow, Table};
-use dns_trace::{Trace, Universe};
+use dns_trace::{Trace, TraceSpec, Universe, UniverseTargets};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,6 +58,7 @@ pub const THREADS_ENV: &str = "DNS_SIM_THREADS";
 pub struct ExperimentSpec<'a> {
     universe: &'a Universe,
     traces: Vec<Arc<Trace>>,
+    stream_traces: Vec<StreamSource>,
     schemes: Vec<Scheme>,
     attack: Option<(SimTime, Vec<SimDuration>)>,
     overhead: Option<SimDuration>,
@@ -74,6 +75,7 @@ impl<'a> ExperimentSpec<'a> {
         ExperimentSpec {
             universe,
             traces: Vec::new(),
+            stream_traces: Vec::new(),
             schemes: Vec::new(),
             attack: None,
             overhead: None,
@@ -94,6 +96,18 @@ impl<'a> ExperimentSpec<'a> {
     /// Adds many traces.
     pub fn traces<T: Into<Arc<Trace>>>(mut self, traces: impl IntoIterator<Item = T>) -> Self {
         self.traces.extend(traces.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds a streamed trace: units replay it straight from the seeded
+    /// generator ([`dns_trace::TraceStream`]) with per-unit streaming
+    /// and bounded (one-event) lookahead — the trace is never
+    /// materialized, so replay memory is `O(zones)` at any query count.
+    /// Outcomes are byte-identical to replaying
+    /// `spec.generate(universe, seed)`. Streamed traces order after all
+    /// materialized traces in spec order.
+    pub fn stream_trace(mut self, spec: TraceSpec, seed: u64) -> Self {
+        self.stream_traces.push(StreamSource { spec, seed });
         self
     }
 
@@ -178,7 +192,7 @@ impl<'a> ExperimentSpec<'a> {
     /// the caller, not a valid experiment.
     pub fn run(self) -> SweepOutcome {
         assert!(
-            !self.traces.is_empty(),
+            !self.traces.is_empty() || !self.stream_traces.is_empty(),
             "ExperimentSpec needs at least one trace"
         );
         assert!(
@@ -200,16 +214,23 @@ impl<'a> ExperimentSpec<'a> {
                 .or_insert_with(|| Arc::new(ServerFarm::build(self.universe, scheme.long_ttl)));
         }
 
-        // Unit list in spec order; each unit is one (trace, scheme,
-        // kind) cell and owns only Arcs + Copy data, so units move into
-        // worker threads freely.
+        // Unit list in spec order (materialized traces first, then
+        // streamed); each unit is one (trace, scheme, kind) cell and
+        // owns only Arcs + Copy data, so units move into worker threads
+        // freely.
+        let sources: Vec<TraceRef> = self
+            .traces
+            .iter()
+            .map(|t| TraceRef::Mat(Arc::clone(t)))
+            .chain(self.stream_traces.iter().cloned().map(TraceRef::Stream))
+            .collect();
         let mut units: Vec<Unit> = Vec::new();
-        for trace in &self.traces {
+        for source in &sources {
             for scheme in &self.schemes {
                 let farm = Arc::clone(&farms[&scheme.long_ttl]);
                 if let Some((start, durations)) = &self.attack {
                     units.push(Unit {
-                        trace: Arc::clone(trace),
+                        source: source.clone(),
                         scheme: *scheme,
                         farm: Arc::clone(&farm),
                         kind: UnitKind::Attack {
@@ -220,7 +241,7 @@ impl<'a> ExperimentSpec<'a> {
                 }
                 if let Some(sample_every) = self.overhead {
                     units.push(Unit {
-                        trace: Arc::clone(trace),
+                        source: source.clone(),
                         scheme: *scheme,
                         farm: Arc::clone(&farm),
                         kind: UnitKind::Overhead { sample_every },
@@ -228,7 +249,7 @@ impl<'a> ExperimentSpec<'a> {
                 }
                 if self.gaps {
                     units.push(Unit {
-                        trace: Arc::clone(trace),
+                        source: source.clone(),
                         scheme: *scheme,
                         farm,
                         kind: UnitKind::Gaps,
@@ -368,6 +389,7 @@ impl RunManifest {
                 queries: u.queries,
                 events: u.events,
                 peak_records: u.peak_records,
+                peak_rss_kb: u.peak_rss_kb,
                 worker: u.worker,
                 seed: u.seed,
                 lat_p50_ms: u.latency.p50(),
@@ -426,6 +448,11 @@ pub struct UnitRecord {
     pub events: u64,
     /// Peak cached-record count observed across the unit's runs.
     pub peak_records: u64,
+    /// Process peak resident set (KiB, `VmHWM`) when the unit finished —
+    /// a process-global high-water mark, recorded per unit so scale
+    /// sweeps can assert replay never materialized the trace (see
+    /// [`crate::peak_rss_kb`]).
+    pub peak_rss_kb: u64,
     /// Worker thread that executed the unit.
     pub worker: usize,
     /// Seed recorded for the unit.
@@ -460,8 +487,36 @@ impl UnitKind {
     }
 }
 
+/// A seeded, never-materialized trace: the sweep engine replays it
+/// straight from the generator (see [`ExperimentSpec::stream_trace`]).
+#[derive(Debug, Clone)]
+pub struct StreamSource {
+    /// The trace preset to stream.
+    pub spec: TraceSpec,
+    /// Generation seed — streaming `spec` with it is byte-identical to
+    /// `spec.generate(universe, seed)`.
+    pub seed: u64,
+}
+
+/// One trace as the unit executor sees it: materialized and shared, or
+/// regenerated on demand from a seeded stream.
+#[derive(Clone)]
+enum TraceRef {
+    Mat(Arc<Trace>),
+    Stream(StreamSource),
+}
+
+impl TraceRef {
+    fn name(&self) -> &str {
+        match self {
+            TraceRef::Mat(trace) => &trace.name,
+            TraceRef::Stream(s) => s.spec.name,
+        }
+    }
+}
+
 struct Unit {
-    trace: Arc<Trace>,
+    source: TraceRef,
     scheme: Scheme,
     farm: Arc<ServerFarm>,
     kind: UnitKind,
@@ -481,6 +536,28 @@ fn event_count(m: &dns_resolver::ResolverMetrics) -> u64 {
 
 fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitResult {
     let started = Instant::now();
+    // Streaming units share one target table across the warm-up and
+    // every resumed fork — the unit's only `O(zones)` allocation; the
+    // stream itself holds just the current hour's arrival offsets.
+    let targets = match &unit.source {
+        TraceRef::Stream(_) => Some(UniverseTargets::new(universe)),
+        TraceRef::Mat(_) => None,
+    };
+    let make_sim = |config| match &unit.source {
+        TraceRef::Mat(trace) => {
+            Simulation::shared(Arc::clone(&unit.farm), universe, Arc::clone(trace), config)
+        }
+        TraceRef::Stream(s) => Simulation::shared_streaming(
+            Arc::clone(&unit.farm),
+            universe,
+            Box::new(
+                s.spec
+                    .workload()
+                    .stream(targets.clone().expect("targets built for streams"), s.seed),
+            ),
+            config,
+        ),
+    };
     let mut attacks = Vec::new();
     let mut overhead = None;
     let mut gaps = None;
@@ -488,12 +565,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
     let mut occupancy_hist = LogHistogram::new();
     let (runs, queries, events, peak_records) = match &unit.kind {
         UnitKind::Attack { start, durations } => {
-            let mut warm = Simulation::shared(
-                Arc::clone(&unit.farm),
-                universe,
-                Arc::clone(&unit.trace),
-                unit.scheme.sim_config(),
-            );
+            let mut warm = make_sim(unit.scheme.sim_config());
             warm.run_until(*start);
             let warm_processed = warm.processed() as u64;
             let warm_latency = warm.cs().latency_histogram().clone();
@@ -503,7 +575,20 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             occupancy_hist.record(warm_records);
             let mut peak = warm_records;
             for &duration in durations {
-                let mut sim = warm.fork();
+                // Materialized forks clone the warm state and keep
+                // indexing the shared trace; streaming forks resume a
+                // fresh stream at the warm-up's exact cursor.
+                let mut sim = match &unit.source {
+                    TraceRef::Mat(_) => warm.fork(),
+                    TraceRef::Stream(s) => {
+                        let cursor = warm.stream_cursor().expect("streaming sims carry cursors");
+                        warm.fork_streaming(Box::new(s.spec.workload().resume(
+                            targets.clone().expect("targets built for streams"),
+                            s.seed,
+                            &cursor,
+                        )))
+                    }
+                };
                 sim.set_attack(AttackScenario::root_and_tlds(*start, duration).compile(universe));
                 let before = sim.metrics();
                 let end = *start + duration;
@@ -520,7 +605,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
                 peak = peak.max(end_records);
                 attacks.push(AttackOutcome {
                     scheme: unit.scheme.label(),
-                    trace: unit.trace.name.clone(),
+                    trace: unit.source.name().to_string(),
                     duration,
                     sr_failed_pct: window.failed_in_ratio() * 100.0,
                     cs_failed_pct: window.failed_out_ratio() * 100.0,
@@ -531,12 +616,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             (durations.len(), queries, events, peak)
         }
         UnitKind::Overhead { sample_every } => {
-            let mut sim = Simulation::shared(
-                Arc::clone(&unit.farm),
-                universe,
-                Arc::clone(&unit.trace),
-                unit.scheme.sim_config().occupancy_every(*sample_every),
-            );
+            let mut sim = make_sim(unit.scheme.sim_config().occupancy_every(*sample_every));
             sim.run_to_end();
             let metrics = sim.metrics();
             let peak = sim
@@ -552,7 +632,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             let queries = sim.processed() as u64;
             overhead = Some(OverheadOutcome {
                 scheme: unit.scheme.label(),
-                trace: unit.trace.name.clone(),
+                trace: unit.source.name().to_string(),
                 metrics,
                 occupancy: sim.occupancy().to_vec(),
                 latency: latency.clone(),
@@ -560,12 +640,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             (1, queries, event_count(&metrics), peak)
         }
         UnitKind::Gaps => {
-            let mut sim = Simulation::shared(
-                Arc::clone(&unit.farm),
-                universe,
-                Arc::clone(&unit.trace),
-                unit.scheme.sim_config(),
-            );
+            let mut sim = make_sim(unit.scheme.sim_config());
             sim.run_to_end();
             let metrics = sim.metrics();
             let now = sim.now();
@@ -575,7 +650,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             let queries = sim.processed() as u64;
             gaps = Some(GapOutcome {
                 scheme: unit.scheme.label(),
-                trace: unit.trace.name.clone(),
+                trace: unit.source.name().to_string(),
                 samples: sim.take_gap_samples(),
             });
             (1, queries, event_count(&metrics), peak)
@@ -588,13 +663,14 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
         record: UnitRecord {
             unit: 0, // patched to spec order during assembly
             kind: unit.kind.label(),
-            trace: unit.trace.name.clone(),
+            trace: unit.source.name().to_string(),
             scheme: unit.scheme.label(),
             runs,
             wall: started.elapsed(),
             queries,
             events,
             peak_records,
+            peak_rss_kb: crate::rss::peak_rss_kb(),
             worker,
             seed,
             latency,
@@ -702,6 +778,39 @@ mod tests {
             unit.events,
             m.queries_in + m.queries_out + m.refreshes + m.renewals_sent
         );
+    }
+
+    #[test]
+    fn streamed_sweep_matches_materialized_sweep() {
+        let u = UniverseSpec::small().build(7);
+        let preset = TraceSpec::demo().scaled(0.1);
+        let build = |spec: ExperimentSpec<'_>| {
+            spec.schemes([Scheme::vanilla(), Scheme::refresh()])
+                .attack(SimTime::from_days(ATTACK_START_DAY), &paper_durations())
+                .overhead(SimDuration::from_hours(12))
+                .threads(2)
+                .run()
+        };
+        let mat = build(ExperimentSpec::new(&u).trace(preset.generate(&u, 5)));
+        let streamed = build(ExperimentSpec::new(&u).stream_trace(preset, 5));
+
+        assert_eq!(mat.attacks.len(), streamed.attacks.len());
+        for (a, b) in mat.attacks.iter().zip(&streamed.attacks) {
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.window, b.window);
+        }
+        assert_eq!(mat.overheads.len(), streamed.overheads.len());
+        for (a, b) in mat.overheads.iter().zip(&streamed.overheads) {
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.occupancy, b.occupancy);
+        }
+        for (a, b) in mat.manifest.units.iter().zip(&streamed.manifest.units) {
+            assert_eq!(a.queries, b.queries);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.peak_records, b.peak_records);
+            assert!(b.peak_rss_kb > 0, "RSS recorded per unit");
+        }
     }
 
     #[test]

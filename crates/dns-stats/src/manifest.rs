@@ -29,6 +29,8 @@ pub struct ManifestRow {
     pub events: u64,
     /// Peak cached-record count observed.
     pub peak_records: u64,
+    /// Process peak resident set (KiB) when the unit finished.
+    pub peak_rss_kb: u64,
     /// Id of the worker thread that executed the unit.
     pub worker: usize,
     /// RNG seed the unit ran with.
@@ -43,7 +45,7 @@ pub struct ManifestRow {
 }
 
 /// Column headers of the manifest table, shared with its CSV form.
-pub const MANIFEST_HEADERS: [&str; 14] = [
+pub const MANIFEST_HEADERS: [&str; 15] = [
     "unit",
     "kind",
     "trace",
@@ -53,6 +55,7 @@ pub const MANIFEST_HEADERS: [&str; 14] = [
     "queries",
     "events",
     "peak_records",
+    "peak_rss_kb",
     "worker",
     "seed",
     "lat_p50_ms",
@@ -75,6 +78,7 @@ pub fn manifest_table(rows: &[ManifestRow]) -> Table {
             r.queries.to_string(),
             r.events.to_string(),
             r.peak_records.to_string(),
+            r.peak_rss_kb.to_string(),
             r.worker.to_string(),
             r.seed.to_string(),
             r.lat_p50_ms.to_string(),
@@ -100,6 +104,7 @@ mod tests {
             queries: 50_000,
             events: 180_000,
             peak_records: 900,
+            peak_rss_kb: 45_000,
             worker: 0,
             seed: 42,
             lat_p50_ms: 40,

@@ -1,0 +1,471 @@
+//! Compact interned name storage for internet-scale namespaces.
+//!
+//! A [`NameTable`] holds many domain names in **one contiguous arena** of
+//! length-prefixed lowercase label bytes — the exact representation
+//! `dns-core`'s [`Name`] uses — plus a `(u32 offset, u16 len, u8 count)`
+//! record per name. [`NameTable::get`] therefore builds a `Name` as a
+//! **zero-copy arena view** ([`Name::view`]): one `Arc` refcount bump, no
+//! per-name heap allocation, no matter how many million names the table
+//! holds.
+//!
+//! [`InternedNamespace`] is the large-scale sibling of
+//! [`Universe`](crate::Universe): the same generator, the same RNG
+//! stream, but each [`ZoneSpec`](crate::ZoneSpec) is compressed into a
+//! 24-byte record (apex id, primary-server id + address, TTL, target
+//! range) the moment it is produced and then dropped — so a million-zone
+//! namespace costs tens of megabytes instead of the gigabyte of owned
+//! `Name`s a full `Universe` would need. It implements
+//! [`TargetSource`](crate::TargetSource), so
+//! [`TraceStream`](crate::TraceStream) replays over it directly.
+
+use crate::namespace::ZoneSink;
+use crate::stream::TargetSource;
+use crate::ZoneSpec;
+use dns_core::{Name, Ttl};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Handle to a name stored in a [`NameTable`] (or its builder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The id as a dense index (`0..table.len()`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where one name lives inside the arena.
+#[derive(Debug, Clone, Copy)]
+struct NameRef {
+    offset: u32,
+    len: u16,
+    count: u8,
+}
+
+/// Accumulates names into a contiguous arena; [`NameTableBuilder::seal`]
+/// freezes it into a [`NameTable`].
+///
+/// Two insertion paths with different memory trade-offs:
+///
+/// * [`intern`](NameTableBuilder::intern) — probes a hash index and
+///   returns the existing id when the exact name was interned before.
+/// * [`append`](NameTableBuilder::append) — stores unconditionally and
+///   skips the index entirely. The namespace generator uses this: it
+///   emits each name exactly once by construction, and at a million
+///   zones the dedup index would cost more memory than the arena itself.
+///
+/// Appended names are invisible to `intern`'s dedup probe; don't mix the
+/// two paths for names that may repeat.
+#[derive(Debug, Default)]
+pub struct NameTableBuilder {
+    arena: Vec<u8>,
+    refs: Vec<NameRef>,
+    /// fnv1a(suffix bytes) → candidate ids, allocated lazily by `intern`.
+    dedup: HashMap<u64, Vec<u32>>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl NameTableBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        NameTableBuilder::default()
+    }
+
+    fn push_ref(&mut self, name: &Name) -> NameId {
+        let bytes = name.as_suffix_bytes();
+        let offset = self.arena.len() as u32;
+        self.arena.extend_from_slice(bytes);
+        let id = self.refs.len() as u32;
+        self.refs.push(NameRef {
+            offset,
+            len: bytes.len() as u16,
+            count: name.label_count() as u8,
+        });
+        NameId(id)
+    }
+
+    /// Stores `name` unconditionally and returns its fresh id.
+    pub fn append(&mut self, name: &Name) -> NameId {
+        self.push_ref(name)
+    }
+
+    /// Stores `name` unless its exact bytes were already interned, in
+    /// which case the existing id is returned.
+    pub fn intern(&mut self, name: &Name) -> NameId {
+        let bytes = name.as_suffix_bytes();
+        let h = fnv1a(bytes);
+        if let Some(candidates) = self.dedup.get(&h) {
+            for &id in candidates {
+                let r = self.refs[id as usize];
+                let at = r.offset as usize;
+                if &self.arena[at..at + r.len as usize] == bytes {
+                    return NameId(id);
+                }
+            }
+        }
+        let id = self.push_ref(name);
+        self.dedup.entry(h).or_default().push(id.0);
+        id
+    }
+
+    /// An owned copy of a stored name (allocates; the sealed table's
+    /// [`NameTable::get`] is the zero-copy path).
+    pub fn materialize(&self, id: NameId) -> Name {
+        let r = self.refs[id.index()];
+        let at = r.offset as usize;
+        let buf: Arc<[u8]> = Arc::from(&self.arena[at..at + r.len as usize]);
+        Name::view(&buf, 0, r.count as usize).expect("builder stores canonical bytes")
+    }
+
+    /// Names stored so far.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether no names have been stored.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Arena bytes written so far.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Freezes the arena into an immutable, shareable table.
+    pub fn seal(self) -> NameTable {
+        NameTable {
+            arena: self.arena.into(),
+            refs: self.refs.into_boxed_slice(),
+        }
+    }
+}
+
+/// An immutable interned name table: one shared arena, one small record
+/// per name, zero-copy [`Name`] views out.
+#[derive(Debug, Clone)]
+pub struct NameTable {
+    arena: Arc<[u8]>,
+    refs: Box<[NameRef]>,
+}
+
+impl NameTable {
+    /// The stored name as a zero-copy view into the shared arena.
+    pub fn get(&self, id: NameId) -> Name {
+        let r = self.refs[id.index()];
+        Name::view(&self.arena, r.offset as usize, r.count as usize)
+            .expect("sealed arenas hold canonical bytes")
+    }
+
+    /// Number of names in the table.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Size of the label arena in bytes.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Total heap footprint estimate: arena plus per-name records.
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.len() + self.refs.len() * std::mem::size_of::<NameRef>()
+    }
+}
+
+/// One zone of an [`InternedNamespace`], compressed to ids and ranges.
+#[derive(Debug, Clone, Copy)]
+struct CompactZone {
+    apex: NameId,
+    ns0: NameId,
+    ns0_addr: u32,
+    infra_ttl_secs: u32,
+    targets_start: u32,
+    targets_len: u16,
+}
+
+/// A namespace at interned scale: the same synthetic DNS tree a
+/// [`Universe`](crate::Universe) holds, generated by the same seeded
+/// process (identical RNG stream), but stored as a [`NameTable`] plus
+/// ~24 bytes per zone. Built via
+/// [`UniverseSpec::build_interned`](crate::UniverseSpec::build_interned).
+#[derive(Debug, Clone)]
+pub struct InternedNamespace {
+    table: NameTable,
+    zones: Box<[CompactZone]>,
+    targets: Box<[NameId]>,
+    /// `(targets_start, targets_len)` of every zone with at least one
+    /// queryable name, in zone order — the [`TargetSource`] group list.
+    groups: Box<[(u32, u16)]>,
+}
+
+impl InternedNamespace {
+    /// Number of zones (including the root).
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Number of interned names.
+    pub fn name_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Client-queryable names across all zones.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Size of the shared label arena in bytes.
+    pub fn arena_bytes(&self) -> usize {
+        self.table.arena_bytes()
+    }
+
+    /// Total heap footprint estimate (arena + name records + zone
+    /// records + target ids + group ranges).
+    pub fn heap_bytes(&self) -> usize {
+        self.table.heap_bytes()
+            + self.zones.len() * std::mem::size_of::<CompactZone>()
+            + self.targets.len() * std::mem::size_of::<NameId>()
+            + self.groups.len() * std::mem::size_of::<(u32, u16)>()
+    }
+
+    /// The apex of zone `idx` (zero-copy arena view).
+    pub fn zone_apex(&self, idx: usize) -> Name {
+        self.table.get(self.zones[idx].apex)
+    }
+
+    /// The infrastructure-record TTL of zone `idx`.
+    pub fn zone_infra_ttl(&self, idx: usize) -> Ttl {
+        Ttl::from_secs(self.zones[idx].infra_ttl_secs)
+    }
+
+    /// The primary name server of zone `idx`: `(name, address)`.
+    pub fn zone_primary_ns(&self, idx: usize) -> (Name, Ipv4Addr) {
+        let z = &self.zones[idx];
+        (self.table.get(z.ns0), Ipv4Addr::from(z.ns0_addr))
+    }
+
+    /// The queryable names of zone `idx` (zero-copy arena views).
+    pub fn zone_targets(&self, idx: usize) -> impl Iterator<Item = Name> + '_ {
+        let z = &self.zones[idx];
+        let start = z.targets_start as usize;
+        self.targets[start..start + z.targets_len as usize]
+            .iter()
+            .map(|&id| self.table.get(id))
+    }
+}
+
+impl TargetSource for InternedNamespace {
+    fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn group_len(&self, group: usize) -> usize {
+        self.groups[group].1 as usize
+    }
+
+    fn target(&self, group: usize, i: usize) -> Name {
+        let (start, _) = self.groups[group];
+        self.table.get(self.targets[start as usize + i])
+    }
+}
+
+impl fmt::Display for InternedNamespace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interned namespace ({} zones, {} names, {} targets, {} arena bytes)",
+            self.zones.len(),
+            self.table.len(),
+            self.targets.len(),
+            self.table.arena_bytes()
+        )
+    }
+}
+
+/// The [`ZoneSink`] that compresses each generated [`ZoneSpec`] into a
+/// [`CompactZone`] on the fly, keeping generation memory `O(zones)`.
+#[derive(Debug, Default)]
+pub(crate) struct InternedSink {
+    table: NameTableBuilder,
+    zones: Vec<CompactZone>,
+    targets: Vec<NameId>,
+}
+
+impl InternedSink {
+    pub(crate) fn seal(self) -> InternedNamespace {
+        let groups: Vec<(u32, u16)> = self
+            .zones
+            .iter()
+            .filter(|z| z.targets_len > 0)
+            .map(|z| (z.targets_start, z.targets_len))
+            .collect();
+        InternedNamespace {
+            table: self.table.seal(),
+            zones: self.zones.into_boxed_slice(),
+            targets: self.targets.into_boxed_slice(),
+            groups: groups.into_boxed_slice(),
+        }
+    }
+}
+
+impl ZoneSink for InternedSink {
+    fn push(&mut self, spec: ZoneSpec) {
+        let targets_start = self.targets.len() as u32;
+        // Target order must match Universe::query_targets exactly
+        // (data names, then aliases, then the apex when it has an MX) —
+        // TraceStream's byte-identity with the materialized generator
+        // depends on it.
+        for (owner, _) in &spec.data_names {
+            let id = self.table.append(owner);
+            self.targets.push(id);
+        }
+        for (alias, _, _) in &spec.cnames {
+            let id = self.table.append(alias);
+            self.targets.push(id);
+        }
+        let apex = self.table.append(&spec.apex);
+        if spec.has_mx {
+            self.targets.push(apex);
+        }
+        let (ns0_name, ns0_addr) = spec.ns.first().expect("generated zones have servers");
+        let ns0 = self.table.append(ns0_name);
+        self.zones.push(CompactZone {
+            apex,
+            ns0,
+            ns0_addr: u32::from(*ns0_addr),
+            infra_ttl_secs: spec.infra_ttl.as_secs(),
+            targets_start,
+            targets_len: (self.targets.len() as u32 - targets_start) as u16,
+        });
+    }
+
+    fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    fn apex(&self, idx: usize) -> Name {
+        self.table.materialize(self.zones[idx].apex)
+    }
+
+    fn ns0(&self, idx: usize) -> (Name, Ipv4Addr) {
+        let z = &self.zones[idx];
+        (self.table.materialize(z.ns0), Ipv4Addr::from(z.ns0_addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniverseSpec;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn intern_dedups_append_does_not() {
+        let mut b = NameTableBuilder::new();
+        let a = b.intern(&n("www.example.com"));
+        let b2 = b.intern(&n("www.example.com"));
+        assert_eq!(a, b2);
+        assert_eq!(b.len(), 1);
+        let c = b.append(&n("www.example.com"));
+        assert_ne!(a, c);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn sealed_table_round_trips_names_zero_copy() {
+        let mut b = NameTableBuilder::new();
+        let names = ["www.a.com", "host1.z00042.t017", "a.com", ".", "mx.b.org"];
+        let ids: Vec<NameId> = names.iter().map(|s| b.intern(&n(s))).collect();
+        let expected_arena = b.arena_len();
+        let t = b.seal();
+        assert_eq!(t.arena_bytes(), expected_arena);
+        for (s, id) in names.iter().zip(ids) {
+            let got = t.get(id);
+            assert_eq!(got, n(s), "{s}");
+            // Views stay in label-wise agreement with parse.
+            assert_eq!(got.to_string(), n(s).to_string());
+        }
+    }
+
+    #[test]
+    fn materialize_matches_sealed_get() {
+        let mut b = NameTableBuilder::new();
+        let id = b.append(&n("deep.sub.zone.example"));
+        let owned = b.materialize(id);
+        let t = b.seal();
+        assert_eq!(owned, t.get(id));
+        assert_eq!(owned.label_count(), 4);
+    }
+
+    #[test]
+    fn interned_namespace_matches_universe_targets() {
+        let spec = UniverseSpec::small();
+        let universe = spec.build(7);
+        let interned = spec.build_interned(7);
+
+        assert_eq!(interned.zone_count(), universe.zone_count());
+        assert_eq!(interned.target_count(), universe.query_targets().len());
+
+        // Group structure and every target name must agree with the
+        // materialized grouping (query_targets grouped by zone).
+        let targets = universe.query_targets();
+        let mut groups: Vec<Vec<Name>> = Vec::new();
+        let mut current = None;
+        for (name, zone_idx) in targets {
+            if current != Some(zone_idx) {
+                groups.push(Vec::new());
+                current = Some(zone_idx);
+            }
+            groups.last_mut().unwrap().push(name);
+        }
+        assert_eq!(interned.group_count(), groups.len());
+        for (g, group) in groups.iter().enumerate() {
+            assert_eq!(interned.group_len(g), group.len(), "group {g}");
+            for (i, name) in group.iter().enumerate() {
+                assert_eq!(&interned.target(g, i), name, "group {g} target {i}");
+            }
+        }
+
+        // Zone metadata survives compression.
+        for (idx, zspec) in universe.zones().iter().enumerate() {
+            assert_eq!(interned.zone_apex(idx), zspec.apex, "zone {idx}");
+            assert_eq!(interned.zone_primary_ns(idx), zspec.ns[0]);
+            assert_eq!(interned.zone_infra_ttl(idx), zspec.infra_ttl);
+        }
+    }
+
+    #[test]
+    fn interned_namespace_is_far_smaller_than_materialized_specs() {
+        let spec = UniverseSpec::small();
+        let interned = spec.build_interned(7);
+        // ~3k zones: the arena plus records must stay well under a
+        // megabyte per thousand zones.
+        assert!(
+            interned.heap_bytes() < interned.zone_count() * 256,
+            "heap {} bytes for {} zones",
+            interned.heap_bytes(),
+            interned.zone_count()
+        );
+    }
+}

@@ -31,16 +31,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod intern;
 pub mod io;
 mod namespace;
 mod spec;
+mod stream;
 mod trace;
 mod ttl_model;
 mod workload;
 mod zipf;
 
+pub use intern::{InternedNamespace, NameId, NameTable, NameTableBuilder};
 pub use namespace::{Universe, UniverseSpec, ZoneSpec};
 pub use spec::TraceSpec;
+pub use stream::{QueryStream, TargetSource, TraceCursor, TraceStream, UniverseTargets};
 pub use trace::{QueryEvent, Trace, TraceStats};
 pub use ttl_model::TtlModel;
 pub use workload::WorkloadBuilder;

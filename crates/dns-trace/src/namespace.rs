@@ -123,7 +123,73 @@ impl UniverseSpec {
 
     /// Generates the universe deterministically from `seed`.
     pub fn build(&self, seed: u64) -> Universe {
-        Generator::new(self.clone(), seed).run()
+        let (sink, root_servers) =
+            Generator::new(self.clone(), seed, UniverseSink::default()).run();
+        Universe {
+            zones: sink.zones,
+            index: sink.index,
+            children: sink.children,
+            root_servers,
+        }
+    }
+
+    /// Generates the same tree as [`UniverseSpec::build`] — identical
+    /// seed, identical RNG stream — but compresses every zone into a
+    /// compact interned record as it is produced instead of keeping the
+    /// [`ZoneSpec`]s, so memory stays `O(zones)` with a tiny constant:
+    /// the path to namespaces of millions of zones.
+    pub fn build_interned(&self, seed: u64) -> crate::InternedNamespace {
+        let (sink, _) =
+            Generator::new(self.clone(), seed, crate::intern::InternedSink::default()).run();
+        sink.seal()
+    }
+}
+
+/// Where generated zones go: [`Universe::build`](UniverseSpec::build)
+/// collects full [`ZoneSpec`]s, the interned path compresses each one on
+/// arrival. The generator reads back only what later zones need — the
+/// running count, an apex, a donor zone's primary server.
+pub(crate) trait ZoneSink {
+    /// Accepts the next generated zone. Zone `idx` is assigned in call
+    /// order.
+    fn push(&mut self, spec: ZoneSpec);
+    /// Zones accepted so far.
+    fn len(&self) -> usize;
+    /// The apex of an earlier zone (deep-zone pass).
+    fn apex(&self, idx: usize) -> Name;
+    /// The primary name server of an earlier zone (out-of-bailiwick
+    /// donor lookup).
+    fn ns0(&self, idx: usize) -> (Name, Ipv4Addr);
+}
+
+/// The collecting sink behind [`UniverseSpec::build`].
+#[derive(Debug, Default)]
+struct UniverseSink {
+    zones: Vec<ZoneSpec>,
+    index: HashMap<Name, usize>,
+    children: HashMap<Name, Vec<usize>>,
+}
+
+impl ZoneSink for UniverseSink {
+    fn push(&mut self, spec: ZoneSpec) {
+        let idx = self.zones.len();
+        if let Some(parent) = &spec.parent {
+            self.children.entry(parent.clone()).or_default().push(idx);
+        }
+        self.index.insert(spec.apex.clone(), idx);
+        self.zones.push(spec);
+    }
+
+    fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    fn apex(&self, idx: usize) -> Name {
+        self.zones[idx].apex.clone()
+    }
+
+    fn ns0(&self, idx: usize) -> (Name, Ipv4Addr) {
+        self.zones[idx].ns[0].clone()
     }
 }
 
@@ -373,27 +439,23 @@ fn child_name(label: &str, parent: &Name) -> Name {
         .expect("generated names are short")
 }
 
-struct Generator {
+struct Generator<S: ZoneSink> {
     spec: UniverseSpec,
     rng: StdRng,
     next_addr: u32,
-    zones: Vec<ZoneSpec>,
-    index: HashMap<Name, usize>,
-    children: HashMap<Name, Vec<usize>>,
+    sink: S,
     infra_ttls: TtlModel,
     top_ttls: TtlModel,
     data_ttls: TtlModel,
 }
 
-impl Generator {
-    fn new(spec: UniverseSpec, seed: u64) -> Self {
+impl<S: ZoneSink> Generator<S> {
+    fn new(spec: UniverseSpec, seed: u64, sink: S) -> Self {
         Generator {
             spec,
             rng: StdRng::seed_from_u64(seed),
             next_addr: u32::from_be_bytes([10, 0, 0, 1]),
-            zones: Vec::new(),
-            index: HashMap::new(),
-            children: HashMap::new(),
+            sink,
             infra_ttls: TtlModel::infrastructure(),
             top_ttls: TtlModel::top_level(),
             data_ttls: TtlModel::data(),
@@ -407,15 +469,10 @@ impl Generator {
     }
 
     fn push_zone(&mut self, spec: ZoneSpec) {
-        let idx = self.zones.len();
-        if let Some(parent) = &spec.parent {
-            self.children.entry(parent.clone()).or_default().push(idx);
-        }
-        self.index.insert(spec.apex.clone(), idx);
-        self.zones.push(spec);
+        self.sink.push(spec);
     }
 
-    fn run(mut self) -> Universe {
+    fn run(mut self) -> (S, Vec<(Name, Ipv4Addr)>) {
         // Root.
         let root_servers: Vec<(Name, Ipv4Addr)> = (0..2)
             .map(|i| {
@@ -472,7 +529,7 @@ impl Generator {
 
         // Second-level zones, Zipf-piled onto TLDs.
         let tld_zipf = Zipf::new(tld_names.len(), self.spec.tld_skew);
-        let first_sld = self.zones.len();
+        let first_sld = self.sink.len();
         for i in 0..self.spec.sld_count {
             let tld = &tld_names[tld_zipf.sample(&mut self.rng)];
             let apex = child_name(&format!("z{i:05}"), tld);
@@ -481,7 +538,7 @@ impl Generator {
         }
 
         // Deeper zones under a fraction of the second-level zones.
-        let sld_range = first_sld..self.zones.len();
+        let sld_range = first_sld..self.sink.len();
         let mut deep_parents: Vec<usize> = Vec::new();
         for idx in sld_range {
             if self.rng.random::<f64>() < self.spec.deep_zone_fraction {
@@ -489,7 +546,7 @@ impl Generator {
             }
         }
         for parent_idx in deep_parents {
-            let parent_apex = self.zones[parent_idx].apex.clone();
+            let parent_apex = self.sink.apex(parent_idx);
             let n_children = self.rng.random_range(1..=self.spec.max_children);
             for c in 0..n_children {
                 let apex = child_name(&format!("sub{c}"), &parent_apex);
@@ -498,12 +555,7 @@ impl Generator {
             }
         }
 
-        Universe {
-            zones: self.zones,
-            index: self.index,
-            children: self.children,
-            root_servers,
-        }
+        (self.sink, root_servers)
     }
 
     /// A zone that mainly serves data (second-level or deeper).
@@ -515,12 +567,11 @@ impl Generator {
         ns.push((own, own_addr));
         // Second server: usually in-zone, sometimes hosted by an earlier
         // zone's server (out-of-bailiwick, no glue possible).
-        if self.zones.len() > first_sld
+        if self.sink.len() > first_sld
             && self.rng.random::<f64>() < self.spec.out_of_bailiwick_fraction
         {
-            let donor_idx = self.rng.random_range(first_sld..self.zones.len());
-            let donor = &self.zones[donor_idx];
-            ns.push(donor.ns[0].clone());
+            let donor_idx = self.rng.random_range(first_sld..self.sink.len());
+            ns.push(self.sink.ns0(donor_idx));
         } else {
             ns.push((child_name("ns2", &apex), self.addr()));
         }

@@ -112,10 +112,16 @@ impl TraceSpec {
         }
     }
 
+    /// The workload builder this spec describes — the entry point for
+    /// streaming replay ([`WorkloadBuilder::stream`]) and cursor resume
+    /// ([`WorkloadBuilder::resume`]).
+    pub fn workload(&self) -> WorkloadBuilder {
+        WorkloadBuilder::new(self.name, self.days, self.clients, self.total_queries)
+    }
+
     /// Generates the trace over `universe` with the given seed.
     pub fn generate(&self, universe: &Universe, seed: u64) -> Trace {
-        WorkloadBuilder::new(self.name, self.days, self.clients, self.total_queries)
-            .generate(universe, seed)
+        self.workload().generate(universe, seed)
     }
 }
 

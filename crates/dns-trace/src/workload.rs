@@ -1,10 +1,7 @@
 //! Query workload synthesis over a generated universe.
 
-use crate::{QueryEvent, Trace, Universe, Zipf};
-use dns_core::{Label, Name, Question, RecordType, SimTime, HOUR};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use std::f64::consts::TAU;
+use crate::stream::StreamShape;
+use crate::{TargetSource, Trace, TraceCursor, TraceStream, Universe, UniverseTargets};
 use std::fmt;
 
 /// Builds a [`Trace`] over a [`Universe`]: Zipf name popularity, diurnal
@@ -76,104 +73,58 @@ impl WorkloadBuilder {
 
     /// Generates the trace deterministically from `seed`.
     ///
+    /// This is a collected [`TraceStream`] — materialized and streamed
+    /// traces are byte-identical for the same seed by construction.
+    ///
     /// # Panics
     ///
     /// Panics if the universe has no queryable names or `clients == 0`.
     pub fn generate(&self, universe: &Universe, seed: u64) -> Trace {
-        assert!(self.clients > 0, "workload needs at least one client");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let targets = universe.query_targets();
-        assert!(!targets.is_empty(), "universe has no queryable names");
+        self.stream(UniverseTargets::new(universe), seed)
+            .collect_trace()
+    }
 
-        // Two-level popularity, matching how real DNS load concentrates:
-        // zones are Zipf-popular (one popular site drags queries to all
-        // of its hostnames), and names within a zone are mildly skewed.
-        let mut groups: Vec<Vec<Name>> = {
-            let mut by_zone: std::collections::HashMap<usize, Vec<Name>> =
-                std::collections::HashMap::new();
-            for (name, zone_idx) in targets {
-                by_zone.entry(zone_idx).or_default().push(name);
-            }
-            let mut keys: Vec<usize> = by_zone.keys().copied().collect();
-            keys.sort_unstable();
-            keys.into_iter()
-                .map(|k| by_zone.remove(&k).expect("key present"))
-                .collect()
-        };
-        // Shuffle so zone popularity rank is independent of generation
-        // order (Fisher–Yates with our seeded rng).
-        for i in (1..groups.len()).rev() {
-            let j = rng.random_range(0..=i);
-            groups.swap(i, j);
-        }
-        let zone_zipf = Zipf::new(groups.len(), self.zipf_alpha);
-        let max_group = groups.iter().map(Vec::len).max().unwrap_or(1);
-        let name_zipfs: Vec<Zipf> = (1..=max_group).map(|n| Zipf::new(n, 0.8)).collect();
+    /// Starts a [`TraceStream`] over `source`, yielding the trace's
+    /// queries on demand without materializing them — `O(zones)`
+    /// resident memory at any trace length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source has no target groups or `clients == 0`.
+    pub fn stream<S: TargetSource>(&self, source: S, seed: u64) -> TraceStream<S> {
+        TraceStream::new(self.shape(), source, seed)
+    }
 
-        // Distribute query counts over hours with a diurnal curve.
-        let hours = self.days * 24;
-        let weights: Vec<f64> = (0..hours).map(|h| self.diurnal_weight(h % 24)).collect();
-        let total_weight: f64 = weights.iter().sum();
-        let mut counts: Vec<u64> = weights
-            .iter()
-            .map(|w| ((w / total_weight) * self.total_queries as f64).floor() as u64)
-            .collect();
-        let mut assigned: u64 = counts.iter().sum();
-        // Distribute the rounding remainder deterministically.
-        let n_hours = counts.len();
-        let mut h = 0;
-        while assigned < self.total_queries {
-            counts[h % n_hours] += 1;
-            assigned += 1;
-            h += 1;
-        }
+    /// Resumes a stream at `cursor` (captured via
+    /// [`TraceStream::cursor`] from a stream with this same shape,
+    /// `source` and `seed`): the continuation is byte-identical to the
+    /// original stream's remainder.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`WorkloadBuilder::stream`].
+    pub fn resume<S: TargetSource>(
+        &self,
+        source: S,
+        seed: u64,
+        cursor: &TraceCursor,
+    ) -> TraceStream<S> {
+        let mut stream = self.stream(source, seed);
+        stream.seek(cursor);
+        stream
+    }
 
-        let mut queries = Vec::with_capacity(self.total_queries as usize);
-        for (hour, &count) in counts.iter().enumerate() {
-            let hour_start = hour as u64 * HOUR;
-            let mut offsets: Vec<u64> = (0..count).map(|_| rng.random_range(0..HOUR)).collect();
-            offsets.sort_unstable();
-            for off in offsets {
-                let group = &groups[zone_zipf.sample(&mut rng)];
-                let name = &group[name_zipfs[group.len() - 1].sample(&mut rng)];
-                let question = self.make_question(name, &mut rng);
-                queries.push(QueryEvent {
-                    at: SimTime::from_secs(hour_start + off),
-                    client: rng.random_range(0..self.clients),
-                    question,
-                });
-            }
-        }
-
-        Trace {
+    fn shape(&self) -> StreamShape {
+        StreamShape {
             name: self.name.clone(),
             days: self.days,
             clients: self.clients,
-            queries,
+            total_queries: self.total_queries,
+            zipf_alpha: self.zipf_alpha,
+            nxdomain_fraction: self.nxdomain_fraction,
+            mx_fraction: self.mx_fraction,
+            diurnal_amplitude: self.diurnal_amplitude,
         }
-    }
-
-    fn make_question(&self, name: &Name, rng: &mut StdRng) -> Question {
-        let roll: f64 = rng.random();
-        if roll < self.nxdomain_fraction {
-            // A name that cannot exist in the generated universe: the
-            // generator never emits an `nx…` label.
-            let k: u32 = rng.random_range(0..1000);
-            let zone = name.parent().unwrap_or_else(Name::root);
-            let label = Label::new(format!("nx{k}").as_bytes()).expect("valid label");
-            if let Ok(nx) = zone.child(label) {
-                return Question::new(nx, RecordType::A);
-            }
-        } else if roll < self.nxdomain_fraction + self.mx_fraction {
-            return Question::new(name.clone(), RecordType::Mx);
-        }
-        Question::new(name.clone(), RecordType::A)
-    }
-
-    fn diurnal_weight(&self, hour_of_day: u64) -> f64 {
-        // Peak mid-afternoon, trough early morning.
-        let phase = (hour_of_day as f64 - 15.0) / 24.0 * TAU;
-        1.0 + self.diurnal_amplitude * phase.cos()
     }
 }
 
@@ -191,6 +142,7 @@ impl fmt::Display for WorkloadBuilder {
 mod tests {
     use super::*;
     use crate::UniverseSpec;
+    use dns_core::{Name, RecordType, SimTime};
 
     fn universe() -> Universe {
         UniverseSpec::small().build(7)

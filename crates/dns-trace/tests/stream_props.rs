@@ -1,0 +1,85 @@
+//! Property tests pinning the streaming replay contract: a streamed
+//! trace, a stream resumed from a mid-trace cursor, and the materialized
+//! generator must produce byte-identical query sequences for the same
+//! seed — across arbitrary workload shapes and cut points.
+
+use dns_trace::{QueryEvent, Universe, UniverseSpec, UniverseTargets, WorkloadBuilder};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared universe: building it per-case would dominate the run, and
+/// the generator's determinism is covered by its own tests.
+fn universe() -> &'static Universe {
+    static U: OnceLock<Universe> = OnceLock::new();
+    U.get_or_init(|| {
+        UniverseSpec {
+            tld_count: 10,
+            sld_count: 300,
+            ..UniverseSpec::small()
+        }
+        .build(7)
+    })
+}
+
+fn workload(days: u64, clients: u32, total: u64, alpha: f64, amp: f64) -> WorkloadBuilder {
+    WorkloadBuilder::new("PROP", days, clients, total)
+        .zipf_alpha(alpha)
+        .diurnal_amplitude(amp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Collecting the stream reproduces the materialized trace exactly.
+    #[test]
+    fn streamed_equals_materialized(
+        seed in any::<u64>(),
+        days in 1u64..=3,
+        clients in 1u32..=40,
+        total in 1u64..=4_000,
+        alpha_pct in 60u32..=130,
+        amp_pct in 0u32..=100,
+    ) {
+        let u = universe();
+        let wb = workload(
+            days,
+            clients,
+            total,
+            f64::from(alpha_pct) / 100.0,
+            f64::from(amp_pct) / 100.0,
+        );
+        let materialized = wb.generate(u, seed);
+        let streamed: Vec<QueryEvent> =
+            wb.stream(UniverseTargets::new(u), seed).collect();
+        prop_assert_eq!(&materialized.queries, &streamed);
+    }
+
+    /// A cursor captured after `cut` events resumes the remainder
+    /// byte-identically, wherever the cut lands (hour boundaries, empty
+    /// hours, start, end).
+    #[test]
+    fn cursor_resume_is_byte_identical(
+        seed in any::<u64>(),
+        days in 1u64..=3,
+        clients in 1u32..=40,
+        total in 1u64..=4_000,
+        cut_pct in 0u32..=100,
+    ) {
+        let u = universe();
+        let wb = workload(days, clients, total, 1.05, 0.5);
+        let targets = UniverseTargets::new(u);
+        let full: Vec<QueryEvent> = wb.stream(targets.clone(), seed).collect();
+
+        let cut = full.len() * cut_pct as usize / 100;
+        let mut stream = wb.stream(targets.clone(), seed);
+        for _ in 0..cut {
+            stream.next();
+        }
+        let cursor = stream.cursor();
+        prop_assert_eq!(cursor.emitted(), cut as u64);
+
+        let resumed: Vec<QueryEvent> =
+            wb.resume(targets, seed, &cursor).collect();
+        prop_assert_eq!(&full[cut..], &resumed[..]);
+    }
+}
