@@ -124,6 +124,28 @@ smoke() {
     # Prometheus text rendering validated by the dns-obs checker.
     cargo test --release -q --offline -p dns-netd --test obs
 
+    echo "== smoke: adversarial survival gates (NXNS + water torture) =="
+    # One NXNS delegation-bomb sweep and one water-torture sweep, each
+    # against an undefended and a MaxFetch(2)+negcap hardened resolver:
+    # asserts the undefended resolver shows real amplification (> 5x),
+    # MaxFetch(2) cuts it at least 5x with legitimate failures within
+    # 1pp of the attack-free baseline, the negative-cache budget holds
+    # under flood without evicting positives, and the sweep is
+    # thread-count independent.
+    cargo test --release -q --offline -p dns-sim --test adversarial
+
+    echo "== smoke: adversarial head-to-head binary on a tiny trace =="
+    adv_out=$(mktemp -d)
+    DNS_REPRO_SCALE=0.05 DNS_REPRO_OUT="$adv_out" \
+        cargo run --release -p dns-bench --bin adversarial --offline
+    for f in adversarial run_manifest; do
+        test -s "$adv_out/$f.csv" || { echo "missing $adv_out/$f.csv" >&2; exit 1; }
+    done
+    # The manifest rows carry the defense counters.
+    head -1 "$adv_out/run_manifest.csv" | grep -q "fetches_clamped" \
+        || { echo "run_manifest.csv missing defense columns" >&2; exit 1; }
+    rm -rf "$adv_out"
+
     echo "== smoke: wire fast lane (0x20 echo, EDNS0, batched loopback) =="
     # The fast-lane integration suite: casing echo + wire-cache hits over
     # real UDP, OPT-bearing queries answered with the OPT stripped, and

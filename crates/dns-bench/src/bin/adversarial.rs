@@ -1,0 +1,14 @@
+//! Regenerates the adversarial survival head-to-head: NXNSAttack
+//! delegation-bomb and water-torture floods against the paper's
+//! mitigation schemes, with and without MaxFetch(k) and flood-defense
+//! hardening. See DESIGN.md for the scenario description.
+
+use dns_bench::experiments::adversarial;
+use dns_bench::Lab;
+use dns_trace::TraceSpec;
+
+fn main() {
+    let mut lab = Lab::new();
+    adversarial(&mut lab, &TraceSpec::TRC1);
+    lab.emit_manifest();
+}

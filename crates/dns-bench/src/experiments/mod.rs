@@ -6,14 +6,14 @@
 
 use crate::{emit, pct, ratio, Lab};
 use dns_core::{SimDuration, SimTime, Ttl};
-use dns_resolver::RenewalPolicy;
+use dns_resolver::{DefensePolicy, RenewalPolicy};
 use dns_sim::experiment::{
     AttackOutcome, OverheadOutcome, Scheme, ATTACK_START_DAY, POLICY_FIGURE_DURATION,
 };
 use dns_sim::gap::GapAnalysis;
-use dns_sim::{ExperimentSpec, ServerFarm, SweepOutcome};
+use dns_sim::{AdversarySpec, ExperimentSpec, ServerFarm, SweepOutcome};
 use dns_stats::{AsciiChart, Table};
-use dns_trace::{Trace, TraceSpec};
+use dns_trace::{NxnsBombSpec, TraceSpec};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -29,7 +29,12 @@ pub fn durations_hours() -> [u64; 4] {
 
 impl Lab {
     /// Runs one engine sweep over `names` × `group`, reusing the lab's
-    /// trace/farm caches and recording the sweep's manifest.
+    /// farm cache and recording the sweep's manifest. Traces enter the
+    /// sweep as streamed sources ([`ExperimentSpec::stream_trace`]):
+    /// units replay them straight from the seeded generator — byte-
+    /// identical to the materialized trace (same scale and seed as
+    /// [`crate::build_trace`]) at `O(zones)` replay memory, so figure
+    /// binaries never materialize a trace they only sweep over.
     fn sweep<F>(
         &mut self,
         specs: &[TraceSpec],
@@ -40,23 +45,22 @@ impl Lab {
     where
         F: for<'s> FnOnce(ExperimentSpec<'s>) -> ExperimentSpec<'s>,
     {
-        let traces: Vec<Arc<Trace>> = names
-            .iter()
-            .map(|name| {
-                let spec = specs
-                    .iter()
-                    .find(|s| s.name == *name)
-                    .expect("grouped name comes from specs");
-                self.trace(spec)
-            })
-            .collect();
         let farms: Vec<(Option<Ttl>, Arc<ServerFarm>)> = group
             .iter()
             .map(|s| (s.long_ttl, self.farm(s.long_ttl)))
             .collect();
-        let mut espec = ExperimentSpec::new(&self.universe)
-            .traces(traces)
-            .schemes(group.iter().copied());
+        let mut espec = ExperimentSpec::new(&self.universe).schemes(group.iter().copied());
+        for name in names {
+            let spec = specs
+                .iter()
+                .find(|s| s.name == *name)
+                .expect("grouped name comes from specs");
+            let index = spec.name.as_bytes().last().copied().unwrap_or(0) as u64;
+            espec = espec.stream_trace(
+                spec.scaled(crate::scale().min(1.0)),
+                crate::TRACE_SEED + index,
+            );
+        }
         for (ttl, farm) in farms {
             espec = espec.farm(ttl, farm);
         }
@@ -679,6 +683,121 @@ impl OccupancySampleExt for dns_resolver::OccupancySample {
     }
 }
 
+// ---------------------------------------------------------------------
+// Adversarial survival — NXNS delegation bombs and water torture
+// ---------------------------------------------------------------------
+
+/// Attack rate of the adversarial sweeps, in queries per virtual second.
+pub fn adversarial_qps() -> u32 {
+    2
+}
+
+/// Attack-window length of the adversarial sweeps.
+pub fn adversarial_window() -> SimDuration {
+    SimDuration::from_mins(10)
+}
+
+/// The fully hardened defense policy the head-to-head compares against
+/// each undefended scheme.
+pub fn hardened_defense() -> DefensePolicy {
+    DefensePolicy {
+        max_ns_fetch: Some(2),
+        neg_cache_max_entries: Some(512),
+        ..DefensePolicy::off()
+    }
+}
+
+/// Regenerates the adversarial survival head-to-head: the paper's
+/// mitigation schemes (vanilla, refresh, refresh+renewal), each with and
+/// without resolver flood defenses, under an NXNSAttack delegation-bomb
+/// flood and a water-torture random-subdomain flood — plus a MaxFetch(k)
+/// knob curve on vanilla. One row per (scheme, adversary): amplification
+/// (extra upstream queries per attack query), legitimate failure cost in
+/// percentage points versus an attack-free baseline fork, and the defense
+/// counters.
+pub fn adversarial(lab: &mut Lab, spec: &TraceSpec) {
+    let qps = adversarial_qps();
+    let window = adversarial_window();
+    // One cold bomb per attack query: negative caching makes repeat hits
+    // on a bomb cheap, so amplification is only sustained on fresh bombs.
+    let bombs = (u64::from(qps) * window.as_secs()) as usize;
+    let universe = lab
+        .universe()
+        .with_delegation_bombs(NxnsBombSpec::new(bombs, 24));
+
+    let mut schemes = vec![Scheme::vanilla()];
+    // MaxFetch(k) knob curve on vanilla.
+    for k in [1u32, 2, 4] {
+        schemes.push(Scheme::vanilla().with_defense(DefensePolicy {
+            max_ns_fetch: Some(k),
+            ..DefensePolicy::off()
+        }));
+    }
+    // Paper mitigations, undefended and fully hardened.
+    schemes.push(Scheme::vanilla().with_defense(hardened_defense()));
+    for base in [
+        Scheme::refresh(),
+        Scheme::renewal(RenewalPolicy::adaptive_lfu(3)),
+    ] {
+        schemes.push(base);
+        schemes.push(base.with_defense(hardened_defense()));
+    }
+
+    let index = spec.name.as_bytes().last().copied().unwrap_or(0) as u64;
+    let outcome = ExperimentSpec::new(&universe)
+        .stream_trace(
+            spec.scaled(crate::scale().min(1.0)),
+            crate::TRACE_SEED + index,
+        )
+        .schemes(schemes)
+        .adversarial(AdversarySpec::nxns(qps), attack_start(), window)
+        .adversarial(
+            AdversarySpec::water_torture(8, qps, 9),
+            attack_start(),
+            window,
+        )
+        .run();
+    lab.record_manifest(outcome.manifest.clone());
+
+    let mut table = Table::new(vec![
+        "Adversary",
+        "Scheme",
+        "Attack Q",
+        "Amplification",
+        "Base Upstream",
+        "Attacked Upstream",
+        "Legit Fail %",
+        "Delta pp",
+        "Clamped",
+        "Suppressed",
+        "Neg Evict",
+    ]);
+    table.numeric();
+    for o in &outcome.adversarial {
+        table.row(vec![
+            o.adversary.clone(),
+            o.scheme.clone(),
+            o.attack_queries.to_string(),
+            ratio(o.amplification()),
+            o.base_upstream.to_string(),
+            o.attacked_upstream.to_string(),
+            pct(o.legit_failed_pct),
+            format!("{:+.2}", o.legit_failed_delta_pct()),
+            o.fetches_clamped.to_string(),
+            o.flood_suppressed.to_string(),
+            o.neg_evictions_pressure.to_string(),
+        ]);
+    }
+    emit(
+        &format!(
+            "Adversarial survival: defenses vs NXNS + water torture ({})",
+            spec.name
+        ),
+        "adversarial",
+        &table,
+    );
+}
+
 /// Runs the complete reproduction over one lab (all tables and figures).
 pub fn all(lab: &mut Lab) {
     let weekly = TraceSpec::weekly();
@@ -694,6 +813,7 @@ pub fn all(lab: &mut Lab) {
     fig11(lab, &weekly);
     table2(lab, &TraceSpec::TRC1);
     fig12(lab, &TraceSpec::TRC6);
+    adversarial(lab, &TraceSpec::TRC1);
 }
 
 #[cfg(test)]
@@ -732,5 +852,19 @@ mod tests {
         fig4(&mut lab, &specs);
         // All four durations cached for vanilla.
         assert_eq!(lab.attack_memo.len(), 4);
+    }
+
+    #[test]
+    fn adversarial_smoke() {
+        let mut lab = tiny_lab();
+        std::env::set_var("DNS_REPRO_OUT", std::env::temp_dir().join("dnsrepro-test"));
+        adversarial(&mut lab, &tiny_spec());
+        // One sweep recorded: 9 schemes × 2 adversaries.
+        assert_eq!(lab.manifests.len(), 1);
+        assert_eq!(lab.manifests[0].units.len(), 18);
+        assert!(lab.manifests[0]
+            .units
+            .iter()
+            .all(|u| u.kind == "adversarial"));
     }
 }

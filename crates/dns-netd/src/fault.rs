@@ -13,7 +13,7 @@
 //! been moved into a daemon thread: flip loss on, start a blackout of the
 //! root servers, read the drop counters.
 
-use dns_core::{Message, SimTime};
+use dns_core::{Message, Name, RecordType, SimTime};
 use dns_resolver::Upstream;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::collections::HashMap;
@@ -32,6 +32,8 @@ pub struct FaultStats {
     pub dropped_by_loss: u64,
     /// Queries dropped because the target server was blacked out.
     pub dropped_by_blackout: u64,
+    /// Queries dropped by a zone/qtype-scoped rule.
+    pub dropped_by_scope: u64,
     /// Queries forwarded after an injected delay.
     pub delayed: u64,
 }
@@ -39,7 +41,7 @@ pub struct FaultStats {
 impl FaultStats {
     /// Total queries the injector saw.
     pub fn total(&self) -> u64 {
-        self.passed + self.dropped_by_loss + self.dropped_by_blackout
+        self.passed + self.dropped_by_loss + self.dropped_by_blackout + self.dropped_by_scope
     }
 }
 
@@ -47,8 +49,12 @@ impl fmt::Display for FaultStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "faults: {} passed, {} lost, {} blacked out, {} delayed",
-            self.passed, self.dropped_by_loss, self.dropped_by_blackout, self.delayed
+            "faults: {} passed, {} lost, {} blacked out, {} scoped, {} delayed",
+            self.passed,
+            self.dropped_by_loss,
+            self.dropped_by_blackout,
+            self.dropped_by_scope,
+            self.delayed
         )
     }
 }
@@ -63,10 +69,22 @@ struct Shared {
     delay_ms: AtomicU64,
     /// Per-server blackout windows (absolute instants, half-open).
     blackouts: Mutex<HashMap<Ipv4Addr, Vec<(Instant, Instant)>>>,
+    /// Zone/qtype-scoped drop rules (the adversarial-scenario scoping:
+    /// fail one victim zone, or one query type under it, while the rest
+    /// of the namespace stays healthy).
+    scoped: Mutex<Vec<ScopedDrop>>,
     passed: AtomicU64,
     lost: AtomicU64,
     blacked: AtomicU64,
+    scoped_dropped: AtomicU64,
     delayed: AtomicU64,
+}
+
+/// One scoped drop rule; see [`FaultHandle::drop_zone`].
+#[derive(Debug, Clone)]
+struct ScopedDrop {
+    zone: Name,
+    rtype: Option<RecordType>,
 }
 
 impl Shared {
@@ -76,6 +94,16 @@ impl Shared {
             .unwrap()
             .get(&server)
             .is_some_and(|windows| windows.iter().any(|&(s, e)| s <= at && at < e))
+    }
+
+    fn scope_dropped(&self, query: &Message) -> bool {
+        let Some(question) = query.question() else {
+            return false;
+        };
+        self.scoped.lock().unwrap().iter().any(|rule| {
+            question.name.is_subdomain_of(&rule.zone)
+                && rule.rtype.is_none_or(|t| t == question.rtype)
+        })
     }
 }
 
@@ -104,9 +132,11 @@ impl<U> FaultInjector<U> {
             loss_bits: AtomicU64::new(0.0_f64.to_bits()),
             delay_ms: AtomicU64::new(0),
             blackouts: Mutex::new(HashMap::new()),
+            scoped: Mutex::new(Vec::new()),
             passed: AtomicU64::new(0),
             lost: AtomicU64::new(0),
             blacked: AtomicU64::new(0),
+            scoped_dropped: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
         });
         let handle = FaultHandle {
@@ -173,12 +203,34 @@ impl FaultHandle {
         }
     }
 
-    /// Clears every configured fault (loss, delay, blackouts). Counters
-    /// are kept.
+    /// Drops every query whose question falls under `zone` (the zone apex
+    /// included), regardless of which server it targets — the live twin of
+    /// a per-zone denial scenario. Scoped drops consume no randomness, so
+    /// the loss coin's sequence is unchanged by scoping rules.
+    pub fn drop_zone(&self, zone: Name) {
+        self.shared
+            .scoped
+            .lock()
+            .unwrap()
+            .push(ScopedDrop { zone, rtype: None });
+    }
+
+    /// Like [`FaultHandle::drop_zone`], but only for questions of `rtype`
+    /// (e.g. fail `AAAA` under a victim zone while `A` stays healthy).
+    pub fn drop_zone_qtype(&self, zone: Name, rtype: RecordType) {
+        self.shared.scoped.lock().unwrap().push(ScopedDrop {
+            zone,
+            rtype: Some(rtype),
+        });
+    }
+
+    /// Clears every configured fault (loss, delay, blackouts, scoped
+    /// drops). Counters are kept.
     pub fn clear(&self) {
         self.set_loss(0.0);
         self.set_delay(Duration::ZERO);
         self.shared.blackouts.lock().unwrap().clear();
+        self.shared.scoped.lock().unwrap().clear();
     }
 
     /// Snapshot of the injector's counters.
@@ -187,6 +239,7 @@ impl FaultHandle {
             passed: self.shared.passed.load(Ordering::Relaxed),
             dropped_by_loss: self.shared.lost.load(Ordering::Relaxed),
             dropped_by_blackout: self.shared.blacked.load(Ordering::Relaxed),
+            dropped_by_scope: self.shared.scoped_dropped.load(Ordering::Relaxed),
             delayed: self.shared.delayed.load(Ordering::Relaxed),
         }
     }
@@ -196,6 +249,10 @@ impl<U: Upstream> Upstream for FaultInjector<U> {
     fn query(&mut self, server: Ipv4Addr, query: &Message, now: SimTime) -> Option<Message> {
         if self.shared.blacked_out(server, Instant::now()) {
             self.shared.blacked.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if self.shared.scope_dropped(query) {
+            self.shared.scoped_dropped.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         if self.loss_coin() {
@@ -288,6 +345,83 @@ mod tests {
         let stats = handle.stats();
         assert_eq!(stats.dropped_by_blackout, 1);
         assert_eq!(stats.passed, 2);
+    }
+
+    fn q_for(name: &str, rtype: RecordType) -> Message {
+        Message::query(1, Question::new(name.parse().unwrap(), rtype))
+    }
+
+    #[test]
+    fn zone_scoped_drop_hits_only_the_victim_zone() {
+        let (mut inj, handle) = FaultInjector::new(Counting::default(), 7);
+        handle.drop_zone("victim.test".parse().unwrap());
+        assert!(inj
+            .query(
+                SERVER,
+                &q_for("www.victim.test", RecordType::A),
+                SimTime::ZERO
+            )
+            .is_none());
+        assert!(inj
+            .query(SERVER, &q_for("victim.test", RecordType::A), SimTime::ZERO)
+            .is_none());
+        assert!(inj
+            .query(
+                SERVER,
+                &q_for("www.other.test", RecordType::A),
+                SimTime::ZERO
+            )
+            .is_some());
+        let stats = handle.stats();
+        assert_eq!(stats.dropped_by_scope, 2);
+        assert_eq!(stats.passed, 1);
+        assert_eq!(stats.total(), 3);
+        assert_eq!(inj.into_inner().calls, 1);
+    }
+
+    #[test]
+    fn qtype_scoped_drop_spares_other_types() {
+        let (mut inj, handle) = FaultInjector::new(Counting::default(), 7);
+        handle.drop_zone_qtype("victim.test".parse().unwrap(), RecordType::Aaaa);
+        assert!(inj
+            .query(
+                SERVER,
+                &q_for("www.victim.test", RecordType::Aaaa),
+                SimTime::ZERO
+            )
+            .is_none());
+        assert!(inj
+            .query(
+                SERVER,
+                &q_for("www.victim.test", RecordType::A),
+                SimTime::ZERO
+            )
+            .is_some());
+        assert_eq!(handle.stats().dropped_by_scope, 1);
+    }
+
+    #[test]
+    fn scoped_drops_leave_the_loss_sequence_unchanged() {
+        let run = |scoped: bool| {
+            let (mut inj, handle) = FaultInjector::new(Counting::default(), 42);
+            handle.set_loss(0.4);
+            if scoped {
+                handle.drop_zone("scoped.test".parse().unwrap());
+                // Scoped queries short-circuit before the coin…
+                assert!(inj
+                    .query(
+                        SERVER,
+                        &q_for("x.scoped.test", RecordType::A),
+                        SimTime::ZERO
+                    )
+                    .is_none());
+            }
+            // …so the unscoped sequence draws the same coins either way.
+            (0..50)
+                .map(|_| inj.query(SERVER, &q(), SimTime::ZERO).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

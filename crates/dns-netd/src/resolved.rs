@@ -866,6 +866,21 @@ fn metrics_registry(
         "Responses dropped for ID/question mismatch",
         metrics.mismatched_responses,
     );
+    set(
+        "resolver_fetches_clamped",
+        "NS-address fetches clamped by the MaxFetch(k) defense",
+        metrics.fetches_clamped,
+    );
+    set(
+        "resolver_flood_suppressed",
+        "Queries refused by flood damping (inflight caps, refused negative storage)",
+        metrics.flood_suppressed,
+    );
+    set(
+        "resolver_neg_evictions_pressure",
+        "Negative-cache entries evicted under budget pressure",
+        metrics.neg_evictions_pressure,
+    );
     let resolve_id = reg.histogram(
         "resolve_latency_ms",
         "Modelled resolution latency per query in virtual milliseconds",

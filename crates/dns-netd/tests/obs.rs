@@ -155,6 +155,21 @@ fn chaos_snapshot_reconciles_with_daemon_and_resolver_counters() {
         metrics.retries >= 1,
         "blackout retries must be visible: {metrics}"
     );
+    // The flood-defense counters are exposed and — with every defense at
+    // its default (off) setting — reconcile at exactly zero.
+    assert_eq!(
+        snapshot["resolver_fetches_clamped"]["value"],
+        metrics.fetches_clamped
+    );
+    assert_eq!(
+        snapshot["resolver_flood_suppressed"]["value"],
+        metrics.flood_suppressed
+    );
+    assert_eq!(
+        snapshot["resolver_neg_evictions_pressure"]["value"],
+        metrics.neg_evictions_pressure
+    );
+    assert_eq!(metrics.fetches_clamped, 0, "defenses default off");
 
     // Three distinct names means every IN resolution took the slow path:
     // the slow-lane wall histogram and the modelled histogram saw one
@@ -200,8 +215,11 @@ fn chaos_snapshot_reconciles_with_daemon_and_resolver_counters() {
     // text covering every counter plus both histograms.
     let body = resolver.prometheus();
     let series = dns_obs::validate_prometheus_text(&body).expect("valid exposition text");
-    assert!(series >= 19, "expected full metric surface, got {series}");
+    assert!(series >= 22, "expected full metric surface, got {series}");
     assert!(body.contains("resolver_queries_in"));
+    assert!(body.contains("resolver_fetches_clamped"));
+    assert!(body.contains("resolver_flood_suppressed"));
+    assert!(body.contains("resolver_neg_evictions_pressure"));
     assert!(body.contains("daemon_wire_bytes"));
     assert!(body.contains("wall_latency_ms_bucket"));
     assert!(body.contains("wall_latency_fast_ms_bucket"));

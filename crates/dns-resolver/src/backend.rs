@@ -18,7 +18,7 @@
 //! `(&Name, RecordType)` probe from PR 3 — no key allocation on the hot
 //! path for either backend.
 
-use crate::cache::{CacheEntry, Credibility, NegativeKind, RecordCache};
+use crate::cache::{CacheEntry, Credibility, NegativeInsertOutcome, NegativeKind, RecordCache};
 use crate::inflight::{Flight, FlightToken};
 use crate::infra::{GapSample, InfraCache, InfraEntry, InfraSource};
 use crate::RenewalPolicy;
@@ -64,7 +64,8 @@ pub trait CacheBackend {
     /// Fresh negative-cache lookup.
     fn negative(&mut self, name: &Name, rtype: RecordType, now: SimTime) -> Option<NegativeKind>;
 
-    /// Stores a negative answer for `ttl`.
+    /// Stores a negative answer for `ttl`, enforcing any configured
+    /// negative-cache budget (see [`Self::set_negative_budget`]).
     fn insert_negative(
         &mut self,
         name: Name,
@@ -72,7 +73,14 @@ pub trait CacheBackend {
         kind: NegativeKind,
         ttl: Ttl,
         now: SimTime,
-    );
+    ) -> NegativeInsertOutcome;
+
+    /// Configures the negative-cache budget (entries/bytes; `None` =
+    /// unbounded). A sharded backend divides the budget across shards.
+    fn set_negative_budget(&mut self, entries: Option<usize>, bytes: Option<usize>);
+
+    /// Negative entries currently stored (flood-pressure introspection).
+    fn negative_entries(&mut self) -> usize;
 
     /// Evicts expired data entries; returns how many were evicted.
     fn purge_data(&mut self, now: SimTime) -> usize;
@@ -155,10 +163,19 @@ pub trait CacheBackend {
     /// Claims or joins the in-flight fetch for `(name, rtype)`.
     ///
     /// A backend without coalescing always returns
-    /// `Flight::Lead(FlightToken::solo())`.
+    /// `Flight::Lead(FlightToken::solo())`. A backend enforcing a
+    /// per-zone inflight cap (see [`Self::set_zone_inflight_cap`]) may
+    /// return [`Flight::Suppressed`] instead of opening a new flight.
     fn begin_flight(&mut self, name: &Name, rtype: RecordType) -> Flight {
         let _ = (name, rtype);
         Flight::Lead(FlightToken::solo())
+    }
+
+    /// Caps concurrent open flights per target-zone bucket; `None` =
+    /// uncapped. Only meaningful for shared backends — a single-threaded
+    /// backend never has more than one flight open.
+    fn set_zone_inflight_cap(&mut self, cap: Option<u32>) {
+        let _ = cap;
     }
 
     /// A snapshot of the backend's own observability registry (shard
@@ -224,8 +241,18 @@ impl CacheBackend for LocalBackend {
         kind: NegativeKind,
         ttl: Ttl,
         now: SimTime,
-    ) {
-        self.cache.insert_negative(name, rtype, kind, ttl, now);
+    ) -> NegativeInsertOutcome {
+        self.cache.insert_negative(name, rtype, kind, ttl, now)
+    }
+
+    #[inline]
+    fn set_negative_budget(&mut self, entries: Option<usize>, bytes: Option<usize>) {
+        self.cache.set_negative_budget(entries, bytes);
+    }
+
+    #[inline]
+    fn negative_entries(&mut self) -> usize {
+        self.cache.negative_len()
     }
 
     #[inline]

@@ -53,6 +53,26 @@ pub enum NegativeKind {
     NoData,
 }
 
+/// What [`RecordCache::insert_negative`] did under the configured budget.
+///
+/// A water-torture flood drives the negative cache toward its byte/entry
+/// budget; the resolver turns these outcomes into `flood_suppressed` and
+/// `neg_evictions_pressure` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NegativeInsertOutcome {
+    /// Whether the new entry is still present after budget enforcement (a
+    /// zero or tiny budget can evict the entry it just admitted).
+    pub stored: bool,
+    /// Negative entries evicted to make room, the new entry included.
+    pub evicted_pressure: u64,
+}
+
+/// Approximate heap cost of one negative entry: its key's wire-format name
+/// length plus fixed map/heap overhead.
+fn negative_cost(key: &RrKey) -> usize {
+    key.name.wire_len() + 48
+}
+
 /// TTL-driven RRset cache.
 ///
 /// ```rust
@@ -86,6 +106,13 @@ pub struct RecordCache {
     /// Individual records across stored positive entries, maintained on
     /// insert/evict so occupancy sampling never scans the table.
     record_total: usize,
+    /// Approximate bytes across stored negative entries, maintained on
+    /// insert/evict (see [`negative_cost`]).
+    neg_bytes: usize,
+    /// Hard entry budget for the negative cache; `None` = unbounded.
+    neg_budget_entries: Option<usize>,
+    /// Hard byte budget for the negative cache; `None` = unbounded.
+    neg_budget_bytes: Option<usize>,
 }
 
 impl RecordCache {
@@ -149,6 +176,7 @@ impl RecordCache {
             let Reverse((at, key)) = self.neg_expiry.pop().expect("peeked");
             if self.negatives.get(&key).is_some_and(|&(exp, _)| exp == at) {
                 self.negatives.remove(&key);
+                self.neg_bytes -= negative_cost(&key);
                 evicted += 1;
             }
         }
@@ -164,7 +192,21 @@ impl RecordCache {
             .filter(|e| e.is_fresh(now))
     }
 
+    /// Configures the negative-cache budget; `None` means unbounded. The
+    /// budget applies to future inserts — it does not synchronously shrink
+    /// an already-over-budget cache.
+    pub fn set_negative_budget(&mut self, entries: Option<usize>, bytes: Option<usize>) {
+        self.neg_budget_entries = entries;
+        self.neg_budget_bytes = bytes;
+    }
+
     /// Stores a negative answer (NXDOMAIN / NODATA) for `ttl`.
+    ///
+    /// When a budget is set (see [`Self::set_negative_budget`]) the cache
+    /// evicts the soonest-expiring negative entries until it is back
+    /// within budget. Positive records are never evicted under negative
+    /// pressure, so a water-torture flood cannot displace legitimate
+    /// cached state.
     pub fn insert_negative(
         &mut self,
         name: Name,
@@ -172,11 +214,51 @@ impl RecordCache {
         kind: NegativeKind,
         ttl: Ttl,
         now: SimTime,
-    ) {
+    ) -> NegativeInsertOutcome {
         let key = RrKey::new(name, rtype);
         let expires_at = ttl.expires_at(now);
-        self.negatives.insert(key.clone(), (expires_at, kind));
-        self.neg_expiry.push(Reverse((expires_at, key)));
+        if self
+            .negatives
+            .insert(key.clone(), (expires_at, kind))
+            .is_none()
+        {
+            self.neg_bytes += negative_cost(&key);
+        }
+        self.neg_expiry.push(Reverse((expires_at, key.clone())));
+
+        // Enforce the budget: pop live soonest-expiring negatives until we
+        // are back under. Each heap pop either retires a stale pair or
+        // evicts a live entry, so the loop terminates.
+        let mut evicted_pressure = 0u64;
+        while self.over_negative_budget() {
+            let Some(Reverse((at, victim))) = self.neg_expiry.pop() else {
+                break;
+            };
+            if self
+                .negatives
+                .get(&victim)
+                .is_some_and(|&(exp, _)| exp == at)
+            {
+                self.negatives.remove(&victim);
+                self.neg_bytes -= negative_cost(&victim);
+                evicted_pressure += 1;
+            }
+        }
+        NegativeInsertOutcome {
+            stored: self
+                .negatives
+                .get(&key)
+                .is_some_and(|&(exp, _)| exp == expires_at),
+            evicted_pressure,
+        }
+    }
+
+    fn over_negative_budget(&self) -> bool {
+        self.neg_budget_entries
+            .is_some_and(|max| self.negatives.len() > max)
+            || self
+                .neg_budget_bytes
+                .is_some_and(|max| self.neg_bytes > max)
     }
 
     /// Fresh negative lookup.
@@ -209,6 +291,17 @@ impl RecordCache {
     /// Whether the cache stores nothing.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty() && self.negatives.is_empty()
+    }
+
+    /// Number of negative entries currently stored (including any that
+    /// expired since the cache last advanced).
+    pub fn negative_len(&self) -> usize {
+        self.negatives.len()
+    }
+
+    /// Approximate bytes across stored negative entries.
+    pub fn negative_bytes(&self) -> usize {
+        self.neg_bytes
     }
 
     /// Number of positive entries fresh at `now` (O(expired) via the
@@ -385,6 +478,96 @@ mod tests {
         assert_eq!(c.fresh_len(SimTime::from_hours(1)), 1);
         assert_eq!(c.fresh_record_count(SimTime::from_hours(1)), 1);
         assert_eq!(c.len(), 1); // sampling advanced the heap and evicted a.x.com
+    }
+
+    #[test]
+    fn negative_budget_evicts_soonest_expiring_negative_only() {
+        let mut c = RecordCache::new();
+        c.set_negative_budget(Some(2), None);
+        // A fresh positive record that must survive any negative pressure.
+        c.insert(
+            a_set("www.x.com", 1, Ttl::from_hours(4)),
+            SimTime::ZERO,
+            Credibility::AuthAnswer,
+        );
+        c.insert_negative(
+            name("nx1.x.com"),
+            RecordType::A,
+            NegativeKind::NxDomain,
+            Ttl::from_mins(5),
+            SimTime::ZERO,
+        );
+        c.insert_negative(
+            name("nx2.x.com"),
+            RecordType::A,
+            NegativeKind::NxDomain,
+            Ttl::from_mins(30),
+            SimTime::ZERO,
+        );
+        let out = c.insert_negative(
+            name("nx3.x.com"),
+            RecordType::A,
+            NegativeKind::NxDomain,
+            Ttl::from_mins(30),
+            SimTime::ZERO,
+        );
+        assert!(out.stored);
+        assert_eq!(out.evicted_pressure, 1);
+        assert_eq!(c.negative_len(), 2);
+        // The soonest-expiring negative went first; the others survive.
+        assert!(c
+            .get_negative(&name("nx1.x.com"), RecordType::A, SimTime::from_mins(1))
+            .is_none());
+        assert!(c
+            .get_negative(&name("nx3.x.com"), RecordType::A, SimTime::from_mins(1))
+            .is_some());
+        // The positive record is untouched.
+        assert!(c
+            .get(&name("www.x.com"), RecordType::A, SimTime::from_mins(1))
+            .is_some());
+    }
+
+    #[test]
+    fn zero_negative_budget_refuses_storage() {
+        let mut c = RecordCache::new();
+        c.set_negative_budget(Some(0), None);
+        let out = c.insert_negative(
+            name("nx.x.com"),
+            RecordType::A,
+            NegativeKind::NxDomain,
+            Ttl::from_mins(5),
+            SimTime::ZERO,
+        );
+        assert!(!out.stored);
+        assert_eq!(out.evicted_pressure, 1);
+        assert_eq!(c.negative_len(), 0);
+        assert_eq!(c.negative_bytes(), 0);
+    }
+
+    #[test]
+    fn negative_byte_ledger_tracks_expiry_and_pressure() {
+        let mut c = RecordCache::new();
+        c.insert_negative(
+            name("nx.x.com"),
+            RecordType::A,
+            NegativeKind::NxDomain,
+            Ttl::from_mins(5),
+            SimTime::ZERO,
+        );
+        assert!(c.negative_bytes() > 0);
+        // Re-inserting the same key must not double-count.
+        let bytes = c.negative_bytes();
+        c.insert_negative(
+            name("nx.x.com"),
+            RecordType::A,
+            NegativeKind::NxDomain,
+            Ttl::from_mins(10),
+            SimTime::ZERO,
+        );
+        assert_eq!(c.negative_bytes(), bytes);
+        c.purge_expired(SimTime::from_hours(1));
+        assert_eq!(c.negative_bytes(), 0);
+        assert_eq!(c.negative_len(), 0);
     }
 
     #[test]

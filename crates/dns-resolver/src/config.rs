@@ -30,6 +30,80 @@ impl RootHints {
     }
 }
 
+/// Flood-defense knobs hardening the resolver against NXNSAttack-style
+/// delegation amplification and water-torture random-subdomain floods.
+///
+/// Every knob defaults to `None` (off/unbounded); the default policy is
+/// behaviourally invisible — it consumes no randomness and changes no
+/// counters, so experiment transcripts captured before this layer existed
+/// stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefensePolicy {
+    /// MaxFetch(k): per-client-query budget on recursive NS-address
+    /// fetches (the glue-chasing fan-out NXNSAttack exploits). When the
+    /// budget is exhausted the resolver stops chasing further NS names and
+    /// degrades gracefully to whatever addresses resolved within budget —
+    /// it never synthesizes a failure just because the budget was hit.
+    pub max_ns_fetch: Option<u32>,
+    /// Hard entry budget for the negative cache. Inserts beyond the budget
+    /// evict the soonest-expiring negative entries first; positive records
+    /// are never touched.
+    pub neg_cache_max_entries: Option<u32>,
+    /// Hard byte budget for the negative cache (approximate: key bytes
+    /// plus fixed per-entry overhead). Combined with the entry budget, the
+    /// tighter bound wins.
+    pub neg_cache_max_bytes: Option<u32>,
+    /// Cap on concurrent in-flight upstream walks per target zone in a
+    /// shared-cache worker pool, so a flood against one victim zone cannot
+    /// starve the pool. Excess queries fail fast without upstream work and
+    /// are counted as `flood_suppressed`.
+    pub zone_inflight_cap: Option<u32>,
+}
+
+impl DefensePolicy {
+    /// The default: every defense off/unbounded.
+    pub fn off() -> Self {
+        DefensePolicy {
+            max_ns_fetch: None,
+            neg_cache_max_entries: None,
+            neg_cache_max_bytes: None,
+            zone_inflight_cap: None,
+        }
+    }
+
+    /// True when every knob is at its default (off) setting.
+    pub fn is_off(&self) -> bool {
+        *self == DefensePolicy::off()
+    }
+
+    /// Label suffix appended to the scheme label when any knob is active.
+    fn label_suffix(&self) -> String {
+        let mut s = String::new();
+        if let Some(k) = self.max_ns_fetch {
+            s.push_str(&format!("+maxfetch{k}"));
+        }
+        if self.neg_cache_max_entries.is_some() || self.neg_cache_max_bytes.is_some() {
+            s.push_str("+negcap");
+            if let Some(n) = self.neg_cache_max_entries {
+                s.push_str(&format!("{n}e"));
+            }
+            if let Some(b) = self.neg_cache_max_bytes {
+                s.push_str(&format!("{b}b"));
+            }
+        }
+        if let Some(c) = self.zone_inflight_cap {
+            s.push_str(&format!("+zinflight{c}"));
+        }
+        s
+    }
+}
+
+impl Default for DefensePolicy {
+    fn default() -> Self {
+        DefensePolicy::off()
+    }
+}
+
 /// Configuration of a [`crate::CachingServer`]: the combination of
 /// resilience schemes under test.
 ///
@@ -81,6 +155,9 @@ pub struct ResolverConfig {
     /// transcripts were captured without the extra cache re-probe a
     /// leader performs.
     pub coalesce: bool,
+    /// Flood-defense hardening knobs (MaxFetch(k), negative-cache budget,
+    /// per-zone inflight cap). All off by default.
+    pub defense: DefensePolicy,
 }
 
 impl ResolverConfig {
@@ -96,6 +173,7 @@ impl ResolverConfig {
             seed: 0x0DD5_EED5,
             shards: 1,
             coalesce: false,
+            defense: DefensePolicy::off(),
         }
     }
 
@@ -165,12 +243,14 @@ impl ResolverConfig {
 
     /// Human-readable scheme label used in experiment output.
     pub fn label(&self) -> String {
-        match (self.refresh, self.renewal) {
+        let mut base = match (self.refresh, self.renewal) {
             (false, None) => "vanilla".to_string(),
             (true, None) => "refresh".to_string(),
             (true, Some(p)) => format!("refresh+{}", p.label()),
             (false, Some(p)) => format!("renew-only+{}", p.label()),
-        }
+        };
+        base.push_str(&self.defense.label_suffix());
+        base
     }
 }
 
@@ -255,6 +335,36 @@ impl ResolverConfigBuilder {
     /// Enables single-flight coalescing of top-level cache misses.
     pub fn coalesce(mut self, on: bool) -> Self {
         self.config.coalesce = on;
+        self
+    }
+
+    /// Installs a complete flood-defense policy.
+    pub fn defense(mut self, policy: DefensePolicy) -> Self {
+        self.config.defense = policy;
+        self
+    }
+
+    /// MaxFetch(k): per-client-query NS-address fetch budget.
+    pub fn max_ns_fetch(mut self, k: u32) -> Self {
+        self.config.defense.max_ns_fetch = Some(k);
+        self
+    }
+
+    /// Hard entry budget for the negative cache.
+    pub fn neg_cache_max_entries(mut self, entries: u32) -> Self {
+        self.config.defense.neg_cache_max_entries = Some(entries);
+        self
+    }
+
+    /// Hard byte budget for the negative cache.
+    pub fn neg_cache_max_bytes(mut self, bytes: u32) -> Self {
+        self.config.defense.neg_cache_max_bytes = Some(bytes);
+        self
+    }
+
+    /// Per-zone inflight cap for shared-cache worker pools.
+    pub fn zone_inflight_cap(mut self, cap: u32) -> Self {
+        self.config.defense.zone_inflight_cap = Some(cap);
         self
     }
 
@@ -352,6 +462,36 @@ mod tests {
         assert_eq!(c.retry, RetryPolicy::standard());
         assert_eq!(c.seed, 99);
         assert_eq!(c.parent_recheck, Some(SimDuration::from_days(7)));
+    }
+
+    #[test]
+    fn defense_defaults_off_and_label_neutral() {
+        let v = ResolverConfig::vanilla();
+        assert!(v.defense.is_off());
+        // Labels are memo/CSV keys — an off policy must not perturb them.
+        assert_eq!(v.label(), "vanilla");
+        assert_eq!(ResolverConfig::with_refresh().label(), "refresh");
+    }
+
+    #[test]
+    fn defense_builder_knobs_and_labels() {
+        let c = ResolverConfig::builder()
+            .max_ns_fetch(4)
+            .neg_cache_max_entries(1000)
+            .zone_inflight_cap(8)
+            .build();
+        assert_eq!(c.defense.max_ns_fetch, Some(4));
+        assert_eq!(c.defense.neg_cache_max_entries, Some(1000));
+        assert_eq!(c.defense.zone_inflight_cap, Some(8));
+        assert!(!c.defense.is_off());
+        assert_eq!(c.label(), "vanilla+maxfetch4+negcap1000e+zinflight8");
+
+        let d = DefensePolicy {
+            neg_cache_max_bytes: Some(4096),
+            ..DefensePolicy::off()
+        };
+        let c = ResolverConfig::builder().defense(d).build();
+        assert_eq!(c.label(), "vanilla+negcap4096b");
     }
 
     #[test]

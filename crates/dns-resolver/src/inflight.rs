@@ -50,35 +50,87 @@ impl FlightSlot {
 #[derive(Debug, Default)]
 pub(crate) struct InflightTable {
     slots: Mutex<HashMap<RrKey, Arc<FlightSlot>>>,
+    /// Open-flight counts per target-zone bucket (the query name's
+    /// parent), consulted when a per-zone cap is set.
+    zone_counts: Mutex<HashMap<Name, u32>>,
+    /// Per-zone open-flight cap; `None` = uncapped.
+    zone_cap: Mutex<Option<u32>>,
+}
+
+/// What a capped [`InflightTable::join_or_lead`] decided.
+pub(crate) enum Admission {
+    /// This thread leads the flight.
+    Lead(FlightToken),
+    /// An identical flight was open; its published outcome.
+    Shared(Outcome),
+    /// The target zone's inflight cap is exhausted; no flight was opened.
+    Suppressed,
+}
+
+/// Bucket used for per-zone inflight accounting: the query name's parent
+/// (for `nx123.victim.example` → `victim.example`), or the name itself at
+/// the root. A flood of random subdomains of one victim zone lands in one
+/// bucket regardless of the leaf label.
+fn zone_bucket(name: &Name) -> Name {
+    name.parent().unwrap_or_else(|| name.clone())
 }
 
 impl InflightTable {
+    /// Sets the per-zone open-flight cap; `None` removes it.
+    pub(crate) fn set_zone_cap(&self, cap: Option<u32>) {
+        *self.zone_cap.lock().unwrap() = cap;
+    }
+
     /// Joins the open flight for `(name, rtype)` — blocking until its
-    /// leader publishes — or opens a new one and returns its token.
-    pub(crate) fn join_or_lead(
-        self: &Arc<Self>,
-        name: &Name,
-        rtype: RecordType,
-    ) -> Result<FlightToken, Outcome> {
+    /// leader publishes — opens a new one and returns its token, or
+    /// refuses admission when the target zone's cap is exhausted.
+    pub(crate) fn join_or_lead(self: &Arc<Self>, name: &Name, rtype: RecordType) -> Admission {
         let mut slots = self.slots.lock().unwrap();
         if let Some(slot) = slots.get(&(name, rtype) as &dyn dns_core::RrKeyView) {
             let slot = Arc::clone(slot);
             drop(slots);
-            return Err(slot.wait());
+            return Admission::Shared(slot.wait());
         }
+        let cap = *self.zone_cap.lock().unwrap();
+        let bucket = if let Some(cap) = cap {
+            let bucket = zone_bucket(name);
+            let mut counts = self.zone_counts.lock().unwrap();
+            let open = counts.get(&bucket).copied().unwrap_or(0);
+            if open >= cap {
+                return Admission::Suppressed;
+            }
+            counts.insert(bucket.clone(), open + 1);
+            Some(bucket)
+        } else {
+            None
+        };
         let key = RrKey::new(name.clone(), rtype);
         let slot = Arc::new(FlightSlot::default());
         slots.insert(key.clone(), Arc::clone(&slot));
         drop(slots);
-        Ok(FlightToken {
-            flight: Some((key, slot, Arc::clone(self))),
+        Admission::Lead(FlightToken {
+            flight: Some(OpenFlight {
+                key,
+                bucket,
+                slot,
+                table: Arc::clone(self),
+            }),
         })
     }
 
-    fn finish(&self, key: &RrKey, slot: &FlightSlot, outcome: Outcome) {
+    fn finish(&self, key: &RrKey, bucket: Option<&Name>, slot: &FlightSlot, outcome: Outcome) {
         // Remove before publishing: a thread arriving after publication
         // must open a fresh flight, never observe a completed slot.
         self.slots.lock().unwrap().remove(key);
+        if let Some(bucket) = bucket {
+            let mut counts = self.zone_counts.lock().unwrap();
+            if let Some(open) = counts.get_mut(bucket) {
+                *open = open.saturating_sub(1);
+                if *open == 0 {
+                    counts.remove(bucket);
+                }
+            }
+        }
         slot.complete(outcome);
     }
 }
@@ -91,6 +143,9 @@ pub enum Flight {
     Lead(FlightToken),
     /// Another thread's flight was already open; its published outcome.
     Shared(Outcome),
+    /// The target zone's inflight cap is exhausted: the query is refused
+    /// without upstream work (counted as `flood_suppressed`).
+    Suppressed,
 }
 
 /// Leadership of one in-flight query (see [`Flight::Lead`]).
@@ -99,7 +154,18 @@ pub enum Flight {
 /// with [`Outcome::Fail`].
 #[derive(Debug)]
 pub struct FlightToken {
-    flight: Option<(RrKey, Arc<FlightSlot>, Arc<InflightTable>)>,
+    flight: Option<OpenFlight>,
+}
+
+/// The bookkeeping a leading flight must release exactly once: its slot
+/// key, the zone bucket charged against the inflight cap, the followers'
+/// slot, and the owning table.
+#[derive(Debug)]
+struct OpenFlight {
+    key: RrKey,
+    bucket: Option<Name>,
+    slot: Arc<FlightSlot>,
+    table: Arc<InflightTable>,
 }
 
 impl FlightToken {
@@ -111,16 +177,18 @@ impl FlightToken {
 
     /// Publishes the leader's outcome, waking every follower.
     pub fn publish(mut self, outcome: &Outcome) {
-        if let Some((key, slot, table)) = self.flight.take() {
-            table.finish(&key, &slot, outcome.clone());
+        if let Some(f) = self.flight.take() {
+            f.table
+                .finish(&f.key, f.bucket.as_ref(), &f.slot, outcome.clone());
         }
     }
 }
 
 impl Drop for FlightToken {
     fn drop(&mut self) {
-        if let Some((key, slot, table)) = self.flight.take() {
-            table.finish(&key, &slot, Outcome::Fail);
+        if let Some(f) = self.flight.take() {
+            f.table
+                .finish(&f.key, f.bucket.as_ref(), &f.slot, Outcome::Fail);
         }
     }
 }
@@ -133,13 +201,18 @@ mod tests {
         s.parse().unwrap()
     }
 
+    fn lead(table: &Arc<InflightTable>, n: &str, rtype: RecordType) -> FlightToken {
+        match table.join_or_lead(&name(n), rtype) {
+            Admission::Lead(t) => t,
+            Admission::Shared(_) => panic!("expected to lead, flight was shared"),
+            Admission::Suppressed => panic!("expected to lead, admission suppressed"),
+        }
+    }
+
     #[test]
     fn leader_publishes_to_followers() {
         let table = Arc::new(InflightTable::default());
-        let token = match table.join_or_lead(&name("www.x.com"), RecordType::A) {
-            Ok(t) => t,
-            Err(_) => panic!("first arrival must lead"),
-        };
+        let token = lead(&table, "www.x.com", RecordType::A);
         let follower = {
             let table = Arc::clone(&table);
             std::thread::spawn(move || table.join_or_lead(&name("www.x.com"), RecordType::A))
@@ -148,34 +221,58 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         token.publish(&Outcome::NxDomain { from_cache: false });
         match follower.join().unwrap() {
-            Err(Outcome::NxDomain { from_cache: false }) => {}
-            other => panic!("follower saw {other:?}"),
+            Admission::Shared(Outcome::NxDomain { from_cache: false }) => {}
+            Admission::Shared(other) => panic!("follower saw {other:?}"),
+            _ => panic!("follower did not share"),
         }
         // The table entry is gone: the next arrival leads a fresh flight.
-        assert!(table
-            .join_or_lead(&name("www.x.com"), RecordType::A)
-            .is_ok());
+        let _relead = lead(&table, "www.x.com", RecordType::A);
     }
 
     #[test]
     fn dropped_token_fails_followers() {
         let table = Arc::new(InflightTable::default());
-        let token = table.join_or_lead(&name("a.x"), RecordType::A).unwrap();
+        let token = lead(&table, "a.x", RecordType::A);
         let follower = {
             let table = Arc::clone(&table);
             std::thread::spawn(move || table.join_or_lead(&name("a.x"), RecordType::A))
         };
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(token);
-        assert!(matches!(follower.join().unwrap(), Err(Outcome::Fail)));
+        assert!(matches!(
+            follower.join().unwrap(),
+            Admission::Shared(Outcome::Fail)
+        ));
     }
 
     #[test]
     fn distinct_questions_do_not_coalesce() {
         let table = Arc::new(InflightTable::default());
-        let _a = table.join_or_lead(&name("a.x"), RecordType::A).unwrap();
-        assert!(table.join_or_lead(&name("b.x"), RecordType::A).is_ok());
-        assert!(table.join_or_lead(&name("a.x"), RecordType::Ns).is_ok());
+        let _a = lead(&table, "a.x", RecordType::A);
+        let _b = lead(&table, "b.x", RecordType::A);
+        let _c = lead(&table, "a.x", RecordType::Ns);
+    }
+
+    #[test]
+    fn zone_cap_suppresses_excess_flights_and_releases_on_finish() {
+        let table = Arc::new(InflightTable::default());
+        table.set_zone_cap(Some(2));
+        // Distinct random subdomains of one victim zone share a bucket.
+        let t1 = lead(&table, "nx1.victim.x", RecordType::A);
+        let _t2 = lead(&table, "nx2.victim.x", RecordType::A);
+        assert!(matches!(
+            table.join_or_lead(&name("nx3.victim.x"), RecordType::A),
+            Admission::Suppressed
+        ));
+        // Other zones are unaffected.
+        let _other = lead(&table, "www.other.x", RecordType::A);
+        // Finishing a flight frees a slot in the bucket.
+        t1.publish(&Outcome::Fail);
+        let _t3 = lead(&table, "nx3.victim.x", RecordType::A);
+        // Removing the cap readmits everything.
+        table.set_zone_cap(None);
+        let _t4 = lead(&table, "nx4.victim.x", RecordType::A);
+        let _t5 = lead(&table, "nx5.victim.x", RecordType::A);
     }
 
     #[test]

@@ -61,8 +61,8 @@ mod shard;
 mod upstream;
 
 pub use backend::{CacheBackend, LocalBackend};
-pub use cache::{CacheEntry, Credibility, NegativeKind, RecordCache};
-pub use config::{ResolverConfig, ResolverConfigBuilder, RootHints};
+pub use cache::{CacheEntry, Credibility, NegativeInsertOutcome, NegativeKind, RecordCache};
+pub use config::{DefensePolicy, ResolverConfig, ResolverConfigBuilder, RootHints};
 pub use dnssec::SecureStatus;
 pub use inflight::{Flight, FlightToken};
 pub use infra::{GapSample, InfraCache, InfraEntry, InfraSource};

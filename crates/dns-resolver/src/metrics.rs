@@ -44,6 +44,17 @@ pub struct ResolverMetrics {
     /// Responses discarded because they did not match the outstanding
     /// query's (ID, question) pair — strays, spoofs or late answers.
     pub mismatched_responses: u64,
+    /// NS-address fetches skipped because the per-client-query MaxFetch(k)
+    /// budget was exhausted (the query degrades to whatever resolved
+    /// within budget instead of fanning out further).
+    pub fetches_clamped: u64,
+    /// Work suppressed by flood defenses: negative-cache inserts refused
+    /// at a zero budget plus upstream walks refused by the per-zone
+    /// inflight cap.
+    pub flood_suppressed: u64,
+    /// Negative-cache entries evicted early because the negative cache hit
+    /// its byte/entry budget (pressure evictions, not TTL expiry).
+    pub neg_evictions_pressure: u64,
 }
 
 impl ResolverMetrics {
@@ -96,6 +107,11 @@ impl Sub for ResolverMetrics {
             mismatched_responses: self
                 .mismatched_responses
                 .saturating_sub(rhs.mismatched_responses),
+            fetches_clamped: self.fetches_clamped.saturating_sub(rhs.fetches_clamped),
+            flood_suppressed: self.flood_suppressed.saturating_sub(rhs.flood_suppressed),
+            neg_evictions_pressure: self
+                .neg_evictions_pressure
+                .saturating_sub(rhs.neg_evictions_pressure),
         }
     }
 }
@@ -125,6 +141,11 @@ impl Add for ResolverMetrics {
             mismatched_responses: self
                 .mismatched_responses
                 .saturating_add(rhs.mismatched_responses),
+            fetches_clamped: self.fetches_clamped.saturating_add(rhs.fetches_clamped),
+            flood_suppressed: self.flood_suppressed.saturating_add(rhs.flood_suppressed),
+            neg_evictions_pressure: self
+                .neg_evictions_pressure
+                .saturating_add(rhs.neg_evictions_pressure),
         }
     }
 }

@@ -128,6 +128,9 @@ pub struct CachingServer<B: CacheBackend = LocalBackend> {
     /// `rng` and never changes resolution behaviour, so enabling it
     /// cannot perturb deterministic experiments.
     obs: ResolverObs,
+    /// NS-address fetches charged against the MaxFetch(k) budget during
+    /// the current client query; reset on every [`Self::resolve`].
+    ns_fetches_used: u32,
 }
 
 impl CachingServer {
@@ -153,6 +156,16 @@ impl<B: CacheBackend> CachingServer<B> {
     /// with other servers) and installs the root hints into it.
     pub fn with_backend(config: ResolverConfig, hints: RootHints, mut backend: B) -> Self {
         backend.install_root_hints(hints.servers());
+        // Apply flood-defense knobs only when set: an off policy leaves the
+        // backend exactly as the pinned transcripts expect.
+        if !config.defense.is_off() {
+            let d = config.defense;
+            backend.set_negative_budget(
+                d.neg_cache_max_entries.map(|n| n as usize),
+                d.neg_cache_max_bytes.map(|b| b as usize),
+            );
+            backend.set_zone_inflight_cap(d.zone_inflight_cap);
+        }
         let rng = StdRng::seed_from_u64(config.seed);
         CachingServer {
             config,
@@ -160,6 +173,7 @@ impl<B: CacheBackend> CachingServer<B> {
             metrics: ResolverMetrics::default(),
             rng,
             obs: ResolverObs::new(),
+            ns_fetches_used: 0,
         }
     }
 
@@ -182,6 +196,12 @@ impl<B: CacheBackend> CachingServer<B> {
     /// Drains the Figure-3 gap samples collected so far.
     pub fn take_gap_samples(&mut self) -> Vec<crate::infra::GapSample> {
         self.backend.take_gap_samples()
+    }
+
+    /// Negative-cache entries currently stored (flood-pressure
+    /// introspection for experiments and tests).
+    pub fn negative_entries(&mut self) -> usize {
+        self.backend.negative_entries()
     }
 
     /// Observability state: latency histogram and optional trace.
@@ -222,6 +242,7 @@ impl<B: CacheBackend> CachingServer<B> {
         up: &mut U,
     ) -> Outcome {
         self.metrics.queries_in += 1;
+        self.ns_fetches_used = 0;
         if let Some(t) = self.obs.trace_mut() {
             t.begin();
             t.push(TraceEvent::Query {
@@ -463,6 +484,13 @@ impl<B: CacheBackend> CachingServer<B> {
         let token = match self.backend.begin_flight(&question.name, question.rtype) {
             Flight::Shared(outcome) => return outcome,
             Flight::Lead(token) => token,
+            Flight::Suppressed => {
+                // The target zone's inflight cap is exhausted: fail fast
+                // without upstream work so a flood against one victim zone
+                // cannot monopolize the worker pool.
+                self.metrics.flood_suppressed += 1;
+                return Outcome::Fail;
+            }
         };
         if let Some(kind) = self.backend.negative(&question.name, question.rtype, now) {
             let outcome = match kind {
@@ -540,24 +568,26 @@ impl<B: CacheBackend> CachingServer<B> {
                 }
                 ResponseKind::NxDomain => {
                     let ttl = self.negative_ttl(&resp);
-                    self.backend.insert_negative(
+                    let stored = self.backend.insert_negative(
                         question.name.clone(),
                         question.rtype,
                         NegativeKind::NxDomain,
                         ttl,
                         now,
                     );
+                    self.note_negative_pressure(stored);
                     return Outcome::NxDomain { from_cache: false };
                 }
                 ResponseKind::NoData => {
                     let ttl = self.negative_ttl(&resp);
-                    self.backend.insert_negative(
+                    let stored = self.backend.insert_negative(
                         question.name.clone(),
                         question.rtype,
                         NegativeKind::NoData,
                         ttl,
                         now,
                     );
+                    self.note_negative_pressure(stored);
                     return Outcome::NoData { from_cache: false };
                 }
                 ResponseKind::Error(_) => return Outcome::Fail,
@@ -677,6 +707,18 @@ impl<B: CacheBackend> CachingServer<B> {
             }
             // Out-of-bailiwick server: resolve its address recursively.
             if depth < MAX_RECURSION_DEPTH {
+                // MaxFetch(k): every recursive NS-address fetch charges the
+                // per-client-query budget. Once spent, remaining NS names
+                // are only served from cache — the query degrades to
+                // whatever resolved within budget instead of amplifying a
+                // delegation bomb's full fan-out (NXNSAttack defense).
+                if let Some(k) = self.config.defense.max_ns_fetch {
+                    if self.ns_fetches_used >= k {
+                        self.metrics.fetches_clamped += 1;
+                        continue;
+                    }
+                    self.ns_fetches_used += 1;
+                }
                 if let Outcome::Answer { records, .. } = self.lookup_or_fetch(
                     &Question::new(ns.clone(), RecordType::A),
                     now,
@@ -904,6 +946,15 @@ impl<B: CacheBackend> CachingServer<B> {
         }
         for (owner, ds) in ds_by_owner {
             self.backend.set_zone_ds(&owner, ds);
+        }
+    }
+
+    /// Folds a budgeted negative-cache insert's outcome into the flood
+    /// counters.
+    fn note_negative_pressure(&mut self, out: crate::cache::NegativeInsertOutcome) {
+        self.metrics.neg_evictions_pressure += out.evicted_pressure;
+        if !out.stored {
+            self.metrics.flood_suppressed += 1;
         }
     }
 

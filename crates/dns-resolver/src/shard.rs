@@ -24,8 +24,8 @@
 //! [`LogHistogram::merge`](dns_obs::LogHistogram::merge)) for scraping.
 
 use crate::backend::CacheBackend;
-use crate::cache::{CacheEntry, Credibility, NegativeKind, RecordCache};
-use crate::inflight::{Flight, InflightTable};
+use crate::cache::{CacheEntry, Credibility, NegativeInsertOutcome, NegativeKind, RecordCache};
+use crate::inflight::{Admission, Flight, InflightTable};
 use crate::infra::{GapSample, InfraCache, InfraEntry, InfraSource};
 use crate::RenewalPolicy;
 use dns_core::{Name, RecordType, RrSet, SimDuration, SimTime, Ttl};
@@ -227,12 +227,36 @@ impl CacheBackend for ShardedCache {
         kind: NegativeKind,
         ttl: Ttl,
         now: SimTime,
-    ) {
+    ) -> NegativeInsertOutcome {
         self.shard_for(&name)
             .lock()
             .unwrap()
             .cache
-            .insert_negative(name, rtype, kind, ttl, now);
+            .insert_negative(name, rtype, kind, ttl, now)
+    }
+
+    fn set_negative_budget(&mut self, entries: Option<usize>, bytes: Option<usize>) {
+        // Divide the budget across shards (rounding up so a nonzero budget
+        // never truncates to zero per shard). The shard hash spreads flood
+        // names uniformly, so the global bound holds within rounding.
+        let n = self.inner.shards.len();
+        let split = |b: Option<usize>| b.map(|b| b.div_ceil(n));
+        let (entries, bytes) = (split(entries), split(bytes));
+        for shard in &self.inner.shards {
+            shard
+                .lock()
+                .unwrap()
+                .cache
+                .set_negative_budget(entries, bytes);
+        }
+    }
+
+    fn negative_entries(&mut self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().cache.negative_len())
+            .sum()
     }
 
     fn purge_data(&mut self, now: SimTime) -> usize {
@@ -360,15 +384,20 @@ impl CacheBackend for ShardedCache {
 
     fn begin_flight(&mut self, name: &Name, rtype: RecordType) -> Flight {
         match self.inner.inflight.join_or_lead(name, rtype) {
-            Ok(token) => {
+            Admission::Lead(token) => {
                 self.inner.flights_led.fetch_add(1, Ordering::Relaxed);
                 Flight::Lead(token)
             }
-            Err(outcome) => {
+            Admission::Shared(outcome) => {
                 self.inner.flights_shared.fetch_add(1, Ordering::Relaxed);
                 Flight::Shared(outcome)
             }
+            Admission::Suppressed => Flight::Suppressed,
         }
+    }
+
+    fn set_zone_inflight_cap(&mut self, cap: Option<u32>) {
+        self.inner.inflight.set_zone_cap(cap);
     }
 
     fn obs_registry(&self) -> Option<Registry> {

@@ -1,7 +1,9 @@
 //! Property-based tests for cache semantics and policy arithmetic.
 
 use dns_core::{Name, RData, Record, RrSet, SimTime, Ttl};
-use dns_resolver::{Credibility, InfraCache, InfraSource, RecordCache, RenewalPolicy};
+use dns_resolver::{
+    Credibility, InfraCache, InfraSource, NegativeKind, RecordCache, RenewalPolicy,
+};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
@@ -150,6 +152,75 @@ proptest! {
         let distinct: std::collections::HashSet<u8> =
             zone_ttls.iter().map(|&(i, _)| i).collect();
         prop_assert_eq!(fired.len(), distinct.len());
+    }
+
+    /// The negative-cache budget is a hard invariant: after any insert
+    /// sequence, entry and byte budgets hold, the byte ledger matches the
+    /// live entry set, and eviction counters are reported truthfully.
+    #[test]
+    fn negative_budget_never_exceeded(
+        entry_budget in 1usize..24,
+        inserts in proptest::collection::vec((1u8..=200, 1u32..=3_600, 0u64..600), 1..120)
+    ) {
+        let mut cache = RecordCache::new();
+        cache.set_negative_budget(Some(entry_budget), None);
+        let mut now = 0u64;
+        for (i, ttl, dt) in inserts {
+            now += dt;
+            let out = cache.insert_negative(
+                owner(i),
+                dns_core::RecordType::A,
+                NegativeKind::NxDomain,
+                Ttl::from_secs(ttl),
+                SimTime::from_secs(now),
+            );
+            prop_assert!(cache.negative_len() <= entry_budget);
+            // A budget of at least one entry always keeps the newest
+            // insert: pressure evicts soonest-expiring entries, and the
+            // new entry only goes when nothing else is left to evict.
+            prop_assert!(out.stored || out.evicted_pressure > 0);
+            prop_assert_eq!(
+                out.stored,
+                cache
+                    .get_negative(&owner(i), dns_core::RecordType::A, SimTime::from_secs(now))
+                    .is_some()
+            );
+        }
+    }
+
+    /// Negative-cache pressure never evicts positive records: a flood of
+    /// fresh NXDOMAIN entries under a tiny budget leaves every unexpired
+    /// positive entry untouched.
+    #[test]
+    fn negative_pressure_never_evicts_unexpired_positives(
+        entry_budget in 1usize..8,
+        positives in proptest::collection::vec(1u8..=40, 1..20),
+        flood in proptest::collection::vec(100u8..=250, 1..80)
+    ) {
+        let mut cache = RecordCache::new();
+        cache.set_negative_budget(Some(entry_budget), None);
+        let ttl = Ttl::from_days(7);
+        for &i in &positives {
+            cache.insert(a_set(i, ttl, i), SimTime::ZERO, Credibility::AuthAnswer);
+        }
+        let positive_len = cache.len();
+        for (t, &i) in flood.iter().enumerate() {
+            cache.insert_negative(
+                owner(i),
+                dns_core::RecordType::Aaaa,
+                NegativeKind::NxDomain,
+                Ttl::from_secs(300),
+                SimTime::from_secs(t as u64),
+            );
+        }
+        prop_assert_eq!(cache.len(), positive_len);
+        let now = SimTime::from_secs(flood.len() as u64);
+        for &i in &positives {
+            prop_assert!(
+                cache.get(&owner(i), dns_core::RecordType::A, now).is_some(),
+                "positive entry {} lost under negative pressure", i
+            );
+        }
     }
 
     /// Gap samples are emitted at most once per expiry and always

@@ -252,6 +252,23 @@ pub struct Simulation<B: CacheBackend = LocalBackend> {
     occupancy: Vec<OccupancySample>,
     next_occupancy: Option<SimTime>,
     next_purge: SimTime,
+    /// Adversary-tagged queries replayed / failed (see
+    /// [`crate::adversary::ADVERSARY_CLIENT`]); zero without an
+    /// adversary feed.
+    adversary: AdversaryStats,
+}
+
+/// Attacker-side accounting for one replay: queries tagged with
+/// [`crate::adversary::ADVERSARY_CLIENT`] are counted here *in addition
+/// to* the resolver's own metrics, so legitimate-traffic failure ratios
+/// can be recovered by subtraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdversaryStats {
+    /// Adversary queries replayed.
+    pub sent: u64,
+    /// Adversary queries whose resolution failed (for NXNS floods this
+    /// is nearly all of them — the bombs never resolve).
+    pub failed: u64,
 }
 
 impl Simulation {
@@ -323,6 +340,7 @@ impl Simulation {
             occupancy: Vec::new(),
             next_occupancy,
             next_purge,
+            adversary: AdversaryStats::default(),
         }
     }
 }
@@ -352,6 +370,7 @@ impl<B: CacheBackend> Simulation<B> {
             occupancy: Vec::new(),
             next_occupancy,
             next_purge,
+            adversary: AdversaryStats::default(),
         }
     }
 
@@ -421,6 +440,13 @@ impl<B: CacheBackend> Simulation<B> {
         self.feed.processed()
     }
 
+    /// Attacker-side accounting: adversary-tagged queries replayed and
+    /// failed so far (all zero unless the feed carries adversary
+    /// events).
+    pub fn adversary_stats(&self) -> AdversaryStats {
+        self.adversary
+    }
+
     /// Occupancy samples collected so far.
     pub fn occupancy(&self) -> &[OccupancySample] {
         &self.occupancy
@@ -463,6 +489,29 @@ impl<B: CacheBackend> Simulation<B> {
             occupancy: self.occupancy.clone(),
             next_occupancy: self.next_occupancy,
             next_purge: self.next_purge,
+            adversary: self.adversary,
+        }
+    }
+
+    /// Forks a materialized replay onto a *different* trace: an
+    /// independent copy of the warmed-up state that replays `trace` from
+    /// its start (event timestamps are absolute, so the caller passes
+    /// the unreplayed tail — typically with adversary events merged in,
+    /// see [`crate::adversary::merge_into_tail`]).
+    pub fn fork_with_trace(&self, trace: Arc<Trace>) -> Simulation<B>
+    where
+        B: Clone,
+    {
+        Simulation {
+            config: self.config.clone(),
+            cs: self.cs.clone(),
+            net: self.net.clone(),
+            feed: Feed::Trace { trace, pos: 0 },
+            now: self.now,
+            occupancy: self.occupancy.clone(),
+            next_occupancy: self.next_occupancy,
+            next_purge: self.next_purge,
+            adversary: self.adversary,
         }
     }
 
@@ -476,7 +525,13 @@ impl<B: CacheBackend> Simulation<B> {
             }
             self.advance_background(at);
             let event = self.feed.pop().expect("peeked event exists");
-            self.cs.resolve(&event.question, at, &mut self.net);
+            let outcome = self.cs.resolve(&event.question, at, &mut self.net);
+            if event.client == crate::adversary::ADVERSARY_CLIENT {
+                self.adversary.sent += 1;
+                if outcome.is_failure() {
+                    self.adversary.failed += 1;
+                }
+            }
             self.now = at;
         }
         self.advance_background(until);

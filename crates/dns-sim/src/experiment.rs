@@ -8,7 +8,9 @@
 use crate::SimConfig;
 use dns_core::{SimDuration, Ttl};
 use dns_obs::LogHistogram;
-use dns_resolver::{OccupancySample, RenewalPolicy, ResolverConfig, ResolverMetrics};
+use dns_resolver::{
+    DefensePolicy, OccupancySample, RenewalPolicy, ResolverConfig, ResolverMetrics,
+};
 use std::fmt;
 
 /// A complete scheme under evaluation: the caching-server configuration
@@ -60,6 +62,14 @@ impl Scheme {
             resolver: ResolverConfig::with_renewal(policy),
             long_ttl: Some(ttl),
         }
+    }
+
+    /// The same scheme with a resolver-side [`DefensePolicy`] applied —
+    /// the head-to-head axis of the adversarial sweeps. The defense
+    /// knobs show up in the label (`vanilla+maxfetch4`, …).
+    pub fn with_defense(mut self, defense: DefensePolicy) -> Self {
+        self.resolver.defense = defense;
+        self
     }
 
     /// The scheme's display label.
@@ -115,6 +125,76 @@ impl fmt::Display for AttackOutcome {
             self.duration.as_secs() / 3600,
             self.sr_failed_pct,
             self.cs_failed_pct
+        )
+    }
+}
+
+/// Measurement for one (scheme, trace, adversary) cell: a baseline fork
+/// (legitimate traffic only) and an attacked fork (the same traffic with
+/// the adversary's flood merged in) replayed over the same window from
+/// one warmed-up state.
+#[derive(Debug, Clone)]
+pub struct AdversarialOutcome {
+    /// Scheme label (defense knobs included, e.g. `vanilla+maxfetch4`).
+    pub scheme: String,
+    /// Trace label.
+    pub trace: String,
+    /// Adversary label (`nxns-q50`, `torture-v8-q25`, …).
+    pub adversary: String,
+    /// Attack-window length.
+    pub duration: SimDuration,
+    /// Adversary queries replayed inside the window.
+    pub attack_queries: u64,
+    /// Upstream queries the baseline fork sent inside the window.
+    pub base_upstream: u64,
+    /// Upstream queries the attacked fork sent inside the window.
+    pub attacked_upstream: u64,
+    /// % of *legitimate* queries failing in the baseline window.
+    pub base_legit_failed_pct: f64,
+    /// % of *legitimate* queries failing in the attacked window
+    /// (adversary queries and their failures subtracted out).
+    pub legit_failed_pct: f64,
+    /// NS-address fetches clamped by MaxFetch(k) inside the window.
+    pub fetches_clamped: u64,
+    /// Queries refused by flood damping (inflight caps / refused
+    /// negative-cache storage) inside the window.
+    pub flood_suppressed: u64,
+    /// Negative-cache entries evicted under budget pressure inside the
+    /// window.
+    pub neg_evictions_pressure: u64,
+    /// Raw resolver counters accumulated inside the attacked window.
+    pub window: ResolverMetrics,
+}
+
+impl AdversarialOutcome {
+    /// Extra upstream queries the attack induced, per attack query —
+    /// the amplification factor the defenses are judged on.
+    pub fn amplification(&self) -> f64 {
+        if self.attack_queries == 0 {
+            return 0.0;
+        }
+        self.attacked_upstream.saturating_sub(self.base_upstream) as f64
+            / self.attack_queries as f64
+    }
+
+    /// Percentage-point increase in legitimate failures versus the
+    /// baseline fork — the collateral-damage cost of attack + defense.
+    pub fn legit_failed_delta_pct(&self) -> f64 {
+        self.legit_failed_pct - self.base_legit_failed_pct
+    }
+}
+
+impl fmt::Display for AdversarialOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {} / {}: x{:.1} amplification, legit fail {:.2}% ({:+.2}pp)",
+            self.scheme,
+            self.trace,
+            self.adversary,
+            self.amplification(),
+            self.legit_failed_pct,
+            self.legit_failed_delta_pct()
         )
     }
 }

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 mod attack;
 pub mod damage;
 mod driver;
@@ -53,8 +54,11 @@ mod network;
 mod rss;
 pub mod sweep;
 
+pub use adversary::{
+    AdversaryKind, AdversarySpec, CompiledAdversary, MergedStream, ADVERSARY_CLIENT,
+};
 pub use attack::{AttackScenario, Blackout, CompiledAttack};
-pub use driver::{scheme_label, SimConfig, SimReport, Simulation};
+pub use driver::{scheme_label, AdversaryStats, SimConfig, SimReport, Simulation};
 pub use farm::ServerFarm;
 pub use network::{NetworkStats, SimNet};
 pub use rss::peak_rss_kb;

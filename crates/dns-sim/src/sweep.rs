@@ -36,7 +36,8 @@
 //! assert_eq!(outcome.manifest.units.len(), 1);
 //! ```
 
-use crate::experiment::{AttackOutcome, OverheadOutcome, Scheme};
+use crate::adversary::{merge_into_tail, AdversarySpec, MergedStream};
+use crate::experiment::{AdversarialOutcome, AttackOutcome, OverheadOutcome, Scheme};
 use crate::{AttackScenario, ServerFarm, Simulation};
 use dns_core::{SimDuration, SimTime, Ttl};
 use dns_obs::LogHistogram;
@@ -61,6 +62,7 @@ pub struct ExperimentSpec<'a> {
     stream_traces: Vec<StreamSource>,
     schemes: Vec<Scheme>,
     attack: Option<(SimTime, Vec<SimDuration>)>,
+    adversaries: Vec<(AdversarySpec, SimTime, SimDuration)>,
     overhead: Option<SimDuration>,
     gaps: bool,
     farms: HashMap<Option<Ttl>, Arc<ServerFarm>>,
@@ -78,6 +80,7 @@ impl<'a> ExperimentSpec<'a> {
             stream_traces: Vec::new(),
             schemes: Vec::new(),
             attack: None,
+            adversaries: Vec::new(),
             overhead: None,
             gaps: false,
             farms: HashMap::new(),
@@ -129,6 +132,24 @@ impl<'a> ExperimentSpec<'a> {
     /// warm-up per (trace, scheme) is shared by all durations.
     pub fn attack(mut self, attack_start: SimTime, durations: &[SimDuration]) -> Self {
         self.attack = Some((attack_start, durations.to_vec()));
+        self
+    }
+
+    /// Adds an adversarial measurement: warm to `start`, then replay the
+    /// window `[start, start + duration)` twice from the warmed state —
+    /// once with legitimate traffic only (baseline) and once with
+    /// `adversary`'s flood merged in — producing one
+    /// [`AdversarialOutcome`] per (trace, scheme). Streamed traces stay
+    /// streamed: the flood is composed through
+    /// [`MergedStream`](crate::adversary::MergedStream) with bounded
+    /// lookahead. May be called repeatedly to sweep several adversaries.
+    pub fn adversarial(
+        mut self,
+        adversary: AdversarySpec,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> Self {
+        self.adversaries.push((adversary, start, duration));
         self
     }
 
@@ -200,8 +221,11 @@ impl<'a> ExperimentSpec<'a> {
             "ExperimentSpec needs at least one scheme"
         );
         assert!(
-            self.attack.is_some() || self.overhead.is_some() || self.gaps,
-            "ExperimentSpec needs .attack(..), .overhead(..) and/or .gaps()"
+            self.attack.is_some()
+                || self.overhead.is_some()
+                || self.gaps
+                || !self.adversaries.is_empty(),
+            "ExperimentSpec needs .attack(..), .adversarial(..), .overhead(..) and/or .gaps()"
         );
 
         let threads_hint = self.resolved_threads_hint();
@@ -236,6 +260,18 @@ impl<'a> ExperimentSpec<'a> {
                         kind: UnitKind::Attack {
                             start: *start,
                             durations: durations.clone(),
+                        },
+                    });
+                }
+                for (adversary, start, duration) in &self.adversaries {
+                    units.push(Unit {
+                        source: source.clone(),
+                        scheme: *scheme,
+                        farm: Arc::clone(&farm),
+                        kind: UnitKind::Adversarial {
+                            adversary: *adversary,
+                            start: *start,
+                            duration: *duration,
                         },
                     });
                 }
@@ -296,6 +332,7 @@ impl<'a> ExperimentSpec<'a> {
 
         let total_wall = started.elapsed();
         let mut attacks = Vec::new();
+        let mut adversarial = Vec::new();
         let mut overheads = Vec::new();
         let mut gaps = Vec::new();
         let mut records = Vec::with_capacity(results.len());
@@ -303,12 +340,14 @@ impl<'a> ExperimentSpec<'a> {
             let mut result = result.take().expect("every unit slot is filled");
             result.record.unit = unit;
             attacks.append(&mut result.attacks);
+            adversarial.extend(result.adversarial.take());
             overheads.extend(result.overhead.take());
             gaps.extend(result.gaps.take());
             records.push(result.record);
         }
         SweepOutcome {
             attacks,
+            adversarial,
             overheads,
             gaps,
             manifest: RunManifest {
@@ -327,6 +366,9 @@ pub struct SweepOutcome {
     /// One entry per (trace, scheme, duration), trace-major — empty
     /// unless [`ExperimentSpec::attack`] was set.
     pub attacks: Vec<AttackOutcome>,
+    /// One entry per (trace, scheme, adversary), trace-major — empty
+    /// unless [`ExperimentSpec::adversarial`] was called.
+    pub adversarial: Vec<AdversarialOutcome>,
     /// One entry per (trace, scheme), trace-major — empty unless
     /// [`ExperimentSpec::overhead`] was set.
     pub overheads: Vec<OverheadOutcome>,
@@ -395,6 +437,9 @@ impl RunManifest {
                 lat_p50_ms: u.latency.p50(),
                 lat_p90_ms: u.latency.p90(),
                 lat_p99_ms: u.latency.p99(),
+                fetches_clamped: u.fetches_clamped,
+                flood_suppressed: u.flood_suppressed,
+                neg_evictions_pressure: u.neg_evictions_pressure,
             })
             .collect()
     }
@@ -464,12 +509,24 @@ pub struct UnitRecord {
     /// Distribution of total cached-record counts over the unit's
     /// occupancy samples.
     pub occupancy: LogHistogram,
+    /// NS-address fetches clamped by MaxFetch(k) across the unit's runs.
+    pub fetches_clamped: u64,
+    /// Queries refused by flood damping across the unit's runs.
+    pub flood_suppressed: u64,
+    /// Negative-cache evictions under budget pressure across the unit's
+    /// runs.
+    pub neg_evictions_pressure: u64,
 }
 
 enum UnitKind {
     Attack {
         start: SimTime,
         durations: Vec<SimDuration>,
+    },
+    Adversarial {
+        adversary: AdversarySpec,
+        start: SimTime,
+        duration: SimDuration,
     },
     Overhead {
         sample_every: SimDuration,
@@ -481,6 +538,7 @@ impl UnitKind {
     fn label(&self) -> &'static str {
         match self {
             UnitKind::Attack { .. } => "attack",
+            UnitKind::Adversarial { .. } => "adversarial",
             UnitKind::Overhead { .. } => "overhead",
             UnitKind::Gaps => "gaps",
         }
@@ -524,6 +582,7 @@ struct Unit {
 
 struct UnitResult {
     attacks: Vec<AttackOutcome>,
+    adversarial: Option<AdversarialOutcome>,
     overhead: Option<OverheadOutcome>,
     gaps: Option<GapOutcome>,
     record: UnitRecord,
@@ -559,10 +618,21 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
         ),
     };
     let mut attacks = Vec::new();
+    let mut adversarial = None;
     let mut overhead = None;
     let mut gaps = None;
     let mut latency = LogHistogram::new();
     let mut occupancy_hist = LogHistogram::new();
+    // Defense-counter totals over the unit's measured runs (all zero
+    // when the scheme runs with defenses off — the default).
+    let mut fetches_clamped = 0u64;
+    let mut flood_suppressed = 0u64;
+    let mut neg_evictions_pressure = 0u64;
+    let mut count_defense = |m: &dns_resolver::ResolverMetrics| {
+        fetches_clamped += m.fetches_clamped;
+        flood_suppressed += m.flood_suppressed;
+        neg_evictions_pressure += m.neg_evictions_pressure;
+    };
     let (runs, queries, events, peak_records) = match &unit.kind {
         UnitKind::Attack { start, durations } => {
             let mut warm = make_sim(unit.scheme.sim_config());
@@ -594,6 +664,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
                 let end = *start + duration;
                 sim.run_until(end);
                 let window = sim.metrics() - before;
+                count_defense(&window);
                 // Latency samples accumulated inside this window: the
                 // forked histogram minus the shared warm-up prefix.
                 let window_latency = sim.cs().latency_histogram().diff(&warm_latency);
@@ -615,10 +686,104 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             }
             (durations.len(), queries, events, peak)
         }
+        UnitKind::Adversarial {
+            adversary,
+            start,
+            duration,
+        } => {
+            let compiled = adversary.compile(universe);
+            let mut warm = make_sim(unit.scheme.sim_config());
+            warm.run_until(*start);
+            let warm_processed = warm.processed() as u64;
+            let warm_metrics = warm.metrics();
+            let warm_latency = warm.cs().latency_histogram().clone();
+            let warm_records = warm.cs_mut().occupancy(*start).total_records() as u64;
+            occupancy_hist.record(warm_records);
+            let mut peak = warm_records;
+            let end = *start + *duration;
+
+            // Baseline fork: the window with legitimate traffic only.
+            let mut baseline = match &unit.source {
+                TraceRef::Mat(_) => warm.fork(),
+                TraceRef::Stream(s) => {
+                    let cursor = warm.stream_cursor().expect("streaming sims carry cursors");
+                    warm.fork_streaming(Box::new(s.spec.workload().resume(
+                        targets.clone().expect("targets built for streams"),
+                        s.seed,
+                        &cursor,
+                    )))
+                }
+            };
+            baseline.run_until(end);
+            let base_window = baseline.metrics() - warm_metrics;
+
+            // Attacked fork: the same window with the flood merged in,
+            // streamed with bounded lookahead for streamed sources.
+            let mut attacked = match &unit.source {
+                TraceRef::Mat(trace) => {
+                    let tail = &trace.queries[warm.processed()..];
+                    let merged = merge_into_tail(tail, &compiled, *start, end);
+                    warm.fork_with_trace(Arc::new(Trace {
+                        name: trace.name.clone(),
+                        days: trace.days,
+                        clients: trace.clients,
+                        queries: merged,
+                    }))
+                }
+                TraceRef::Stream(s) => {
+                    let cursor = warm.stream_cursor().expect("streaming sims carry cursors");
+                    let base = Box::new(s.spec.workload().resume(
+                        targets.clone().expect("targets built for streams"),
+                        s.seed,
+                        &cursor,
+                    ));
+                    warm.fork_streaming(Box::new(MergedStream::new(base, &compiled, *start, end)))
+                }
+            };
+            attacked.run_until(end);
+            let atk_window = attacked.metrics() - warm_metrics;
+            let adv = attacked.adversary_stats();
+            count_defense(&base_window);
+            count_defense(&atk_window);
+            let window_latency = attacked.cs().latency_histogram().diff(&warm_latency);
+            latency.merge(&window_latency);
+            let end_records = attacked.cs_mut().occupancy(end).total_records() as u64;
+            occupancy_hist.record(end_records);
+            peak = peak.max(end_records);
+
+            let legit_pct = |m: &dns_resolver::ResolverMetrics, sent: u64, failed: u64| {
+                let total = m.queries_in.saturating_sub(sent);
+                if total == 0 {
+                    0.0
+                } else {
+                    m.failed_in.saturating_sub(failed) as f64 / total as f64 * 100.0
+                }
+            };
+            adversarial = Some(AdversarialOutcome {
+                scheme: unit.scheme.label(),
+                trace: unit.source.name().to_string(),
+                adversary: compiled.spec().label(),
+                duration: *duration,
+                attack_queries: adv.sent,
+                base_upstream: base_window.queries_out,
+                attacked_upstream: atk_window.queries_out,
+                base_legit_failed_pct: legit_pct(&base_window, 0, 0),
+                legit_failed_pct: legit_pct(&atk_window, adv.sent, adv.failed),
+                fetches_clamped: atk_window.fetches_clamped,
+                flood_suppressed: atk_window.flood_suppressed,
+                neg_evictions_pressure: atk_window.neg_evictions_pressure,
+                window: atk_window,
+            });
+            let queries = warm_processed + base_window.queries_in + atk_window.queries_in;
+            let events =
+                event_count(&warm_metrics) + event_count(&base_window) + event_count(&atk_window);
+            (2, queries, events, peak)
+        }
         UnitKind::Overhead { sample_every } => {
             let mut sim = make_sim(unit.scheme.sim_config().occupancy_every(*sample_every));
             sim.run_to_end();
             let metrics = sim.metrics();
+            count_defense(&metrics);
             let peak = sim
                 .occupancy()
                 .iter()
@@ -643,6 +808,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             let mut sim = make_sim(unit.scheme.sim_config());
             sim.run_to_end();
             let metrics = sim.metrics();
+            count_defense(&metrics);
             let now = sim.now();
             let peak = sim.cs_mut().occupancy(now).total_records() as u64;
             occupancy_hist.record(peak);
@@ -658,6 +824,7 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
     };
     UnitResult {
         attacks,
+        adversarial,
         overhead,
         gaps,
         record: UnitRecord {
@@ -675,6 +842,9 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             seed,
             latency,
             occupancy: occupancy_hist,
+            fetches_clamped,
+            flood_suppressed,
+            neg_evictions_pressure,
         },
     }
 }

@@ -42,10 +42,17 @@ pub struct ManifestRow {
     pub lat_p90_ms: u64,
     /// 99th-percentile modelled resolution latency, virtual ms.
     pub lat_p99_ms: u64,
+    /// NS-address fetches clamped by the MaxFetch(k) defense.
+    pub fetches_clamped: u64,
+    /// Queries refused by flood damping (inflight caps / refused
+    /// negative-cache storage).
+    pub flood_suppressed: u64,
+    /// Negative-cache evictions forced by budget pressure.
+    pub neg_evictions_pressure: u64,
 }
 
 /// Column headers of the manifest table, shared with its CSV form.
-pub const MANIFEST_HEADERS: [&str; 15] = [
+pub const MANIFEST_HEADERS: [&str; 18] = [
     "unit",
     "kind",
     "trace",
@@ -61,6 +68,9 @@ pub const MANIFEST_HEADERS: [&str; 15] = [
     "lat_p50_ms",
     "lat_p90_ms",
     "lat_p99_ms",
+    "fetches_clamped",
+    "flood_suppressed",
+    "neg_evict",
 ];
 
 /// Builds the manifest summary table (also used for `run_manifest.csv`).
@@ -84,6 +94,9 @@ pub fn manifest_table(rows: &[ManifestRow]) -> Table {
             r.lat_p50_ms.to_string(),
             r.lat_p90_ms.to_string(),
             r.lat_p99_ms.to_string(),
+            r.fetches_clamped.to_string(),
+            r.flood_suppressed.to_string(),
+            r.neg_evictions_pressure.to_string(),
         ]);
     }
     table
@@ -110,6 +123,9 @@ mod tests {
             lat_p50_ms: 40,
             lat_p90_ms: 1_087,
             lat_p99_ms: 2_047,
+            fetches_clamped: 12,
+            flood_suppressed: 3,
+            neg_evictions_pressure: 7,
         }
     }
 

@@ -42,7 +42,7 @@ mod workload;
 mod zipf;
 
 pub use intern::{InternedNamespace, NameId, NameTable, NameTableBuilder};
-pub use namespace::{Universe, UniverseSpec, ZoneSpec};
+pub use namespace::{NxnsBombSpec, Universe, UniverseSpec, ZoneSpec};
 pub use spec::TraceSpec;
 pub use stream::{QueryStream, TargetSource, TraceCursor, TraceStream, UniverseTargets};
 pub use trace::{QueryEvent, Trace, TraceStats};

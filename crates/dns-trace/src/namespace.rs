@@ -193,6 +193,30 @@ impl ZoneSink for UniverseSink {
     }
 }
 
+/// Parameters for NXNSAttack-style delegation-bomb injection
+/// ([`Universe::with_delegation_bombs`]).
+///
+/// Each bomb is a malicious zone whose delegation names `fanout`
+/// nonexistent out-of-zone name-server hosts: the referral carries no glue
+/// (the servers are out of bailiwick) and every server-name lookup is a
+/// guaranteed NXDOMAIN, so one query against a cold bomb zone drives the
+/// resolver through `fanout` futile glue-chasing walks — the
+/// amplification MaxFetch(k) clamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NxnsBombSpec {
+    /// Number of bomb zones to graft onto the existing TLDs.
+    pub bombs: usize,
+    /// Nonexistent out-of-zone NS names per bomb zone.
+    pub fanout: usize,
+}
+
+impl NxnsBombSpec {
+    /// A bomb set with the given shape.
+    pub fn new(bombs: usize, fanout: usize) -> Self {
+        NxnsBombSpec { bombs, fanout }
+    }
+}
+
 /// A generated DNS tree plus the bookkeeping the simulator needs.
 #[derive(Debug, Clone)]
 pub struct Universe {
@@ -370,6 +394,86 @@ impl Universe {
             }
         }
         out
+    }
+
+    /// A copy of this universe with NXNSAttack delegation bombs grafted
+    /// onto the existing TLDs (round-robin).
+    ///
+    /// Bomb zone `i` is `bomb{i:04}.<tld>`; its `ns` list names
+    /// `spec.fanout` hosts `nx-b{i}-{j}.<donor SLD>` that do **not** exist
+    /// in their donor zones (the generator never emits `nx*` labels), so
+    /// the parent's referral carries no glue and every server-address
+    /// chase ends in NXDOMAIN. Bomb zones publish no data names, aliases,
+    /// or MX, so [`Universe::query_targets`] — and therefore any trace
+    /// generated from this universe — is unchanged by the injection;
+    /// only an adversary stream ever touches a bomb.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the universe has no TLDs or no second-level donor
+    /// zones (cannot happen for generated universes).
+    pub fn with_delegation_bombs(&self, spec: NxnsBombSpec) -> Universe {
+        let tlds: Vec<Name> = self
+            .zones
+            .iter()
+            .filter(|z| z.apex.label_count() == 1)
+            .map(|z| z.apex.clone())
+            .collect();
+        let donors: Vec<Name> = self
+            .zones
+            .iter()
+            .filter(|z| z.apex.label_count() == 2 && !z.data_names.is_empty())
+            .map(|z| z.apex.clone())
+            .collect();
+        assert!(
+            !tlds.is_empty() && !donors.is_empty(),
+            "delegation bombs need TLDs and donor SLDs"
+        );
+        let mut out = self.clone();
+        // Bomb "server" addresses come from the 198.18/15 benchmarking
+        // range: disjoint from the generator's sequential 10/8 servers and
+        // the 172.16/12 data hosts. They are unreachable by construction —
+        // the names resolving to them never exist.
+        let mut next_addr = u32::from_be_bytes([198, 18, 0, 1]);
+        for i in 0..spec.bombs {
+            let parent = tlds[i % tlds.len()].clone();
+            let apex = child_name(&format!("bomb{i:04}"), &parent);
+            let ns = (0..spec.fanout)
+                .map(|j| {
+                    let donor = &donors[(i * spec.fanout + j) % donors.len()];
+                    let name = child_name(&format!("nx-b{i}-{j}"), donor);
+                    let addr = Ipv4Addr::from(next_addr);
+                    next_addr += 1;
+                    (name, addr)
+                })
+                .collect();
+            let idx = out.zones.len();
+            out.index.insert(apex.clone(), idx);
+            out.children.entry(parent.clone()).or_default().push(idx);
+            out.zones.push(ZoneSpec {
+                apex,
+                parent: Some(parent),
+                ns,
+                infra_ttl: Ttl::from_hours(1),
+                data_names: Vec::new(),
+                cnames: Vec::new(),
+                has_mx: false,
+                dnskey: None,
+            });
+        }
+        out
+    }
+
+    /// Apexes of the delegation-bomb zones injected by
+    /// [`Universe::with_delegation_bombs`], in injection order (empty for
+    /// an unmodified universe). Bombs are the only zones below the TLDs
+    /// that publish no query targets.
+    pub fn delegation_bomb_apexes(&self) -> Vec<Name> {
+        self.zones
+            .iter()
+            .filter(|z| z.apex.label_count() >= 2 && z.data_names.is_empty() && z.cnames.is_empty())
+            .map(|z| z.apex.clone())
+            .collect()
     }
 
     /// Materialises every zone, shared behind `Arc` for the simulator's
@@ -745,6 +849,56 @@ mod tests {
             .count();
         let frac = short as f64 / slds.len() as f64;
         assert!(frac > 0.6, "most IRR TTLs should be <= 12h, got {frac}");
+    }
+
+    #[test]
+    fn delegation_bombs_leave_query_targets_unchanged() {
+        let base = small();
+        let bombed = base.with_delegation_bombs(NxnsBombSpec::new(64, 12));
+        assert_eq!(bombed.zone_count(), base.zone_count() + 64);
+        // Trace generation draws from query_targets: identical targets
+        // mean traces over the bombed universe are byte-identical.
+        assert_eq!(bombed.query_targets(), base.query_targets());
+        assert!(base.delegation_bomb_apexes().is_empty());
+        assert_eq!(bombed.delegation_bomb_apexes().len(), 64);
+    }
+
+    #[test]
+    fn delegation_bombs_are_glueless_out_of_zone_referrals() {
+        let u = small().with_delegation_bombs(NxnsBombSpec::new(8, 10));
+        for apex in u.delegation_bomb_apexes() {
+            let bomb = u.get(&apex).unwrap();
+            assert_eq!(bomb.ns.len(), 10);
+            // Every server name is out of bailiwick and nonexistent
+            // (the generator never emits nx* labels).
+            for (n, _) in &bomb.ns {
+                assert!(!n.is_subdomain_of(&apex));
+                assert!(u.zone_of(n).is_some());
+                let owner = u.zone_of(n).unwrap();
+                assert!(owner.query_names().all(|q| q != n));
+                assert!(owner.ns.iter().all(|(sn, _)| sn != n));
+            }
+            // The parent's delegation to the bomb carries zero glue.
+            let parent = u.get(bomb.parent.as_ref().unwrap()).unwrap();
+            let parent_zone = u.build_zone(parent);
+            let d = parent_zone
+                .delegations()
+                .find(|d| d.child == apex)
+                .expect("parent delegates the bomb");
+            assert_eq!(d.ns_names.len(), 10);
+            assert!(d.glue.is_empty(), "bomb referrals must be glueless");
+        }
+    }
+
+    #[test]
+    fn delegation_bomb_injection_is_deterministic() {
+        let spec = NxnsBombSpec::new(16, 6);
+        let a = small().with_delegation_bombs(spec);
+        let b = small().with_delegation_bombs(spec);
+        for (za, zb) in a.zones().iter().zip(b.zones()) {
+            assert_eq!(za.apex, zb.apex);
+            assert_eq!(za.ns, zb.ns);
+        }
     }
 
     #[test]
