@@ -10,7 +10,7 @@ smoke() {
     echo "== tracked BENCH files present and gated =="
     # The perf trajectory is tracked in-repo; a missing file means a bench
     # was added without committing its baseline (or one was deleted).
-    for f in BENCH_resolve.json BENCH_scale.json; do
+    for f in BENCH_resolve.json BENCH_scale.json BENCH_stale.json; do
         test -s "$f" || { echo "tracked bench file missing: $f" >&2; exit 1; }
     done
     # Scale-axis gates on the tracked full run: every schema field
@@ -36,6 +36,30 @@ smoke() {
         END { if (v >= 20000) {
             print "BENCH_scale.json: streaming 10x queries grew RSS by " v " KiB (gate 20000)" > "/dev/stderr"; exit 1 } }' \
         BENCH_scale.json
+    # Serve-stale gates on the tracked full run: the stale path must fire
+    # (and only when enabled), and it must actually cut the blackout
+    # failure fraction vs vanilla.
+    for field in bench schema_version scale vanilla_sr_failed_pct \
+        stale_sr_failed_pct vanilla_stale_served stale_served \
+        stale_expired_unserved refresh_ahead prefetch_issued \
+        prefetch_hits prefetch_wasted stale_msg_overhead_pct \
+        torture_legit_failed_pct_vanilla torture_legit_failed_pct_stale; do
+        grep -q "\"$field\"" BENCH_stale.json \
+            || { echo "BENCH_stale.json missing field: $field" >&2; exit 1; }
+    done
+    awk -F': *' '/"vanilla_stale_served"/ { v = $2 + 0 }
+        END { if (v != 0) {
+            print "BENCH_stale.json: stale counters fired in a vanilla scheme (" v ")" > "/dev/stderr"; exit 1 } }' \
+        BENCH_stale.json
+    awk -F': *' '/"stale_served"/ && !/vanilla/ { v = $2 + 0 }
+        END { if (v <= 0) {
+            print "BENCH_stale.json: serve-stale scheme never served stale" > "/dev/stderr"; exit 1 } }' \
+        BENCH_stale.json
+    awk -F': *' '/"vanilla_sr_failed_pct"/ { van = $2 + 0 }
+        /"stale_sr_failed_pct"/ { st = $2 + 0 }
+        END { if (!(st < van)) {
+            print "BENCH_stale.json: serve-stale did not cut blackout failures (" st " vs " van ")" > "/dev/stderr"; exit 1 } }' \
+        BENCH_stale.json
 
     echo "== smoke: bench_scale --smoke (streamed scale sweep) =="
     # Reduced zone counts (1k/10k/50k), same code path: interned
@@ -152,6 +176,45 @@ smoke() {
     # the batched worker loop driven through LoopbackHub under fault
     # injection (blackout answered from compiled bytes).
     cargo test --release -q --offline -p dns-netd --test wire_fast_lane
+
+    echo "== smoke: serve-stale head-to-head on a tiny trace =="
+    # The stale binary at reduced scale: blackout grid, overhead replay
+    # and the water-torture cross-check, plus the fresh JSON re-passing
+    # the same gates as the tracked baseline (stale fires only when
+    # enabled, and cuts the blackout failure fraction).
+    stale_out=$(mktemp -d)
+    DNS_REPRO_SCALE=0.05 DNS_REPRO_OUT="$stale_out" \
+        DNS_BENCH_OUT="$stale_out/stale.json" \
+        cargo run --release -p dns-bench --bin stale --offline
+    for f in stale_failure stale_overhead stale_adversarial run_manifest; do
+        test -s "$stale_out/$f.csv" || { echo "missing $stale_out/$f.csv" >&2; exit 1; }
+    done
+    # The manifest rows carry the serve-stale counters.
+    head -1 "$stale_out/run_manifest.csv" | grep -q "stale_served" \
+        || { echo "run_manifest.csv missing stale columns" >&2; exit 1; }
+    awk -F': *' '/"vanilla_stale_served"/ { v = $2 + 0 }
+        END { if (v != 0) {
+            print "stale.json: stale counters fired in a vanilla scheme" > "/dev/stderr"; exit 1 } }' \
+        "$stale_out/stale.json"
+    awk -F': *' '/"stale_served"/ && !/vanilla/ { v = $2 + 0 }
+        END { if (v <= 0) {
+            print "stale.json: serve-stale scheme never served stale" > "/dev/stderr"; exit 1 } }' \
+        "$stale_out/stale.json"
+    awk -F': *' '/"vanilla_sr_failed_pct"/ { van = $2 + 0 }
+        /"stale_sr_failed_pct"/ { st = $2 + 0 }
+        END { if (!(st < van)) {
+            print "stale.json: serve-stale did not cut blackout failures" > "/dev/stderr"; exit 1 } }' \
+        "$stale_out/stale.json"
+    rm -rf "$stale_out"
+
+    echo "== smoke: serve-stale suites (props, golden transcript, live) =="
+    # Property laws (window boundary, TTL clamp, stale-off step-identity),
+    # the pinned serve-stale trace transcript, and the live suite: wire
+    # fast lane vs stale slow path byte-equivalence plus the loopback
+    # water-torture flood with CHAOS/Prometheus reconciliation.
+    cargo test --release -q --offline -p dns-resolver --test stale_props
+    cargo test --release -q --offline --test stale_golden
+    cargo test --release -q --offline -p dns-netd --test stale_live
 
     echo "smoke OK"
 }

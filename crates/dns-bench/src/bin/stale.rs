@@ -1,0 +1,50 @@
+//! Regenerates the serve-stale head-to-head: RFC 8767 serve-stale,
+//! proactive refresh and learned prefetch against the paper's
+//! mitigation schemes under the 6h root+TLD blackout, a no-attack
+//! overhead replay, and a water-torture flood. Writes the three CSV
+//! grids plus `BENCH_stale.json` — the tracked trajectory ci.sh gates
+//! on (`DNS_BENCH_OUT` overrides the JSON path).
+
+use dns_bench::experiments::stale;
+use dns_bench::Lab;
+use dns_trace::TraceSpec;
+
+fn main() {
+    let out_path = std::env::var("DNS_BENCH_OUT").unwrap_or_else(|_| "BENCH_stale.json".into());
+    let mut lab = Lab::new();
+    let s = stale(&mut lab, &TraceSpec::TRC1);
+    lab.emit_manifest();
+
+    let json = format!(
+        "{{\n  \"bench\": \"stale\",\n  \"schema_version\": 1,\n  \
+         \"scale\": {},\n  \
+         \"vanilla_sr_failed_pct\": {:.4},\n  \
+         \"stale_sr_failed_pct\": {:.4},\n  \
+         \"vanilla_stale_served\": {},\n  \
+         \"stale_served\": {},\n  \
+         \"stale_expired_unserved\": {},\n  \
+         \"refresh_ahead\": {},\n  \
+         \"prefetch_issued\": {},\n  \
+         \"prefetch_hits\": {},\n  \
+         \"prefetch_wasted\": {},\n  \
+         \"stale_msg_overhead_pct\": {:.4},\n  \
+         \"torture_legit_failed_pct_vanilla\": {:.4},\n  \
+         \"torture_legit_failed_pct_stale\": {:.4}\n}}\n",
+        dns_bench::scale(),
+        s.vanilla_sr_failed_pct,
+        s.stale_sr_failed_pct,
+        s.vanilla_stale_served,
+        s.stale_served,
+        s.stale_expired_unserved,
+        s.refresh_ahead,
+        s.prefetch_issued,
+        s.prefetch_hits,
+        s.prefetch_wasted,
+        s.stale_msg_overhead_pct,
+        s.torture_legit_failed_pct_vanilla,
+        s.torture_legit_failed_pct_stale,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("{json}");
+    println!("[benchmark written to {out_path}]");
+}

@@ -6,7 +6,7 @@
 
 use crate::{emit, pct, ratio, Lab};
 use dns_core::{SimDuration, SimTime, Ttl};
-use dns_resolver::{DefensePolicy, RenewalPolicy};
+use dns_resolver::{DefensePolicy, RenewalPolicy, StalePolicy};
 use dns_sim::experiment::{
     AttackOutcome, OverheadOutcome, Scheme, ATTACK_START_DAY, POLICY_FIGURE_DURATION,
 };
@@ -798,6 +798,258 @@ pub fn adversarial(lab: &mut Lab, spec: &TraceSpec) {
     );
 }
 
+// ---------------------------------------------------------------------
+// Serve-stale head-to-head — RFC 8767 vs the paper's mitigations
+// ---------------------------------------------------------------------
+
+/// The serve-stale window of the stale head-to-head (RFC 8767 suggests
+/// 1–3 days; we use one day).
+pub fn stale_window() -> SimDuration {
+    SimDuration::from_days(1)
+}
+
+/// Serve-stale only: expired answers stay servable for [`stale_window`].
+pub fn serve_stale_policy() -> StalePolicy {
+    StalePolicy {
+        max_stale: Some(stale_window()),
+        ..StalePolicy::off()
+    }
+}
+
+/// Proactive refresh only: renew hot names at 80% of TTL elapsed.
+pub fn proactive_policy() -> StalePolicy {
+    StalePolicy {
+        proactive_percent: Some(80),
+        ..StalePolicy::off()
+    }
+}
+
+/// Prefetch only: learn per-name inter-arrival after 3 samples.
+pub fn prefetch_policy() -> StalePolicy {
+    StalePolicy {
+        prefetch_min_samples: Some(3),
+        ..StalePolicy::off()
+    }
+}
+
+/// Every stale knob on at once.
+pub fn full_stale_policy() -> StalePolicy {
+    StalePolicy {
+        max_stale: Some(stale_window()),
+        proactive_percent: Some(80),
+        prefetch_min_samples: Some(3),
+    }
+}
+
+/// Key numbers from the serve-stale head-to-head; the `stale` binary
+/// exports them as `BENCH_stale.json` (the tracked trajectory ci.sh
+/// gates on).
+#[derive(Debug, Clone)]
+pub struct StaleSummary {
+    /// SR failure % of plain vanilla during the 6h blackout.
+    pub vanilla_sr_failed_pct: f64,
+    /// SR failure % of vanilla + serve-stale during the same blackout.
+    pub stale_sr_failed_pct: f64,
+    /// Stale serves counted in the vanilla attack window (must be 0).
+    pub vanilla_stale_served: u64,
+    /// Stale serves counted in the serve-stale attack window.
+    pub stale_served: u64,
+    /// Stale candidates too old to serve in the serve-stale window.
+    pub stale_expired_unserved: u64,
+    /// Proactive refreshes issued over the proactive overhead replay.
+    pub refresh_ahead: u64,
+    /// Prefetches issued over the prefetch overhead replay.
+    pub prefetch_issued: u64,
+    /// Prefetches whose next query hit fresh cache.
+    pub prefetch_hits: u64,
+    /// Prefetches whose next query still missed.
+    pub prefetch_wasted: u64,
+    /// Message overhead % of serve-stale vs vanilla (no attack).
+    pub stale_msg_overhead_pct: f64,
+    /// Legitimate failure % of vanilla under water torture.
+    pub torture_legit_failed_pct_vanilla: f64,
+    /// Legitimate failure % of vanilla+stale under water torture.
+    pub torture_legit_failed_pct_stale: f64,
+}
+
+/// Regenerates the serve-stale head-to-head: RFC 8767 serve-stale,
+/// proactive refresh and learned prefetch against the paper's
+/// mitigations (refresh, renewal, long TTL) on three grids — failure
+/// fraction during the 6h root+TLD blackout, no-attack message
+/// overhead, and legitimate-failure cost under a water-torture flood.
+pub fn stale(lab: &mut Lab, spec: &TraceSpec) -> StaleSummary {
+    let duration = POLICY_FIGURE_DURATION;
+    let schemes: Vec<(&str, Scheme)> = vec![
+        ("DNS", Scheme::vanilla()),
+        ("Refresh", Scheme::refresh()),
+        ("A-LFU_3", Scheme::renewal(RenewalPolicy::adaptive_lfu(3))),
+        ("Long-TTL 3d", Scheme::refresh_long_ttl(Ttl::from_days(3))),
+        ("Stale", Scheme::vanilla().with_stale(serve_stale_policy())),
+        (
+            "Refresh+Stale",
+            Scheme::refresh().with_stale(serve_stale_policy()),
+        ),
+        (
+            "Proactive80",
+            Scheme::vanilla().with_stale(proactive_policy()),
+        ),
+        ("Prefetch3", Scheme::vanilla().with_stale(prefetch_policy())),
+        ("All-on", Scheme::vanilla().with_stale(full_stale_policy())),
+    ];
+
+    // Failure-fraction grid: every scheme through the 6h blackout in one
+    // parallel sweep; the window counters carry the stale telemetry.
+    let scheme_list: Vec<Scheme> = schemes.iter().map(|(_, s)| *s).collect();
+    lab.attack_grid(std::slice::from_ref(spec), &scheme_list, &[duration]);
+    let mut failure = Table::new(vec![
+        "Scheme",
+        "SR Fail %",
+        "CS Fail %",
+        "Stale Served",
+        "Stale Unserved",
+        "Refresh Ahead",
+        "Prefetch Issued",
+    ]);
+    failure.numeric();
+    let mut attack_by_label: BTreeMap<&str, AttackOutcome> = BTreeMap::new();
+    for (label, scheme) in &schemes {
+        let o = lab.attack_outcomes(spec, *scheme, &[duration]).remove(0);
+        failure.row(vec![
+            (*label).to_string(),
+            pct(o.sr_failed_pct),
+            pct(o.cs_failed_pct),
+            o.window.stale_served.to_string(),
+            o.window.stale_expired_unserved.to_string(),
+            o.window.refresh_ahead.to_string(),
+            o.window.prefetch_issued.to_string(),
+        ]);
+        attack_by_label.insert(label, o);
+    }
+    emit(
+        &format!("Serve-stale: failure under 6h blackout ({})", spec.name),
+        "stale_failure",
+        &failure,
+    );
+
+    // Overhead grid: no-attack replays for the stale axes vs vanilla —
+    // the proactive/prefetch counters accumulate over the full trace.
+    let overhead_schemes = [
+        ("DNS", Scheme::vanilla()),
+        ("Stale", Scheme::vanilla().with_stale(serve_stale_policy())),
+        (
+            "Proactive80",
+            Scheme::vanilla().with_stale(proactive_policy()),
+        ),
+        ("Prefetch3", Scheme::vanilla().with_stale(prefetch_policy())),
+    ];
+    let overhead_list: Vec<Scheme> = overhead_schemes.iter().map(|(_, s)| *s).collect();
+    lab.overhead_grid(
+        std::slice::from_ref(spec),
+        &overhead_list,
+        overhead_sample(),
+    );
+    let vanilla_out = lab.overhead(spec, Scheme::vanilla(), overhead_sample());
+    let mut over = Table::new(vec![
+        "Scheme",
+        "Msg Overhead %",
+        "Refresh Ahead",
+        "Prefetch Issued",
+        "Prefetch Hits",
+        "Prefetch Wasted",
+    ]);
+    over.numeric();
+    let mut overhead_by_label: BTreeMap<&str, OverheadOutcome> = BTreeMap::new();
+    for (label, scheme) in &overhead_schemes {
+        let o = lab.overhead(spec, *scheme, overhead_sample());
+        over.row(vec![
+            (*label).to_string(),
+            format!("{:+.2}", o.message_overhead_pct(&vanilla_out)),
+            o.metrics.refresh_ahead.to_string(),
+            o.metrics.prefetch_issued.to_string(),
+            o.metrics.prefetch_hits.to_string(),
+            o.metrics.prefetch_wasted.to_string(),
+        ]);
+        overhead_by_label.insert(label, o);
+    }
+    emit(
+        &format!("Serve-stale: no-attack overhead ({})", spec.name),
+        "stale_overhead",
+        &over,
+    );
+
+    // Adversarial grid: does serve-stale change the water-torture cost?
+    // (Random-subdomain floods never hit the stale window, so the
+    // legitimate-failure cost should stay flat — the row proves it.)
+    let qps = adversarial_qps();
+    let window = adversarial_window();
+    let index = spec.name.as_bytes().last().copied().unwrap_or(0) as u64;
+    let adv_schemes = vec![
+        Scheme::vanilla(),
+        Scheme::vanilla().with_stale(serve_stale_policy()),
+        Scheme::vanilla()
+            .with_stale(serve_stale_policy())
+            .with_defense(hardened_defense()),
+    ];
+    let outcome = ExperimentSpec::new(lab.universe())
+        .stream_trace(
+            spec.scaled(crate::scale().min(1.0)),
+            crate::TRACE_SEED + index,
+        )
+        .schemes(adv_schemes)
+        .adversarial(
+            AdversarySpec::water_torture(8, qps, 9),
+            attack_start(),
+            window,
+        )
+        .run();
+    lab.record_manifest(outcome.manifest.clone());
+    let mut adv = Table::new(vec![
+        "Adversary",
+        "Scheme",
+        "Amplification",
+        "Legit Fail %",
+        "Delta pp",
+        "Stale Served",
+        "Suppressed",
+    ]);
+    adv.numeric();
+    for o in &outcome.adversarial {
+        adv.row(vec![
+            o.adversary.clone(),
+            o.scheme.clone(),
+            ratio(o.amplification()),
+            pct(o.legit_failed_pct),
+            format!("{:+.2}", o.legit_failed_delta_pct()),
+            o.window.stale_served.to_string(),
+            o.flood_suppressed.to_string(),
+        ]);
+    }
+    emit(
+        &format!("Serve-stale: water-torture cost ({})", spec.name),
+        "stale_adversarial",
+        &adv,
+    );
+
+    let vanilla_attack = &attack_by_label["DNS"];
+    let stale_attack = &attack_by_label["Stale"];
+    let proactive_over = &overhead_by_label["Proactive80"];
+    let prefetch_over = &overhead_by_label["Prefetch3"];
+    StaleSummary {
+        vanilla_sr_failed_pct: vanilla_attack.sr_failed_pct,
+        stale_sr_failed_pct: stale_attack.sr_failed_pct,
+        vanilla_stale_served: vanilla_attack.window.stale_served,
+        stale_served: stale_attack.window.stale_served,
+        stale_expired_unserved: stale_attack.window.stale_expired_unserved,
+        refresh_ahead: proactive_over.metrics.refresh_ahead,
+        prefetch_issued: prefetch_over.metrics.prefetch_issued,
+        prefetch_hits: prefetch_over.metrics.prefetch_hits,
+        prefetch_wasted: prefetch_over.metrics.prefetch_wasted,
+        stale_msg_overhead_pct: overhead_by_label["Stale"].message_overhead_pct(&vanilla_out),
+        torture_legit_failed_pct_vanilla: outcome.adversarial[0].legit_failed_pct,
+        torture_legit_failed_pct_stale: outcome.adversarial[1].legit_failed_pct,
+    }
+}
+
 /// Runs the complete reproduction over one lab (all tables and figures).
 pub fn all(lab: &mut Lab) {
     let weekly = TraceSpec::weekly();
@@ -814,6 +1066,7 @@ pub fn all(lab: &mut Lab) {
     table2(lab, &TraceSpec::TRC1);
     fig12(lab, &TraceSpec::TRC6);
     adversarial(lab, &TraceSpec::TRC1);
+    stale(lab, &TraceSpec::TRC1);
 }
 
 #[cfg(test)]

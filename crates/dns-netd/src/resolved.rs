@@ -540,6 +540,11 @@ impl<B: CacheBackend + Send + 'static> Resolved<B> {
             let outcome = cs.resolve(&question, now, upstream);
             // While still holding the resolver: the record-cache expiry
             // bounding this answer, which caps the wire-cache entry.
+            // `answer_expiry` reports *fresh* records only, so a
+            // stale-served answer (RFC 8767 serve-stale window) yields
+            // `None` and is never compiled into the wire cache — its
+            // TTLs are clamped by the stale path and must not be
+            // replayed verbatim by the fast lane.
             let expiry = match &outcome {
                 Outcome::Answer { .. } => cs.answer_expiry(&question, now),
                 _ => None,
@@ -880,6 +885,36 @@ fn metrics_registry(
         "resolver_neg_evictions_pressure",
         "Negative-cache entries evicted under budget pressure",
         metrics.neg_evictions_pressure,
+    );
+    set(
+        "resolver_stale_served",
+        "Expired answers served inside the serve-stale window (RFC 8767)",
+        metrics.stale_served,
+    );
+    set(
+        "resolver_stale_expired_unserved",
+        "Failed lookups whose stale candidate had aged past the window",
+        metrics.stale_expired_unserved,
+    );
+    set(
+        "resolver_refresh_ahead",
+        "Proactive refreshes issued ahead of expiry",
+        metrics.refresh_ahead,
+    );
+    set(
+        "resolver_prefetch_issued",
+        "Predictive prefetches issued by the inter-arrival learner",
+        metrics.prefetch_issued,
+    );
+    set(
+        "resolver_prefetch_hits",
+        "Prefetched names whose next query hit fresh cache",
+        metrics.prefetch_hits,
+    );
+    set(
+        "resolver_prefetch_wasted",
+        "Prefetched names whose next query still missed",
+        metrics.prefetch_wasted,
     );
     let resolve_id = reg.histogram(
         "resolve_latency_ms",

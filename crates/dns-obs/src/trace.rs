@@ -96,6 +96,12 @@ pub enum TraceEvent {
         /// Whether the renewal produced fresh records.
         ok: bool,
     },
+    /// The demand fetch failed, but an expired record still inside the
+    /// serve-stale window answered instead (RFC 8767).
+    StaleServed {
+        /// The stale entry's original absolute expiry.
+        expired_at: SimTime,
+    },
     /// The resolution finished.
     Outcome {
         /// Final classification.
@@ -145,6 +151,9 @@ impl TraceEvent {
                     "renewal {zone}: {}",
                     if *ok { "refreshed" } else { "failed" }
                 );
+            }
+            TraceEvent::StaleServed { expired_at } => {
+                let _ = write!(out, "stale serve (expired at {expired_at})");
             }
             TraceEvent::Outcome {
                 outcome,

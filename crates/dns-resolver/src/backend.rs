@@ -79,6 +79,28 @@ pub trait CacheBackend {
     /// unbounded). A sharded backend divides the budget across shards.
     fn set_negative_budget(&mut self, entries: Option<usize>, bytes: Option<usize>);
 
+    /// Configures how long expired positive entries remain resident for
+    /// serve-stale lookups; `None` evicts at expiry (the historical
+    /// behaviour, and the default for backends that never serve stale).
+    fn set_stale_retention(&mut self, retention: Option<SimDuration>) {
+        let _ = retention;
+    }
+
+    /// Looks up the expired-but-retained entry for `(name, rtype)` at
+    /// `now` and passes it to `f`. A backend without stale retention
+    /// always passes `None`; fresh entries never appear here (they are
+    /// [`CacheBackend::with_record`]'s domain).
+    fn with_stale_record<R>(
+        &mut self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+        f: impl FnOnce(Option<&CacheEntry>) -> R,
+    ) -> R {
+        let _ = (name, rtype, now);
+        f(None)
+    }
+
     /// Negative entries currently stored (flood-pressure introspection).
     fn negative_entries(&mut self) -> usize;
 
@@ -248,6 +270,22 @@ impl CacheBackend for LocalBackend {
     #[inline]
     fn set_negative_budget(&mut self, entries: Option<usize>, bytes: Option<usize>) {
         self.cache.set_negative_budget(entries, bytes);
+    }
+
+    #[inline]
+    fn set_stale_retention(&mut self, retention: Option<SimDuration>) {
+        self.cache.set_stale_retention(retention);
+    }
+
+    #[inline]
+    fn with_stale_record<R>(
+        &mut self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+        f: impl FnOnce(Option<&CacheEntry>) -> R,
+    ) -> R {
+        f(self.cache.get_stale(name, rtype, now))
     }
 
     #[inline]

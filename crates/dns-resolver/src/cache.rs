@@ -4,7 +4,7 @@
 //! infrastructure records live in [`crate::InfraCache`], which the
 //! resilience policies operate on.
 
-use dns_core::{Name, RecordType, RrKey, RrKeyView, RrSet, SimTime, Ttl};
+use dns_core::{Name, RecordType, RrKey, RrKeyView, RrSet, SimDuration, SimTime, Ttl};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
@@ -113,6 +113,10 @@ pub struct RecordCache {
     neg_budget_entries: Option<usize>,
     /// Hard byte budget for the negative cache; `None` = unbounded.
     neg_budget_bytes: Option<usize>,
+    /// How long expired *positive* entries stay resident for serve-stale
+    /// lookups; `None` (the default) evicts at expiry exactly as before.
+    /// Negative entries are never retained past expiry.
+    stale_retention: Option<SimDuration>,
 }
 
 impl RecordCache {
@@ -154,10 +158,15 @@ impl RecordCache {
     /// entries (positive + negative) were evicted.
     fn advance(&mut self, now: SimTime) -> usize {
         let mut evicted = 0;
+        // With stale retention, a positive entry lives `retention` past its
+        // expiry before eviction (it answers `get_stale` in between). The
+        // default (`None`) is a zero grace period — identical to the
+        // historical schedule, so pinned transcripts are unaffected.
+        let grace = self.stale_retention.unwrap_or(SimDuration::ZERO);
         while self
             .expiry
             .peek()
-            .is_some_and(|Reverse((at, _))| *at <= now)
+            .is_some_and(|Reverse((at, _))| *at + grace <= now)
         {
             let Reverse((at, key)) = self.expiry.pop().expect("peeked");
             // Skip lazily-deleted pairs: the entry was re-inserted with a
@@ -198,6 +207,25 @@ impl RecordCache {
     pub fn set_negative_budget(&mut self, entries: Option<usize>, bytes: Option<usize>) {
         self.neg_budget_entries = entries;
         self.neg_budget_bytes = bytes;
+    }
+
+    /// Configures how long expired positive entries remain resident for
+    /// serve-stale lookups; `None` (the default) restores eviction exactly
+    /// at expiry. Applies from the next [`Self::purge_expired`] /
+    /// occupancy advance onward.
+    pub fn set_stale_retention(&mut self, retention: Option<SimDuration>) {
+        self.stale_retention = retention;
+    }
+
+    /// Expired-but-retained lookup: the entry for `(name, rtype)` that is
+    /// *no longer fresh* at `now` but has not yet been evicted. Returns
+    /// `None` for fresh entries (use [`Self::get`]) and for entries aged
+    /// past the retention window (already evicted). The caller decides how
+    /// much staleness is acceptable from [`CacheEntry::expires_at`].
+    pub fn get_stale(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<&CacheEntry> {
+        self.entries
+            .get(&(name, rtype) as &dyn RrKeyView)
+            .filter(|e| !e.is_fresh(now))
     }
 
     /// Stores a negative answer (NXDOMAIN / NODATA) for `ttl`.
@@ -306,16 +334,32 @@ impl RecordCache {
 
     /// Number of positive entries fresh at `now` (O(expired) via the
     /// expiry heap, not a scan; `now` must not move backwards).
+    ///
+    /// With stale retention active the table also holds expired-but-
+    /// retained entries, so freshness is scan-filtered; the default
+    /// (`None`) path keeps the O(1) maintained count.
     pub fn fresh_len(&mut self, now: SimTime) -> usize {
         self.advance(now);
-        self.entries.len()
+        if self.stale_retention.is_some() {
+            self.entries.values().filter(|e| e.is_fresh(now)).count()
+        } else {
+            self.entries.len()
+        }
     }
 
     /// Total individual records across fresh positive entries at `now`
     /// (maintained counter; `now` must not move backwards).
     pub fn fresh_record_count(&mut self, now: SimTime) -> usize {
         self.advance(now);
-        self.record_total
+        if self.stale_retention.is_some() {
+            self.entries
+                .values()
+                .filter(|e| e.is_fresh(now))
+                .map(|e| e.set.len())
+                .sum()
+        } else {
+            self.record_total
+        }
     }
 }
 
@@ -567,6 +611,58 @@ mod tests {
         assert_eq!(c.negative_bytes(), bytes);
         c.purge_expired(SimTime::from_hours(1));
         assert_eq!(c.negative_bytes(), 0);
+        assert_eq!(c.negative_len(), 0);
+    }
+
+    #[test]
+    fn stale_retention_keeps_expired_entries_for_get_stale_only() {
+        let mut c = RecordCache::new();
+        c.set_stale_retention(Some(SimDuration::from_hours(1)));
+        c.insert(
+            a_set("www.x.com", 1, Ttl::from_mins(5)),
+            SimTime::ZERO,
+            Credibility::AuthAnswer,
+        );
+        // Fresh: `get` answers, `get_stale` does not.
+        assert!(c
+            .get(&name("www.x.com"), RecordType::A, SimTime::from_mins(4))
+            .is_some());
+        assert!(c
+            .get_stale(&name("www.x.com"), RecordType::A, SimTime::from_mins(4))
+            .is_none());
+        // Expired but retained: only `get_stale` answers, and purge keeps it.
+        assert_eq!(c.purge_expired(SimTime::from_mins(10)), 0);
+        assert!(c
+            .get(&name("www.x.com"), RecordType::A, SimTime::from_mins(10))
+            .is_none());
+        let stale = c
+            .get_stale(&name("www.x.com"), RecordType::A, SimTime::from_mins(10))
+            .expect("retained for serve-stale");
+        assert_eq!(stale.expires_at, SimTime::from_mins(5));
+        // Occupancy counts fresh entries only.
+        assert_eq!(c.fresh_len(SimTime::from_mins(10)), 0);
+        assert_eq!(c.fresh_record_count(SimTime::from_mins(10)), 0);
+        // Past expiry + retention the entry is really gone.
+        assert_eq!(c.purge_expired(SimTime::from_mins(66)), 1);
+        assert!(c
+            .get_stale(&name("www.x.com"), RecordType::A, SimTime::from_mins(66))
+            .is_none());
+    }
+
+    #[test]
+    fn stale_retention_does_not_hold_negative_entries() {
+        let mut c = RecordCache::new();
+        c.set_stale_retention(Some(SimDuration::from_hours(4)));
+        c.insert_negative(
+            name("nx.x.com"),
+            RecordType::A,
+            NegativeKind::NxDomain,
+            Ttl::from_mins(5),
+            SimTime::ZERO,
+        );
+        // Negatives evict on the historical schedule regardless of
+        // retention — proofs of absence must not outlive their TTL.
+        assert_eq!(c.purge_expired(SimTime::from_mins(10)), 1);
         assert_eq!(c.negative_len(), 0);
     }
 

@@ -104,6 +104,74 @@ impl Default for DefensePolicy {
     }
 }
 
+/// Serve-stale and proactive-refresh knobs (RFC 8767 plus the
+/// decoupled-update-timing and learned-prefetch variants).
+///
+/// Every knob defaults to `None` (off); the default policy is
+/// behaviourally invisible — it consumes no randomness, changes no
+/// counters and leaves the cache's eviction schedule untouched, so
+/// experiment transcripts captured before this layer existed stay
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalePolicy {
+    /// Serve-stale window: when a demand fetch fails, an expired record
+    /// may still answer the client for up to this long past its expiry
+    /// (RFC 8767). The failed fetch doubles as the refresh attempt — it
+    /// runs through the ordinary resolution path, including the
+    /// single-flight table when coalescing is on, so a herd of clients
+    /// behind one dead zone shares one upstream walk. Also configures
+    /// the cache to *retain* expired positive entries for this long
+    /// instead of evicting them at expiry.
+    pub max_stale: Option<SimDuration>,
+    /// Proactive refresh: after a cache hit whose entry has consumed at
+    /// least this percentage of its TTL, re-fetch it immediately so hot
+    /// names are renewed ahead of expiry (decoupling update timing from
+    /// the TTL). Counted as `refresh_ahead`.
+    pub proactive_percent: Option<u8>,
+    /// Learned prefetch: track per-name inter-arrival times and, once a
+    /// name has at least this many observations, prefetch it when the
+    /// predicted next access falls beyond the entry's expiry. Counted as
+    /// `prefetch_issued` / `prefetch_hits` / `prefetch_wasted`.
+    pub prefetch_min_samples: Option<u32>,
+}
+
+impl StalePolicy {
+    /// The default: serve-stale, proactive refresh and prefetch all off.
+    pub fn off() -> Self {
+        StalePolicy {
+            max_stale: None,
+            proactive_percent: None,
+            prefetch_min_samples: None,
+        }
+    }
+
+    /// True when every knob is at its default (off) setting.
+    pub fn is_off(&self) -> bool {
+        *self == StalePolicy::off()
+    }
+
+    /// Label suffix appended to the scheme label when any knob is active.
+    fn label_suffix(&self) -> String {
+        let mut s = String::new();
+        if let Some(w) = self.max_stale {
+            s.push_str(&format!("+stale{}s", w.as_secs()));
+        }
+        if let Some(p) = self.proactive_percent {
+            s.push_str(&format!("+proactive{p}"));
+        }
+        if let Some(n) = self.prefetch_min_samples {
+            s.push_str(&format!("+prefetch{n}"));
+        }
+        s
+    }
+}
+
+impl Default for StalePolicy {
+    fn default() -> Self {
+        StalePolicy::off()
+    }
+}
+
 /// Configuration of a [`crate::CachingServer`]: the combination of
 /// resilience schemes under test.
 ///
@@ -158,6 +226,9 @@ pub struct ResolverConfig {
     /// Flood-defense hardening knobs (MaxFetch(k), negative-cache budget,
     /// per-zone inflight cap). All off by default.
     pub defense: DefensePolicy,
+    /// Serve-stale / proactive-refresh / learned-prefetch knobs
+    /// (RFC 8767-style resilience). All off by default.
+    pub stale: StalePolicy,
 }
 
 impl ResolverConfig {
@@ -174,6 +245,7 @@ impl ResolverConfig {
             shards: 1,
             coalesce: false,
             defense: DefensePolicy::off(),
+            stale: StalePolicy::off(),
         }
     }
 
@@ -250,6 +322,7 @@ impl ResolverConfig {
             (false, Some(p)) => format!("renew-only+{}", p.label()),
         };
         base.push_str(&self.defense.label_suffix());
+        base.push_str(&self.stale.label_suffix());
         base
     }
 }
@@ -365,6 +438,31 @@ impl ResolverConfigBuilder {
     /// Per-zone inflight cap for shared-cache worker pools.
     pub fn zone_inflight_cap(mut self, cap: u32) -> Self {
         self.config.defense.zone_inflight_cap = Some(cap);
+        self
+    }
+
+    /// Installs a complete serve-stale policy.
+    pub fn stale(mut self, policy: StalePolicy) -> Self {
+        self.config.stale = policy;
+        self
+    }
+
+    /// Serve-stale window: expired records may answer for up to `window`
+    /// past expiry when the demand fetch fails.
+    pub fn max_stale(mut self, window: SimDuration) -> Self {
+        self.config.stale.max_stale = Some(window);
+        self
+    }
+
+    /// Proactive refresh threshold as a percentage of TTL consumed.
+    pub fn proactive_percent(mut self, percent: u8) -> Self {
+        self.config.stale.proactive_percent = Some(percent);
+        self
+    }
+
+    /// Minimum inter-arrival observations before learned prefetch fires.
+    pub fn prefetch_min_samples(mut self, samples: u32) -> Self {
+        self.config.stale.prefetch_min_samples = Some(samples);
         self
     }
 
@@ -492,6 +590,42 @@ mod tests {
         };
         let c = ResolverConfig::builder().defense(d).build();
         assert_eq!(c.label(), "vanilla+negcap4096b");
+    }
+
+    #[test]
+    fn stale_defaults_off_and_label_neutral() {
+        let v = ResolverConfig::vanilla();
+        assert!(v.stale.is_off());
+        // Labels are memo/CSV keys — an off policy must not perturb them.
+        assert_eq!(v.label(), "vanilla");
+        assert_eq!(
+            ResolverConfig::builder()
+                .stale(StalePolicy::off())
+                .build()
+                .label(),
+            "vanilla"
+        );
+    }
+
+    #[test]
+    fn stale_builder_knobs_and_labels() {
+        let c = ResolverConfig::builder()
+            .max_stale(SimDuration::from_hours(1))
+            .proactive_percent(80)
+            .prefetch_min_samples(3)
+            .build();
+        assert_eq!(c.stale.max_stale, Some(SimDuration::from_hours(1)));
+        assert_eq!(c.stale.proactive_percent, Some(80));
+        assert_eq!(c.stale.prefetch_min_samples, Some(3));
+        assert!(!c.stale.is_off());
+        assert_eq!(c.label(), "vanilla+stale3600s+proactive80+prefetch3");
+
+        let s = StalePolicy {
+            max_stale: Some(SimDuration::from_mins(30)),
+            ..StalePolicy::off()
+        };
+        let c = ResolverConfig::with_refresh().to_builder().stale(s).build();
+        assert_eq!(c.label(), "refresh+stale1800s");
     }
 
     #[test]

@@ -62,7 +62,7 @@ mod upstream;
 
 pub use backend::{CacheBackend, LocalBackend};
 pub use cache::{CacheEntry, Credibility, NegativeInsertOutcome, NegativeKind, RecordCache};
-pub use config::{DefensePolicy, ResolverConfig, ResolverConfigBuilder, RootHints};
+pub use config::{DefensePolicy, ResolverConfig, ResolverConfigBuilder, RootHints, StalePolicy};
 pub use dnssec::SecureStatus;
 pub use inflight::{Flight, FlightToken};
 pub use infra::{GapSample, InfraCache, InfraEntry, InfraSource};

@@ -55,6 +55,21 @@ pub struct ResolverMetrics {
     /// Negative-cache entries evicted early because the negative cache hit
     /// its byte/entry budget (pressure evictions, not TTL expiry).
     pub neg_evictions_pressure: u64,
+    /// Client queries answered with an expired record inside the
+    /// serve-stale window after the demand fetch failed (RFC 8767).
+    pub stale_served: u64,
+    /// Failed queries whose expired record existed but had aged past the
+    /// serve-stale window, so it could not be served.
+    pub stale_expired_unserved: u64,
+    /// Proactive refreshes fired for hot entries that had consumed the
+    /// configured fraction of their TTL.
+    pub refresh_ahead: u64,
+    /// Prefetches issued by the learned inter-arrival predictor.
+    pub prefetch_issued: u64,
+    /// Prefetches whose name's next access was answered fresh from cache.
+    pub prefetch_hits: u64,
+    /// Prefetches whose name's next access still missed the cache.
+    pub prefetch_wasted: u64,
 }
 
 impl ResolverMetrics {
@@ -112,6 +127,14 @@ impl Sub for ResolverMetrics {
             neg_evictions_pressure: self
                 .neg_evictions_pressure
                 .saturating_sub(rhs.neg_evictions_pressure),
+            stale_served: self.stale_served.saturating_sub(rhs.stale_served),
+            stale_expired_unserved: self
+                .stale_expired_unserved
+                .saturating_sub(rhs.stale_expired_unserved),
+            refresh_ahead: self.refresh_ahead.saturating_sub(rhs.refresh_ahead),
+            prefetch_issued: self.prefetch_issued.saturating_sub(rhs.prefetch_issued),
+            prefetch_hits: self.prefetch_hits.saturating_sub(rhs.prefetch_hits),
+            prefetch_wasted: self.prefetch_wasted.saturating_sub(rhs.prefetch_wasted),
         }
     }
 }
@@ -146,6 +169,14 @@ impl Add for ResolverMetrics {
             neg_evictions_pressure: self
                 .neg_evictions_pressure
                 .saturating_add(rhs.neg_evictions_pressure),
+            stale_served: self.stale_served.saturating_add(rhs.stale_served),
+            stale_expired_unserved: self
+                .stale_expired_unserved
+                .saturating_add(rhs.stale_expired_unserved),
+            refresh_ahead: self.refresh_ahead.saturating_add(rhs.refresh_ahead),
+            prefetch_issued: self.prefetch_issued.saturating_add(rhs.prefetch_issued),
+            prefetch_hits: self.prefetch_hits.saturating_add(rhs.prefetch_hits),
+            prefetch_wasted: self.prefetch_wasted.saturating_add(rhs.prefetch_wasted),
         }
     }
 }

@@ -8,8 +8,8 @@ use crate::{
     RootHints, Upstream,
 };
 use dns_core::{
-    Message, Name, Question, RData, Record, RecordType, ResponseKind, RrSet, SimDuration, SimTime,
-    Ttl,
+    Message, Name, Question, RData, Record, RecordType, ResponseKind, RrKey, RrKeyView, RrSet,
+    SimDuration, SimTime, Ttl,
 };
 use dns_obs::{LogHistogram, TraceEvent, TraceOutcome};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -26,6 +26,95 @@ const MAX_REFERRAL_STEPS: usize = 24;
 const MAX_CNAME_CHAIN: usize = 8;
 /// How long consumed gap tombstones are retained before purging.
 const TOMBSTONE_RETENTION: SimDuration = SimDuration::from_days(7);
+/// TTL ceiling advertised on stale answers (RFC 8767 §5.2 recommends a
+/// small value so clients come back soon after the outage ends).
+const STALE_ANSWER_TTL: Ttl = Ttl::from_secs(30);
+/// Bound on the names the prefetch predictor tracks; arrivals for new
+/// names beyond the bound are not learned (existing state is unaffected).
+const PREFETCH_TRACKED_NAMES: usize = 4096;
+
+/// Per-name inter-arrival learner driving the prefetch scheme: it
+/// observes the access stream at the resolver's front door and predicts
+/// each name's next arrival with an integer EWMA (alpha = 1/4), so a
+/// fetch can be issued ahead of expiry when the next access would
+/// otherwise miss. Fully deterministic — no randomness, no clocks.
+#[derive(Debug, Clone)]
+struct PrefetchPredictor {
+    /// Arrivals required for a name before predictions fire (floored at
+    /// two: one inter-arrival gap needs two observations).
+    min_samples: u32,
+    states: HashMap<RrKey, PrefetchState>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PrefetchState {
+    last_seen: SimTime,
+    /// EWMA of inter-arrival seconds.
+    ewma_secs: u64,
+    samples: u32,
+    /// An issued prefetch awaiting classification at the next arrival.
+    pending: bool,
+}
+
+impl PrefetchPredictor {
+    fn new(min_samples: u32) -> Self {
+        PrefetchPredictor {
+            min_samples: min_samples.max(2),
+            states: HashMap::new(),
+        }
+    }
+
+    /// Records one arrival for `(name, rtype)` at `now`.
+    ///
+    /// Returns `(verdict, predicted_gap)`: `verdict` classifies a pending
+    /// prefetch (`Some(true)` = this arrival was answered fresh from
+    /// cache, the prefetch paid off; `Some(false)` = it still missed),
+    /// and `predicted_gap` is the EWMA inter-arrival once the name has
+    /// enough samples.
+    fn observe(
+        &mut self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+        fresh_hit: bool,
+    ) -> (Option<bool>, Option<SimDuration>) {
+        let Some(state) = self.states.get_mut(&(name, rtype) as &dyn RrKeyView) else {
+            if self.states.len() < PREFETCH_TRACKED_NAMES {
+                self.states.insert(
+                    RrKey::new(name.clone(), rtype),
+                    PrefetchState {
+                        last_seen: now,
+                        ewma_secs: 0,
+                        samples: 1,
+                        pending: false,
+                    },
+                );
+            }
+            return (None, None);
+        };
+        let verdict = state.pending.then_some(fresh_hit);
+        state.pending = false;
+        let gap = now.since(state.last_seen).as_secs();
+        state.last_seen = now;
+        state.ewma_secs = if state.samples == 1 {
+            gap
+        } else {
+            (state.ewma_secs.saturating_mul(3).saturating_add(gap)) / 4
+        };
+        state.samples = state.samples.saturating_add(1);
+        let predicted =
+            (state.samples >= self.min_samples).then(|| SimDuration::from_secs(state.ewma_secs));
+        (verdict, predicted)
+    }
+
+    /// Marks a prefetch as issued for `(name, rtype)`; the next arrival
+    /// classifies it as hit or wasted.
+    fn mark_issued(&mut self, name: &Name, rtype: RecordType) {
+        if let Some(s) = self.states.get_mut(&(name, rtype) as &dyn RrKeyView) {
+            s.pending = true;
+        }
+    }
+}
 
 /// Result of resolving one client query.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,6 +220,10 @@ pub struct CachingServer<B: CacheBackend = LocalBackend> {
     /// NS-address fetches charged against the MaxFetch(k) budget during
     /// the current client query; reset on every [`Self::resolve`].
     ns_fetches_used: u32,
+    /// Per-name inter-arrival learner for the prefetch scheme; present
+    /// only when [`crate::StalePolicy::prefetch_min_samples`] is set, so
+    /// the default configuration carries no extra state.
+    prefetch: Option<PrefetchPredictor>,
 }
 
 impl CachingServer {
@@ -166,6 +259,15 @@ impl<B: CacheBackend> CachingServer<B> {
             );
             backend.set_zone_inflight_cap(d.zone_inflight_cap);
         }
+        // Serve-stale retains expired entries for exactly the window they
+        // may still be served in; off leaves the eviction schedule alone.
+        if let Some(window) = config.stale.max_stale {
+            backend.set_stale_retention(Some(window));
+        }
+        let prefetch = config
+            .stale
+            .prefetch_min_samples
+            .map(PrefetchPredictor::new);
         let rng = StdRng::seed_from_u64(config.seed);
         CachingServer {
             config,
@@ -174,6 +276,7 @@ impl<B: CacheBackend> CachingServer<B> {
             rng,
             obs: ResolverObs::new(),
             ns_fetches_used: 0,
+            prefetch,
         }
     }
 
@@ -256,7 +359,15 @@ impl<B: CacheBackend> CachingServer<B> {
             self.metrics.failed_out,
             self.metrics.backoff_wait_ms,
         );
-        let outcome = self.lookup_or_fetch(question, now, up, 0);
+        let mut outcome = self.lookup_or_fetch(question, now, up, 0);
+        // RFC 8767 fallback: the failed demand fetch above doubles as the
+        // (coalesced) refresh attempt; if an expired record is still
+        // inside the serve-stale window, answer with it instead.
+        if outcome.is_failure() && self.config.stale.max_stale.is_some() {
+            if let Some(stale) = self.serve_stale(question, now) {
+                outcome = stale;
+            }
+        }
         if outcome.is_failure() {
             self.metrics.failed_in += 1;
         } else if outcome.from_cache() {
@@ -283,6 +394,12 @@ impl<B: CacheBackend> CachingServer<B> {
             from_cache: outcome.from_cache(),
             latency_ms,
         });
+        // Background maintenance (proactive refresh, learned prefetch)
+        // runs after the latency sample: its upstream work keeps hot
+        // entries warm but is not part of what this client waited for.
+        if !self.config.stale.is_off() {
+            self.stale_followups(question, &outcome, now, up);
+        }
         outcome
     }
 
@@ -383,6 +500,100 @@ impl<B: CacheBackend> CachingServer<B> {
         self.backend.purge_data(now);
         self.backend
             .purge_infra_tombstones(now, TOMBSTONE_RETENTION);
+    }
+
+    // ------------------------------------------------------------------
+    // Serve-stale, proactive refresh and prefetch
+    // ------------------------------------------------------------------
+
+    /// Serves an expired entry inside the `max_stale` window after a
+    /// failed demand fetch. The advertised TTL is clamped to
+    /// [`STALE_ANSWER_TTL`] and never exceeds the record's original TTL.
+    fn serve_stale(&mut self, question: &Question, now: SimTime) -> Option<Outcome> {
+        let window = self.config.stale.max_stale?;
+        let hit = self
+            .backend
+            .with_stale_record(&question.name, question.rtype, now, |e| {
+                e.map(|e| (e.expires_at, e.set.clone()))
+            });
+        let (expired_at, set) = hit?;
+        if now >= expired_at + window {
+            // Retained by the cache's lazy eviction, but aged past the
+            // window this policy allows: refuse, and say so.
+            self.metrics.stale_expired_unserved += 1;
+            return None;
+        }
+        let ttl = set.ttl().min(STALE_ANSWER_TTL);
+        let records = set.with_ttl(ttl).to_records();
+        self.metrics.stale_served += 1;
+        self.trace_push(|| TraceEvent::StaleServed { expired_at });
+        Some(Outcome::Answer {
+            records,
+            from_cache: true,
+        })
+    }
+
+    /// Post-answer maintenance for the stale policy: proactive refresh of
+    /// entries that consumed their TTL fraction, then the learned
+    /// prefetch tick. Runs outside the latency sample.
+    fn stale_followups<U: Upstream>(
+        &mut self,
+        question: &Question,
+        outcome: &Outcome,
+        now: SimTime,
+        up: &mut U,
+    ) {
+        if let Some(pct) = self.config.stale.proactive_percent {
+            // Decoupled update timing: a fresh entry past `pct`% of its
+            // TTL is re-fetched now, so its expiry is pushed out before
+            // any client sees a miss. The re-fetch lands at equal
+            // credibility, which refreshes the entry's expiry, so the
+            // next hit sits below the threshold — self-limiting.
+            let due = self
+                .backend
+                .with_record(&question.name, question.rtype, now, |e| {
+                    e.is_some_and(|e| {
+                        let ttl = u64::from(e.set.ttl().as_secs());
+                        let remaining = e.expires_at.since(now).as_secs();
+                        ttl > 0
+                            && remaining.saturating_mul(100)
+                                <= ttl.saturating_mul(100u64.saturating_sub(u64::from(pct)))
+                    })
+                });
+            if due {
+                self.metrics.refresh_ahead += 1;
+                let _ = self.fetch(question, now, up, 0);
+            }
+        }
+        if let Some(mut pred) = self.prefetch.take() {
+            let fresh_hit = matches!(
+                outcome,
+                Outcome::Answer {
+                    from_cache: true,
+                    ..
+                }
+            );
+            let (verdict, predicted) = pred.observe(&question.name, question.rtype, now, fresh_hit);
+            match verdict {
+                Some(true) => self.metrics.prefetch_hits += 1,
+                Some(false) => self.metrics.prefetch_wasted += 1,
+                None => {}
+            }
+            if let Some(gap) = predicted {
+                let expiry = self
+                    .backend
+                    .with_record(&question.name, question.rtype, now, |e| {
+                        e.map(|e| e.expires_at)
+                    });
+                // Prefetch when the predicted next arrival would miss.
+                if expiry.is_some_and(|expires_at| now + gap >= expires_at) {
+                    pred.mark_issued(&question.name, question.rtype);
+                    self.metrics.prefetch_issued += 1;
+                    let _ = self.fetch(question, now, up, 0);
+                }
+            }
+            self.prefetch = Some(pred);
+        }
     }
 
     // ------------------------------------------------------------------

@@ -251,6 +251,23 @@ impl CacheBackend for ShardedCache {
         }
     }
 
+    fn set_stale_retention(&mut self, retention: Option<SimDuration>) {
+        for shard in &self.inner.shards {
+            shard.lock().unwrap().cache.set_stale_retention(retention);
+        }
+    }
+
+    fn with_stale_record<R>(
+        &mut self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+        f: impl FnOnce(Option<&CacheEntry>) -> R,
+    ) -> R {
+        let shard = self.shard_for(name).lock().unwrap();
+        f(shard.cache.get_stale(name, rtype, now))
+    }
+
     fn negative_entries(&mut self) -> usize {
         self.inner
             .shards

@@ -1,0 +1,224 @@
+//! Property suite for the RFC 8767 serve-stale window.
+//!
+//! Three laws, over randomised TTLs, windows, probe offsets and query
+//! scripts:
+//!
+//! 1. a stale answer is never served at or past `expiry + max_stale`;
+//! 2. TTLs on stale answers are clamped — never past the advertised
+//!    stale TTL (30 s), never above the record's original TTL, never 0;
+//! 3. with [`StalePolicy`] off the resolver is step-for-step identical
+//!    to a resolver built without stale knobs, and no stale counter
+//!    ever moves.
+
+use dns_auth::AuthServer;
+use dns_core::{
+    Delegation, Message, Name, Question, RData, Record, RecordType, SimDuration, SimTime, Ttl,
+    ZoneBuilder,
+};
+use dns_resolver::{CachingServer, ResolverConfig, RootHints, StalePolicy, Upstream};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// The advertised TTL cap on stale answers (RFC 8767 §5.2).
+const STALE_ANSWER_TTL_SECS: u32 = 30;
+
+fn name(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+/// A miniature internet with a global blackout switch.
+struct MiniNet {
+    servers: HashMap<Ipv4Addr, AuthServer>,
+    dead: bool,
+}
+
+impl MiniNet {
+    fn add(&mut self, server: AuthServer) {
+        self.servers.insert(server.addr(), server);
+    }
+}
+
+impl Upstream for MiniNet {
+    fn query(&mut self, server: Ipv4Addr, query: &Message, _now: SimTime) -> Option<Message> {
+        if self.dead {
+            return None;
+        }
+        self.servers.get(&server).map(|s| s.handle_query(query))
+    }
+}
+
+/// Builds root → `test` → `z.test` with `www.z.test A` at `answer_ttl`.
+fn build_net(answer_ttl: Ttl) -> (MiniNet, RootHints) {
+    let mut net = MiniNet {
+        servers: HashMap::new(),
+        dead: false,
+    };
+    let root_ip = Ipv4Addr::new(10, 0, 0, 1);
+    let tld_ip = Ipv4Addr::new(10, 0, 1, 1);
+    let sld_ip = Ipv4Addr::new(10, 0, 2, 1);
+
+    let root_zone = ZoneBuilder::new(Name::root())
+        .ns(name("a.root-servers.net"), root_ip, Ttl::from_days(7))
+        .delegate(Delegation {
+            child: name("test"),
+            ns_names: vec![name("ns.test")],
+            ns_ttl: Ttl::from_days(2),
+            glue: vec![Record::new(
+                name("ns.test"),
+                Ttl::from_days(2),
+                RData::A(tld_ip),
+            )],
+            ds: Vec::new(),
+        })
+        .build()
+        .unwrap();
+    let mut root_srv = AuthServer::new(name("a.root-servers.net"), root_ip);
+    root_srv.add_zone(root_zone);
+    net.add(root_srv);
+
+    let tld_zone = ZoneBuilder::new(name("test"))
+        .ns(name("ns.test"), tld_ip, Ttl::from_days(2))
+        .delegate(Delegation {
+            child: name("z.test"),
+            ns_names: vec![name("ns.z.test")],
+            ns_ttl: Ttl::from_hours(12),
+            glue: vec![Record::new(
+                name("ns.z.test"),
+                Ttl::from_hours(12),
+                RData::A(sld_ip),
+            )],
+            ds: Vec::new(),
+        })
+        .build()
+        .unwrap();
+    let mut tld_srv = AuthServer::new(name("ns.test"), tld_ip);
+    tld_srv.add_zone(tld_zone);
+    net.add(tld_srv);
+
+    let sld_zone = ZoneBuilder::new(name("z.test"))
+        .ns(name("ns.z.test"), sld_ip, Ttl::from_hours(12))
+        .a(name("www.z.test"), Ipv4Addr::new(10, 0, 2, 80), answer_ttl)
+        .build()
+        .unwrap();
+    let mut sld_srv = AuthServer::new(name("ns.z.test"), sld_ip);
+    sld_srv.add_zone(sld_zone);
+    net.add(sld_srv);
+
+    let hints = RootHints::new(vec![(name("a.root-servers.net"), root_ip)]);
+    (net, hints)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Laws 1 and 2: after a warm resolve and a total blackout, probing
+    /// at `expiry + offset` serves a clamped stale answer strictly
+    /// inside the window and a hard failure at or past its edge.
+    #[test]
+    fn stale_window_boundary_and_ttl_clamp(
+        ttl_secs in 1u32..86_400,
+        window_secs in 60u64..172_800,
+        offset in 0u64..260_000,
+    ) {
+        let ttl = Ttl::from_secs(ttl_secs);
+        let (mut net, hints) = build_net(ttl);
+        let config = ResolverConfig::vanilla()
+            .to_builder()
+            .max_stale(SimDuration::from_secs(window_secs))
+            .build();
+        let mut cs = CachingServer::new(config, hints);
+        let www = name("www.z.test");
+
+        let t0 = SimTime::from_secs(1_000);
+        let warm = cs.resolve_a(&www, t0, &mut net);
+        prop_assert!(!warm.is_failure(), "warm resolve must answer: {warm:?}");
+
+        net.dead = true;
+        let expiry = t0 + SimDuration::from_secs(u64::from(ttl_secs));
+        let probe = expiry + SimDuration::from_secs(offset);
+        let out = cs.resolve_a(&www, probe, &mut net);
+
+        if offset < window_secs {
+            let records = match out {
+                dns_resolver::Outcome::Answer { ref records, from_cache } => {
+                    prop_assert!(from_cache, "stale answers come from cache");
+                    records
+                }
+                ref other => {
+                    return Err(TestCaseError::fail(format!(
+                        "inside the window the stale answer must serve, got {other:?}"
+                    )));
+                }
+            };
+            prop_assert!(!records.is_empty());
+            let clamp = ttl_secs.min(STALE_ANSWER_TTL_SECS);
+            for r in records {
+                prop_assert_eq!(r.ttl().as_secs(), clamp);
+                prop_assert!(r.ttl().as_secs() > 0, "stale TTL must not underflow to 0");
+            }
+            prop_assert_eq!(cs.metrics().stale_served, 1);
+            prop_assert_eq!(cs.metrics().stale_expired_unserved, 0);
+        } else {
+            prop_assert!(
+                out.is_failure(),
+                "at or past expiry + max_stale nothing may serve, got {:?}", out
+            );
+            prop_assert_eq!(cs.metrics().stale_served, 0);
+        }
+    }
+
+    /// Law 3: a resolver whose config carries `StalePolicy::off()`
+    /// explicitly is step-for-step identical to one built without
+    /// touching the stale knobs — same outcomes, same full metrics —
+    /// across random query/blackout/revive scripts, and the stale
+    /// counters never move.
+    #[test]
+    fn stale_off_is_step_identical(
+        seed in any::<u64>(),
+        script in proptest::collection::vec((0u8..4, 1u64..40_000), 1..40),
+    ) {
+        let ttl = Ttl::from_mins(10);
+        let (mut net_a, hints_a) = build_net(ttl);
+        let (mut net_b, hints_b) = build_net(ttl);
+        let plain = ResolverConfig::vanilla().to_builder().seed(seed).build();
+        let explicit_off = ResolverConfig::vanilla()
+            .to_builder()
+            .seed(seed)
+            .stale(StalePolicy::off())
+            .build();
+        prop_assert_eq!(plain, explicit_off);
+        let mut a = CachingServer::new(plain, hints_a);
+        let mut b = CachingServer::new(explicit_off, hints_b);
+
+        let mut now = 0u64;
+        for (action, dt) in script {
+            now += dt;
+            let at = SimTime::from_secs(now);
+            match action {
+                1 => {
+                    net_a.dead = true;
+                    net_b.dead = true;
+                }
+                2 => {
+                    net_a.dead = false;
+                    net_b.dead = false;
+                }
+                _ => {
+                    let q = Question::new(name("www.z.test"), RecordType::A);
+                    let oa = a.resolve(&q, at, &mut net_a);
+                    let ob = b.resolve(&q, at, &mut net_b);
+                    prop_assert_eq!(format!("{oa:?}"), format!("{ob:?}"));
+                }
+            }
+        }
+        prop_assert_eq!(format!("{:?}", a.metrics()), format!("{:?}", b.metrics()));
+        let m = a.metrics();
+        prop_assert_eq!(m.stale_served, 0);
+        prop_assert_eq!(m.stale_expired_unserved, 0);
+        prop_assert_eq!(m.refresh_ahead, 0);
+        prop_assert_eq!(m.prefetch_issued, 0);
+        prop_assert_eq!(m.prefetch_hits, 0);
+        prop_assert_eq!(m.prefetch_wasted, 0);
+    }
+}

@@ -9,7 +9,7 @@ use crate::SimConfig;
 use dns_core::{SimDuration, Ttl};
 use dns_obs::LogHistogram;
 use dns_resolver::{
-    DefensePolicy, OccupancySample, RenewalPolicy, ResolverConfig, ResolverMetrics,
+    DefensePolicy, OccupancySample, RenewalPolicy, ResolverConfig, ResolverMetrics, StalePolicy,
 };
 use std::fmt;
 
@@ -69,6 +69,15 @@ impl Scheme {
     /// knobs show up in the label (`vanilla+maxfetch4`, …).
     pub fn with_defense(mut self, defense: DefensePolicy) -> Self {
         self.resolver.defense = defense;
+        self
+    }
+
+    /// The same scheme with a resolver-side [`StalePolicy`] applied —
+    /// the serve-stale / proactive-refresh / prefetch axis of the stale
+    /// sweeps. The stale knobs show up in the label
+    /// (`vanilla+stale3600s`, `refresh+proactive80`, …).
+    pub fn with_stale(mut self, stale: StalePolicy) -> Self {
+        self.resolver.stale = stale;
         self
     }
 

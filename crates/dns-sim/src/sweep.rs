@@ -440,6 +440,12 @@ impl RunManifest {
                 fetches_clamped: u.fetches_clamped,
                 flood_suppressed: u.flood_suppressed,
                 neg_evictions_pressure: u.neg_evictions_pressure,
+                stale_served: u.stale_served,
+                stale_expired_unserved: u.stale_expired_unserved,
+                refresh_ahead: u.refresh_ahead,
+                prefetch_issued: u.prefetch_issued,
+                prefetch_hits: u.prefetch_hits,
+                prefetch_wasted: u.prefetch_wasted,
             })
             .collect()
     }
@@ -516,6 +522,20 @@ pub struct UnitRecord {
     /// Negative-cache evictions under budget pressure across the unit's
     /// runs.
     pub neg_evictions_pressure: u64,
+    /// Expired answers served from the stale window (RFC 8767) across
+    /// the unit's runs.
+    pub stale_served: u64,
+    /// Failed lookups whose only stale candidate had aged past the
+    /// serve-stale window.
+    pub stale_expired_unserved: u64,
+    /// Proactive refreshes issued ahead of expiry.
+    pub refresh_ahead: u64,
+    /// Predictive prefetches issued by the inter-arrival learner.
+    pub prefetch_issued: u64,
+    /// Prefetched names whose next query hit fresh cache.
+    pub prefetch_hits: u64,
+    /// Prefetched names whose next query still missed (wasted fetch).
+    pub prefetch_wasted: u64,
 }
 
 enum UnitKind {
@@ -623,15 +643,28 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
     let mut gaps = None;
     let mut latency = LogHistogram::new();
     let mut occupancy_hist = LogHistogram::new();
-    // Defense-counter totals over the unit's measured runs (all zero
-    // when the scheme runs with defenses off — the default).
+    // Defense- and stale-counter totals over the unit's measured runs
+    // (all zero when the scheme runs with defenses and serve-stale off —
+    // the default).
     let mut fetches_clamped = 0u64;
     let mut flood_suppressed = 0u64;
     let mut neg_evictions_pressure = 0u64;
+    let mut stale_served = 0u64;
+    let mut stale_expired_unserved = 0u64;
+    let mut refresh_ahead = 0u64;
+    let mut prefetch_issued = 0u64;
+    let mut prefetch_hits = 0u64;
+    let mut prefetch_wasted = 0u64;
     let mut count_defense = |m: &dns_resolver::ResolverMetrics| {
         fetches_clamped += m.fetches_clamped;
         flood_suppressed += m.flood_suppressed;
         neg_evictions_pressure += m.neg_evictions_pressure;
+        stale_served += m.stale_served;
+        stale_expired_unserved += m.stale_expired_unserved;
+        refresh_ahead += m.refresh_ahead;
+        prefetch_issued += m.prefetch_issued;
+        prefetch_hits += m.prefetch_hits;
+        prefetch_wasted += m.prefetch_wasted;
     };
     let (runs, queries, events, peak_records) = match &unit.kind {
         UnitKind::Attack { start, durations } => {
@@ -845,6 +878,12 @@ fn run_unit(unit: &Unit, universe: &Universe, seed: u64, worker: usize) -> UnitR
             fetches_clamped,
             flood_suppressed,
             neg_evictions_pressure,
+            stale_served,
+            stale_expired_unserved,
+            refresh_ahead,
+            prefetch_issued,
+            prefetch_hits,
+            prefetch_wasted,
         },
     }
 }

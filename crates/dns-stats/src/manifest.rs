@@ -49,10 +49,22 @@ pub struct ManifestRow {
     pub flood_suppressed: u64,
     /// Negative-cache evictions forced by budget pressure.
     pub neg_evictions_pressure: u64,
+    /// Expired answers served inside the stale window (RFC 8767).
+    pub stale_served: u64,
+    /// Failed lookups whose stale candidate had aged past the window.
+    pub stale_expired_unserved: u64,
+    /// Proactive refreshes issued ahead of expiry.
+    pub refresh_ahead: u64,
+    /// Predictive prefetches issued by the inter-arrival learner.
+    pub prefetch_issued: u64,
+    /// Prefetched names whose next query hit fresh cache.
+    pub prefetch_hits: u64,
+    /// Prefetched names whose next query still missed.
+    pub prefetch_wasted: u64,
 }
 
 /// Column headers of the manifest table, shared with its CSV form.
-pub const MANIFEST_HEADERS: [&str; 18] = [
+pub const MANIFEST_HEADERS: [&str; 24] = [
     "unit",
     "kind",
     "trace",
@@ -71,6 +83,12 @@ pub const MANIFEST_HEADERS: [&str; 18] = [
     "fetches_clamped",
     "flood_suppressed",
     "neg_evict",
+    "stale_served",
+    "stale_unserved",
+    "refresh_ahead",
+    "prefetch_issued",
+    "prefetch_hits",
+    "prefetch_wasted",
 ];
 
 /// Builds the manifest summary table (also used for `run_manifest.csv`).
@@ -97,6 +115,12 @@ pub fn manifest_table(rows: &[ManifestRow]) -> Table {
             r.fetches_clamped.to_string(),
             r.flood_suppressed.to_string(),
             r.neg_evictions_pressure.to_string(),
+            r.stale_served.to_string(),
+            r.stale_expired_unserved.to_string(),
+            r.refresh_ahead.to_string(),
+            r.prefetch_issued.to_string(),
+            r.prefetch_hits.to_string(),
+            r.prefetch_wasted.to_string(),
         ]);
     }
     table
@@ -126,6 +150,12 @@ mod tests {
             fetches_clamped: 12,
             flood_suppressed: 3,
             neg_evictions_pressure: 7,
+            stale_served: 5,
+            stale_expired_unserved: 2,
+            refresh_ahead: 9,
+            prefetch_issued: 4,
+            prefetch_hits: 3,
+            prefetch_wasted: 1,
         }
     }
 

@@ -106,13 +106,23 @@ const GOLDEN_OVERHEAD_RUNS: usize = 8;
 /// all-zero everywhere: a scheme that silently enabled a defense (or a
 /// defense that fires while off) still diverges loudly.
 fn strip_zero_defense_counters(text: &str) -> String {
-    let stripped = text.replace(
-        ", fetches_clamped: 0, flood_suppressed: 0, neg_evictions_pressure: 0",
-        "",
-    );
+    let stripped = text
+        .replace(
+            ", fetches_clamped: 0, flood_suppressed: 0, neg_evictions_pressure: 0",
+            "",
+        )
+        .replace(
+            ", stale_served: 0, stale_expired_unserved: 0, refresh_ahead: 0, \
+             prefetch_issued: 0, prefetch_hits: 0, prefetch_wasted: 0",
+            "",
+        );
     assert!(
         !stripped.contains("fetches_clamped"),
         "defense counters fired in a defenses-off golden sweep"
+    );
+    assert!(
+        !stripped.contains("stale_served"),
+        "stale counters fired in a stale-off golden sweep"
     );
     stripped
 }

@@ -1,0 +1,113 @@
+//! Golden transcript for the serve-stale path: one seeded warm
+//! resolution, then a total blackout probe after the answer expired —
+//! the demand fetch must burn its full retry budget and the expired
+//! record must answer from the stale window, rendering the same
+//! `explain()` text byte-for-byte forever.
+//!
+//! Everything is virtual (time, loss, retry jitter), so this transcript
+//! is a contract, not a flaky snapshot. When a change *intentionally*
+//! alters the stale path, re-capture with
+//! `cargo test -q --test stale_golden -- --nocapture` and explain the
+//! change in the PR description.
+
+use dns_resilience::prelude::*;
+use dns_resilience::resolver::{Outcome, Upstream};
+
+/// The stale window the scripted resolver runs with.
+const STALE_WINDOW: SimDuration = SimDuration::from_hours(1);
+
+/// A total blackout: every datagram to every server vanishes.
+struct Blackhole;
+
+impl Upstream for Blackhole {
+    fn query(
+        &mut self,
+        _server: std::net::Ipv4Addr,
+        _query: &dns_resilience::core::Message,
+        _now: SimTime,
+    ) -> Option<dns_resilience::core::Message> {
+        None
+    }
+}
+
+fn scripted_stale_serve() -> (CachingServer, Outcome) {
+    let universe = UniverseSpec::small().build(7);
+    let farm = ServerFarm::build(&universe, None);
+    let mut net = SimNet::new(farm);
+
+    let config = ResolverConfig::builder()
+        .retry(RetryPolicy::standard())
+        .seed(1)
+        .max_stale(STALE_WINDOW)
+        .build();
+    let hints = RootHints::new(universe.root_servers().to_vec());
+    let mut cs = CachingServer::new(config, hints);
+
+    // Warm: the most popular name in the generated universe, resolved
+    // over a healthy network.
+    let (qname, _) = universe.query_targets().into_iter().next().unwrap();
+    let question = Question::new(qname, RecordType::A);
+    let warm = cs.resolve(&question, SimTime::ZERO, &mut net);
+    assert!(
+        matches!(warm, Outcome::Answer { .. }),
+        "warm resolve must answer: {warm:?}"
+    );
+    let expiry = cs
+        .answer_expiry(&question, SimTime::ZERO)
+        .expect("warm answer is cached");
+
+    // Probe ten minutes past the answer's expiry — inside the one-hour
+    // window — through a total blackout, so the demand fetch must burn
+    // its whole retry budget before the stale path takes over.
+    cs.obs_mut().enable_trace();
+    let probe = expiry + SimDuration::from_mins(10);
+    let outcome = cs.resolve(&question, probe, &mut Blackhole);
+    (cs, outcome)
+}
+
+#[test]
+fn stale_serve_trace_is_byte_identical() {
+    let (cs, outcome) = scripted_stale_serve();
+    assert!(
+        matches!(
+            outcome,
+            Outcome::Answer {
+                from_cache: true,
+                ..
+            }
+        ),
+        "blackout probe must serve stale from cache: {outcome:?}"
+    );
+    let metrics = cs.metrics();
+    assert_eq!(
+        metrics.stale_served, 1,
+        "exactly one stale serve: {metrics}"
+    );
+    assert_eq!(metrics.stale_expired_unserved, 0);
+    let explain = cs.obs().trace().unwrap().explain();
+    println!("{explain}");
+    assert_eq!(explain, GOLDEN_EXPLAIN);
+}
+
+const GOLDEN_EXPLAIN: &str = "\
+-- query trace (19 events) --
+ 1. query www.z00000.t025. A at 0d04:10:00
+ 2. cache miss
+ 3. infra: deepest usable ancestor z00000.t025.
+ 4. send -> 10.0.0.102
+ 5. timeout <- 10.0.0.102
+ 6. send -> 10.0.0.103
+ 7. timeout <- 10.0.0.103
+ 8. backoff after round 0: wait 109ms
+ 9. send -> 10.0.0.102
+10. timeout <- 10.0.0.102
+11. send -> 10.0.0.103
+12. timeout <- 10.0.0.103
+13. backoff after round 1: wait 299ms
+14. send -> 10.0.0.102
+15. timeout <- 10.0.0.102
+16. send -> 10.0.0.103
+17. timeout <- 10.0.0.103
+18. stale serve (expired at 0d04:00:00)
+19. outcome Answer (cache) in 6408ms
+";
